@@ -1,0 +1,97 @@
+// Benchmarks that regenerate every experiment of the paper
+// reproduction (one benchmark per table/figure, E1–E13 in DESIGN.md) at
+// Quick scale, reporting each experiment's headline metrics, plus
+// micro-benchmarks of the core simulation loops. cmd/megbench prints
+// the full tables; these benches track wall-clock cost and the key
+// measured quantities per run.
+package meg_test
+
+import (
+	"math"
+	"testing"
+
+	"meg"
+	"meg/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		rep := e.Run(experiments.Params{Scale: experiments.Quick, Seed: uint64(i) + 1})
+		if !rep.Passed() {
+			for _, c := range rep.Checks {
+				if !c.Pass {
+					b.Logf("%s check failed: %s — %s", id, c.Name, c.Detail)
+				}
+			}
+		}
+		if i == b.N-1 {
+			for name, v := range rep.Metrics {
+				b.ReportMetric(v, name)
+			}
+		}
+	}
+}
+
+func BenchmarkE1_GeneralBound(b *testing.B)        { benchExperiment(b, "E1") }
+func BenchmarkE2_CellOccupancy(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3_GeometricExpansion(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4_GeometricScaling(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5_GeometricLowerBound(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6_Stationarity(b *testing.B)        { benchExperiment(b, "E6") }
+func BenchmarkE7_EdgeExpansion(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8_EdgeScaling(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9_EdgeGrowth(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10_StationaryVsWorstCase(b *testing.B) {
+	benchExperiment(b, "E10")
+}
+func BenchmarkE11_MobilityModels(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12_DensityScaling(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13_SubThreshold(b *testing.B)    { benchExperiment(b, "E13") }
+func BenchmarkE14_FloodVsDiameter(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkE15_Parsimonious(b *testing.B)    { benchExperiment(b, "E15") }
+func BenchmarkE16_Protocols(b *testing.B)       { benchExperiment(b, "E16") }
+func BenchmarkE17_Connectivity(b *testing.B)    { benchExperiment(b, "E17") }
+func BenchmarkE18_MeanField(b *testing.B)       { benchExperiment(b, "E18") }
+func BenchmarkE19_Uniformity(b *testing.B)      { benchExperiment(b, "E19") }
+func BenchmarkE20_Faults(b *testing.B)          { benchExperiment(b, "E20") }
+
+// BenchmarkFloodGeometric measures one full stationary geometric-MEG
+// flooding run (sample π, then flood to completion) at the paper's
+// canonical parameters.
+func BenchmarkFloodGeometric(b *testing.B) {
+	n := 4096
+	radius := 2 * math.Sqrt(math.Log(float64(n)))
+	cfg := meg.GeometricConfig{N: n, R: radius, MoveRadius: radius / 2}
+	r := meg.NewRNG(1)
+	model := meg.NewGeometric(cfg)
+	rounds := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Reset(r.Split())
+		res := meg.Flood(model, 0, meg.DefaultRoundCap(n))
+		rounds += float64(res.Rounds)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds/op")
+}
+
+// BenchmarkFloodEdge measures one full stationary edge-MEG flooding run
+// at p̂ = 4·log n/n.
+func BenchmarkFloodEdge(b *testing.B) {
+	n := 4096
+	pHat := 4 * math.Log(float64(n)) / float64(n)
+	cfg := meg.EdgeConfig{N: n, P: 0.5 * pHat / (1 - pHat), Q: 0.5}
+	r := meg.NewRNG(1)
+	model := meg.NewEdgeMarkovian(cfg)
+	rounds := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Reset(r.Split())
+		res := meg.Flood(model, 0, meg.DefaultRoundCap(n))
+		rounds += float64(res.Rounds)
+	}
+	b.ReportMetric(rounds/float64(b.N), "rounds/op")
+}

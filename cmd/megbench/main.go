@@ -1,0 +1,114 @@
+// Command megbench regenerates the paper-reproduction experiments
+// (E1–E13, see DESIGN.md): every theorem, claim and corollary of the
+// paper is validated by simulation and printed as a table plus
+// pass/fail shape checks.
+//
+// Usage:
+//
+//	megbench [flags] [experiment IDs...]
+//
+// With no IDs, the full suite runs in index order.
+//
+// Flags:
+//
+//	-scale quick|standard|full   experiment size (default standard)
+//	-seed N                      base RNG seed (default 1)
+//	-workers N                   parallelism (default: all CPUs)
+//	-csv DIR                     also write every table as CSV into DIR
+//	-list                        list experiments and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"meg/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "standard", "experiment scale: quick|standard|full")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	params := experiments.Params{Scale: scale, Seed: *seed, Workers: *workers}
+
+	var selected []experiments.Experiment
+	if flag.NArg() == 0 {
+		selected = experiments.All()
+	} else {
+		for _, id := range flag.Args() {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "megbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "megbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failures := 0
+	for _, e := range selected {
+		start := time.Now()
+		rep := e.Run(params)
+		rep.WriteText(os.Stdout)
+		fmt.Printf("   (%s, scale=%s, %.1fs)\n\n", e.ID, scale, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, e.ID, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "megbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if !rep.Passed() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "megbench: %d experiment(s) with failing checks\n", failures)
+		os.Exit(1)
+	}
+}
+
+// writeCSVs writes every table of the report as <dir>/<id>_<k>.csv.
+func writeCSVs(dir, id string, rep *experiments.Report) error {
+	for k, t := range rep.Tables {
+		name := fmt.Sprintf("%s_%d.csv", strings.ToLower(id), k)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

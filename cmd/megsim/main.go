@@ -1,0 +1,143 @@
+// Command megsim runs a single flooding simulation on a chosen
+// Markovian evolving graph model and prints the per-round trajectory —
+// the quickest way to explore the dynamics interactively.
+//
+// Usage examples:
+//
+//	megsim -model geometric -n 4096 -mult 2 -rfrac 0.5 -trace
+//	megsim -model edge -n 4096 -phatmult 4 -q 0.5
+//	megsim -model waypoint -n 4096 -mult 2
+//	megsim -model geometric -n 4096 -sources 8 -trials 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"meg/internal/core"
+	"meg/internal/edgemeg"
+	"meg/internal/flood"
+	"meg/internal/geommeg"
+	"meg/internal/mobility"
+	"meg/internal/rng"
+)
+
+func main() {
+	model := flag.String("model", "geometric", "model: geometric|torus|edge|waypoint|billiard|walkers|iiddisk")
+	n := flag.Int("n", 4096, "number of nodes")
+	mult := flag.Float64("mult", 2, "transmission radius R = mult·√log n (geometric models)")
+	rfrac := flag.Float64("rfrac", 0.5, "move radius r = rfrac·R (geometric models)")
+	density := flag.Float64("density", 1, "node density δ (geometric lattice model)")
+	phatmult := flag.Float64("phatmult", 4, "edge model: p̂ = phatmult·log n/n")
+	q := flag.Float64("q", 0.5, "edge model death rate")
+	emptyStart := flag.Bool("empty", false, "edge model: start from the empty graph (worst case)")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	trials := flag.Int("trials", 1, "independent trials")
+	sources := flag.Int("sources", 1, "sources per trial (flooding time = max)")
+	trace := flag.Bool("trace", false, "print the informed-count trajectory of trial 0")
+	dotFile := flag.String("dot", "", "write the initial snapshot of a fresh run as Graphviz DOT to this file")
+	flag.Parse()
+
+	radius := *mult * math.Sqrt(math.Log(float64(*n))/(*density))
+	side := math.Sqrt(float64(*n))
+	moveR := *rfrac * radius
+
+	factory, desc := buildFactory(*model, *n, radius, moveR, *density, *phatmult, *q, *emptyStart, side)
+	if factory == nil {
+		fmt.Fprintf(os.Stderr, "megsim: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	fmt.Printf("model: %s\n", desc)
+
+	if *dotFile != "" {
+		if err := dumpDOT(*dotFile, factory, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "megsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote snapshot DOT to %s\n", *dotFile)
+	}
+
+	camp := flood.Run(factory, flood.Options{
+		Trials:          *trials,
+		SourcesPerTrial: *sources,
+		Seed:            *seed,
+	})
+	if *trace && len(camp.Trials) > 0 {
+		fmt.Println("trajectory (|I_t| per round) of trial 0:")
+		for t, m := range camp.Trials[0].Result.Trajectory {
+			fmt.Printf("  t=%-4d informed=%d\n", t, m)
+		}
+	}
+	fmt.Printf("trials: %d completed, %d hit the round cap\n", len(camp.Rounds), camp.Incomplete)
+	if len(camp.Rounds) > 0 {
+		fmt.Printf("flooding rounds: %s\n", camp.Summary)
+	}
+}
+
+func buildFactory(model string, n int, radius, moveR, density, phatmult, q float64, emptyStart bool, side float64) (flood.Factory, string) {
+	switch model {
+	case "geometric":
+		cfg := geommeg.Config{N: n, R: radius, MoveRadius: moveR, Density: density}
+		return func() core.Dynamics { return geommeg.MustNew(cfg) },
+			fmt.Sprintf("geometric-MEG n=%d R=%.2f r=%.2f δ=%.2f", n, radius, moveR, density)
+	case "torus":
+		cfg := geommeg.Config{N: n, R: radius, MoveRadius: moveR, Density: density, Torus: true}
+		return func() core.Dynamics { return geommeg.MustNew(cfg) },
+			fmt.Sprintf("walkers on toroidal grid n=%d R=%.2f r=%.2f", n, radius, moveR)
+	case "edge":
+		pHat := phatmult * math.Log(float64(n)) / float64(n)
+		p := q * pHat / (1 - pHat)
+		init := edgemeg.InitStationary
+		if emptyStart {
+			init = edgemeg.InitEmpty
+		}
+		cfg := edgemeg.Config{N: n, P: p, Q: q, Init: init}
+		return func() core.Dynamics { return edgemeg.MustNew(cfg) },
+			fmt.Sprintf("edge-MEG n=%d p=%.3g q=%.3g p̂=%.3g init=%s", n, p, q, pHat, init)
+	case "waypoint":
+		return func() core.Dynamics {
+				return mobility.NewDynamics(mobility.NewWaypointTorus(n, side, moveR/2, moveR), radius)
+			},
+			fmt.Sprintf("random waypoint torus n=%d R=%.2f v∈[%.2f,%.2f]", n, radius, moveR/2, moveR)
+	case "billiard":
+		return func() core.Dynamics {
+				return mobility.NewDynamics(mobility.NewBilliard(n, side, moveR, 0.1), radius)
+			},
+			fmt.Sprintf("billiard n=%d R=%.2f speed=%.2f", n, radius, moveR)
+	case "walkers":
+		return func() core.Dynamics {
+				return mobility.NewDynamics(mobility.NewWalkersTorus(n, side, moveR), radius)
+			},
+			fmt.Sprintf("continuous walkers torus n=%d R=%.2f r=%.2f", n, radius, moveR)
+	case "iiddisk":
+		return func() core.Dynamics {
+				return mobility.NewDynamics(mobility.NewRestrictedDisk(n, side, 2*radius), radius)
+			},
+			fmt.Sprintf("restricted i.i.d. disk n=%d R=%.2f roam=%.2f", n, radius, 2*radius)
+	}
+	return nil, ""
+}
+
+// dumpDOT samples a fresh initial snapshot and writes it as DOT, with
+// geographic positions when the model is geometric.
+func dumpDOT(path string, factory flood.Factory, seed uint64) error {
+	d := factory()
+	d.Reset(rng.New(seed))
+	g := d.Graph()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if gm, ok := d.(*geommeg.Model); ok {
+		coords := make([][2]float64, g.N())
+		for u := 0; u < g.N(); u++ {
+			p := gm.Position(u)
+			coords[u] = [2]float64{p.X, p.Y}
+		}
+		return g.WriteDOTPositioned(f, "snapshot", coords)
+	}
+	return g.WriteDOT(f, "snapshot")
+}

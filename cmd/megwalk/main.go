@@ -1,0 +1,98 @@
+// Command megwalk measures random-walk hitting and cover times on
+// Markovian evolving graphs — the exploration questions of the paper's
+// reference [2] (Avin–Koucký–Lotker), on the same substrates this
+// repository builds for flooding.
+//
+// Usage examples:
+//
+//	megwalk -model edge -n 512 -mode cover -trials 20
+//	megwalk -model geometric -n 1024 -mode hit -target 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"meg/internal/core"
+	"meg/internal/edgemeg"
+	"meg/internal/geommeg"
+	"meg/internal/rng"
+	"meg/internal/stats"
+	"meg/internal/walk"
+)
+
+func main() {
+	model := flag.String("model", "edge", "model: edge|geometric|torus")
+	n := flag.Int("n", 512, "number of nodes")
+	mode := flag.String("mode", "cover", "walk objective: cover|hit")
+	target := flag.Int("target", -1, "hit target (default n-1)")
+	mult := flag.Float64("mult", 2, "geometric: R = mult·√log n")
+	phatmult := flag.Float64("phatmult", 4, "edge: p̂ = phatmult·log n/n")
+	trials := flag.Int("trials", 10, "independent trials")
+	capMult := flag.Int("capmult", 100, "step cap = capmult·n·log n")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	if *target < 0 {
+		*target = *n - 1
+	}
+	factory := buildFactory(*model, *n, *mult, *phatmult)
+	if factory == nil {
+		fmt.Fprintf(os.Stderr, "megwalk: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	capSteps := int(float64(*capMult) * float64(*n) * math.Log(float64(*n)))
+	r := rng.New(*seed)
+	var acc stats.Accumulator
+	incomplete := 0
+	for i := 0; i < *trials; i++ {
+		d := factory()
+		d.Reset(r.Split())
+		var res walk.Result
+		switch *mode {
+		case "cover":
+			res = walk.Cover(d, 0, capSteps, r.Split())
+		case "hit":
+			res = walk.Hit(d, 0, *target, capSteps, r.Split())
+		default:
+			fmt.Fprintf(os.Stderr, "megwalk: unknown mode %q\n", *mode)
+			os.Exit(2)
+		}
+		if res.Done {
+			acc.Add(float64(res.Steps))
+		} else {
+			incomplete++
+		}
+	}
+	fmt.Printf("model=%s n=%d mode=%s trials=%d cap=%d\n", *model, *n, *mode, *trials, capSteps)
+	if incomplete > 0 {
+		fmt.Printf("incomplete: %d/%d\n", incomplete, *trials)
+	}
+	if acc.N() > 0 {
+		fmt.Printf("steps: mean=%.1f sd=%.1f min=%.0f max=%.0f\n",
+			acc.Mean(), acc.StdDev(), acc.Min(), acc.Max())
+		fmt.Printf("reference scales: n·log n = %.0f, n² = %d\n",
+			float64(*n)*math.Log(float64(*n)), (*n)*(*n))
+	}
+}
+
+func buildFactory(model string, n int, mult, phatmult float64) func() core.Dynamics {
+	switch model {
+	case "edge":
+		pHat := phatmult * math.Log(float64(n)) / float64(n)
+		cfg := edgemeg.Config{N: n, P: 0.5 * pHat / (1 - pHat), Q: 0.5}
+		return func() core.Dynamics { return edgemeg.MustNew(cfg) }
+	case "geometric":
+		radius := mult * math.Sqrt(math.Log(float64(n)))
+		cfg := geommeg.Config{N: n, R: radius, MoveRadius: radius / 2}
+		return func() core.Dynamics { return geommeg.MustNew(cfg) }
+	case "torus":
+		radius := mult * math.Sqrt(math.Log(float64(n)))
+		cfg := geommeg.Config{N: n, R: radius, MoveRadius: radius / 2, Torus: true}
+		return func() core.Dynamics { return geommeg.MustNew(cfg) }
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Mobilenet sizes the transmission radius of a mobile sensor network.
+//
+// Scenario: n battery-powered sensors drift through a deployment square
+// (drones, vehicles, wildlife tags — anything that random-walks), and a
+// measurement taken by one node must reach the whole swarm by flooding.
+// Transmission power (the radius R) is the dominant energy cost, so the
+// operator wants the smallest R that still delivers data quickly.
+//
+// The paper's Corollary 3.6 answers this: flooding takes Θ(√n/R) rounds
+// for any R above the connectivity scale c√log n, and node speed r ≤ R
+// is irrelevant. This example sweeps R, measures delivery time, and
+// shows both predictions holding on the simulated swarm.
+//
+//	go run ./examples/mobilenet
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"meg"
+	"meg/internal/flood"
+	"meg/internal/table"
+)
+
+func main() {
+	const n = 4096   // swarm size
+	const trials = 8 // Monte Carlo repetitions per configuration
+	side := math.Sqrt(float64(n))
+	connScale := math.Sqrt(math.Log(float64(n))) // c=1 connectivity scale
+
+	fmt.Printf("sensor swarm: n=%d over a %.0f×%.0f square; connectivity scale √log n = %.2f\n\n",
+		n, side, side, connScale)
+
+	tbl := table.New("delivery time vs transmission radius (node speed r = R/2)",
+		"R/√log n", "R", "rounds mean", "rounds p90", "√n/R", "rounds/(√n/R)")
+	for _, mult := range []float64{1.5, 2, 3, 4, 6, 8} {
+		radius := mult * connScale
+		cfg := meg.GeometricConfig{N: n, R: radius, MoveRadius: radius / 2}
+		camp := flood.Run(func() meg.Dynamics { return meg.NewGeometric(cfg) },
+			flood.Options{Trials: trials, Seed: 42})
+		if camp.Incomplete > 0 {
+			fmt.Printf("R=%.2f: %d/%d floods incomplete (radius too small)\n", radius, camp.Incomplete, trials)
+			continue
+		}
+		x := side / radius
+		tbl.AddRow(mult, radius, camp.Summary.Mean, camp.Summary.P90, x, camp.Summary.Mean/x)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\nThe last column is ≈ constant: delivery time scales as √n/R (Corollary 3.6),")
+	fmt.Println("so doubling the radius halves latency — and quadruples per-packet energy (∝R²).")
+
+	// Second prediction: node speed does not matter while r ≤ R.
+	radius := 3 * connScale
+	tbl2 := table.New("\ndelivery time vs node speed at fixed R = 3√log n",
+		"r/R", "rounds mean")
+	for _, f := range []float64{0, 0.25, 0.5, 1} {
+		cfg := meg.GeometricConfig{N: n, R: radius, MoveRadius: f * radius}
+		camp := flood.Run(func() meg.Dynamics { return meg.NewGeometric(cfg) },
+			flood.Options{Trials: trials, Seed: 7})
+		tbl2.AddRow(f, camp.Summary.Mean)
+	}
+	if err := tbl2.WriteText(os.Stdout); err != nil {
+		panic(err)
+	}
+	fmt.Println("\nMobility is (nearly) free: the rows differ by small constants only —")
+	fmt.Println("the paper's headline result that motion neither helps nor hurts when r = O(R).")
+}

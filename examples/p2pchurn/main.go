@@ -1,0 +1,82 @@
+// P2pchurn models message dissemination in an unstructured peer-to-peer
+// overlay under churn.
+//
+// Scenario: peers hold links that appear and disappear over time —
+// connections drop (death rate q) and new ones are dialed (birth rate
+// p). Gossip/flooding is the standard dissemination primitive in such
+// overlays (Gnutella-style search, blockchain transaction relay). Two
+// operational questions:
+//
+//  1. How fast does a message reach everyone in steady state, and does
+//     the *churn rate* matter or only the average connectivity?
+//  2. How much slower is dissemination right after a network-wide cold
+//     start (all links down), the worst case of the paper's reference
+//     [9]?
+//
+// The paper's answers: in steady state only p̂ = p/(p+q) matters —
+// flooding takes Θ(log n/log np̂) rounds regardless of how fast links
+// churn — while a cold start can be exponentially slower when links are
+// born rarely (Section 1's stationary/worst-case gap).
+//
+//	go run ./examples/p2pchurn
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"meg"
+	"meg/internal/edgemeg"
+	"meg/internal/flood"
+	"meg/internal/table"
+)
+
+func main() {
+	const n = 4096
+	const trials = 10
+	pHat := 4 * math.Log(float64(n)) / float64(n) // avg degree np̂ ≈ 33
+
+	fmt.Printf("overlay: n=%d peers, mean degree np̂=%.1f\n\n", n, float64(n)*pHat)
+
+	// 1. Sweep the churn rate at a fixed stationary degree: q from
+	// "links live ~100 rounds" to "links live ~1.1 rounds".
+	tbl := table.New("steady-state dissemination vs churn rate (fixed p̂)",
+		"q (drop rate)", "link lifetime 1/q", "p", "rounds mean", "rounds max")
+	for _, q := range []float64{0.01, 0.05, 0.25, 0.5, 0.9} {
+		p := q * pHat / (1 - pHat)
+		cfg := meg.EdgeConfig{N: n, P: p, Q: q}
+		camp := flood.Run(func() meg.Dynamics { return meg.NewEdgeMarkovian(cfg) },
+			flood.Options{Trials: trials, Seed: 11})
+		tbl.AddRow(q, 1/q, p, camp.Summary.Mean, camp.Summary.Max)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		panic(err)
+	}
+	theory := math.Log(float64(n)) / math.Log(float64(n)*pHat)
+	fmt.Printf("\nTheorem 4.3: Θ(log n/log np̂) = %.2f rounds for every row — churn speed is\n", theory)
+	fmt.Println("irrelevant in steady state; only the stationary connectivity p̂ matters.")
+
+	// 2. Cold start vs steady state in a sparse-birth overlay.
+	fmt.Println()
+	tbl2 := table.New("cold start (all links down) vs steady state — sparse births",
+		"n", "steady-state rounds", "cold-start rounds", "slowdown")
+	for _, nn := range []int{1024, 2048, 4096} {
+		nf := float64(nn)
+		p := math.Pow(nf, -1.5)          // rare link births
+		q := nf * p / (3 * math.Log(nf)) // lifetime tuned for p̂ ≈ 3·log n/n
+		warm := flood.Run(func() meg.Dynamics {
+			return meg.NewEdgeMarkovian(meg.EdgeConfig{N: nn, P: p, Q: q})
+		}, flood.Options{Trials: trials, Seed: 13, MaxRounds: 16 * nn})
+		cold := flood.Run(func() meg.Dynamics {
+			return meg.NewEdgeMarkovian(meg.EdgeConfig{N: nn, P: p, Q: q, Init: edgemeg.InitEmpty})
+		}, flood.Options{Trials: trials, Seed: 17, MaxRounds: 16 * nn})
+		tbl2.AddRow(nn, warm.Summary.Mean, cold.Summary.Mean, cold.Summary.Mean/warm.Summary.Mean)
+	}
+	if err := tbl2.WriteText(os.Stdout); err != nil {
+		panic(err)
+	}
+	fmt.Println("\nThe slowdown grows polynomially in n (≈ n^ε): a freshly wiped overlay is")
+	fmt.Println("dramatically slower than the steady state it converges to. Operationally:")
+	fmt.Println("keep warm links alive through restarts, or bootstrap from a seed set.")
+}

@@ -1,0 +1,186 @@
+// Package bitset implements dense bit sets over the integers [0, n).
+//
+// Flooding simulations track the informed set and various membership
+// marks over the fixed node universe [n]; a packed bit set gives O(1)
+// membership, cache-friendly iteration, and a popcount-based Count that
+// the per-round bookkeeping relies on.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-universe bit set over [0, n).
+// The zero value is an empty set over an empty universe; use New to
+// create a set with capacity.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set over the universe [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative universe size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the universe size n.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts v into the set. It panics if v is outside [0, n).
+func (s *Set) Add(v int) {
+	s.check(v)
+	s.words[v/wordBits] |= 1 << uint(v%wordBits)
+}
+
+// Remove deletes v from the set. It panics if v is outside [0, n).
+func (s *Set) Remove(v int) {
+	s.check(v)
+	s.words[v/wordBits] &^= 1 << uint(v%wordBits)
+}
+
+// Contains reports whether v is in the set. It panics if v is outside
+// [0, n).
+func (s *Set) Contains(v int) bool {
+	s.check(v)
+	return s.words[v/wordBits]&(1<<uint(v%wordBits)) != 0
+}
+
+func (s *Set) check(v int) {
+	if v < 0 || v >= s.n {
+		panic("bitset: value out of range")
+	}
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear removes all elements, keeping the universe size.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill inserts every element of the universe.
+func (s *Set) Fill() {
+	if s.n == 0 {
+		return
+	}
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	// Mask the tail beyond n-1 so Count stays correct.
+	tail := uint(s.n % wordBits)
+	if tail != 0 {
+		s.words[len(s.words)-1] = (1 << tail) - 1
+	}
+}
+
+// Full reports whether the set contains all n elements.
+func (s *Set) Full() bool { return s.Count() == s.n }
+
+// CopyFrom makes s an exact copy of t. The universes must match in size.
+func (s *Set) CopyFrom(t *Set) {
+	if s.n != t.n {
+		panic("bitset: CopyFrom universe mismatch")
+	}
+	copy(s.words, t.words)
+}
+
+// Clone returns a new independent copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// UnionWith adds every element of t to s. The universes must match.
+func (s *Set) UnionWith(t *Set) {
+	if s.n != t.n {
+		panic("bitset: UnionWith universe mismatch")
+	}
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// IntersectWith removes from s every element not in t. The universes
+// must match.
+func (s *Set) IntersectWith(t *Set) {
+	if s.n != t.n {
+		panic("bitset: IntersectWith universe mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// DifferenceWith removes from s every element of t. The universes must
+// match.
+func (s *Set) DifferenceWith(t *Set) {
+	if s.n != t.n {
+		panic("bitset: DifferenceWith universe mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Equal reports whether s and t contain exactly the same elements over
+// the same universe.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every element of s is in t.
+func (s *Set) IsSubsetOf(t *Set) bool {
+	if s.n != t.n {
+		panic("bitset: IsSubsetOf universe mismatch")
+	}
+	for i := range s.words {
+		if s.words[i]&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element of the set in increasing order.
+func (s *Set) ForEach(fn func(v int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// AppendTo appends the elements of the set in increasing order to dst
+// and returns the extended slice.
+func (s *Set) AppendTo(dst []int) []int {
+	s.ForEach(func(v int) { dst = append(dst, v) })
+	return dst
+}
+
+// Elements returns the elements of the set in increasing order.
+func (s *Set) Elements() []int {
+	return s.AppendTo(make([]int, 0, s.Count()))
+}

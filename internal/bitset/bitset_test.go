@@ -1,0 +1,283 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130) // crosses word boundaries
+	if s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	for _, v := range []int{0, 63, 64, 129} {
+		if !s.Contains(v) {
+			t.Errorf("missing %d", v)
+		}
+	}
+	if s.Contains(1) || s.Contains(128) {
+		t.Error("spurious membership")
+	}
+	s.Remove(63)
+	if s.Contains(63) || s.Count() != 3 {
+		t.Error("Remove failed")
+	}
+	s.Remove(63) // removing absent value is a no-op
+	if s.Count() != 3 {
+		t.Error("double Remove changed count")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(5)
+	s.Add(5)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after double Add", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Contains(10) },
+		func() { s.Remove(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNegativeUniversePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFillAndFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 130} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Errorf("Fill(%d): Count = %d", n, s.Count())
+		}
+		if !s.Full() {
+			t.Errorf("Fill(%d): not Full", n)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New(100)
+	s.Fill()
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("Clear left elements")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 127, 128, 199}
+	for _, v := range want {
+		s.Add(v)
+	}
+	var got []int
+	s.ForEach(func(v int) { got = append(got, v) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestElementsAndAppendTo(t *testing.T) {
+	s := New(50)
+	s.Add(7)
+	s.Add(3)
+	s.Add(49)
+	got := s.Elements()
+	want := []int{3, 7, 49}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	ext := s.AppendTo([]int{-1})
+	if len(ext) != 4 || ext[0] != -1 {
+		t.Fatalf("AppendTo = %v", ext)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 50; i++ {
+		a.Add(i)
+	}
+	for i := 25; i < 75; i++ {
+		b.Add(i)
+	}
+	u := a.Clone()
+	u.UnionWith(b)
+	if u.Count() != 75 {
+		t.Errorf("union count = %d, want 75", u.Count())
+	}
+	inter := a.Clone()
+	inter.IntersectWith(b)
+	if inter.Count() != 25 {
+		t.Errorf("intersection count = %d, want 25", inter.Count())
+	}
+	diff := a.Clone()
+	diff.DifferenceWith(b)
+	if diff.Count() != 25 {
+		t.Errorf("difference count = %d, want 25", diff.Count())
+	}
+	if !inter.IsSubsetOf(a) || !inter.IsSubsetOf(b) {
+		t.Error("intersection not a subset of operands")
+	}
+	if !a.IsSubsetOf(u) || !b.IsSubsetOf(u) {
+		t.Error("operands not subsets of union")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(70)
+	a.Add(1)
+	a.Add(69)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Add(2)
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.Contains(2) {
+		t.Fatal("clone shares storage with original")
+	}
+	c := New(71)
+	if a.Equal(c) {
+		t.Fatal("sets over different universes reported equal")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(40)
+	a.Add(5)
+	b := New(40)
+	b.Add(6)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	for _, fn := range []func(){
+		func() { a.UnionWith(b) },
+		func() { a.IntersectWith(b) },
+		func() { a.DifferenceWith(b) },
+		func() { a.CopyFrom(b) },
+		func() { a.IsSubsetOf(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected universe-mismatch panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestAgainstMapReference property-tests the Set against a map-based
+// reference implementation on a random operation sequence.
+func TestAgainstMapReference(t *testing.T) {
+	type ops struct {
+		Values []uint16
+		Kinds  []uint8
+	}
+	f := func(o ops) bool {
+		const n = 512
+		s := New(n)
+		ref := map[int]bool{}
+		for i, raw := range o.Values {
+			v := int(raw) % n
+			kind := uint8(0)
+			if i < len(o.Kinds) {
+				kind = o.Kinds[i] % 3
+			}
+			switch kind {
+			case 0:
+				s.Add(v)
+				ref[v] = true
+			case 1:
+				s.Remove(v)
+				delete(ref, v)
+			case 2:
+				if s.Contains(v) != ref[v] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		ok := true
+		s.ForEach(func(v int) {
+			if !ref[v] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i += 3 {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Count()
+	}
+	_ = sink
+}
+
+func BenchmarkContains(b *testing.B) {
+	s := New(1 << 16)
+	s.Add(12345)
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = s.Contains(i & (1<<16 - 1))
+	}
+	_ = sink
+}

@@ -1,0 +1,150 @@
+// Package bounds evaluates the paper's theorem bounds numerically:
+// closed-form shape functions for the flooding-time upper and lower
+// bounds (Theorems 3.4, 3.5, 4.3, 4.4) and expansion-profile builders
+// for Theorems 3.2 and 4.1 that feed the Lemma 2.4 / Corollary 2.6
+// machinery in internal/core.
+//
+// The paper's constants (α, β, λ, c) are existential; the experiments
+// fit them empirically. The functions here therefore expose the
+// constants as parameters, with defaults that match what the
+// simulations measure at moderate n.
+package bounds
+
+import (
+	"math"
+
+	"meg/internal/core"
+)
+
+// GeometricUpperShape returns the Theorem 3.4 upper-bound shape
+// √n/R + log log R (natural logs, clamped below at 1 so the shape stays
+// usable for very small R). Flooding time of a stationary
+// geometric-MEG with R in the connected regime is O of this, w.h.p.
+func GeometricUpperShape(n int, radius float64) float64 {
+	if radius <= 0 {
+		panic("bounds: radius must be positive")
+	}
+	s := math.Sqrt(float64(n)) / radius
+	if ll := math.Log(math.Log(radius)); ll > 0 {
+		s += ll
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// GeometricLower returns the Theorem 3.5 lower bound with its explicit
+// constant: flooding time is at least √n / (2(R + 2r)) w.h.p. (the
+// final inequality in the paper's proof). side is the physical side
+// length of the support square (√n at unit density).
+func GeometricLower(side, radius, moveRadius float64) float64 {
+	return side / (2 * (radius + 2*moveRadius))
+}
+
+// EdgeUpperShape returns the Theorem 4.3 upper-bound shape
+// log n / log(np̂) + log log(np̂) (clamped below at 1). Flooding time of
+// a stationary edge-MEG with p̂ ≥ c·log n/n is O of this, w.h.p.
+func EdgeUpperShape(n int, pHat float64) float64 {
+	np := float64(n) * pHat
+	if np <= 1 {
+		panic("bounds: EdgeUpperShape needs n·p̂ > 1")
+	}
+	s := math.Log(float64(n)) / math.Log(np)
+	if ll := math.Log(math.Log(np)); ll > 0 {
+		s += ll
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// EdgeLower returns the Theorem 4.4 lower bound with its explicit
+// constant: w.h.p. the informed set grows by a factor at most 2np̂ per
+// round, so flooding needs at least log(n/2)/log(2np̂) rounds.
+func EdgeLower(n int, pHat float64) float64 {
+	np := float64(n) * pHat
+	if 2*np <= 1 {
+		panic("bounds: EdgeLower needs 2n·p̂ > 1")
+	}
+	return math.Log(float64(n)/2) / math.Log(2*np)
+}
+
+// GeometricKs builds the per-size expansion rates of Theorem 3.2 for
+// i = 1..⌊n/2⌋: k_i = αR²/i while i ≤ αR², then k_i = βR/√i. The
+// returned slice plugs into core.CorollarySum to evaluate the
+// Corollary 2.6 bound exactly as the proof of Theorem 3.4 does.
+func GeometricKs(n int, radius, alpha, beta float64) []float64 {
+	if alpha <= 0 || beta <= 0 {
+		panic("bounds: expansion constants must be positive")
+	}
+	half := n / 2
+	ks := make([]float64, half)
+	thresh := alpha * radius * radius
+	for i := 1; i <= half; i++ {
+		fi := float64(i)
+		if fi <= thresh {
+			ks[i-1] = thresh / fi
+		} else {
+			ks[i-1] = beta * radius / math.Sqrt(fi)
+		}
+	}
+	enforceNonIncreasing(ks)
+	return ks
+}
+
+// EdgeKs builds the per-size expansion rates of Theorem 4.1 for
+// i = 1..⌊n/2⌋: k_i = np̂/c while i ≤ 1/p̂, then k_i = n/(c·i), the
+// sequence used in the proof of Theorem 4.3.
+func EdgeKs(n int, pHat, c float64) []float64 {
+	if c <= 0 {
+		panic("bounds: expansion constant must be positive")
+	}
+	half := n / 2
+	ks := make([]float64, half)
+	thresh := 1 / pHat
+	for i := 1; i <= half; i++ {
+		if float64(i) <= thresh {
+			ks[i-1] = float64(n) * pHat / c
+		} else {
+			ks[i-1] = float64(n) / (c * float64(i))
+		}
+	}
+	enforceNonIncreasing(ks)
+	return ks
+}
+
+// enforceNonIncreasing clips tiny floating-point violations of
+// monotonicity at the regime boundary so the sequences satisfy the
+// Lemma 2.4 hypothesis exactly.
+func enforceNonIncreasing(ks []float64) {
+	for i := 1; i < len(ks); i++ {
+		if ks[i] > ks[i-1] {
+			ks[i] = ks[i-1]
+		}
+	}
+}
+
+// GeometricCorollaryBound evaluates the Corollary 2.6 sum for the
+// Theorem 3.2 profile — the quantity the proof of Theorem 3.4 shows is
+// O(√n/R + log log R).
+func GeometricCorollaryBound(n int, radius, alpha, beta float64) float64 {
+	return core.CorollarySum(GeometricKs(n, radius, alpha, beta))
+}
+
+// EdgeCorollaryBound evaluates the Corollary 2.6 sum for the
+// Theorem 4.1 profile — the quantity the proof of Theorem 4.3 shows is
+// O(log n/log(np̂) + log log(np̂)).
+func EdgeCorollaryBound(n int, pHat, c float64) float64 {
+	return core.CorollarySum(EdgeKs(n, pHat, c))
+}
+
+// DefaultAlpha, DefaultBeta and DefaultC are the constants measured by
+// the calibration experiments at moderate n (see EXPERIMENTS.md); they
+// only matter for absolute bound values, never for the Θ-shape checks.
+const (
+	DefaultAlpha = 0.10
+	DefaultBeta  = 0.10
+	DefaultC     = 4.0
+)

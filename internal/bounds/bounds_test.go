@@ -1,0 +1,184 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/core"
+)
+
+func TestGeometricUpperShape(t *testing.T) {
+	// √n/R dominates; shape must decrease in R and increase in n.
+	a := GeometricUpperShape(1024, 4)
+	b := GeometricUpperShape(1024, 8)
+	if a <= b {
+		t.Fatalf("shape not decreasing in R: %v vs %v", a, b)
+	}
+	c := GeometricUpperShape(4096, 4)
+	if c <= a {
+		t.Fatalf("shape not increasing in n: %v vs %v", c, a)
+	}
+	// Explicit value: √1024/4 = 8 plus loglog(4) = log(1.386) ≈ 0.326.
+	want := 8 + math.Log(math.Log(4))
+	if math.Abs(a-want) > 1e-9 {
+		t.Fatalf("shape = %v, want %v", a, want)
+	}
+}
+
+func TestGeometricUpperShapeClamps(t *testing.T) {
+	// √4/3 + loglog(3) ≈ 0.67 + 0.09 < 1: the shape clamps to 1.
+	if got := GeometricUpperShape(4, 3); got != 1 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+}
+
+func TestGeometricLower(t *testing.T) {
+	got := GeometricLower(32, 5, 2.5)
+	want := 32 / (2 * (5 + 5.0))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("lower = %v, want %v", got, want)
+	}
+}
+
+func TestEdgeShapes(t *testing.T) {
+	n := 4096
+	pHat := 4 * math.Log(float64(n)) / float64(n)
+	up := EdgeUpperShape(n, pHat)
+	lo := EdgeLower(n, pHat)
+	if lo >= up {
+		t.Fatalf("lower %v not below upper %v", lo, up)
+	}
+	wantLo := math.Log(float64(n)/2) / math.Log(2*float64(n)*pHat)
+	if math.Abs(lo-wantLo) > 1e-12 {
+		t.Fatalf("EdgeLower = %v, want %v", lo, wantLo)
+	}
+	// Upper shape decreases as p̂ grows.
+	if EdgeUpperShape(n, pHat*8) >= up {
+		t.Fatal("upper shape not decreasing in p̂")
+	}
+}
+
+func TestEdgeShapePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { EdgeUpperShape(100, 0.001) }, // np̂ ≤ 1
+		func() { EdgeLower(100, 0.004) },      // 2np̂ ≤ 1
+		func() { GeometricUpperShape(100, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGeometricKs(t *testing.T) {
+	n := 1000
+	radius := 6.0
+	ks := GeometricKs(n, radius, 0.5, 0.25)
+	if len(ks) != n/2 {
+		t.Fatalf("len = %d", len(ks))
+	}
+	thresh := 0.5 * radius * radius // 18
+	// Below the threshold: k_i = αR²/i.
+	if math.Abs(ks[0]-thresh) > 1e-9 {
+		t.Fatalf("k_1 = %v, want %v", ks[0], thresh)
+	}
+	if math.Abs(ks[9]-thresh/10) > 1e-9 {
+		t.Fatalf("k_10 = %v, want %v", ks[9], thresh/10)
+	}
+	// Above: k_i = βR/√i.
+	i := 100
+	want := 0.25 * radius / math.Sqrt(float64(i))
+	if math.Abs(ks[i-1]-want) > 1e-9 {
+		t.Fatalf("k_%d = %v, want %v", i, ks[i-1], want)
+	}
+	// Non-increasing throughout.
+	for j := 1; j < len(ks); j++ {
+		if ks[j] > ks[j-1]+1e-12 {
+			t.Fatalf("ks not non-increasing at %d", j)
+		}
+	}
+}
+
+func TestEdgeKs(t *testing.T) {
+	n := 1000
+	pHat := 0.01 // 1/p̂ = 100
+	c := 2.0
+	ks := EdgeKs(n, pHat, c)
+	if math.Abs(ks[0]-float64(n)*pHat/c) > 1e-9 {
+		t.Fatalf("k_1 = %v", ks[0])
+	}
+	if math.Abs(ks[49]-5) > 1e-9 { // i=50 ≤ 100: np̂/c = 5
+		t.Fatalf("k_50 = %v", ks[49])
+	}
+	i := 200
+	want := float64(n) / (c * float64(i))
+	if math.Abs(ks[i-1]-want) > 1e-9 {
+		t.Fatalf("k_%d = %v, want %v", i, ks[i-1], want)
+	}
+	for j := 1; j < len(ks); j++ {
+		if ks[j] > ks[j-1]+1e-12 {
+			t.Fatalf("ks not non-increasing at %d", j)
+		}
+	}
+}
+
+func TestKsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { GeometricKs(100, 5, 0, 1) },
+		func() { GeometricKs(100, 5, 1, -1) },
+		func() { EdgeKs(100, 0.1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestCorollaryBoundsTrackClosedForms verifies the numerical
+// Corollary 2.6 sums grow like the paper's closed-form shapes: doubling
+// √n/R (resp. log n/log np̂) roughly doubles the bound.
+func TestCorollaryBoundsTrackClosedForms(t *testing.T) {
+	b1 := GeometricCorollaryBound(4096, 12, DefaultAlpha, DefaultBeta)
+	b2 := GeometricCorollaryBound(4096, 6, DefaultAlpha, DefaultBeta)
+	if b2 < 1.5*b1 || b2 > 3*b1 {
+		t.Fatalf("halving R scaled geometric bound by %v, want ≈ 2", b2/b1)
+	}
+
+	n := 4096
+	pA := 4 * math.Log(float64(n)) / float64(n)
+	eA := EdgeCorollaryBound(n, pA, DefaultC)
+	if eA <= 0 {
+		t.Fatal("edge bound not positive")
+	}
+	// The profile sum must sit within a constant of the closed form.
+	shape := EdgeUpperShape(n, pA)
+	ratio := eA / shape
+	if ratio < 0.1 || ratio > 10 {
+		t.Fatalf("edge Corollary sum %v vs shape %v (ratio %v)", eA, shape, ratio)
+	}
+}
+
+func TestProfileValidAgainstLemma(t *testing.T) {
+	// The generated rate ladders must form valid Corollary 2.6 inputs
+	// (positive, non-increasing), i.e. UnitProfile(ks) validates.
+	n := 512
+	for _, ks := range [][]float64{
+		GeometricKs(n, 6, DefaultAlpha, DefaultBeta),
+		EdgeKs(n, 0.05, DefaultC),
+	} {
+		p := core.UnitProfile(ks)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("profile invalid: %v", err)
+		}
+	}
+}

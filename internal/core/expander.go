@@ -1,0 +1,73 @@
+package core
+
+import (
+	"meg/internal/bitset"
+	"meg/internal/graph"
+)
+
+// NeighborhoodSize returns |N(I)|: the number of nodes outside I with at
+// least one neighbor in I (the out-neighborhood of Definition 2.2's
+// setting). mark is scratch space of universe size g.N(); pass nil to
+// allocate. It runs in O(Σ_{u∈I} deg(u)).
+func NeighborhoodSize(g *graph.Graph, members []int, inSet, mark *bitset.Set) int {
+	n := g.N()
+	if inSet == nil {
+		inSet = bitset.New(n)
+		for _, u := range members {
+			inSet.Add(u)
+		}
+	}
+	if mark == nil {
+		mark = bitset.New(n)
+	} else {
+		mark.Clear()
+	}
+	count := 0
+	for _, u := range members {
+		for _, v := range g.Neighbors(u) {
+			w := int(v)
+			if !inSet.Contains(w) && !mark.Contains(w) {
+				mark.Add(w)
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// SetExpansion returns |N(I)| / |I| for the given member list.
+// It panics on an empty set.
+func SetExpansion(g *graph.Graph, members []int) float64 {
+	if len(members) == 0 {
+		panic("core: SetExpansion of empty set")
+	}
+	inSet := bitset.New(g.N())
+	for _, u := range members {
+		inSet.Add(u)
+	}
+	return float64(NeighborhoodSize(g, members, inSet, nil)) / float64(len(members))
+}
+
+// IsExpanderOn reports whether g satisfies the (h,k)-expander condition
+// of Definition 2.2 restricted to the provided candidate sets: every
+// candidate I with |I| ≤ h must have |N(I)| ≥ k·|I|. Verifying the
+// definition over all subsets is intractable; the expansion package
+// generates adversarial candidate families for each graph model.
+func IsExpanderOn(g *graph.Graph, h int, k float64, candidates [][]int) bool {
+	inSet := bitset.New(g.N())
+	mark := bitset.New(g.N())
+	for _, members := range candidates {
+		if len(members) == 0 || len(members) > h {
+			continue
+		}
+		inSet.Clear()
+		for _, u := range members {
+			inSet.Add(u)
+		}
+		nb := NeighborhoodSize(g, members, inSet, mark)
+		if float64(nb) < k*float64(len(members)) {
+			return false
+		}
+	}
+	return true
+}

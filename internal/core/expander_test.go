@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meg/internal/bitset"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// neighborhoodBruteForce recomputes |N(I)| from the definition.
+func neighborhoodBruteForce(g *graph.Graph, members []int) int {
+	in := map[int]bool{}
+	for _, u := range members {
+		in[u] = true
+	}
+	out := map[int]bool{}
+	for _, u := range members {
+		for _, v := range g.Neighbors(u) {
+			if !in[int(v)] {
+				out[int(v)] = true
+			}
+		}
+	}
+	return len(out)
+}
+
+func TestNeighborhoodSizeKnown(t *testing.T) {
+	g := graph.Cycle(10)
+	// A contiguous arc of a cycle has exactly 2 outside neighbors.
+	if got := NeighborhoodSize(g, []int{0, 1, 2}, nil, nil); got != 2 {
+		t.Fatalf("arc neighborhood = %d, want 2", got)
+	}
+	// Two separated arcs have 4.
+	if got := NeighborhoodSize(g, []int{0, 1, 5, 6}, nil, nil); got != 4 {
+		t.Fatalf("two-arc neighborhood = %d, want 4", got)
+	}
+	// The full cycle has none.
+	all := make([]int, 10)
+	for i := range all {
+		all[i] = i
+	}
+	if got := NeighborhoodSize(g, all, nil, nil); got != 0 {
+		t.Fatalf("full-set neighborhood = %d, want 0", got)
+	}
+}
+
+func TestNeighborhoodSizeAgainstBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(30)
+		b := graph.NewBuilder(n)
+		seen := map[[2]int]bool{}
+		for i := 0; i < 2*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			b.AddEdge(u, v)
+		}
+		g := b.Build()
+		k := 1 + r.Intn(n/2+1)
+		members := r.Sample(n, k)
+		inSet := bitset.New(n)
+		for _, u := range members {
+			inSet.Add(u)
+		}
+		got := NeighborhoodSize(g, members, inSet, nil)
+		return got == neighborhoodBruteForce(g, members)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborhoodSizeScratchReuse(t *testing.T) {
+	g := graph.Complete(6)
+	mark := bitset.New(6)
+	a := NeighborhoodSize(g, []int{0}, nil, mark)
+	b := NeighborhoodSize(g, []int{1, 2}, nil, mark)
+	if a != 5 || b != 4 {
+		t.Fatalf("reuse gave %d, %d", a, b)
+	}
+}
+
+func TestSetExpansion(t *testing.T) {
+	g := graph.Complete(10)
+	// |N(I)| = n - |I| on a complete graph.
+	if got := SetExpansion(g, []int{0, 1}); got != 4 {
+		t.Fatalf("K10 expansion of pair = %v, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetExpansion(empty) did not panic")
+		}
+	}()
+	SetExpansion(g, nil)
+}
+
+func TestIsExpanderOn(t *testing.T) {
+	g := graph.Cycle(12)
+	candidates := [][]int{{0}, {0, 1}, {0, 1, 2}, {4, 5, 6, 7}}
+	// Every arc of size ≤ h has |N| = 2 ≥ (2/h)·|I| for |I| ≤ h.
+	if !IsExpanderOn(g, 4, 0.5, candidates) {
+		t.Fatal("cycle should be a (4, 0.5)-expander on arcs")
+	}
+	// k = 3 fails already for the pair {0,1}: |N| = 2 < 3·2.
+	if IsExpanderOn(g, 4, 3, candidates) {
+		t.Fatal("cycle should not be a (4, 3)-expander")
+	}
+	// Oversized or empty candidates are ignored.
+	big := make([]int, 6)
+	for i := range big {
+		big[i] = i
+	}
+	if !IsExpanderOn(g, 4, 0.5, [][]int{big, {}}) {
+		t.Fatal("oversized and empty candidate sets must be skipped")
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"meg/internal/bitset"
+	"meg/internal/rng"
+)
+
+// FloodResult records one run of the flooding process.
+type FloodResult struct {
+	// Source is the initiator node s with I_0 = {s}.
+	Source int
+	// Rounds is the completion time T(s): the first time step at which
+	// every node is informed. If the run hit the round cap before
+	// completing, Rounds equals the cap and Completed is false.
+	Rounds int
+	// Completed reports whether all nodes were informed within the cap.
+	Completed bool
+	// Trajectory[t] = |I_t|, the number of informed nodes after t
+	// rounds; Trajectory[0] == 1 and, when Completed, the final entry
+	// equals n.
+	Trajectory []int
+	// Informed is the final informed set (owned by the caller after
+	// Flood returns).
+	Informed *bitset.Set
+	// Arrival[v] is the round at which v became informed (0 for the
+	// source), or -1 if v was never informed. In temporal-graph terms
+	// this is the earliest-arrival (foremost journey) time from the
+	// source, of which the flooding time is the maximum.
+	Arrival []int32
+}
+
+// Eccentricity returns the largest finite arrival time — the temporal
+// eccentricity of the source. For a completed run it equals Rounds.
+func (r FloodResult) Eccentricity() int {
+	worst := 0
+	for _, a := range r.Arrival {
+		if int(a) > worst {
+			worst = int(a)
+		}
+	}
+	return worst
+}
+
+// GrowthFactors returns the per-round multiplicative growth
+// m_{t+1}/m_t of the informed-set size, the quantity Lemma 2.4 bounds
+// below by 1+k_i while |I_t| ≤ h_i.
+func (r FloodResult) GrowthFactors() []float64 {
+	if len(r.Trajectory) < 2 {
+		return nil
+	}
+	out := make([]float64, len(r.Trajectory)-1)
+	for t := 0; t+1 < len(r.Trajectory); t++ {
+		out[t] = float64(r.Trajectory[t+1]) / float64(r.Trajectory[t])
+	}
+	return out
+}
+
+// RoundsToHalf returns the first t with |I_t| ≥ n/2, or -1 if the run
+// never got that far. The paper's analysis splits at n/2; measuring the
+// split point lets experiments test both phases.
+func (r FloodResult) RoundsToHalf(n int) int {
+	for t, m := range r.Trajectory {
+		if 2*m >= n {
+			return t
+		}
+	}
+	return -1
+}
+
+// Flood runs the flooding process of Section 2 on d starting from
+// source: I_0 = {source}; thereafter I_{t+1} = I_t ∪ N(I_t) where the
+// out-neighborhood is taken in the snapshot G_t, and the chain then
+// advances. It stops as soon as all nodes are informed or after
+// maxRounds rounds, whichever comes first.
+//
+// Flood does not Reset d: the caller controls the initial distribution
+// (stationary or otherwise). On return the dynamics is positioned at
+// the time step following the last evaluated snapshot.
+//
+// maxRounds must be positive; a cap of 4n is a safe default for
+// connected-regime experiments (see DefaultRoundCap).
+func Flood(d Dynamics, source, maxRounds int) FloodResult {
+	n := d.N()
+	if source < 0 || source >= n {
+		panic("core: flood source out of range")
+	}
+	if maxRounds <= 0 {
+		panic("core: maxRounds must be positive")
+	}
+	informed := bitset.New(n)
+	informed.Add(source)
+	arrival := make([]int32, n)
+	for i := range arrival {
+		arrival[i] = -1
+	}
+	arrival[source] = 0
+	res := FloodResult{
+		Source:     source,
+		Trajectory: make([]int, 1, 64),
+		Informed:   informed,
+		Arrival:    arrival,
+	}
+	res.Trajectory[0] = 1
+	if n == 1 {
+		res.Completed = true
+		return res
+	}
+	// senders holds exactly the nodes of I_t; nodes discovered during
+	// round t are appended only after the round completes, enforcing
+	// the paper's synchronous semantics (a node informed at step t does
+	// not transmit until step t+1).
+	senders := make([]int32, 1, n)
+	senders[0] = int32(source)
+	newly := make([]int32, 0, 256)
+	for t := 0; t < maxRounds; t++ {
+		g := d.Graph()
+		newly = newly[:0]
+		for _, u := range senders {
+			for _, v := range g.Neighbors(int(u)) {
+				if !informed.Contains(int(v)) {
+					informed.Add(int(v))
+					arrival[v] = int32(t + 1)
+					newly = append(newly, v)
+				}
+			}
+		}
+		senders = append(senders, newly...)
+		res.Trajectory = append(res.Trajectory, len(senders))
+		d.Step()
+		if len(senders) == n {
+			res.Rounds = t + 1
+			res.Completed = true
+			return res
+		}
+	}
+	res.Rounds = maxRounds
+	return res
+}
+
+// DefaultRoundCap returns a generous cap on flooding rounds for a graph
+// on n nodes: 4n + 32. Any connected-regime process in this repository
+// finishes orders of magnitude sooner; hitting the cap signals a
+// disconnected or sub-threshold configuration.
+func DefaultRoundCap(n int) int { return 4*n + 32 }
+
+// FloodingTime estimates the flooding time of d — the maximum of T(s)
+// over sources s — by running the process from each of the given
+// sources, resetting d with a child of r before each run. It returns
+// the worst (largest) result. For node-transitive stationary models a
+// small sample of sources converges quickly to the true maximum; tests
+// on small graphs pass all n sources for exactness.
+func FloodingTime(d Dynamics, sources []int, maxRounds int, r *rng.RNG) FloodResult {
+	if len(sources) == 0 {
+		panic("core: FloodingTime needs at least one source")
+	}
+	var worst FloodResult
+	for i, s := range sources {
+		d.Reset(r.Split())
+		res := Flood(d, s, maxRounds)
+		if i == 0 || beats(res, worst) {
+			worst = res
+		}
+	}
+	return worst
+}
+
+// beats reports whether a is a worse (slower) outcome than b, treating
+// any incomplete run as worse than any complete one.
+func beats(a, b FloodResult) bool {
+	if a.Completed != b.Completed {
+		return !a.Completed
+	}
+	return a.Rounds > b.Rounds
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+func TestFloodPathFromEnd(t *testing.T) {
+	// On a static path, information moves one hop per round: flooding
+	// from an endpoint takes n-1 rounds.
+	for _, n := range []int{2, 3, 10, 33} {
+		d := NewStatic(graph.Path(n))
+		res := Flood(d, 0, DefaultRoundCap(n))
+		if !res.Completed || res.Rounds != n-1 {
+			t.Fatalf("path n=%d from end: rounds=%d completed=%v", n, res.Rounds, res.Completed)
+		}
+	}
+}
+
+func TestFloodPathFromMiddle(t *testing.T) {
+	d := NewStatic(graph.Path(11))
+	res := Flood(d, 5, DefaultRoundCap(11))
+	if !res.Completed || res.Rounds != 5 {
+		t.Fatalf("path from middle: rounds=%d", res.Rounds)
+	}
+}
+
+func TestFloodCompleteGraph(t *testing.T) {
+	d := NewStatic(graph.Complete(20))
+	res := Flood(d, 7, 100)
+	if !res.Completed || res.Rounds != 1 {
+		t.Fatalf("complete graph: rounds=%d", res.Rounds)
+	}
+}
+
+func TestFloodStar(t *testing.T) {
+	// From the center all leaves are informed in one round; from a leaf
+	// the center is informed in round 1, everyone else in round 2.
+	d := NewStatic(graph.Star(9))
+	if res := Flood(d, 0, 100); res.Rounds != 1 {
+		t.Fatalf("star from center: rounds=%d", res.Rounds)
+	}
+	if res := Flood(d, 3, 100); res.Rounds != 2 {
+		t.Fatalf("star from leaf: rounds=%d", res.Rounds)
+	}
+}
+
+func TestFloodCycle(t *testing.T) {
+	// Two fronts move in opposite directions: ⌈(n-1)/2⌉ rounds.
+	for _, n := range []int{4, 5, 12, 13} {
+		d := NewStatic(graph.Cycle(n))
+		res := Flood(d, 0, DefaultRoundCap(n))
+		want := (n - 1 + 1) / 2
+		if res.Rounds != want {
+			t.Fatalf("cycle n=%d: rounds=%d, want %d", n, res.Rounds, want)
+		}
+	}
+}
+
+func TestFloodSingleNode(t *testing.T) {
+	d := NewStatic(graph.Empty(1))
+	res := Flood(d, 0, 10)
+	if !res.Completed || res.Rounds != 0 {
+		t.Fatalf("single node: rounds=%d completed=%v", res.Rounds, res.Completed)
+	}
+}
+
+func TestFloodDisconnectedHitsCap(t *testing.T) {
+	d := NewStatic(graph.FromEdges(4, [][2]int{{0, 1}}))
+	res := Flood(d, 0, 17)
+	if res.Completed {
+		t.Fatal("flood completed on disconnected graph")
+	}
+	if res.Rounds != 17 {
+		t.Fatalf("rounds=%d, want the cap", res.Rounds)
+	}
+	if res.Informed.Count() != 2 {
+		t.Fatalf("informed=%d, want 2", res.Informed.Count())
+	}
+}
+
+func TestFloodTrajectoryMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(30)
+		b := graph.NewBuilder(n)
+		seen := map[[2]int]bool{}
+		for i := 0; i < 2*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			b.AddEdge(u, v)
+		}
+		res := Flood(NewStatic(b.Build()), r.Intn(n), 4*n)
+		if res.Trajectory[0] != 1 {
+			return false
+		}
+		for i := 1; i < len(res.Trajectory); i++ {
+			if res.Trajectory[i] < res.Trajectory[i-1] {
+				return false
+			}
+		}
+		if res.Completed && res.Trajectory[len(res.Trajectory)-1] != n {
+			return false
+		}
+		return res.Informed.Count() == res.Trajectory[len(res.Trajectory)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFloodSynchronousSemantics verifies that a node informed in round
+// t does not transmit during round t: on a path from node 0, node 2 is
+// informed exactly at round 2, never at round 1.
+func TestFloodSynchronousSemantics(t *testing.T) {
+	d := NewStatic(graph.Path(3))
+	res := Flood(d, 0, 10)
+	if res.Trajectory[1] != 2 {
+		t.Fatalf("after round 1: %d informed, want 2", res.Trajectory[1])
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("rounds=%d, want 2", res.Rounds)
+	}
+}
+
+// TestFloodUsesSnapshotSequence checks that the flooding process reads
+// a fresh snapshot each round: a "blinking" sequence where the needed
+// edge exists only in alternating steps.
+func TestFloodUsesSnapshotSequence(t *testing.T) {
+	// G0 has edge 0-1 only; G1 has edge 1-2 only. Flooding from 0
+	// completes in exactly 2 rounds: 0→1 via G0, then 1→2 via G1.
+	g0 := graph.FromEdges(3, [][2]int{{0, 1}})
+	g1 := graph.FromEdges(3, [][2]int{{1, 2}})
+	d := NewSequence(g0, g1)
+	d.Reset(nil)
+	res := Flood(d, 0, 10)
+	if !res.Completed || res.Rounds != 2 {
+		t.Fatalf("blinking sequence: rounds=%d completed=%v", res.Rounds, res.Completed)
+	}
+
+	// Flooding from node 2 sees G0 first (useless), then G1 (2→1),
+	// then G0 again (1→0): 3 rounds.
+	d.Reset(nil)
+	res = Flood(d, 2, 10)
+	if !res.Completed || res.Rounds != 3 {
+		t.Fatalf("blinking from 2: rounds=%d completed=%v", res.Rounds, res.Completed)
+	}
+}
+
+func TestFloodPanics(t *testing.T) {
+	d := NewStatic(graph.Path(3))
+	for _, fn := range []func(){
+		func() { Flood(d, -1, 10) },
+		func() { Flood(d, 3, 10) },
+		func() { Flood(d, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFloodingTimeMaxOverSources(t *testing.T) {
+	// On a path, the flooding time from the middle is (n-1)/2 but from
+	// an endpoint it is n-1: the max over all sources must find n-1.
+	n := 9
+	d := NewStatic(graph.Path(n))
+	sources := make([]int, n)
+	for i := range sources {
+		sources[i] = i
+	}
+	res := FloodingTime(d, sources, DefaultRoundCap(n), rng.New(1))
+	if res.Rounds != n-1 {
+		t.Fatalf("max rounds = %d, want %d", res.Rounds, n-1)
+	}
+}
+
+func TestFloodingTimePrefersIncomplete(t *testing.T) {
+	// An incomplete run must dominate any complete one. Build a
+	// sequence whose first snapshot connects everything (so source 0,
+	// flooding through it immediately, completes) but whose later
+	// snapshots strand node 0: from source 2 the first useful edges
+	// appear only while 0 stays isolated forever after step 0.
+	gAll := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	gCut := graph.FromEdges(3, [][2]int{{1, 2}})
+	// From source 0: round 1 (gAll) informs 1 and... 0-1 and 1-2 exist,
+	// so {1} joins, then round 2 (gCut) lets 1 inform 2: complete.
+	// From source 2: round 1 (gAll) informs 1; afterwards only gCut
+	// repeats, so node 0 is never reached: incomplete.
+	// The round cap stays below the sequence's wrap-around so gAll is
+	// only ever seen at t=0.
+	mk := func() *Sequence { return NewSequence(gAll, gCut, gCut, gCut) }
+	okRun := Flood(mk(), 0, 4)
+	if !okRun.Completed {
+		t.Fatal("setup: source 0 should complete")
+	}
+	badRun := Flood(mk(), 2, 4)
+	if badRun.Completed {
+		t.Fatal("setup: source 2 should not complete")
+	}
+	d := mk()
+	res := FloodingTime(d, []int{0, 2}, 4, rng.New(1))
+	if res.Completed {
+		t.Fatal("expected the incomplete run to win")
+	}
+	if res.Source != 2 {
+		t.Fatalf("worst source = %d, want 2", res.Source)
+	}
+}
+
+func TestFloodingTimePanicsOnNoSources(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FloodingTime(NewStatic(graph.Path(3)), nil, 10, rng.New(1))
+}
+
+func TestGrowthFactors(t *testing.T) {
+	res := FloodResult{Trajectory: []int{1, 3, 9, 9}}
+	g := res.GrowthFactors()
+	if len(g) != 3 || g[0] != 3 || g[1] != 3 || g[2] != 1 {
+		t.Fatalf("growth = %v", g)
+	}
+	if (FloodResult{Trajectory: []int{1}}).GrowthFactors() != nil {
+		t.Error("single-point trajectory should have nil growth")
+	}
+}
+
+func TestRoundsToHalf(t *testing.T) {
+	res := FloodResult{Trajectory: []int{1, 2, 5, 10}}
+	if got := res.RoundsToHalf(10); got != 2 {
+		t.Fatalf("RoundsToHalf = %d, want 2", got)
+	}
+	if got := res.RoundsToHalf(100); got != -1 {
+		t.Fatalf("RoundsToHalf unreached = %d, want -1", got)
+	}
+}
+
+func TestSequenceValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSequence() },
+		func() { NewSequence(graph.Path(3), graph.Path(4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSequenceWraps(t *testing.T) {
+	g0 := graph.FromEdges(2, [][2]int{{0, 1}})
+	g1 := graph.Empty(2)
+	s := NewSequence(g0, g1)
+	s.Reset(nil)
+	if s.Graph() != g0 {
+		t.Fatal("t=0 snapshot wrong")
+	}
+	s.Step()
+	if s.Graph() != g1 {
+		t.Fatal("t=1 snapshot wrong")
+	}
+	s.Step()
+	if s.Graph() != g0 {
+		t.Fatal("sequence did not wrap")
+	}
+	s.Reset(nil)
+	if s.Graph() != g0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestStaticDynamics(t *testing.T) {
+	g := graph.Cycle(5)
+	d := NewStatic(g)
+	if d.N() != 5 {
+		t.Fatal("N wrong")
+	}
+	d.Reset(nil)
+	d.Step()
+	if d.Graph() != g {
+		t.Fatal("static graph changed")
+	}
+}

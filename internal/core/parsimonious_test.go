@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"meg/internal/graph"
+)
+
+func TestParsimoniousEqualsFloodingOnStatic(t *testing.T) {
+	// On a static connected graph, even activeRounds = 1 completes in
+	// the same number of rounds as ordinary flooding: the frontier
+	// always carries the message.
+	for _, g := range []*graph.Graph{graph.Path(12), graph.Cycle(15), graph.Star(9), graph.Complete(8)} {
+		full := Flood(NewStatic(g), 0, DefaultRoundCap(g.N()))
+		pars := FloodParsimonious(NewStatic(g), 0, 1, DefaultRoundCap(g.N()))
+		if !pars.Completed {
+			t.Fatalf("parsimonious flooding stalled on static graph (n=%d)", g.N())
+		}
+		if pars.Rounds != full.Rounds {
+			t.Fatalf("static: parsimonious %d rounds vs flooding %d", pars.Rounds, full.Rounds)
+		}
+	}
+}
+
+func TestParsimoniousStallsOnEvolvingGraph(t *testing.T) {
+	// Nodes 0-1 connected at t=0 only; edge 1-2 appears at t=2, after
+	// node 1's one-round budget has expired. Ordinary flooding gets 2
+	// informed at t=3 (sequence wraps); parsimonious (k=1) is dead by
+	// then and must stall.
+	g01 := graph.FromEdges(3, [][2]int{{0, 1}})
+	gNone := graph.Empty(3)
+	g12 := graph.FromEdges(3, [][2]int{{1, 2}})
+	d := NewSequence(g01, gNone, g12, gNone, gNone, gNone)
+	res := FloodParsimonious(d, 0, 1, 6)
+	if res.Completed {
+		t.Fatal("parsimonious flooding should stall")
+	}
+	if res.Informed.Count() != 2 {
+		t.Fatalf("informed = %d, want 2 (node 2 unreachable)", res.Informed.Count())
+	}
+	// The stall is detected early: the process stops once the active
+	// set is empty, well before the round cap.
+	if res.Rounds >= 6 {
+		t.Fatalf("stall not detected early: rounds = %d", res.Rounds)
+	}
+
+	// With budget 3 the same schedule succeeds: node 1 is still active
+	// at t=2 when edge 1-2 appears.
+	d2 := NewSequence(g01, gNone, g12, gNone, gNone, gNone)
+	res2 := FloodParsimonious(d2, 0, 3, 6)
+	if !res2.Completed {
+		t.Fatal("budget-3 parsimonious flooding should complete")
+	}
+}
+
+func TestParsimoniousLargeBudgetMatchesFlood(t *testing.T) {
+	// With activeRounds ≥ cap, parsimonious flooding is ordinary
+	// flooding on any dynamics.
+	g0 := graph.FromEdges(4, [][2]int{{0, 1}})
+	g1 := graph.FromEdges(4, [][2]int{{1, 2}})
+	g2 := graph.FromEdges(4, [][2]int{{2, 3}})
+	mk := func() *Sequence { return NewSequence(g0, g1, g2) }
+	full := Flood(mk(), 0, 9)
+	pars := FloodParsimonious(mk(), 0, 100, 9)
+	if full.Rounds != pars.Rounds || full.Completed != pars.Completed {
+		t.Fatalf("large budget: %d/%v vs flooding %d/%v",
+			pars.Rounds, pars.Completed, full.Rounds, full.Completed)
+	}
+}
+
+func TestParsimoniousTrajectoryMonotone(t *testing.T) {
+	d := NewStatic(graph.Cycle(20))
+	res := FloodParsimonious(d, 0, 2, 40)
+	for i := 1; i < len(res.Trajectory); i++ {
+		if res.Trajectory[i] < res.Trajectory[i-1] {
+			t.Fatal("trajectory decreased")
+		}
+	}
+}
+
+func TestParsimoniousPanics(t *testing.T) {
+	d := NewStatic(graph.Path(3))
+	for _, fn := range []func(){
+		func() { FloodParsimonious(d, -1, 1, 10) },
+		func() { FloodParsimonious(d, 0, 0, 10) },
+		func() { FloodParsimonious(d, 0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParsimoniousSingleNode(t *testing.T) {
+	res := FloodParsimonious(NewStatic(graph.Empty(1)), 0, 1, 5)
+	if !res.Completed || res.Rounds != 0 {
+		t.Fatalf("single node: %+v", res)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile is a parameterized expansion profile: an increasing sequence
+// 1 = h_0 ≤ h_1 < … < h_s = n/2 together with a non-increasing sequence
+// k_1 ≥ … ≥ k_s > 0 such that the evolving graph is (h_i, k_i)-expanding
+// for every i. It is exactly the hypothesis of Lemma 2.4 / Theorem 2.5.
+type Profile struct {
+	// Hs holds h_0 … h_s (length s+1, Hs[0] == 1).
+	Hs []float64
+	// Ks holds k_1 … k_s (length s), aligned so Ks[i-1] pairs with the
+	// interval (h_{i-1}, h_i].
+	Ks []float64
+}
+
+// Validate checks the structural constraints of Lemma 2.4 and returns a
+// descriptive error when violated: lengths compatible, Hs increasing
+// from 1, Ks positive and non-increasing.
+func (p Profile) Validate() error {
+	if len(p.Hs) < 2 {
+		return fmt.Errorf("core: profile needs at least one interval, got %d boundary values", len(p.Hs))
+	}
+	if len(p.Ks) != len(p.Hs)-1 {
+		return fmt.Errorf("core: profile has %d intervals but %d expansion rates", len(p.Hs)-1, len(p.Ks))
+	}
+	if p.Hs[0] != 1 {
+		return fmt.Errorf("core: profile must start at h_0 = 1, got %g", p.Hs[0])
+	}
+	for i := 1; i < len(p.Hs); i++ {
+		if p.Hs[i] < p.Hs[i-1] || (i > 1 && p.Hs[i] == p.Hs[i-1]) {
+			return fmt.Errorf("core: profile boundaries must increase: h_%d=%g, h_%d=%g", i-1, p.Hs[i-1], i, p.Hs[i])
+		}
+	}
+	for i, k := range p.Ks {
+		if k <= 0 {
+			return fmt.Errorf("core: expansion rate k_%d = %g must be positive", i+1, k)
+		}
+		if i > 0 && k > p.Ks[i-1] {
+			return fmt.Errorf("core: expansion rates must be non-increasing: k_%d=%g > k_%d=%g", i+1, k, i, p.Ks[i-1])
+		}
+	}
+	return nil
+}
+
+// HalfSum evaluates the Lemma 2.4 sum
+//
+//	Σ_{i=1..s} log(h_i/h_{i-1}) / log(1 + k_i)
+//
+// which bounds (up to the lemma's hidden constant) the number of rounds
+// needed to go from 1 to n/2 informed nodes. All logarithms are natural,
+// as in the paper.
+func (p Profile) HalfSum() float64 {
+	var sum float64
+	for i := 1; i < len(p.Hs); i++ {
+		sum += math.Log(p.Hs[i]/p.Hs[i-1]) / math.Log1p(p.Ks[i-1])
+	}
+	return sum
+}
+
+// FloodBound returns the full Lemma 2.4 flooding-time bound: twice the
+// half sum (the lemma's symmetric backward argument shows the second
+// half, n/2 → n, costs the same sum again), plus the per-interval
+// ceiling slack s (each interval contributes at most one extra rounded
+// step). The result is an upper bound in rounds modulo the
+// O(1)-per-interval constant the paper absorbs into O(·).
+func (p Profile) FloodBound() float64 {
+	s := float64(len(p.Ks))
+	return 2*p.HalfSum() + 2*s
+}
+
+// KAt returns the expansion rate k_i applicable to informed-set size m
+// (the rate of the first interval whose upper boundary is ≥ m), or 0 if
+// m exceeds h_s.
+func (p Profile) KAt(m float64) float64 {
+	for i := 1; i < len(p.Hs); i++ {
+		if m <= p.Hs[i] {
+			return p.Ks[i-1]
+		}
+	}
+	return 0
+}
+
+// UnitProfile builds the per-size profile of Corollary 2.6: boundaries
+// h_i = i for i = 1..len(ks), pairing rate ks[i-1] with informed-set
+// size i. Passing floor(n/2) rates reproduces the corollary's
+// hypothesis exactly; evaluate the bound with CorollarySum.
+func UnitProfile(ks []float64) Profile {
+	hs := make([]float64, len(ks)+1)
+	hs[0] = 1
+	for i := 1; i <= len(ks); i++ {
+		hs[i] = float64(i)
+	}
+	return Profile{Hs: hs, Ks: ks}
+}
+
+// CorollarySum evaluates the Corollary 2.6 bound
+//
+//	Σ_{i=1..n/2} 1 / (i · log(1 + k_i))
+//
+// given k_i for i = 1..len(ks) (interpreted as the expansion rate
+// at informed-set size i). The flooding time of a stationary MEG whose
+// stationary snapshots are (i, k_i)-expanders w.p. 1 − 1/n² is O of this
+// sum w.h.p.
+func CorollarySum(ks []float64) float64 {
+	var sum float64
+	for i, k := range ks {
+		if k <= 0 {
+			panic("core: CorollarySum needs positive rates")
+		}
+		sum += 1 / (float64(i+1) * math.Log1p(k))
+	}
+	return sum
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfileValidate(t *testing.T) {
+	good := Profile{Hs: []float64{1, 4, 16}, Ks: []float64{3, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	cases := []struct {
+		p    Profile
+		frag string
+	}{
+		{Profile{Hs: []float64{1}, Ks: nil}, "at least one interval"},
+		{Profile{Hs: []float64{1, 4}, Ks: []float64{1, 2}}, "expansion rates"},
+		{Profile{Hs: []float64{2, 4}, Ks: []float64{1}}, "h_0 = 1"},
+		{Profile{Hs: []float64{1, 8, 4}, Ks: []float64{2, 1}}, "must increase"},
+		{Profile{Hs: []float64{1, 4, 16}, Ks: []float64{1, 2}}, "non-increasing"},
+		{Profile{Hs: []float64{1, 4}, Ks: []float64{0}}, "positive"},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("profile %+v: err = %v, want fragment %q", c.p, err, c.frag)
+		}
+	}
+}
+
+func TestProfileEqualFirstBoundaryAllowed(t *testing.T) {
+	// h_0 = h_1 = 1 is allowed by Lemma 2.4 (h_0 ≤ h_1).
+	p := Profile{Hs: []float64{1, 1, 8}, Ks: []float64{5, 2}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("h_0 = h_1 rejected: %v", err)
+	}
+}
+
+func TestHalfSumHandComputed(t *testing.T) {
+	// Single interval [1, 8] with k = 1: log 8 / log 2 = 3·log2/log2.
+	p := Profile{Hs: []float64{1, 8}, Ks: []float64{1}}
+	want := math.Log(8) / math.Log(2)
+	if got := p.HalfSum(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("HalfSum = %v, want %v", got, want)
+	}
+	// Two intervals.
+	p2 := Profile{Hs: []float64{1, 4, 16}, Ks: []float64{3, 1}}
+	want2 := math.Log(4)/math.Log(4) + math.Log(4)/math.Log(2)
+	if got := p2.HalfSum(); math.Abs(got-want2) > 1e-12 {
+		t.Fatalf("HalfSum = %v, want %v", got, want2)
+	}
+}
+
+func TestFloodBound(t *testing.T) {
+	p := Profile{Hs: []float64{1, 8}, Ks: []float64{1}}
+	want := 2*p.HalfSum() + 2
+	if got := p.FloodBound(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FloodBound = %v, want %v", got, want)
+	}
+}
+
+func TestKAt(t *testing.T) {
+	p := Profile{Hs: []float64{1, 4, 16}, Ks: []float64{3, 1}}
+	cases := []struct{ m, want float64 }{
+		{1, 3}, {4, 3}, {5, 1}, {16, 1}, {17, 0},
+	}
+	for _, c := range cases {
+		if got := p.KAt(c.m); got != c.want {
+			t.Errorf("KAt(%v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestCorollarySumFormula(t *testing.T) {
+	ks := []float64{1, 1, 1}
+	want := 1/(1*math.Log(2)) + 1/(2*math.Log(2)) + 1/(3*math.Log(2))
+	if got := CorollarySum(ks); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CorollarySum = %v, want %v", got, want)
+	}
+}
+
+func TestCorollarySumMonotoneInK(t *testing.T) {
+	// Larger expansion rates must give a smaller bound.
+	weak := CorollarySum([]float64{0.5, 0.5, 0.5, 0.5})
+	strong := CorollarySum([]float64{4, 4, 4, 4})
+	if strong >= weak {
+		t.Fatalf("bound not monotone: strong=%v weak=%v", strong, weak)
+	}
+}
+
+func TestCorollarySumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive rate")
+		}
+	}()
+	CorollarySum([]float64{1, 0})
+}
+
+func TestUnitProfile(t *testing.T) {
+	p := UnitProfile([]float64{5, 3, 1})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("unit profile invalid: %v", err)
+	}
+	if len(p.Hs) != 4 || p.Hs[0] != 1 || p.Hs[3] != 3 {
+		t.Fatalf("Hs = %v", p.Hs)
+	}
+}
+
+// TestLemma24CycleTightness is the headline sanity check of the whole
+// Section 2 machinery: for the static n-cycle, whose exact profile is
+// k_i = 2/i, the Corollary 2.6 bound (×2 for both halves) must land
+// within a small constant of the true flooding time n/2.
+func TestLemma24CycleTightness(t *testing.T) {
+	n := 200
+	ks := make([]float64, n/2)
+	for i := 1; i <= n/2; i++ {
+		ks[i-1] = 2 / float64(i)
+	}
+	bound := 2 * CorollarySum(ks)
+	actual := float64(n / 2)
+	if bound < actual*0.8 {
+		t.Fatalf("bound %v too small for actual %v", bound, actual)
+	}
+	if bound > actual*3 {
+		t.Fatalf("bound %v too loose for actual %v", bound, actual)
+	}
+}

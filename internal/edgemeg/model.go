@@ -1,0 +1,323 @@
+package edgemeg
+
+import (
+	"fmt"
+	"sort"
+
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// InitMode selects the distribution of the initial snapshot G_0.
+type InitMode int
+
+const (
+	// InitStationary samples G_0 ~ G(n, p̂), the stationary
+	// distribution — the paper's stationary edge-MEG and the setting of
+	// Theorems 4.3/4.4.
+	InitStationary InitMode = iota
+	// InitEmpty starts from the edgeless graph: the worst-case initial
+	// distribution used to exhibit the stationary/worst-case gap.
+	InitEmpty
+	// InitComplete starts from the complete graph.
+	InitComplete
+	// InitGraph starts from an explicit caller-provided graph.
+	InitGraph
+)
+
+// String returns a short label for the mode.
+func (m InitMode) String() string {
+	switch m {
+	case InitStationary:
+		return "stationary"
+	case InitEmpty:
+		return "empty"
+	case InitComplete:
+		return "complete"
+	case InitGraph:
+		return "graph"
+	default:
+		return fmt.Sprintf("InitMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes an edge-Markovian evolving graph.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// P is the birth rate: an absent edge appears at the next step with
+	// probability P.
+	P float64
+	// Q is the death rate: a present edge disappears at the next step
+	// with probability Q.
+	Q float64
+	// Init selects the initial distribution (default InitStationary).
+	Init InitMode
+	// Start is the initial snapshot when Init == InitGraph.
+	Start *graph.Graph
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("edgemeg: need at least 2 nodes, got %d", c.N)
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("edgemeg: birth rate p=%g outside [0,1]", c.P)
+	}
+	if c.Q < 0 || c.Q > 1 {
+		return fmt.Errorf("edgemeg: death rate q=%g outside [0,1]", c.Q)
+	}
+	if c.Init == InitStationary && c.P+c.Q == 0 {
+		return fmt.Errorf("edgemeg: stationary init requires p+q > 0")
+	}
+	if c.Init == InitGraph {
+		if c.Start == nil {
+			return fmt.Errorf("edgemeg: InitGraph requires a Start graph")
+		}
+		if c.Start.N() != c.N {
+			return fmt.Errorf("edgemeg: Start graph has %d nodes, want %d", c.Start.N(), c.N)
+		}
+	}
+	return nil
+}
+
+// PHat returns the stationary edge marginal p̂ = p/(p+q); it panics if
+// p+q == 0 (no unique stationary distribution).
+func (c Config) PHat() float64 {
+	if c.P+c.Q == 0 {
+		panic("edgemeg: p̂ undefined for p = q = 0")
+	}
+	return c.P / (c.P + c.Q)
+}
+
+// Model is an edge-Markovian evolving graph. It implements
+// core.Dynamics. The zero value is unusable; construct with New.
+type Model struct {
+	cfg Config
+	r   *rng.RNG
+
+	// edges holds the current edge set as packPair keys in ascending
+	// (lexicographic) order.
+	edges []uint64
+
+	builder *graph.Builder
+	g       *graph.Graph
+	dirty   bool
+
+	// scratch buffers reused across steps.
+	births    []uint64
+	survivors []uint64
+	merged    []uint64
+}
+
+// New returns a model for the given configuration. The model is not
+// usable until Reset is called.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg, builder: graph.NewBuilder(cfg.N)}, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// N implements core.Dynamics.
+func (m *Model) N() int { return m.cfg.N }
+
+// EdgeCount returns |E_t| of the current snapshot.
+func (m *Model) EdgeCount() int { return len(m.edges) }
+
+// Reset implements core.Dynamics: it samples a fresh G_0 according to
+// the configured InitMode and keeps r for subsequent steps.
+func (m *Model) Reset(r *rng.RNG) {
+	m.r = r
+	m.edges = m.edges[:0]
+	switch m.cfg.Init {
+	case InitStationary:
+		m.edges = appendGNPKeys(m.edges, m.cfg.N, m.cfg.PHat(), r)
+	case InitEmpty:
+		// nothing
+	case InitComplete:
+		for u := 0; u < m.cfg.N; u++ {
+			for v := u + 1; v < m.cfg.N; v++ {
+				m.edges = append(m.edges, packPair(u, v))
+			}
+		}
+	case InitGraph:
+		m.cfg.Start.ForEachEdge(func(u, v int) {
+			m.edges = append(m.edges, packPair(u, v))
+		})
+		sort.Slice(m.edges, func(i, j int) bool { return m.edges[i] < m.edges[j] })
+	default:
+		panic("edgemeg: unknown init mode")
+	}
+	m.dirty = true
+}
+
+// Step implements core.Dynamics: every present edge dies independently
+// with probability q and every absent edge is born independently with
+// probability p, exactly as the per-pair transition matrix prescribes.
+//
+// Births are drawn by geometric skip sampling over the full pair-index
+// space; candidates that land on currently present pairs are discarded,
+// which leaves precisely an independent Bernoulli(p) trial on each
+// absent pair. Deaths are drawn by skip sampling over the current edge
+// list. Expected cost O(|E_t| + p·C(n,2)).
+func (m *Model) Step() {
+	if m.r == nil {
+		panic("edgemeg: Step before Reset")
+	}
+	n := m.cfg.N
+	p, q := m.cfg.P, m.cfg.Q
+
+	// Births against the state at time t (before deaths are applied):
+	// a pair that dies this step was present at time t, so it takes no
+	// birth trial; discarding candidate hits on present pairs is what
+	// enforces that.
+	m.births = m.births[:0]
+	if p > 0 {
+		total := PairCount(n)
+		var idx int64 = -1
+		for {
+			idx += m.r.Geometric(p) + 1
+			if idx >= total {
+				break
+			}
+			u, v := PairAt(n, idx)
+			m.births = append(m.births, packPair(u, v))
+		}
+	}
+
+	// Deaths: mark current edges that flip to absent.
+	m.survivors = m.survivors[:0]
+	if q <= 0 {
+		m.survivors = append(m.survivors, m.edges...)
+	} else if q >= 1 {
+		// all die
+	} else {
+		next := -1 + m.r.Geometric(q) + 1 // first death position
+		for i, e := range m.edges {
+			if int64(i) == next {
+				next += m.r.Geometric(q) + 1
+				continue
+			}
+			m.survivors = append(m.survivors, e)
+		}
+	}
+
+	// Merge survivors with effective births (those not colliding with a
+	// time-t edge). Both lists are ascending; collisions are detected
+	// against the original edge list during the merge. The merged list
+	// goes into a scratch buffer that then swaps with edges, so steady
+	// state allocates nothing.
+	merged := mergeStep(m.merged[:0], m.survivors, m.births, m.edges)
+	m.merged = m.edges
+	m.edges = merged
+	m.dirty = true
+}
+
+// mergeStep merges survivors and births into dst, dropping any birth
+// whose pair was present in original (its chain was in state 1, so the
+// birth trial does not apply). All inputs are ascending; the result is
+// ascending.
+func mergeStep(dst, survivors, births, original []uint64) []uint64 {
+	oi := 0
+	si := 0
+	for _, b := range births {
+		// Advance the original cursor to check for a collision.
+		for oi < len(original) && original[oi] < b {
+			oi++
+		}
+		if oi < len(original) && original[oi] == b {
+			continue // pair already present at time t: no birth trial
+		}
+		// Emit survivors smaller than this birth.
+		for si < len(survivors) && survivors[si] < b {
+			dst = append(dst, survivors[si])
+			si++
+		}
+		dst = append(dst, b)
+	}
+	dst = append(dst, survivors[si:]...)
+	return dst
+}
+
+// Graph implements core.Dynamics; it materializes the current snapshot
+// as a CSR graph, reusing internal buffers across steps.
+func (m *Model) Graph() *graph.Graph {
+	if m.dirty {
+		m.builder.Reset(m.cfg.N)
+		for _, e := range m.edges {
+			u, v := unpackPair(e)
+			m.builder.AddEdge(u, v)
+		}
+		m.g = m.builder.Build()
+		m.dirty = false
+	}
+	return m.g
+}
+
+// HasEdge reports whether {u, v} is present in the current snapshot.
+func (m *Model) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := packPair(u, v)
+	i := sort.Search(len(m.edges), func(i int) bool { return m.edges[i] >= key })
+	return i < len(m.edges) && m.edges[i] == key
+}
+
+// appendGNPKeys appends the packed edge keys of a G(n, p) sample in
+// ascending order using geometric skip sampling: expected time
+// O(1 + p·C(n,2)).
+func appendGNPKeys(dst []uint64, n int, p float64, r *rng.RNG) []uint64 {
+	if p <= 0 {
+		return dst
+	}
+	total := PairCount(n)
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				dst = append(dst, packPair(u, v))
+			}
+		}
+		return dst
+	}
+	var idx int64 = -1
+	for {
+		idx += r.Geometric(p) + 1
+		if idx >= total {
+			break
+		}
+		u, v := PairAt(n, idx)
+		dst = append(dst, packPair(u, v))
+	}
+	return dst
+}
+
+// SampleGNP returns one Erdős–Rényi G(n, p) snapshot — the stationary
+// distribution of the edge-MEG with marginal p̂ = p. It is used directly
+// by the Theorem 4.1 expansion experiments.
+func SampleGNP(n int, p float64, r *rng.RNG) *graph.Graph {
+	keys := appendGNPKeys(nil, n, p, r)
+	b := graph.NewBuilder(n)
+	for _, e := range keys {
+		u, v := unpackPair(e)
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}

@@ -1,0 +1,114 @@
+package edgemeg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meg/internal/rng"
+)
+
+func TestPairCount(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{{2, 1}, {3, 3}, {4, 6}, {100, 4950}, {100000, 4999950000}}
+	for _, c := range cases {
+		if got := PairCount(c.n); got != c.want {
+			t.Errorf("PairCount(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPairIndexExhaustiveSmall(t *testing.T) {
+	// For small n, the map pair -> index must be the exact lexicographic
+	// enumeration, and PairAt must invert it.
+	for _, n := range []int{2, 3, 5, 17} {
+		var k int64
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if got := PairIndex(n, u, v); got != k {
+					t.Fatalf("n=%d PairIndex(%d,%d) = %d, want %d", n, u, v, got, k)
+				}
+				gu, gv := PairAt(n, k)
+				if gu != u || gv != v {
+					t.Fatalf("n=%d PairAt(%d) = (%d,%d), want (%d,%d)", n, k, gu, gv, u, v)
+				}
+				k++
+			}
+		}
+		if k != PairCount(n) {
+			t.Fatalf("n=%d enumerated %d pairs, want %d", n, k, PairCount(n))
+		}
+	}
+}
+
+func TestPairRoundTripProperty(t *testing.T) {
+	f := func(rawN uint16, rawK uint32) bool {
+		n := 2 + int(rawN%5000)
+		k := int64(rawK) % PairCount(n)
+		u, v := PairAt(n, k)
+		if u < 0 || u >= v || v >= n {
+			return false
+		}
+		return PairIndex(n, u, v) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairRoundTripLargeN(t *testing.T) {
+	// Indices near the extremes of a large universe, where the float
+	// estimate in PairAt is most stressed.
+	n := 1 << 20
+	total := PairCount(n)
+	for _, k := range []int64{0, 1, total / 3, total / 2, total - 2, total - 1} {
+		u, v := PairAt(n, k)
+		if PairIndex(n, u, v) != k {
+			t.Fatalf("round trip failed at k=%d: (%d,%d)", k, u, v)
+		}
+	}
+}
+
+func TestPairIndexPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PairIndex(5, 2, 2) },
+		func() { PairIndex(5, 3, 2) },
+		func() { PairIndex(5, -1, 2) },
+		func() { PairIndex(5, 0, 5) },
+		func() { PairAt(5, -1) },
+		func() { PairAt(5, PairCount(5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPackPairOrderMatchesIndex(t *testing.T) {
+	// The packed-key ordering must agree with the pair-index ordering;
+	// the merge in Step relies on this.
+	r := rng.New(5)
+	const n = 300
+	for trial := 0; trial < 2000; trial++ {
+		a := r.Int63n(PairCount(n))
+		b := r.Int63n(PairCount(n))
+		au, av := PairAt(n, a)
+		bu, bv := PairAt(n, b)
+		if (a < b) != (packPair(au, av) < packPair(bu, bv)) && a != b {
+			t.Fatalf("ordering mismatch: idx %d vs %d", a, b)
+		}
+	}
+}
+
+func TestUnpackPair(t *testing.T) {
+	u, v := unpackPair(packPair(123, 45678))
+	if u != 123 || v != 45678 {
+		t.Fatalf("unpack = (%d,%d)", u, v)
+	}
+}

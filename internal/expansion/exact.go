@@ -1,0 +1,68 @@
+package expansion
+
+import (
+	"meg/internal/bitset"
+	"meg/internal/core"
+	"meg/internal/graph"
+)
+
+// ExactMinExpansion computes min |N(I)|/|I| over ALL node subsets I
+// with 1 ≤ |I| ≤ h by exhaustive enumeration — the exact quantity of
+// Definition 2.2. The cost is Σ_{s≤h} C(n,s) set evaluations, so it is
+// only feasible for small n (the tests use it to validate the
+// adversarial candidate families used at scale). It panics if h < 1 or
+// h > n.
+func ExactMinExpansion(g *graph.Graph, h int) float64 {
+	n := g.N()
+	if h < 1 || h > n {
+		panic("expansion: h out of range")
+	}
+	inSet := bitset.New(n)
+	mark := bitset.New(n)
+	best := -1.0
+	members := make([]int, 0, h)
+	idx := make([]int, h)
+	for size := 1; size <= h; size++ {
+		// Enumerate all C(n, size) combinations with a running index
+		// vector idx[0] < idx[1] < … < idx[size-1].
+		for i := 0; i < size; i++ {
+			idx[i] = i
+		}
+		for {
+			members = members[:0]
+			inSet.Clear()
+			for i := 0; i < size; i++ {
+				members = append(members, idx[i])
+				inSet.Add(idx[i])
+			}
+			nb := core.NeighborhoodSize(g, members, inSet, mark)
+			ratio := float64(nb) / float64(size)
+			if best < 0 || ratio < best {
+				best = ratio
+			}
+			// Advance the combination.
+			i := size - 1
+			for i >= 0 && idx[i] == n-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+	return best
+}
+
+// ExactProfile computes the exact k(h) for each h in hs (see
+// ExactMinExpansion); only feasible for small n.
+func ExactProfile(g *graph.Graph, hs []int) []Point {
+	out := make([]Point, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, Point{H: h, K: ExactMinExpansion(g, h), Sets: -1})
+	}
+	return out
+}

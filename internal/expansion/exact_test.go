@@ -1,0 +1,108 @@
+package expansion
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/edgemeg"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+func TestExactMinExpansionCycle(t *testing.T) {
+	// On a cycle the worst set of size s is a contiguous arc with
+	// |N| = 2, so k(h) = 2/h exactly.
+	g := graph.Cycle(10)
+	for _, h := range []int{1, 2, 3, 4, 5} {
+		want := 2.0 / float64(h)
+		if got := ExactMinExpansion(g, h); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("cycle k(%d) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestExactMinExpansionComplete(t *testing.T) {
+	// On K_n, |N(I)| = n-|I| for every I: k(h) = (n-h)/h.
+	g := graph.Complete(9)
+	for _, h := range []int{1, 2, 4} {
+		want := float64(9-h) / float64(h)
+		if got := ExactMinExpansion(g, h); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("K9 k(%d) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestExactMinExpansionStar(t *testing.T) {
+	// On a star, the worst set of size h is h leaves: |N| = 1 (the
+	// center), so k(h) = 1/h.
+	g := graph.Star(8)
+	for _, h := range []int{1, 2, 3} {
+		want := 1.0 / float64(h)
+		if got := ExactMinExpansion(g, h); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("star k(%d) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestExactMinExpansionDisconnected(t *testing.T) {
+	// An isolated node has |N| = 0: k = 0.
+	g := graph.FromEdges(4, [][2]int{{0, 1}})
+	if got := ExactMinExpansion(g, 1); got != 0 {
+		t.Fatalf("disconnected k(1) = %v, want 0", got)
+	}
+}
+
+func TestExactProfile(t *testing.T) {
+	g := graph.Cycle(8)
+	pts := ExactProfile(g, []int{1, 2, 4})
+	want := []float64{2, 1, 0.5}
+	for i, pt := range pts {
+		if math.Abs(pt.K-want[i]) > 1e-12 {
+			t.Fatalf("profile[%d] = %v, want %v", i, pt.K, want[i])
+		}
+	}
+}
+
+func TestExactPanics(t *testing.T) {
+	g := graph.Cycle(5)
+	for _, fn := range []func(){
+		func() { ExactMinExpansion(g, 0) },
+		func() { ExactMinExpansion(g, 6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestAdversarialFamiliesNearExact is the soundness check for the
+// at-scale methodology: on small random graphs the BFS-ball + random
+// family must land within a modest factor of the exhaustive minimum
+// (it is an upper bound by construction).
+func TestAdversarialFamiliesNearExact(t *testing.T) {
+	r := rng.New(42)
+	const n = 14
+	const h = 5
+	for trial := 0; trial < 8; trial++ {
+		g := edgemeg.SampleGNP(n, 0.35, r.Split())
+		exact := ExactMinExpansion(g, h)
+		gen := Combine(BFSBalls(g), RandomSets(n))
+		sets := gen(h, 40, r.Split())
+		// Include all smaller sizes as the exact check does.
+		for s := 1; s < h; s++ {
+			sets = append(sets, gen(s, 40, r.Split())...)
+		}
+		approx := MinExpansion(g, sets)
+		if approx < exact-1e-9 {
+			t.Fatalf("approximate min %v below exact %v — impossible", approx, exact)
+		}
+		if exact > 0 && approx > 3*exact+1 {
+			t.Fatalf("adversarial family too loose: approx %v vs exact %v", approx, exact)
+		}
+	}
+}

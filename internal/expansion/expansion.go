@@ -1,0 +1,193 @@
+// Package expansion measures the parameterized node expansion of graph
+// snapshots empirically. Verifying the (h,k)-expander property of
+// Definition 2.2 exactly requires minimizing |N(I)|/|I| over all
+// 2^n subsets; this package instead evaluates adversarial candidate
+// families that witness the worst cases for the models in this
+// repository:
+//
+//   - BFS balls: prefixes of breadth-first orders. In any graph they
+//     have the smallest boundary among "organically grown" sets and are
+//     the worst case for G(n,p)-like graphs.
+//   - Spatial balls (provided by the caller as a generator): the h
+//     nodes nearest a point, provably the boundary-minimizing sets for
+//     geometric graphs.
+//   - Random sets: a baseline family showing the typical (much larger)
+//     expansion.
+//
+// The reported k(h) = min over candidates of |N(I)|/|I| is an upper
+// bound on the true expansion and, for these families, an accurate
+// estimate of the constants in Theorems 3.2 and 4.1.
+package expansion
+
+import (
+	"math"
+
+	"meg/internal/bitset"
+	"meg/internal/core"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// Generator produces candidate node sets of exactly size h (sets of
+// different sizes are allowed but only sets with 1 ≤ |I| ≤ h are
+// considered by the measurement).
+type Generator func(h, count int, r *rng.RNG) [][]int
+
+// RandomSets returns a Generator drawing uniform h-subsets of [0, n).
+func RandomSets(n int) Generator {
+	return func(h, count int, r *rng.RNG) [][]int {
+		if h > n {
+			h = n
+		}
+		out := make([][]int, count)
+		for i := range out {
+			out[i] = r.Sample(n, h)
+		}
+		return out
+	}
+}
+
+// BFSBalls returns a Generator producing prefixes of BFS orders of g
+// from random roots: the h nodes closest (in hops) to a random node,
+// ties broken by traversal order. If a root's component has fewer than
+// h nodes, the whole component is used.
+func BFSBalls(g *graph.Graph) Generator {
+	return func(h, count int, r *rng.RNG) [][]int {
+		n := g.N()
+		if h > n {
+			h = n
+		}
+		out := make([][]int, 0, count)
+		visited := bitset.New(n)
+		queue := make([]int32, 0, n)
+		for c := 0; c < count; c++ {
+			root := r.Intn(n)
+			visited.Clear()
+			queue = append(queue[:0], int32(root))
+			visited.Add(root)
+			for head := 0; head < len(queue) && len(queue) < h; head++ {
+				u := queue[head]
+				for _, v := range g.Neighbors(int(u)) {
+					if !visited.Contains(int(v)) {
+						visited.Add(int(v))
+						queue = append(queue, v)
+						if len(queue) == h {
+							break
+						}
+					}
+				}
+			}
+			set := make([]int, len(queue))
+			for i, v := range queue {
+				set[i] = int(v)
+			}
+			out = append(out, set)
+		}
+		return out
+	}
+}
+
+// Fixed returns a Generator that always produces the given sets,
+// truncated to size h; useful for plugging in model-specific
+// adversarial families such as geometric spatial balls.
+func Fixed(sets [][]int) Generator {
+	return func(h, count int, r *rng.RNG) [][]int {
+		out := make([][]int, 0, len(sets))
+		for _, s := range sets {
+			if len(s) <= h {
+				out = append(out, s)
+			} else {
+				out = append(out, s[:h])
+			}
+		}
+		return out
+	}
+}
+
+// Combine merges generators: the candidate family is the union of each
+// generator's output.
+func Combine(gens ...Generator) Generator {
+	return func(h, count int, r *rng.RNG) [][]int {
+		var out [][]int
+		for _, g := range gens {
+			out = append(out, g(h, count, r)...)
+		}
+		return out
+	}
+}
+
+// Point is one measured point of an expansion profile.
+type Point struct {
+	// H is the set size the candidates were generated for.
+	H int
+	// K is the minimum observed |N(I)|/|I| over all candidates.
+	K float64
+	// Sets is the number of candidate sets evaluated.
+	Sets int
+}
+
+// MinExpansion returns the minimum |N(I)|/|I| over the candidate sets
+// (ignoring empty sets), or -1 if no usable candidate was supplied.
+func MinExpansion(g *graph.Graph, sets [][]int) float64 {
+	inSet := bitset.New(g.N())
+	mark := bitset.New(g.N())
+	best := -1.0
+	for _, members := range sets {
+		if len(members) == 0 {
+			continue
+		}
+		inSet.Clear()
+		for _, u := range members {
+			inSet.Add(u)
+		}
+		nb := core.NeighborhoodSize(g, members, inSet, mark)
+		ratio := float64(nb) / float64(len(members))
+		if best < 0 || ratio < best {
+			best = ratio
+		}
+	}
+	return best
+}
+
+// Profile measures k(h) for each set size in hs using gen, evaluating
+// setsPerSize candidates per size.
+func Profile(g *graph.Graph, hs []int, gen Generator, setsPerSize int, r *rng.RNG) []Point {
+	out := make([]Point, 0, len(hs))
+	for _, h := range hs {
+		sets := gen(h, setsPerSize, r)
+		k := MinExpansion(g, sets)
+		out = append(out, Point{H: h, K: k, Sets: len(sets)})
+	}
+	return out
+}
+
+// GeometricSizes returns a log-spaced ladder of set sizes from 1 to
+// n/2, suitable as the hs argument of Profile.
+func GeometricSizes(n, points int) []int {
+	if points < 2 {
+		panic("expansion: need at least two ladder points")
+	}
+	half := n / 2
+	if half < 1 {
+		half = 1
+	}
+	out := make([]int, 0, points)
+	last := 0
+	for i := 0; i < points; i++ {
+		// Geometric interpolation between 1 and n/2.
+		x := math.Pow(float64(half), float64(i)/float64(points-1))
+		v := int(x + 0.5)
+		if v <= last {
+			v = last + 1
+		}
+		if v > half {
+			v = half
+		}
+		out = append(out, v)
+		last = v
+		if v == half {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package expansion
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+func TestMinExpansionComplete(t *testing.T) {
+	// On K_n, |N(I)| = n − |I| for every non-empty I.
+	g := graph.Complete(12)
+	sets := [][]int{{0}, {0, 1, 2}, {5, 6, 7, 8}}
+	got := MinExpansion(g, sets)
+	want := (12.0 - 4) / 4 // the size-4 set minimizes (n-h)/h
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MinExpansion = %v, want %v", got, want)
+	}
+}
+
+func TestMinExpansionIgnoresEmpty(t *testing.T) {
+	g := graph.Complete(5)
+	if got := MinExpansion(g, [][]int{{}, {0}}); got != 4 {
+		t.Fatalf("MinExpansion = %v, want 4", got)
+	}
+	if got := MinExpansion(g, [][]int{{}}); got != -1 {
+		t.Fatalf("MinExpansion with no usable sets = %v, want -1", got)
+	}
+}
+
+func TestRandomSetsGenerator(t *testing.T) {
+	gen := RandomSets(50)
+	r := rng.New(1)
+	sets := gen(7, 5, r)
+	if len(sets) != 5 {
+		t.Fatalf("generated %d sets", len(sets))
+	}
+	for _, s := range sets {
+		if len(s) != 7 {
+			t.Fatalf("set size %d, want 7", len(s))
+		}
+		seen := map[int]bool{}
+		for _, u := range s {
+			if u < 0 || u >= 50 || seen[u] {
+				t.Fatalf("invalid set %v", s)
+			}
+			seen[u] = true
+		}
+	}
+	// h larger than n clamps.
+	big := gen(100, 1, r)
+	if len(big[0]) != 50 {
+		t.Fatalf("oversized h not clamped: %d", len(big[0]))
+	}
+}
+
+func TestBFSBallsOnCycleAreArcs(t *testing.T) {
+	// On a cycle, a BFS ball is a contiguous arc, so its neighborhood
+	// is exactly 2 for any 1 < h < n-1.
+	g := graph.Cycle(20)
+	gen := BFSBalls(g)
+	r := rng.New(2)
+	sets := gen(5, 10, r)
+	for _, s := range sets {
+		if len(s) != 5 {
+			t.Fatalf("BFS ball size %d, want 5", len(s))
+		}
+	}
+	if got := MinExpansion(g, sets); math.Abs(got-2.0/5) > 1e-12 {
+		t.Fatalf("cycle arc expansion = %v, want 0.4", got)
+	}
+}
+
+func TestBFSBallsSmallComponent(t *testing.T) {
+	// A component smaller than h yields the whole component.
+	g := graph.FromEdges(10, [][2]int{{0, 1}, {1, 2}})
+	gen := BFSBalls(g)
+	r := rng.New(3)
+	for _, s := range gen(8, 30, r) {
+		if len(s) > 8 {
+			t.Fatalf("ball exceeded h: %v", s)
+		}
+		if len(s) != 1 && len(s) != 3 && len(s) != 8 {
+			// Components have sizes 3 (nodes 0-2) and 1 (isolated).
+			t.Fatalf("unexpected ball size %d", len(s))
+		}
+	}
+}
+
+func TestFixedGenerator(t *testing.T) {
+	sets := [][]int{{1, 2, 3}, {4, 5}}
+	gen := Fixed(sets)
+	out := gen(2, 99, nil)
+	if len(out) != 2 {
+		t.Fatalf("Fixed returned %d sets", len(out))
+	}
+	if len(out[0]) != 2 || len(out[1]) != 2 {
+		t.Fatalf("Fixed truncation wrong: %v", out)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	gen := Combine(RandomSets(20), RandomSets(20))
+	r := rng.New(4)
+	if got := len(gen(3, 4, r)); got != 8 {
+		t.Fatalf("Combine produced %d sets, want 8", got)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	g := graph.Complete(16)
+	r := rng.New(5)
+	points := Profile(g, []int{1, 2, 4, 8}, RandomSets(16), 3, r)
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	for _, pt := range points {
+		want := float64(16-pt.H) / float64(pt.H)
+		if math.Abs(pt.K-want) > 1e-12 {
+			t.Errorf("h=%d: k=%v, want %v", pt.H, pt.K, want)
+		}
+		if pt.Sets != 3 {
+			t.Errorf("h=%d: sets=%d", pt.H, pt.Sets)
+		}
+	}
+}
+
+func TestGeometricSizes(t *testing.T) {
+	hs := GeometricSizes(1000, 8)
+	if hs[0] != 1 {
+		t.Fatalf("ladder must start at 1: %v", hs)
+	}
+	if hs[len(hs)-1] != 500 {
+		t.Fatalf("ladder must end at n/2: %v", hs)
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i] <= hs[i-1] {
+			t.Fatalf("ladder not strictly increasing: %v", hs)
+		}
+	}
+}
+
+func TestGeometricSizesSmallN(t *testing.T) {
+	hs := GeometricSizes(6, 10)
+	if hs[len(hs)-1] != 3 {
+		t.Fatalf("ladder end = %d, want 3", hs[len(hs)-1])
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i] <= hs[i-1] {
+			t.Fatalf("not increasing: %v", hs)
+		}
+	}
+}
+
+func TestGeometricSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeometricSizes(100, 1)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math"
+
+	"meg/internal/geom"
+	"meg/internal/geommeg"
+	"meg/internal/rng"
+	"meg/internal/sweep"
+	"meg/internal/table"
+)
+
+// E2CellOccupancy reproduces Claim 1: partition the √n×√n square into
+// cells of side ≈ R/√5 (the exact grid of the proof); in the stationary
+// geometric-MEG, with high probability every cell contains between
+// R²/λ and λR² nodes for a constant λ, uniformly over cells and over
+// time steps. Claim 1 requires R ≥ c√log n for a sufficiently large c;
+// we use c = 6, for which the per-cell expectation R²/5 ≈ 7.2·log n is
+// large enough that the minimum over all cells and steps concentrates.
+func E2CellOccupancy(p Params) *Report {
+	ns := pick(p.Scale, []int{1024, 4096}, []int{1024, 4096, 16384}, []int{1024, 4096, 16384, 65536})
+	steps := pick(p.Scale, 8, 16, 32)
+	trials := pick(p.Scale, 4, 8, 8)
+
+	tbl := table.New("E2 — cell occupancy over cells and time (cells of side ≈ R/√5, R = 6√log n)",
+		"n", "R", "cells", "E[N]≈R²/5", "min N", "max N", "λ̂", "max/min")
+	rep := &Report{
+		ID:    "E2",
+		Title: "Claim 1: R²/λ ≤ N_cell ≤ λR² w.h.p. in the stationary model",
+		Notes: []string{
+			"λ̂ = max(R²/minN, maxN/R²) is the smallest constant for which the claim holds in",
+			"the run. Claim 1 predicts λ̂ = O(1): it must not grow as n grows (concentration",
+			"improves with n because E[N_cell] ∝ log n).",
+		},
+	}
+
+	var lambdas []float64
+	minOcc := math.MaxInt32
+	for _, n := range ns {
+		radius := 6 * math.Sqrt(math.Log(float64(n)))
+		cfg := geommeg.Config{N: n, R: radius, MoveRadius: radius / 2}
+		type occ struct{ min, max int }
+		results := sweep.Repeat(trials, rng.SeedFor(p.Seed, n), p.Workers, func(rep int, r *rng.RNG) occ {
+			m := geommeg.MustNew(cfg)
+			m.Reset(r)
+			grid := geom.ClaimOneGrid(m.Side(), radius)
+			lo, hi := math.MaxInt32, 0
+			for s := 0; s < steps; s++ {
+				for _, c := range m.CellOccupancy(grid) {
+					if c < lo {
+						lo = c
+					}
+					if c > hi {
+						hi = c
+					}
+				}
+				m.Step()
+			}
+			return occ{lo, hi}
+		})
+		lo, hi := math.MaxInt32, 0
+		for _, o := range results {
+			if o.min < lo {
+				lo = o.min
+			}
+			if o.max > hi {
+				hi = o.max
+			}
+		}
+		if lo < minOcc {
+			minOcc = lo
+		}
+		r2 := radius * radius
+		lambda := math.Inf(1)
+		ratio := math.Inf(1)
+		if lo > 0 {
+			lambda = math.Max(r2/float64(lo), float64(hi)/r2)
+			ratio = float64(hi) / float64(lo)
+		}
+		lambdas = append(lambdas, lambda)
+		grid := geom.ClaimOneGrid(math.Sqrt(float64(n)), radius)
+		tbl.AddRow(n, radius, grid.NumCells(), r2/5, lo, hi, lambda, ratio)
+	}
+
+	first, last := lambdas[0], lambdas[len(lambdas)-1]
+	rep.Tables = append(rep.Tables, tbl)
+	rep.Checks = append(rep.Checks,
+		boolCheck("every cell non-empty at every step", minOcc >= 1,
+			"minimum occupancy %d", minOcc),
+		boolCheck("λ̂ bounded (≤ 24) at every n", maxOf(lambdas) <= 24,
+			"worst λ̂ = %.2f", maxOf(lambdas)),
+		boolCheck("λ̂ does not grow with n", last <= first*1.5+0.5,
+			"λ̂ %.2f at n=%d vs %.2f at n=%d", first, ns[0], last, ns[len(ns)-1]),
+	)
+	rep.Metrics = map[string]float64{"lambda_worst": maxOf(lambdas), "min_occupancy": float64(minOcc)}
+	return rep
+}
+
+func maxOf(xs []float64) float64 {
+	best := math.Inf(-1)
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"meg/internal/edgemeg"
+	"meg/internal/expansion"
+	"meg/internal/rng"
+	"meg/internal/stats"
+	"meg/internal/sweep"
+	"meg/internal/table"
+)
+
+// E7EdgeExpansion reproduces Theorem 4.1 / Lemma 4.2: the stationary
+// snapshot of an edge-MEG is G(n, p̂), and with probability ≥ 1 − 1/n²
+// it is a (h, np̂/c)-expander for h ≤ 1/p̂ and a (h, n/(ch))-expander
+// for 1/p̂ ≤ h ≤ n/2. We measure k(h) over BFS balls (the adversarial
+// family for G(n,p)) and random sets and verify the two regimes:
+// k(h) ≈ const ≈ np̂/c below h = 1/p̂, and k(h) ∝ n/h above it
+// (log-log slope ≈ −1), equivalently |N(I)| = Θ(n) there.
+func E7EdgeExpansion(p Params) *Report {
+	n := pick(p.Scale, 2048, 4096, 16384)
+	trials := pick(p.Scale, 2, 3, 5)
+	ladder := pick(p.Scale, 10, 12, 14)
+	setsPerSize := pick(p.Scale, 4, 6, 8)
+
+	pHat := 4 * math.Log(float64(n)) / float64(n)
+	hs := expansion.GeometricSizes(n, ladder)
+
+	perTrial := sweep.Repeat(trials, rng.SeedFor(p.Seed, 7), p.Workers, func(rep int, r *rng.RNG) []expansion.Point {
+		g := edgemeg.SampleGNP(n, pHat, r)
+		gen := expansion.Combine(expansion.BFSBalls(g), expansion.RandomSets(n))
+		return expansion.Profile(g, hs, gen, setsPerSize, r)
+	})
+
+	ks := make([]float64, len(hs))
+	for i := range ks {
+		ks[i] = math.Inf(1)
+	}
+	for _, points := range perTrial {
+		for i, pt := range points {
+			if pt.K >= 0 && pt.K < ks[i] {
+				ks[i] = pt.K
+			}
+		}
+	}
+
+	thresh := 1 / pHat
+	np := float64(n) * pHat
+	tbl := table.New("E7 — empirical expansion k(h) of G(n,p̂) vs Theorem 4.1 (n="+strconv.Itoa(n)+", np̂="+table.Cell(np)+")",
+		"h", "k(h)", "k/np̂ (ĉ⁻¹ regime 1)", "k·h/n (ĉ⁻¹ regime 2)", "regime")
+	var h1, k1, h2, k2 []float64
+	allPositive := true
+	for i, h := range hs {
+		k := ks[i]
+		if k <= 0 || math.IsInf(k, 1) {
+			allPositive = false
+		}
+		fh := float64(h)
+		regime := "transition"
+		if fh <= thresh/2 {
+			regime = "1 (k≈np̂/c)"
+			if k > 0 && !math.IsInf(k, 1) {
+				h1 = append(h1, fh)
+				k1 = append(k1, k)
+			}
+		} else if fh >= 2*thresh && fh <= float64(n)/3 {
+			regime = "2 (k∝n/h)"
+			if k > 0 && !math.IsInf(k, 1) {
+				h2 = append(h2, fh)
+				k2 = append(k2, k)
+			}
+		}
+		tbl.AddRow(h, k, k/np, k*fh/float64(n), regime)
+	}
+
+	rep := &Report{
+		ID:    "E7",
+		Title: "Theorem 4.1: two-regime node expansion of stationary edge-MEG snapshots",
+		Notes: []string{
+			"p̂ = 4 log n / n. Regime split shown at h = 1/(2p̂) and h = 2/p̂ (theorem boundary 1/p̂).",
+			"Candidates: BFS balls (adversarial for G(n,p)) and random sets.",
+		},
+		Tables: []*table.Table{tbl},
+	}
+
+	slope1, slope2 := math.NaN(), math.NaN()
+	rep.Checks = append(rep.Checks, boolCheck("expansion positive at every h ≤ n/2", allPositive,
+		"k(h) > 0 for all ladder sizes"))
+	if len(h1) >= 3 {
+		fit := stats.LogLogFit(h1, k1)
+		slope1 = fit.Slope
+		spread := stats.RatioSpread(k1)
+		rep.Checks = append(rep.Checks, boolCheck("regime-1: k(h) ≈ const ≈ np̂/c (slope ≈ 0)",
+			fit.Slope > -0.6 && fit.Slope < 0.35 && spread <= 6,
+			"log-log slope %.3f, k spread %.2f over %d points", fit.Slope, spread, len(h1)))
+	} else {
+		rep.Checks = append(rep.Checks, boolCheck("regime-1: k(h) ≈ const", false,
+			"not enough regime-1 points (%d)", len(h1)))
+	}
+	if len(h2) >= 2 {
+		fit := stats.LogLogFit(h2, k2)
+		slope2 = fit.Slope
+		rep.Checks = append(rep.Checks, boolCheck("regime-2: k ∝ n/h (slope ≈ −1)",
+			fit.Slope > -1.4 && fit.Slope < -0.6,
+			"log-log slope %.3f over %d points", fit.Slope, len(h2)))
+	} else {
+		rep.Checks = append(rep.Checks, boolCheck("regime-2: k ∝ n/h", false,
+			"not enough regime-2 points (%d)", len(h2)))
+	}
+	rep.Metrics = map[string]float64{"slope_regime1": slope1, "slope_regime2": slope2}
+	return rep
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math"
+
+	"meg/internal/core"
+	"meg/internal/edgemeg"
+	"meg/internal/rng"
+	"meg/internal/sweep"
+	"meg/internal/table"
+)
+
+// E9EdgeGrowth reproduces Theorem 4.4's mechanism: since the stationary
+// snapshot is G(n, p̂), the maximum degree is below 2np̂ w.h.p., so the
+// informed set can grow by at most a factor 1 + 2np̂ per round and
+// flooding needs at least log(n/2)/log(2np̂) rounds. We record full
+// informed-set trajectories, measure per-round growth factors and the
+// realized maximum degree, and verify both the degree bound and the
+// lower bound on rounds — including that the growth bound is nearly
+// attained in the early rounds (which is what makes Theorem 4.4 tight).
+func E9EdgeGrowth(p Params) *Report {
+	ns := pick(p.Scale, []int{1024, 4096}, []int{1024, 4096, 16384}, []int{4096, 16384, 65536})
+	trials := pick(p.Scale, 8, 16, 24)
+
+	tbl := table.New("E9 — per-round growth of the informed set vs the 2np̂ ceiling",
+		"n", "np̂", "max degree seen", "2np̂", "max growth m(t+1)/m(t)", "early growth/np̂", "rounds min", "lower bound")
+	rep := &Report{
+		ID:    "E9",
+		Title: "Theorem 4.4: informed-set growth ≤ 1+2np̂ per round; flooding ≥ log(n/2)/log(2np̂)",
+		Notes: []string{
+			"p̂ = 4 log n/n, q = 1/2. 'early growth/np̂' is the first-round growth factor divided",
+			"by np̂ — near 1 it shows the geometric-growth ceiling is almost met, which is why",
+			"the Theorem 4.4 lower bound is tight up to the log log term.",
+		},
+	}
+
+	allDegreeOK := true
+	allLowerOK := true
+	earlyTight := true
+	for _, n := range ns {
+		pHat := 4 * math.Log(float64(n)) / float64(n)
+		cfg := edgeConfigFor(n, pHat, 0.5)
+		np := float64(n) * pHat
+		type out struct {
+			maxDeg    int
+			maxGrowth float64
+			early     float64
+			rounds    int
+			completed bool
+		}
+		res := sweep.Repeat(trials, rng.SeedFor(p.Seed, 1100+n), p.Workers, func(rep int, r *rng.RNG) out {
+			m := edgemeg.MustNew(cfg)
+			m.Reset(r)
+			maxDeg := m.Graph().MaxDegree()
+			fr := core.Flood(m, r.Intn(n), core.DefaultRoundCap(n))
+			growth := fr.GrowthFactors()
+			o := out{maxDeg: maxDeg, rounds: fr.Rounds, completed: fr.Completed}
+			for _, g := range growth {
+				if g > o.maxGrowth {
+					o.maxGrowth = g
+				}
+			}
+			if len(growth) > 0 {
+				o.early = growth[0] - 1 // first-round multiplier ≈ degree of source
+			}
+			return o
+		})
+		maxDeg, maxGrowth, early := 0, 0.0, 0.0
+		minRounds := math.MaxInt32
+		for _, o := range res {
+			if o.maxDeg > maxDeg {
+				maxDeg = o.maxDeg
+			}
+			if o.maxGrowth > maxGrowth {
+				maxGrowth = o.maxGrowth
+			}
+			early += o.early
+			if o.completed && o.rounds < minRounds {
+				minRounds = o.rounds
+			}
+		}
+		early /= float64(len(res))
+		lower := math.Log(float64(n)/2) / math.Log(2*np)
+		if float64(maxDeg) > 2*np {
+			allDegreeOK = false
+		}
+		if float64(minRounds) < lower {
+			allLowerOK = false
+		}
+		if early/np < 0.5 || early/np > 1.6 {
+			earlyTight = false
+		}
+		tbl.AddRow(n, np, maxDeg, 2*np, maxGrowth, early/np, minRounds, lower)
+	}
+
+	rep.Tables = append(rep.Tables, tbl)
+	rep.Checks = append(rep.Checks,
+		boolCheck("max degree ≤ 2np̂ in every stationary snapshot", allDegreeOK, "degree ceiling holds"),
+		boolCheck("no trial beats the Theorem 4.4 lower bound", allLowerOK, "rounds ≥ log(n/2)/log(2np̂) always"),
+		boolCheck("first-round growth ≈ np̂ (ceiling nearly met)", earlyTight,
+			"mean first-round growth within [0.5, 1.6]×np̂ at every n"),
+	)
+	rep.Metrics = map[string]float64{
+		"degree_ok": b2f(allDegreeOK), "lower_ok": b2f(allLowerOK), "early_tight": b2f(earlyTight),
+	}
+	return rep
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"math"
+
+	"meg/internal/core"
+	"meg/internal/geom"
+	"meg/internal/geommeg"
+	"meg/internal/rng"
+	"meg/internal/stats"
+	"meg/internal/sweep"
+	"meg/internal/table"
+)
+
+// pt builds a geom.Point.
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+// E14FloodVsDiameter tests the paper's concluding claim (Section 5):
+// in the connected regime with r = O(R), "node mobility has an almost
+// negligible impact on flooding time: the latter turns out to be
+// equivalent to the diameter of the static stationary graph". For each
+// trial we sample a stationary snapshot G_0, estimate its hop diameter
+// (max BFS eccentricity over corner-most and random nodes — corner
+// nodes realize the diameter of a random geometric graph up to o(1)),
+// freeze it as a static graph, and compare three quantities: the static
+// diameter, static flooding from a corner node, and dynamic flooding on
+// the moving system started from the same snapshot.
+func E14FloodVsDiameter(p Params) *Report {
+	ns := pick(p.Scale, []int{1024, 4096}, []int{1024, 4096, 16384}, []int{4096, 16384, 65536})
+	trials := pick(p.Scale, 6, 10, 16)
+	eccSources := pick(p.Scale, 4, 6, 8)
+
+	tbl := table.New("E14 — dynamic flooding vs static diameter (R=2√log n, r=R/2)",
+		"n", "diameter est", "static flood", "dynamic flood", "dynamic/diam")
+	rep := &Report{
+		ID:    "E14",
+		Title: "Section 5: flooding time ≈ diameter of the static stationary graph",
+		Notes: []string{
+			"Diameter is estimated as the max BFS eccentricity over the 4 corner-most nodes",
+			"plus random nodes (exact diameters are O(n·m); corner nodes realize the RGG",
+			"diameter asymptotically). Dynamic flooding starts from the same snapshot.",
+		},
+	}
+
+	var ratios []float64
+	for _, n := range ns {
+		radius := 2 * math.Sqrt(math.Log(float64(n)))
+		cfg := geommeg.Config{N: n, R: radius, MoveRadius: radius / 2}
+		type out struct{ diam, static, dynamic float64 }
+		res := sweep.Repeat(trials, rng.SeedFor(p.Seed, 1400+n), p.Workers, func(rep int, r *rng.RNG) out {
+			m := geommeg.MustNew(cfg)
+			m.Reset(r.Split())
+			g := m.Graph()
+			side := m.Side()
+
+			// Eccentricity sources: nodes nearest the four corners plus
+			// random ones.
+			sources := make([]int, 0, eccSources+4)
+			for _, c := range [][2]float64{{0, 0}, {0, side}, {side, 0}, {side, side}} {
+				nn := m.NearestNodes(pt(c[0], c[1]), 1)
+				sources = append(sources, nn[0])
+			}
+			for len(sources) < eccSources+4 {
+				sources = append(sources, r.Intn(n))
+			}
+			diam := 0
+			dist := make([]int32, n)
+			for _, s := range sources {
+				dist = g.BFS(s, dist)
+				for _, d := range dist {
+					if int(d) > diam {
+						diam = int(d)
+					}
+				}
+			}
+
+			// Static flooding from the first corner node (worst-ish
+			// source) on the frozen snapshot.
+			staticRes := core.Flood(core.NewStatic(g), sources[0], core.DefaultRoundCap(n))
+			// Dynamic flooding from the same source and same G_0: reuse
+			// the model, which still holds the sampled positions.
+			dynRes := core.Flood(m, sources[0], core.DefaultRoundCap(n))
+			st, dy := math.NaN(), math.NaN()
+			if staticRes.Completed {
+				st = float64(staticRes.Rounds)
+			}
+			if dynRes.Completed {
+				dy = float64(dynRes.Rounds)
+			}
+			return out{float64(diam), st, dy}
+		})
+		var dAcc, sAcc, yAcc stats.Accumulator
+		for _, o := range res {
+			dAcc.Add(o.diam)
+			if !math.IsNaN(o.static) {
+				sAcc.Add(o.static)
+			}
+			if !math.IsNaN(o.dynamic) {
+				yAcc.Add(o.dynamic)
+			}
+		}
+		ratio := yAcc.Mean() / dAcc.Mean()
+		ratios = append(ratios, ratio)
+		tbl.AddRow(n, dAcc.Mean(), sAcc.Mean(), yAcc.Mean(), ratio)
+	}
+
+	rep.Tables = append(rep.Tables, tbl)
+	worst := 0.0
+	best := math.Inf(1)
+	for _, r := range ratios {
+		if r > worst {
+			worst = r
+		}
+		if r < best {
+			best = r
+		}
+	}
+	rep.Checks = append(rep.Checks,
+		boolCheck("dynamic flooding within [0.4, 1.6]× the static diameter", best >= 0.4 && worst <= 1.6,
+			"dynamic/diameter ratios in [%.2f, %.2f]", best, worst),
+		boolCheck("ratio stable across n (no drift)", ratios[len(ratios)-1] <= ratios[0]*1.5+0.1,
+			"first %.2f vs last %.2f", ratios[0], ratios[len(ratios)-1]),
+	)
+	rep.Metrics = map[string]float64{"ratio_first": ratios[0], "ratio_last": ratios[len(ratios)-1]}
+	return rep
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math"
+
+	"meg/internal/core"
+	"meg/internal/edgemeg"
+	"meg/internal/rng"
+	"meg/internal/sweep"
+	"meg/internal/table"
+)
+
+// E15Parsimonious explores the parsimonious-flooding extension (the
+// paper's reference [4], Baumann–Crescenzi–Fraigniaud): informed nodes
+// transmit only for k rounds after being informed. On a stationary
+// edge-MEG in the connected regime, even tiny budgets complete reliably
+// and almost as fast as full flooding — the message-complexity savings
+// are nearly free — while the number of transmissions drops from
+// (rounds × n) to about (k × n). We sweep the budget k and measure
+// success rate, completion time, and total transmissions.
+func E15Parsimonious(p Params) *Report {
+	n := pick(p.Scale, 2048, 4096, 16384)
+	trials := pick(p.Scale, 10, 16, 24)
+
+	pHat := 4 * math.Log(float64(n)) / float64(n)
+	cfg := edgeConfigFor(n, pHat, 0.5)
+
+	tbl := table.New("E15 — parsimonious flooding on a stationary edge-MEG (n="+itoa64(n)+")",
+		"budget k", "success", "rounds mean", "rounds vs full", "transmissions mean", "tx vs full")
+	rep := &Report{
+		ID:    "E15",
+		Title: "Extension [4]: parsimonious flooding — k-round transmission budgets",
+		Notes: []string{
+			"p̂ = 4 log n/n, q = 1/2. 'transmissions' counts node-rounds spent transmitting;",
+			"full flooding spends ≈ rounds×n of them, budget-k at most k×n.",
+		},
+	}
+
+	type out struct {
+		completed bool
+		rounds    int
+		tx        float64
+	}
+	run := func(budget int, salt int) (success int, meanRounds, meanTx float64) {
+		res := sweep.Repeat(trials, rng.SeedFor(p.Seed, salt), p.Workers, func(rep int, r *rng.RNG) out {
+			m := edgemeg.MustNew(cfg)
+			m.Reset(r)
+			var fr core.FloodResult
+			if budget <= 0 {
+				fr = core.Flood(m, r.Intn(n), core.DefaultRoundCap(n))
+			} else {
+				fr = core.FloodParsimonious(m, r.Intn(n), budget, core.DefaultRoundCap(n))
+			}
+			// Transmissions: each informed node transmits for
+			// min(budget, rounds since informed) rounds; integrate over
+			// the trajectory. For full flooding the budget is the whole
+			// remaining run.
+			tx := 0.0
+			for t := 0; t+1 < len(fr.Trajectory); t++ {
+				active := 0
+				if budget <= 0 {
+					active = fr.Trajectory[t]
+				} else {
+					// Nodes informed within the last `budget` rounds.
+					tPrev := t - budget
+					prev := 0
+					if tPrev >= 0 {
+						prev = fr.Trajectory[tPrev]
+					}
+					active = fr.Trajectory[t] - prev
+				}
+				tx += float64(active)
+			}
+			return out{fr.Completed, fr.Rounds, tx}
+		})
+		var rSum, tSum float64
+		for _, o := range res {
+			if o.completed {
+				success++
+				rSum += float64(o.rounds)
+			}
+			tSum += o.tx
+		}
+		if success > 0 {
+			meanRounds = rSum / float64(success)
+		} else {
+			meanRounds = math.NaN()
+		}
+		meanTx = tSum / float64(trials)
+		return success, meanRounds, meanTx
+	}
+
+	fullSuccess, fullRounds, fullTx := run(0, 1500)
+	tbl.AddRow("∞ (full)", fullSuccess, fullRounds, 1.0, fullTx, 1.0)
+
+	budgets := []int{1, 2, 4, 8}
+	minSuccess := fullSuccess
+	worstSlowdown := 1.0
+	bestTxSaving := 1.0
+	for i, k := range budgets {
+		succ, rounds, tx := run(k, 1510+i)
+		if succ < minSuccess {
+			minSuccess = succ
+		}
+		slow := rounds / fullRounds
+		if slow > worstSlowdown {
+			worstSlowdown = slow
+		}
+		txr := tx / fullTx
+		if txr < bestTxSaving {
+			bestTxSaving = txr
+		}
+		tbl.AddRow(k, succ, rounds, slow, tx, txr)
+	}
+
+	rep.Tables = append(rep.Tables, tbl)
+	rep.Checks = append(rep.Checks,
+		boolCheck("every budget completes every trial", minSuccess == trials,
+			"min success %d/%d", minSuccess, trials),
+		boolCheck("worst slowdown ≤ 2× full flooding", worstSlowdown <= 2,
+			"worst rounds ratio %.2f", worstSlowdown),
+		boolCheck("budget 1 saves transmissions", bestTxSaving < 1,
+			"best tx ratio %.3f", bestTxSaving),
+	)
+	rep.Metrics = map[string]float64{"worst_slowdown": worstSlowdown, "best_tx_ratio": bestTxSaving}
+	return rep
+}

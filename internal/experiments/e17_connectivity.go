@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"math"
+
+	"meg/internal/edgemeg"
+	"meg/internal/geommeg"
+	"meg/internal/rng"
+	"meg/internal/sweep"
+	"meg/internal/table"
+)
+
+// E17Connectivity validates the connectivity-regime hypotheses of the
+// main theorems: Theorem 3.4 requires R ≥ c√log n "for a sufficiently
+// large constant c", and Theorem 4.3 requires p̂ ≥ c·log n/n. We sweep
+// both parameters through their thresholds and measure the fraction of
+// connected stationary snapshots plus the largest-component fraction:
+// below the threshold the snapshot shatters, above it connectivity
+// probability races to 1 — locating the constants the theorems assume
+// and confirming the experiments elsewhere in this suite run safely
+// above them.
+func E17Connectivity(p Params) *Report {
+	n := pick(p.Scale, 1024, 4096, 16384)
+	trials := pick(p.Scale, 10, 16, 24)
+
+	rep := &Report{
+		ID:    "E17",
+		Title: "Connectivity-regime validation: thresholds behind Theorems 3.4 / 4.3",
+		Notes: []string{
+			"Known thresholds: geometric connectivity at πR² ≈ log n (R ≈ 0.56√log n);",
+			"G(n,p̂) connectivity at p̂ = log n/n. Suite experiments use multipliers ≥ 2.",
+		},
+	}
+
+	type row struct {
+		connected int
+		giant     float64
+	}
+	measureGeom := func(mult float64, salt int) row {
+		radius := mult * math.Sqrt(math.Log(float64(n)))
+		// The lattice resolution must stay below R; halve it for the
+		// sub-threshold radii.
+		eps := 1.0
+		if radius <= eps {
+			eps = radius / 2
+		}
+		cfg := geommeg.Config{N: n, R: radius, MoveRadius: radius / 2, Eps: eps}
+		res := sweep.Repeat(trials, rng.SeedFor(p.Seed, salt), p.Workers, func(rep int, r *rng.RNG) row {
+			m := geommeg.MustNew(cfg)
+			m.Reset(r)
+			g := m.Graph()
+			rw := row{giant: float64(g.LargestComponentSize()) / float64(n)}
+			if g.Connected() {
+				rw.connected = 1
+			}
+			return rw
+		})
+		var out row
+		for _, o := range res {
+			out.connected += o.connected
+			out.giant += o.giant
+		}
+		out.giant /= float64(trials)
+		return out
+	}
+	measureEdge := func(mult float64, salt int) row {
+		pHat := mult * math.Log(float64(n)) / float64(n)
+		res := sweep.Repeat(trials, rng.SeedFor(p.Seed, salt), p.Workers, func(rep int, r *rng.RNG) row {
+			g := edgemeg.SampleGNP(n, pHat, r)
+			rw := row{giant: float64(g.LargestComponentSize()) / float64(n)}
+			if g.Connected() {
+				rw.connected = 1
+			}
+			return rw
+		})
+		var out row
+		for _, o := range res {
+			out.connected += o.connected
+			out.giant += o.giant
+		}
+		out.giant /= float64(trials)
+		return out
+	}
+
+	gTbl := table.New("E17a — geometric snapshots: connectivity vs R = mult·√log n (n="+itoa64(n)+")",
+		"mult", "connected frac", "giant component frac")
+	var geomLow, geomHigh float64
+	for i, mult := range []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3} {
+		rw := measureGeom(mult, 1700+i)
+		frac := float64(rw.connected) / float64(trials)
+		if mult == 0.25 {
+			geomLow = frac
+		}
+		if mult == 2 {
+			geomHigh = frac
+		}
+		gTbl.AddRow(mult, frac, rw.giant)
+	}
+	rep.Tables = append(rep.Tables, gTbl)
+
+	eTbl := table.New("E17b — G(n,p̂) snapshots: connectivity vs p̂ = mult·log n/n",
+		"mult", "connected frac", "giant component frac")
+	var edgeLow, edgeHigh float64
+	for i, mult := range []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 4} {
+		rw := measureEdge(mult, 1750+i)
+		frac := float64(rw.connected) / float64(trials)
+		if mult == 0.5 {
+			edgeLow = frac
+		}
+		if mult == 4 {
+			edgeHigh = frac
+		}
+		eTbl.AddRow(mult, frac, rw.giant)
+	}
+	rep.Tables = append(rep.Tables, eTbl)
+
+	rep.Checks = append(rep.Checks,
+		boolCheck("geometric: disconnected well below threshold (mult 0.25)", geomLow <= 0.2,
+			"connected fraction %.2f at R = 0.25√log n", geomLow),
+		boolCheck("geometric: connected at suite scale (mult 2)", geomHigh >= 0.9,
+			"connected fraction %.2f at R = 2√log n", geomHigh),
+		boolCheck("edge: disconnected below threshold (mult 0.5)", edgeLow <= 0.2,
+			"connected fraction %.2f at p̂ = 0.5·log n/n", edgeLow),
+		boolCheck("edge: connected at suite scale (mult 4)", edgeHigh >= 0.9,
+			"connected fraction %.2f at p̂ = 4·log n/n", edgeHigh),
+	)
+	rep.Metrics = map[string]float64{
+		"geom_connected_at_2": geomHigh, "edge_connected_at_4": edgeHigh,
+	}
+	return rep
+}

@@ -1,0 +1,121 @@
+// Package flood runs Monte Carlo flooding campaigns over any
+// core.Dynamics: repeated independent trials (each with its own
+// dynamics instance and RNG stream, executed in parallel), source
+// maximization, and the aggregate statistics the experiments report.
+package flood
+
+import (
+	"math"
+
+	"meg/internal/core"
+	"meg/internal/rng"
+	"meg/internal/stats"
+	"meg/internal/sweep"
+)
+
+// Factory builds a fresh, independent dynamics instance for one trial.
+// Trials run concurrently, so instances must not share mutable state.
+type Factory func() core.Dynamics
+
+// Options configures a flooding campaign.
+type Options struct {
+	// Trials is the number of independent repetitions (default 1).
+	Trials int
+	// SourcesPerTrial is how many sources each trial maximizes over
+	// (default 1; the first source of every trial is node 0, further
+	// sources are uniform). Flooding time is defined as a max over
+	// sources; stationary models are node-symmetric, so a small sample
+	// converges quickly.
+	SourcesPerTrial int
+	// MaxRounds caps each run (default core.DefaultRoundCap(n)).
+	MaxRounds int
+	// Seed derives every trial's RNG stream (deterministic campaign).
+	Seed uint64
+	// Workers bounds parallelism (default: all CPUs).
+	Workers int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.SourcesPerTrial <= 0 {
+		o.SourcesPerTrial = 1
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = core.DefaultRoundCap(n)
+	}
+	return o
+}
+
+// Trial is the outcome of one repetition (already maximized over the
+// trial's sources).
+type Trial struct {
+	Result core.FloodResult
+	// RoundsToHalf is the first round with ≥ n/2 informed (-1 if never).
+	RoundsToHalf int
+}
+
+// Campaign is the aggregate outcome of Run.
+type Campaign struct {
+	Trials []Trial
+	// Rounds holds the flooding time of every completed trial.
+	Rounds []float64
+	// Incomplete counts trials that hit the round cap.
+	Incomplete int
+	// Summary summarizes Rounds (zero value if no trial completed).
+	Summary stats.Summary
+}
+
+// MaxRounds returns the worst completed flooding time, or 0 if nothing
+// completed.
+func (c Campaign) MaxRounds() float64 {
+	if len(c.Rounds) == 0 {
+		return 0
+	}
+	return c.Summary.Max
+}
+
+// Run executes a flooding campaign: opt.Trials independent repetitions,
+// each building a fresh dynamics from factory, resetting it into its
+// initial distribution, and flooding from each of the trial's sources
+// (taking the worst). Trials execute in parallel and deterministically
+// with respect to opt.Seed.
+func Run(factory Factory, opt Options) Campaign {
+	probe := factory()
+	n := probe.N()
+	opt = opt.withDefaults(n)
+
+	trials := sweep.Repeat(opt.Trials, opt.Seed, opt.Workers, func(rep int, r *rng.RNG) Trial {
+		d := factory()
+		sources := make([]int, opt.SourcesPerTrial)
+		// First source fixed for comparability; the rest sampled.
+		for i := 1; i < len(sources); i++ {
+			sources[i] = r.Intn(n)
+		}
+		res := core.FloodingTime(d, sources, opt.MaxRounds, r)
+		return Trial{Result: res, RoundsToHalf: res.RoundsToHalf(n)}
+	})
+
+	c := Campaign{Trials: trials}
+	for _, t := range trials {
+		if t.Result.Completed {
+			c.Rounds = append(c.Rounds, float64(t.Result.Rounds))
+		} else {
+			c.Incomplete++
+		}
+	}
+	if len(c.Rounds) > 0 {
+		c.Summary = stats.Summarize(c.Rounds)
+	}
+	return c
+}
+
+// MeanRounds is a convenience accessor: the mean completed flooding
+// time, or NaN if no trial completed.
+func (c Campaign) MeanRounds() float64 {
+	if len(c.Rounds) == 0 {
+		return math.NaN()
+	}
+	return c.Summary.Mean
+}

@@ -1,0 +1,95 @@
+package flood
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/core"
+	"meg/internal/graph"
+)
+
+func pathFactory(n int) Factory {
+	return func() core.Dynamics { return core.NewStatic(graph.Path(n)) }
+}
+
+func TestRunBasics(t *testing.T) {
+	c := Run(pathFactory(9), Options{Trials: 4, Seed: 1})
+	if len(c.Trials) != 4 {
+		t.Fatalf("trials = %d", len(c.Trials))
+	}
+	if c.Incomplete != 0 {
+		t.Fatalf("incomplete = %d", c.Incomplete)
+	}
+	// Source 0 on a 9-path: always 8 rounds.
+	if c.Summary.Mean != 8 || c.MaxRounds() != 8 {
+		t.Fatalf("mean=%v max=%v, want 8", c.Summary.Mean, c.MaxRounds())
+	}
+	if c.MeanRounds() != 8 {
+		t.Fatalf("MeanRounds = %v", c.MeanRounds())
+	}
+}
+
+func TestRunMultiSourceMax(t *testing.T) {
+	// With many sources per trial on a path, the max over sources
+	// approaches n-1 (an endpoint source).
+	c := Run(pathFactory(7), Options{Trials: 6, SourcesPerTrial: 10, Seed: 2})
+	if c.MaxRounds() != 6 {
+		t.Fatalf("max = %v, want 6 (endpoint source found)", c.MaxRounds())
+	}
+	for _, tr := range c.Trials {
+		if tr.RoundsToHalf < 0 {
+			t.Fatal("RoundsToHalf missing")
+		}
+	}
+}
+
+func TestRunIncomplete(t *testing.T) {
+	disconnected := func() core.Dynamics {
+		return core.NewStatic(graph.FromEdges(4, [][2]int{{0, 1}}))
+	}
+	c := Run(disconnected, Options{Trials: 3, Seed: 3, MaxRounds: 5})
+	if c.Incomplete != 3 {
+		t.Fatalf("incomplete = %d, want 3", c.Incomplete)
+	}
+	if len(c.Rounds) != 0 {
+		t.Fatal("rounds recorded for incomplete trials")
+	}
+	if !math.IsNaN(c.MeanRounds()) {
+		t.Fatal("MeanRounds should be NaN with no completions")
+	}
+	if c.MaxRounds() != 0 {
+		t.Fatal("MaxRounds should be 0 with no completions")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	mk := func() Campaign {
+		return Run(pathFactory(15), Options{Trials: 5, SourcesPerTrial: 3, Seed: 42, Workers: 4})
+	}
+	a, b := mk(), mk()
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatal("round counts differ")
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i] != b.Rounds[i] {
+			t.Fatalf("trial %d differs: %v vs %v", i, a.Rounds[i], b.Rounds[i])
+		}
+	}
+}
+
+func TestRunWorkerIndependence(t *testing.T) {
+	one := Run(pathFactory(15), Options{Trials: 6, SourcesPerTrial: 2, Seed: 9, Workers: 1})
+	many := Run(pathFactory(15), Options{Trials: 6, SourcesPerTrial: 2, Seed: 9, Workers: 8})
+	for i := range one.Rounds {
+		if one.Rounds[i] != many.Rounds[i] {
+			t.Fatalf("worker-count dependence at trial %d", i)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults(10)
+	if o.Trials != 1 || o.SourcesPerTrial != 1 || o.MaxRounds != core.DefaultRoundCap(10) {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,196 @@
+// Package geom provides the planar geometry primitives used by the
+// geometric Markovian evolving graph and the additional mobility models:
+// points, Euclidean and toroidal metrics, and the square cell partitions
+// from the paper's Claim 1.
+package geom
+
+import "math"
+
+// Point is a position in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q.
+// Comparisons against a squared radius avoid the square root in hot
+// loops.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// TorusDist returns the distance between p and q on the side×side torus
+// (coordinates wrap modulo side).
+func TorusDist(p, q Point, side float64) float64 {
+	return math.Sqrt(TorusDist2(p, q, side))
+}
+
+// TorusDist2 returns the squared toroidal distance between p and q.
+func TorusDist2(p, q Point, side float64) float64 {
+	dx := torusDelta(p.X, q.X, side)
+	dy := torusDelta(p.Y, q.Y, side)
+	return dx*dx + dy*dy
+}
+
+func torusDelta(a, b, side float64) float64 {
+	d := math.Abs(a - b)
+	if d > side/2 {
+		d = side - d
+	}
+	return d
+}
+
+// WrapTorus maps x into [0, side) by wrapping.
+func WrapTorus(x, side float64) float64 {
+	x = math.Mod(x, side)
+	if x < 0 {
+		x += side
+	}
+	return x
+}
+
+// Reflect maps x into [0, side] by reflecting at the boundaries
+// (billiard dynamics). It also returns whether the direction component
+// must be negated (an odd number of reflections occurred).
+func Reflect(x, side float64) (float64, bool) {
+	if side <= 0 {
+		panic("geom: Reflect needs positive side")
+	}
+	period := 2 * side
+	x = math.Mod(x, period)
+	if x < 0 {
+		x += period
+	}
+	if x <= side {
+		return x, false
+	}
+	return period - x, true
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// CellGrid partitions the square [0, side]² into Rows×Cols congruent
+// rectangular cells. It implements the cell decomposition of the
+// paper's Claim 1 (side length ≈ R/√5, so that any two points in
+// side-by-side adjacent cells are within distance R) and the cell lists
+// used to build geometric graphs in near-linear time.
+type CellGrid struct {
+	Side       float64
+	Rows, Cols int
+	cellW      float64
+	cellH      float64
+}
+
+// NewCellGrid returns a grid over [0, side]² with cells of size at most
+// maxCell (the actual cell size divides side evenly). It panics if side
+// or maxCell is not positive.
+func NewCellGrid(side, maxCell float64) *CellGrid {
+	if side <= 0 || maxCell <= 0 {
+		panic("geom: NewCellGrid needs positive side and cell size")
+	}
+	m := int(math.Ceil(side / maxCell))
+	if m < 1 {
+		m = 1
+	}
+	return &CellGrid{
+		Side: side, Rows: m, Cols: m,
+		cellW: side / float64(m),
+		cellH: side / float64(m),
+	}
+}
+
+// ClaimOneGrid returns the exact partition used in the proof of
+// Claim 1: m = ⌈√5·side/R⌉ cells per axis, so each cell has side length
+// in [R/(√5+1), R/√5].
+func ClaimOneGrid(side, radius float64) *CellGrid {
+	if side <= 0 || radius <= 0 {
+		panic("geom: ClaimOneGrid needs positive side and radius")
+	}
+	m := int(math.Ceil(math.Sqrt(5) * side / radius))
+	if m < 1 {
+		m = 1
+	}
+	return &CellGrid{
+		Side: side, Rows: m, Cols: m,
+		cellW: side / float64(m),
+		cellH: side / float64(m),
+	}
+}
+
+// NumCells returns Rows*Cols.
+func (g *CellGrid) NumCells() int { return g.Rows * g.Cols }
+
+// CellSize returns the width and height of each cell.
+func (g *CellGrid) CellSize() (w, h float64) { return g.cellW, g.cellH }
+
+// CellOf returns the (row, col) cell containing p. Points on the far
+// boundary map to the last row/column.
+func (g *CellGrid) CellOf(p Point) (row, col int) {
+	row = int(p.Y / g.cellH)
+	col = int(p.X / g.cellW)
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if col < 0 {
+		col = 0
+	}
+	return row, col
+}
+
+// Index flattens (row, col) to a single cell index in [0, NumCells).
+func (g *CellGrid) Index(row, col int) int { return row*g.Cols + col }
+
+// CellIndexOf returns the flat index of the cell containing p.
+func (g *CellGrid) CellIndexOf(p Point) int {
+	r, c := g.CellOf(p)
+	return g.Index(r, c)
+}
+
+// ForNeighborCells calls fn with the flat index of every cell within
+// Chebyshev distance radius (in cells) of (row, col), clipped to the
+// grid. radius=1 visits the 3×3 block used by cell-list graph builders.
+func (g *CellGrid) ForNeighborCells(row, col, radius int, fn func(idx int)) {
+	r0, r1 := row-radius, row+radius
+	c0, c1 := col-radius, col+radius
+	if r0 < 0 {
+		r0 = 0
+	}
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r1 >= g.Rows {
+		r1 = g.Rows - 1
+	}
+	if c1 >= g.Cols {
+		c1 = g.Cols - 1
+	}
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			fn(g.Index(r, c))
+		}
+	}
+}

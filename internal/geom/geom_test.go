@@ -1,0 +1,242 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if got := a.Dist(b); got != 5 {
+		t.Fatalf("Dist = %v", got)
+	}
+	if got := a.Dist2(b); got != 25 {
+		t.Fatalf("Dist2 = %v", got)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusDist(t *testing.T) {
+	const side = 10.0
+	a := Point{0.5, 0.5}
+	b := Point{9.5, 0.5}
+	if got := TorusDist(a, b, side); !close(got, 1) {
+		t.Fatalf("TorusDist across seam = %v, want 1", got)
+	}
+	c := Point{5, 5}
+	if got := TorusDist(a, c, side); !close(got, math.Sqrt(2*4.5*4.5)) {
+		t.Fatalf("TorusDist interior = %v", got)
+	}
+}
+
+func TestTorusDistNeverExceedsEuclidean(t *testing.T) {
+	f := func(ax, ay, bx, by uint8) bool {
+		const side = 256.0
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		return TorusDist(a, b, side) <= a.Dist(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusDistMaximum(t *testing.T) {
+	// The farthest toroidal distance is side·√2/2 (opposite corners of
+	// the fundamental domain).
+	const side = 8.0
+	a := Point{0, 0}
+	b := Point{4, 4}
+	if got := TorusDist(a, b, side); !close(got, 4*math.Sqrt2) {
+		t.Fatalf("max TorusDist = %v", got)
+	}
+}
+
+func TestWrapTorus(t *testing.T) {
+	cases := []struct{ x, side, want float64 }{
+		{0, 10, 0}, {10, 10, 0}, {11, 10, 1}, {-1, 10, 9}, {-11, 10, 9}, {25, 10, 5},
+	}
+	for _, c := range cases {
+		if got := WrapTorus(c.x, c.side); !close(got, c.want) {
+			t.Errorf("WrapTorus(%v, %v) = %v, want %v", c.x, c.side, got, c.want)
+		}
+	}
+}
+
+func TestWrapTorusRangeProperty(t *testing.T) {
+	f := func(x int16) bool {
+		const side = 7.5
+		w := WrapTorus(float64(x), side)
+		return w >= 0 && w < side
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReflect(t *testing.T) {
+	cases := []struct {
+		x, side float64
+		want    float64
+		flip    bool
+	}{
+		{3, 10, 3, false},
+		{0, 10, 0, false},
+		{10, 10, 10, false},
+		{11, 10, 9, true},
+		{-2, 10, 2, true},
+		{21, 10, 1, false}, // two reflections: 21 -> -1 -> 1? (21 mod 20 = 1, no flip)
+		{-11, 10, 9, false},
+	}
+	for _, c := range cases {
+		got, flip := Reflect(c.x, c.side)
+		if !close(got, c.want) || flip != c.flip {
+			t.Errorf("Reflect(%v, %v) = (%v, %v), want (%v, %v)", c.x, c.side, got, flip, c.want, c.flip)
+		}
+	}
+}
+
+func TestReflectRangeProperty(t *testing.T) {
+	f := func(x int16) bool {
+		const side = 9.25
+		got, _ := Reflect(float64(x)/3, side)
+		return got >= 0 && got <= side
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReflectPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reflect with side 0 did not panic")
+		}
+	}()
+	Reflect(1, 0)
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(-1, 0, 5) != 0 || Clamp(7, 0, 5) != 5 || Clamp(3, 0, 5) != 3 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+func TestCellGridBasics(t *testing.T) {
+	g := NewCellGrid(10, 2.5)
+	if g.Rows != 4 || g.Cols != 4 || g.NumCells() != 16 {
+		t.Fatalf("grid = %dx%d", g.Rows, g.Cols)
+	}
+	w, h := g.CellSize()
+	if !close(w, 2.5) || !close(h, 2.5) {
+		t.Fatalf("cell size = %v x %v", w, h)
+	}
+	r, c := g.CellOf(Point{0, 0})
+	if r != 0 || c != 0 {
+		t.Errorf("origin cell = (%d,%d)", r, c)
+	}
+	r, c = g.CellOf(Point{9.99, 9.99})
+	if r != 3 || c != 3 {
+		t.Errorf("far corner cell = (%d,%d)", r, c)
+	}
+	// Boundary points map into the grid.
+	r, c = g.CellOf(Point{10, 10})
+	if r != 3 || c != 3 {
+		t.Errorf("boundary cell = (%d,%d)", r, c)
+	}
+}
+
+func TestCellGridIndexRoundTrip(t *testing.T) {
+	g := NewCellGrid(12, 3)
+	seen := map[int]bool{}
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			idx := g.Index(r, c)
+			if idx < 0 || idx >= g.NumCells() || seen[idx] {
+				t.Fatalf("bad index %d for (%d,%d)", idx, r, c)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestClaimOneGridSideBounds(t *testing.T) {
+	// The proof requires cell side ℓ with R/(√5+1) ≤ ℓ ≤ R/√5.
+	for _, tc := range []struct{ side, radius float64 }{
+		{32, 5.27}, {64, 11.5}, {100, 8}, {17, 3},
+	} {
+		g := ClaimOneGrid(tc.side, tc.radius)
+		w, _ := g.CellSize()
+		lo := tc.radius / (math.Sqrt(5) + 1)
+		hi := tc.radius / math.Sqrt(5)
+		if w < lo-1e-9 || w > hi+1e-9 {
+			t.Errorf("side=%v R=%v: cell side %v outside [%v, %v]",
+				tc.side, tc.radius, w, lo, hi)
+		}
+	}
+}
+
+func TestClaimOneGridAdjacencyGuarantee(t *testing.T) {
+	// Any two points in side-by-side adjacent cells must be within R.
+	g := ClaimOneGrid(50, 7)
+	w, h := g.CellSize()
+	diag := math.Sqrt((2*w)*(2*w) + h*h)
+	if diag > 7+1e-9 {
+		// Points in horizontally adjacent cells are at most 2w apart in
+		// x and h apart in y.
+		t.Errorf("adjacent-cell diameter %v exceeds R=7", diag)
+	}
+}
+
+func TestForNeighborCells(t *testing.T) {
+	g := NewCellGrid(10, 2) // 5x5
+	var visited []int
+	g.ForNeighborCells(0, 0, 1, func(idx int) { visited = append(visited, idx) })
+	if len(visited) != 4 { // 2x2 corner block
+		t.Fatalf("corner neighborhood size = %d, want 4", len(visited))
+	}
+	visited = visited[:0]
+	g.ForNeighborCells(2, 2, 1, func(idx int) { visited = append(visited, idx) })
+	if len(visited) != 9 {
+		t.Fatalf("interior neighborhood size = %d, want 9", len(visited))
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCellGrid(0, 1) },
+		func() { NewCellGrid(1, 0) },
+		func() { ClaimOneGrid(0, 1) },
+		func() { ClaimOneGrid(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPointAdd(t *testing.T) {
+	p := Point{1, 2}.Add(3, -1)
+	if p.X != 4 || p.Y != 1 {
+		t.Fatalf("Add = %+v", p)
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

@@ -1,0 +1,136 @@
+// Package geommeg implements the geometric Markovian evolving graph of
+// Section 3 of the paper: n nodes perform independent random walks on
+// the lattice L_{n,ε} (a square grid of side √n with resolution ε), one
+// hop per time step to a uniform position of the move ball
+// Γ(x) = {y : d(x,y) ≤ r} clipped to the square, and the snapshot at
+// time t connects every pair of nodes at Euclidean distance ≤ R.
+//
+// The stationary distribution of a single walk is π(x) ∝ |Γ(x)|
+// ("almost uniform": boundary positions have smaller move balls), and
+// the stationary geometric-MEG samples every node position i.i.d. from
+// π — the paper's perfect simulation. The package samples π exactly by
+// rejection and builds each snapshot in near-linear time with cell
+// lists.
+//
+// A torus variant (wraparound lattice, the "walkers model on the
+// toroidal grid" of the paper's related-work discussion) is provided as
+// well; on the torus |Γ| is constant, so π is exactly uniform.
+package geommeg
+
+import (
+	"fmt"
+	"math"
+)
+
+// InitMode selects the distribution of the initial node positions P_0.
+type InitMode int
+
+const (
+	// InitStationary samples every position independently from the
+	// stationary distribution π(x) ∝ |Γ(x)| — the stationary
+	// geometric-MEG of the paper.
+	InitStationary InitMode = iota
+	// InitUniform samples positions uniformly over the lattice. On the
+	// torus this coincides with InitStationary; on the square it is a
+	// close but not exact approximation (used by ablations).
+	InitUniform
+	// InitClustered packs all nodes into the corner subsquare of side
+	// Side/8 — a far-from-stationary start used by the perfect
+	// simulation experiment (E6).
+	InitClustered
+)
+
+// String returns a short label for the mode.
+func (m InitMode) String() string {
+	switch m {
+	case InitStationary:
+		return "stationary"
+	case InitUniform:
+		return "uniform"
+	case InitClustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("InitMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a geometric Markovian evolving graph.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// R is the transmission radius: nodes at distance ≤ R are adjacent.
+	R float64
+	// MoveRadius is the paper's move radius r: the maximum distance a
+	// node travels in one time step. MoveRadius = 0 freezes the walk
+	// (a static random geometric graph).
+	MoveRadius float64
+	// Eps is the lattice resolution ε > 0; the paper assumes ε ≤ 1 and
+	// ε < R. Zero selects the default resolution 1.
+	Eps float64
+	// Density is the node density δ(n); the support square has side
+	// √(N/Density) (Observation 3.3). Zero selects the paper's default
+	// density 1, i.e. side √n.
+	Density float64
+	// Torus, when set, wraps the lattice toroidally: distances, moves
+	// and cells all wrap, |Γ| is constant, and π is exactly uniform.
+	Torus bool
+	// Init selects the initial position distribution (default
+	// InitStationary).
+	Init InitMode
+}
+
+// withDefaults returns the config with zero fields replaced by their
+// documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Eps == 0 {
+		c.Eps = 1
+	}
+	if c.Density == 0 {
+		c.Density = 1
+	}
+	return c
+}
+
+// Side returns the side length of the support square, √(N/Density).
+func (c Config) Side() float64 {
+	c = c.withDefaults()
+	return math.Sqrt(float64(c.N) / c.Density)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.N < 2 {
+		return fmt.Errorf("geommeg: need at least 2 nodes, got %d", c.N)
+	}
+	if c.R <= 0 {
+		return fmt.Errorf("geommeg: transmission radius R=%g must be positive", c.R)
+	}
+	if c.MoveRadius < 0 {
+		return fmt.Errorf("geommeg: move radius r=%g must be non-negative", c.MoveRadius)
+	}
+	if c.Eps <= 0 {
+		return fmt.Errorf("geommeg: resolution ε=%g must be positive", c.Eps)
+	}
+	if c.Eps > c.R {
+		return fmt.Errorf("geommeg: resolution ε=%g must be below R=%g", c.Eps, c.R)
+	}
+	if c.Density <= 0 {
+		return fmt.Errorf("geommeg: density δ=%g must be positive", c.Density)
+	}
+	if c.Side() < c.Eps {
+		return fmt.Errorf("geommeg: square side %g below resolution ε=%g", c.Side(), c.Eps)
+	}
+	return nil
+}
+
+// ConnectivityRadius returns c·√(log n / δ): the connectivity-threshold
+// scale of Theorem 3.2 / Observation 3.3 for the given constant c.
+// Configurations with R at or above this scale (and R ≤ side) are in
+// the connected regime the upper-bound theorems require.
+func ConnectivityRadius(n int, density, c float64) float64 {
+	if density <= 0 {
+		density = 1
+	}
+	return c * math.Sqrt(math.Log(float64(n))/density)
+}

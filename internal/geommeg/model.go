@@ -1,0 +1,340 @@
+package geommeg
+
+import (
+	"sort"
+
+	"meg/internal/geom"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// Model is a geometric Markovian evolving graph. It implements
+// core.Dynamics: Reset samples node positions (i.i.d. from π for the
+// stationary model), Step performs one random-walk hop per node, and
+// Graph materializes the snapshot G_t = (V, {(i,j) : d(P_i, P_j) ≤ R}).
+//
+// The zero value is unusable; construct with New.
+type Model struct {
+	cfg Config
+	lat *lattice
+	r   *rng.RNG
+
+	// ix, iy are node positions in lattice units.
+	ix, iy []int32
+
+	// Cell-list scratch for snapshot construction.
+	cellSize   int // cell side in lattice units (≥ R/ε)
+	cellsPer   int // cells per axis
+	cellCounts []int32
+	cellStarts []int32
+	cellOrder  []int32
+	nodeCell   []int32
+	builder    *graph.Builder
+	g          *graph.Graph
+	dirty      bool
+	bruteForce bool // too few cells for a 3×3 scan: compare all pairs
+}
+
+// New returns a model for the given configuration. The model is not
+// usable until Reset is called.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	m := &Model{
+		cfg:     cfg,
+		lat:     newLattice(cfg),
+		ix:      make([]int32, cfg.N),
+		iy:      make([]int32, cfg.N),
+		builder: graph.NewBuilder(cfg.N),
+	}
+	points := m.lat.points()
+	cl := int(m.cfg.R/m.cfg.Eps) + 1 // ≥ R/ε, so neighbors sit in the 3×3 block
+	k := points / cl
+	if k < 1 {
+		k = 1
+	}
+	m.cellSize = cl
+	m.cellsPer = k
+	m.bruteForce = k < 3
+	m.cellCounts = make([]int32, k*k+1)
+	m.cellStarts = make([]int32, k*k+1)
+	m.cellOrder = make([]int32, cfg.N)
+	m.nodeCell = make([]int32, cfg.N)
+	return m, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the model's configuration (with defaults filled in).
+func (m *Model) Config() Config { return m.cfg }
+
+// N implements core.Dynamics.
+func (m *Model) N() int { return m.cfg.N }
+
+// Side returns the physical side length of the support square.
+func (m *Model) Side() float64 { return m.cfg.Side() }
+
+// Reset implements core.Dynamics: it samples fresh node positions
+// according to the configured InitMode and keeps r for the walk.
+func (m *Model) Reset(r *rng.RNG) {
+	m.r = r
+	points := m.lat.points()
+	switch m.cfg.Init {
+	case InitStationary:
+		if m.lat.torus {
+			// On the torus |Γ| is constant, so π is exactly uniform.
+			for i := range m.ix {
+				m.ix[i] = int32(r.Intn(points))
+				m.iy[i] = int32(r.Intn(points))
+			}
+			break
+		}
+		for i := range m.ix {
+			m.ix[i], m.iy[i] = m.sampleStationaryPos()
+		}
+	case InitUniform:
+		for i := range m.ix {
+			m.ix[i] = int32(r.Intn(points))
+			m.iy[i] = int32(r.Intn(points))
+		}
+	case InitClustered:
+		lim := points / 8
+		if lim < 1 {
+			lim = 1
+		}
+		for i := range m.ix {
+			m.ix[i] = int32(r.Intn(lim))
+			m.iy[i] = int32(r.Intn(lim))
+		}
+	default:
+		panic("geommeg: unknown init mode")
+	}
+	m.dirty = true
+}
+
+// sampleStationaryPos draws one position from π(x) ∝ |Γ(x)| by
+// rejection against the interior ball size: a uniform candidate x is
+// accepted with probability |Γ(x)|/Γ_max. Acceptance is at least ≈ 1/4
+// (the corner ball is about a quarter of the full ball), so the loop
+// terminates quickly.
+func (m *Model) sampleStationaryPos() (int32, int32) {
+	points := m.lat.points()
+	for {
+		ix := m.r.Intn(points)
+		iy := m.r.Intn(points)
+		g := m.lat.gamma(ix, iy)
+		if g == m.lat.gammaMax || m.r.Float64()*float64(m.lat.gammaMax) < float64(g) {
+			return int32(ix), int32(iy)
+		}
+	}
+}
+
+// Step implements core.Dynamics: every node jumps to a position chosen
+// uniformly at random from its move ball Γ(x) (which contains x itself,
+// so staying put is possible). Sampling is by rejection over the
+// bounding box of the ball; acceptance is at least ≈ π/16 even in the
+// corners.
+func (m *Model) Step() {
+	if m.r == nil {
+		panic("geommeg: Step before Reset")
+	}
+	rho := m.lat.rho
+	if rho == 0 {
+		// Move radius below the resolution: Γ(x) = {x}; positions are
+		// frozen but the snapshot sequence is still well-defined.
+		return
+	}
+	span := 2*rho + 1
+	for i := range m.ix {
+		x, y := int(m.ix[i]), int(m.iy[i])
+		for {
+			dx := m.r.Intn(span) - rho
+			dy := m.r.Intn(span) - rho
+			if !m.lat.inDisk(dx, dy) {
+				continue
+			}
+			nx, ny := x+dx, y+dy
+			if m.lat.torus {
+				nx, ny = m.lat.wrap(nx), m.lat.wrap(ny)
+			} else if nx < 0 || nx > m.lat.maxIdx || ny < 0 || ny > m.lat.maxIdx {
+				continue
+			}
+			m.ix[i], m.iy[i] = int32(nx), int32(ny)
+			break
+		}
+	}
+	m.dirty = true
+}
+
+// cellIndexOf returns the flat cell index of lattice position (x, y).
+// The last cell per axis absorbs the remainder so that every cell is at
+// least R/ε wide and the 3×3 neighbor scan is exhaustive.
+func (m *Model) cellIndexOf(x, y int32) int32 {
+	cx := int(x) / m.cellSize
+	cy := int(y) / m.cellSize
+	if cx >= m.cellsPer {
+		cx = m.cellsPer - 1
+	}
+	if cy >= m.cellsPer {
+		cy = m.cellsPer - 1
+	}
+	return int32(cy*m.cellsPer + cx)
+}
+
+// Graph implements core.Dynamics: it materializes the current snapshot
+// with a cell-list sweep (cells of side ≥ R, 3×3 neighborhood scan),
+// O(n + m) plus the geometric cost of distance checks. Buffers are
+// reused across steps.
+func (m *Model) Graph() *graph.Graph {
+	if !m.dirty {
+		return m.g
+	}
+	n := m.cfg.N
+	m.builder.Reset(n)
+	if m.bruteForce {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if m.lat.adjacent(m.ix[u], m.iy[u], m.ix[v], m.iy[v]) {
+					m.builder.AddEdge(u, v)
+				}
+			}
+		}
+		m.g = m.builder.Build()
+		m.dirty = false
+		return m.g
+	}
+
+	k := m.cellsPer
+	counts := m.cellCounts[:k*k+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for u := 0; u < n; u++ {
+		c := m.cellIndexOf(m.ix[u], m.iy[u])
+		m.nodeCell[u] = c
+		counts[c+1]++
+	}
+	starts := m.cellStarts[:k*k+1]
+	starts[0] = 0
+	for i := 1; i <= k*k; i++ {
+		starts[i] = starts[i-1] + counts[i]
+	}
+	cursor := counts[:k*k] // reuse as cursor array
+	copy(cursor, starts[:k*k])
+	for u := 0; u < n; u++ {
+		c := m.nodeCell[u]
+		m.cellOrder[cursor[c]] = int32(u)
+		cursor[c]++
+	}
+
+	for u := 0; u < n; u++ {
+		cu := int(m.nodeCell[u])
+		cx, cy := cu%k, cu/k
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if m.lat.torus {
+					nx, ny = (nx+k)%k, (ny+k)%k
+				} else if nx < 0 || nx >= k || ny < 0 || ny >= k {
+					continue
+				}
+				c := ny*k + nx
+				for i := starts[c]; i < starts[c+1]; i++ {
+					v := int(m.cellOrder[i])
+					if v <= u {
+						continue
+					}
+					if m.lat.adjacent(m.ix[u], m.iy[u], m.ix[v], m.iy[v]) {
+						m.builder.AddEdge(u, v)
+					}
+				}
+			}
+		}
+	}
+	m.g = m.builder.Build()
+	m.dirty = false
+	return m.g
+}
+
+// Position returns the physical coordinates of node u.
+func (m *Model) Position(u int) geom.Point {
+	return geom.Point{
+		X: float64(m.ix[u]) * m.cfg.Eps,
+		Y: float64(m.iy[u]) * m.cfg.Eps,
+	}
+}
+
+// Positions appends the physical coordinates of all nodes to dst.
+func (m *Model) Positions(dst []geom.Point) []geom.Point {
+	for u := 0; u < m.cfg.N; u++ {
+		dst = append(dst, m.Position(u))
+	}
+	return dst
+}
+
+// Gamma returns |Γ(x)| for node u's current position — the stationary
+// weight of that position (up to normalization).
+func (m *Model) Gamma(u int) int {
+	return m.lat.gamma(int(m.ix[u]), int(m.iy[u]))
+}
+
+// GammaAt returns |Γ(x)| for the lattice position with indices (ix, iy).
+func (m *Model) GammaAt(ix, iy int) int { return m.lat.gamma(ix, iy) }
+
+// GammaMax returns the interior move-ball size Γ_max.
+func (m *Model) GammaMax() int { return m.lat.gammaMax }
+
+// LatticePoints returns the number of lattice points per axis.
+func (m *Model) LatticePoints() int { return m.lat.points() }
+
+// CellOccupancy counts the nodes in every cell of the given grid
+// (typically geom.ClaimOneGrid(side, R) for the Claim 1 experiment).
+func (m *Model) CellOccupancy(grid *geom.CellGrid) []int {
+	counts := make([]int, grid.NumCells())
+	for u := 0; u < m.cfg.N; u++ {
+		counts[grid.CellIndexOf(m.Position(u))]++
+	}
+	return counts
+}
+
+// NearestNodes returns the h nodes closest to the physical point p
+// (using the model's metric). Spatial balls are the adversarial sets
+// for geometric expansion: among all sets of a given size they minimize
+// the boundary, so they witness the worst-case (h,k) constants.
+func (m *Model) NearestNodes(p geom.Point, h int) []int {
+	n := m.cfg.N
+	if h > n {
+		h = n
+	}
+	type nd struct {
+		u int
+		d float64
+	}
+	side := m.cfg.Side()
+	all := make([]nd, n)
+	for u := 0; u < n; u++ {
+		pos := m.Position(u)
+		var d float64
+		if m.cfg.Torus {
+			d = geom.TorusDist2(pos, p, side)
+		} else {
+			d = pos.Dist2(p)
+		}
+		all[u] = nd{u, d}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	out := make([]int, h)
+	for i := 0; i < h; i++ {
+		out[i] = all[i].u
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteEdgeList writes the graph as one "u v" pair per line (u < v),
+// preceded by a comment header with n and m — the interchange format
+// consumed by most graph tools.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d edges %d\n", g.n, g.mCount); err != nil {
+		return err
+	}
+	var err error
+	g.ForEachEdge(func(u, v int) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteDOT writes the graph in Graphviz DOT format (undirected), for
+// quick visual inspection of snapshots. Positions are not included;
+// pass coordinates through WriteDOTPositioned when available.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	return g.writeDOT(w, name, nil)
+}
+
+// WriteDOTPositioned writes DOT with fixed node positions (pos="x,y!"),
+// so neato/fdp render geometric snapshots geographically. coords must
+// have length n.
+func (g *Graph) WriteDOTPositioned(w io.Writer, name string, coords [][2]float64) error {
+	if coords != nil && len(coords) != g.n {
+		return fmt.Errorf("graph: %d coordinates for %d nodes", len(coords), g.n)
+	}
+	return g.writeDOT(w, name, coords)
+}
+
+func (g *Graph) writeDOT(w io.Writer, name string, coords [][2]float64) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=point];\n", name); err != nil {
+		return err
+	}
+	if coords != nil {
+		for u := 0; u < g.n; u++ {
+			if _, err := fmt.Fprintf(bw, "  %d [pos=\"%g,%g!\"];\n", u, coords[u][0], coords[u][1]); err != nil {
+				return err
+			}
+		}
+	}
+	var err error
+	g.ForEachEdge(func(u, v int) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "  %d -- %d;\n", u, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteEdgeList(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	if err := g.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# nodes 3 edges 2\n0 1\n1 2\n"
+	if sb.String() != want {
+		t.Fatalf("edge list = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "p3"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{`graph "p3" {`, "0 -- 1;", "1 -- 2;", "}"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "pos=") {
+		t.Fatal("unpositioned DOT should not contain pos attributes")
+	}
+}
+
+func TestWriteDOTDefaultName(t *testing.T) {
+	var sb strings.Builder
+	if err := Empty(1).WriteDOT(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `graph "G" {`) {
+		t.Fatalf("default name missing:\n%s", sb.String())
+	}
+}
+
+func TestWriteDOTPositioned(t *testing.T) {
+	g := Path(2)
+	var sb strings.Builder
+	coords := [][2]float64{{0.5, 1}, {2, 3.25}}
+	if err := g.WriteDOTPositioned(&sb, "geo", coords); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{`pos="0.5,1!"`, `pos="2,3.25!"`, "0 -- 1;"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("positioned DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteDOTPositionedLengthMismatch(t *testing.T) {
+	var sb strings.Builder
+	err := Path(3).WriteDOTPositioned(&sb, "x", [][2]float64{{0, 0}})
+	if err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+}

@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meg/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	g := Empty(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	for u := 0; u < 5; u++ {
+		if g.Degree(u) != 0 {
+			t.Errorf("degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.M() != 4 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 || g.Degree(2) != 2 {
+		t.Error("path degrees wrong")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Error("path adjacency wrong")
+	}
+	if !g.HasEdge(1, 0) {
+		t.Error("HasEdge not symmetric")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.M() != 6 {
+		t.Fatalf("M = %d", g.M())
+	}
+	for u := 0; u < 6; u++ {
+		if g.Degree(u) != 2 {
+			t.Errorf("degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+	if !g.HasEdge(5, 0) {
+		t.Error("wrap edge missing")
+	}
+}
+
+func TestCyclePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cycle(2) did not panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestStarAndComplete(t *testing.T) {
+	s := Star(6)
+	if s.M() != 5 || s.Degree(0) != 5 || s.Degree(3) != 1 {
+		t.Error("star wrong")
+	}
+	k := Complete(5)
+	if k.M() != 10 {
+		t.Fatalf("K5 has M=%d", k.M())
+	}
+	for u := 0; u < 5; u++ {
+		if k.Degree(u) != 4 {
+			t.Errorf("K5 degree(%d)=%d", u, k.Degree(u))
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder(3)
+	for _, fn := range []func(){
+		func() { b.AddEdge(0, 3) },
+		func() { b.AddEdge(-1, 0) },
+		func() { b.AddEdge(1, 1) },
+		func() { NewBuilder(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBuilderReuse(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	g1 := b.Build()
+	b.Reset(4)
+	b.AddEdge(2, 3)
+	g2 := b.Build()
+	if !g1.HasEdge(0, 1) || g1.HasEdge(2, 3) {
+		t.Error("first build corrupted by reuse")
+	}
+	if !g2.HasEdge(2, 3) || g2.HasEdge(0, 1) {
+		t.Error("second build wrong")
+	}
+	b.Reset(6)
+	b.AddEdge(5, 0)
+	g3 := b.Build()
+	if g3.N() != 6 || !g3.HasEdge(0, 5) {
+		t.Error("resize on Reset failed")
+	}
+}
+
+func TestDegreeSumProperty(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(50)
+		b := NewBuilder(n)
+		edges := map[[2]int]bool{}
+		for i := 0; i < n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if edges[[2]int{u, v}] {
+				continue
+			}
+			edges[[2]int{u, v}] = true
+			b.AddEdge(u, v)
+		}
+		g := b.Build()
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(u)
+		}
+		if sum != 2*g.M() {
+			t.Fatalf("deg sum %d != 2M %d", sum, 2*g.M())
+		}
+	}
+}
+
+// TestCSRAgainstMapReference builds random graphs twice — once via the
+// CSR builder, once as adjacency maps — and checks all queries agree.
+func TestCSRAgainstMapReference(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(40)
+		ref := make([]map[int]bool, n)
+		for i := range ref {
+			ref[i] = map[int]bool{}
+		}
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v || ref[u][v] {
+				continue
+			}
+			ref[u][v] = true
+			ref[v][u] = true
+			b.AddEdge(u, v)
+		}
+		g := b.Build()
+		for u := 0; u < n; u++ {
+			if g.Degree(u) != len(ref[u]) {
+				t.Fatalf("degree(%d) = %d, want %d", u, g.Degree(u), len(ref[u]))
+			}
+			for _, w := range g.Neighbors(u) {
+				if !ref[u][int(w)] {
+					t.Fatalf("spurious neighbor %d of %d", w, u)
+				}
+			}
+			for v := 0; v < n; v++ {
+				if g.HasEdge(u, v) != ref[u][v] {
+					t.Fatalf("HasEdge(%d,%d) = %v, want %v", u, v, g.HasEdge(u, v), ref[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestForEachEdge(t *testing.T) {
+	g := Cycle(7)
+	count := 0
+	g.ForEachEdge(func(u, v int) {
+		if u >= v {
+			t.Fatalf("ForEachEdge order violated: (%d,%d)", u, v)
+		}
+		count++
+	})
+	if count != g.M() {
+		t.Fatalf("visited %d edges, M=%d", count, g.M())
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := Path(6)
+	dist := g.BFS(0, nil)
+	for i := 0; i < 6; i++ {
+		if int(dist[i]) != i {
+			t.Fatalf("dist[%d] = %d", i, dist[i])
+		}
+	}
+	dist = g.BFS(3, dist) // reuse buffer
+	want := []int32{3, 2, 1, 0, 1, 2}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Fatalf("dist from 3: [%d] = %d, want %d", i, dist[i], w)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {2, 3}})
+	dist := g.BFS(0, nil)
+	if dist[2] != -1 || dist[3] != -1 || dist[4] != -1 {
+		t.Error("unreachable nodes should have distance -1")
+	}
+	if dist[1] != 1 {
+		t.Error("reachable distance wrong")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := Path(5)
+	ecc, conn := g.Eccentricity(0)
+	if ecc != 4 || !conn {
+		t.Fatalf("ecc=%d conn=%v", ecc, conn)
+	}
+	ecc, conn = g.Eccentricity(2)
+	if ecc != 2 || !conn {
+		t.Fatalf("center ecc=%d conn=%v", ecc, conn)
+	}
+	d := FromEdges(4, [][2]int{{0, 1}})
+	_, conn = d.Eccentricity(0)
+	if conn {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	labels, k := g.Components()
+	if k != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("k = %d, want 4", k)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("component of 0,1,2 split")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Error("component of 3,4 wrong")
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if !Cycle(5).Connected() {
+		t.Error("cycle reported disconnected")
+	}
+	if g.LargestComponentSize() != 3 {
+		t.Errorf("largest component = %d", g.LargestComponentSize())
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d, conn := Path(6).Diameter(); d != 5 || !conn {
+		t.Errorf("path diameter = %d, conn=%v", d, conn)
+	}
+	if d, _ := Cycle(8).Diameter(); d != 4 {
+		t.Errorf("cycle diameter = %d", d)
+	}
+	if d, _ := Complete(5).Diameter(); d != 1 {
+		t.Errorf("complete diameter = %d", d)
+	}
+	if d, conn := Star(9).Diameter(); d != 2 || !conn {
+		t.Errorf("star diameter = %d conn=%v", d, conn)
+	}
+}
+
+func TestMaxAvgDegree(t *testing.T) {
+	g := Star(5)
+	if g.MaxDegree() != 4 {
+		t.Errorf("max degree = %d", g.MaxDegree())
+	}
+	if got := g.AvgDegree(); got != 2*4.0/5 {
+		t.Errorf("avg degree = %v", got)
+	}
+	if Empty(3).MaxDegree() != 0 {
+		t.Error("empty max degree")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := Star(5).DegreeHistogram()
+	if h[1] != 4 || h[4] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestFromEdgesQuickProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 32
+		seen := map[[2]int]bool{}
+		var edges [][2]int
+		for _, p := range pairs {
+			u := int(p) % n
+			v := int(p>>8) % n
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			edges = append(edges, [2]int{u, v})
+		}
+		g := FromEdges(n, edges)
+		if g.M() != len(edges) {
+			return false
+		}
+		for _, e := range edges {
+			if !g.HasEdge(e[0], e[1]) || !g.HasEdge(e[1], e[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rng.New(1)
+	const n = 10000
+	type edge struct{ u, v int }
+	var edges []edge
+	for i := 0; i < 8*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			edges = append(edges, edge{u, v})
+		}
+	}
+	builder := NewBuilder(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.Reset(n)
+		for _, e := range edges {
+			builder.AddEdge(e.u, e.v)
+		}
+		_ = builder.Build()
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := Cycle(10000)
+	dist := make([]int32, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist = g.BFS(i%g.N(), dist)
+	}
+	_ = dist
+}

@@ -1,0 +1,177 @@
+package mobility
+
+import (
+	"meg/internal/geom"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// Dynamics adapts any Mobility into a core.Dynamics: the snapshot at
+// time t connects every pair of nodes within transmission radius R,
+// under the Euclidean metric (or the toroidal metric when the mobility
+// wraps). Snapshots are built with a cell-list sweep in O(n + m).
+type Dynamics struct {
+	mob    Mobility
+	radius float64
+
+	cellsPer int
+	cellSize float64
+	counts   []int32
+	starts   []int32
+	order    []int32
+	nodeCell []int32
+	builder  *graph.Builder
+	g        *graph.Graph
+	dirty    bool
+	brute    bool
+}
+
+// NewDynamics wraps mob with transmission radius R. It panics if R is
+// not positive or exceeds the region side.
+func NewDynamics(mob Mobility, radius float64) *Dynamics {
+	if radius <= 0 {
+		panic("mobility: transmission radius must be positive")
+	}
+	side := mob.Side()
+	k := int(side / radius)
+	if k < 1 {
+		k = 1
+	}
+	n := mob.N()
+	return &Dynamics{
+		mob:      mob,
+		radius:   radius,
+		cellsPer: k,
+		cellSize: side / float64(k),
+		counts:   make([]int32, k*k+1),
+		starts:   make([]int32, k*k+1),
+		order:    make([]int32, n),
+		nodeCell: make([]int32, n),
+		builder:  graph.NewBuilder(n),
+		brute:    k < 3,
+	}
+}
+
+// Mobility returns the wrapped mobility process.
+func (d *Dynamics) Mobility() Mobility { return d.mob }
+
+// Radius returns the transmission radius R.
+func (d *Dynamics) Radius() float64 { return d.radius }
+
+// N implements core.Dynamics.
+func (d *Dynamics) N() int { return d.mob.N() }
+
+// Reset implements core.Dynamics.
+func (d *Dynamics) Reset(r *rng.RNG) {
+	d.mob.Reset(r)
+	d.dirty = true
+}
+
+// Step implements core.Dynamics.
+func (d *Dynamics) Step() {
+	d.mob.Move()
+	d.dirty = true
+}
+
+// adjacent reports whether nodes u and v are within radius under the
+// region's metric.
+func (d *Dynamics) adjacent(u, v int) bool {
+	pu, pv := d.mob.Position(u), d.mob.Position(v)
+	r2 := d.radius * d.radius
+	if d.mob.Torus() {
+		return geom.TorusDist2(pu, pv, d.mob.Side()) <= r2
+	}
+	return pu.Dist2(pv) <= r2
+}
+
+// cellIndexOf returns the flat cell index of position p; the last cell
+// per axis absorbs boundary points.
+func (d *Dynamics) cellIndexOf(p geom.Point) int32 {
+	k := d.cellsPer
+	cx := int(p.X / d.cellSize)
+	cy := int(p.Y / d.cellSize)
+	if cx >= k {
+		cx = k - 1
+	}
+	if cy >= k {
+		cy = k - 1
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	return int32(cy*k + cx)
+}
+
+// Graph implements core.Dynamics.
+func (d *Dynamics) Graph() *graph.Graph {
+	if !d.dirty {
+		return d.g
+	}
+	n := d.mob.N()
+	d.builder.Reset(n)
+	if d.brute {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if d.adjacent(u, v) {
+					d.builder.AddEdge(u, v)
+				}
+			}
+		}
+		d.g = d.builder.Build()
+		d.dirty = false
+		return d.g
+	}
+	k := d.cellsPer
+	counts := d.counts[:k*k+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for u := 0; u < n; u++ {
+		c := d.cellIndexOf(d.mob.Position(u))
+		d.nodeCell[u] = c
+		counts[c+1]++
+	}
+	starts := d.starts[:k*k+1]
+	starts[0] = 0
+	for i := 1; i <= k*k; i++ {
+		starts[i] = starts[i-1] + counts[i]
+	}
+	cursor := counts[:k*k]
+	copy(cursor, starts[:k*k])
+	for u := 0; u < n; u++ {
+		c := d.nodeCell[u]
+		d.order[cursor[c]] = int32(u)
+		cursor[c]++
+	}
+	wrap := d.mob.Torus()
+	for u := 0; u < n; u++ {
+		cu := int(d.nodeCell[u])
+		cx, cy := cu%k, cu/k
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if wrap {
+					nx, ny = (nx+k)%k, (ny+k)%k
+				} else if nx < 0 || nx >= k || ny < 0 || ny >= k {
+					continue
+				}
+				c := ny*k + nx
+				for i := starts[c]; i < starts[c+1]; i++ {
+					v := int(d.order[i])
+					if v <= u {
+						continue
+					}
+					if d.adjacent(u, v) {
+						d.builder.AddEdge(u, v)
+					}
+				}
+			}
+		}
+	}
+	d.g = d.builder.Build()
+	d.dirty = false
+	return d.g
+}

@@ -1,0 +1,229 @@
+package mobility
+
+import (
+	"math"
+
+	"meg/internal/geom"
+	"meg/internal/rng"
+)
+
+// LevyTorus is a Lévy-walk variant of the walkers model: each step the
+// node jumps in a uniform direction with a heavy-tailed length drawn
+// from a truncated Pareto distribution (density ∝ ℓ^(−alpha) on
+// [minStep, maxStep]), wrapping toroidally. Lévy walks model foraging
+// animals and human mobility; on the torus the uniform distribution
+// remains stationary by translation symmetry, so the paper's expansion
+// machinery still applies — only the constant changes.
+type LevyTorus struct {
+	side    float64
+	alpha   float64
+	minStep float64
+	maxStep float64
+	r       *rng.RNG
+	pos     []geom.Point
+}
+
+// NewLevyTorus returns a Lévy walker model; alpha > 1 is the tail
+// exponent, 0 < minStep ≤ maxStep the truncation bounds.
+func NewLevyTorus(n int, side, alpha, minStep, maxStep float64) *LevyTorus {
+	if n < 1 || side <= 0 || alpha <= 1 || minStep <= 0 || maxStep < minStep {
+		panic("mobility: invalid Lévy parameters")
+	}
+	return &LevyTorus{
+		side: side, alpha: alpha, minStep: minStep, maxStep: maxStep,
+		pos: make([]geom.Point, n),
+	}
+}
+
+// N implements Mobility.
+func (l *LevyTorus) N() int { return len(l.pos) }
+
+// Side implements Mobility.
+func (l *LevyTorus) Side() float64 { return l.side }
+
+// Torus implements Mobility.
+func (l *LevyTorus) Torus() bool { return true }
+
+// Reset implements Mobility: uniform positions (stationary).
+func (l *LevyTorus) Reset(r *rng.RNG) {
+	l.r = r
+	for i := range l.pos {
+		l.pos[i] = geom.Point{X: r.Float64() * l.side, Y: r.Float64() * l.side}
+	}
+}
+
+// stepLength samples the truncated Pareto length by inverse transform.
+func (l *LevyTorus) stepLength() float64 {
+	// CDF ∝ ℓ^{1−α} between the bounds.
+	a := 1 - l.alpha
+	lo := math.Pow(l.minStep, a)
+	hi := math.Pow(l.maxStep, a)
+	u := l.r.Float64()
+	return math.Pow(lo+u*(hi-lo), 1/a)
+}
+
+// Move implements Mobility.
+func (l *LevyTorus) Move() {
+	for i := range l.pos {
+		theta := 2 * math.Pi * l.r.Float64()
+		step := l.stepLength()
+		l.pos[i] = geom.Point{
+			X: geom.WrapTorus(l.pos[i].X+step*math.Cos(theta), l.side),
+			Y: geom.WrapTorus(l.pos[i].Y+step*math.Sin(theta), l.side),
+		}
+	}
+}
+
+// Position implements Mobility.
+func (l *LevyTorus) Position(u int) geom.Point { return l.pos[u] }
+
+// MaxStep returns the largest possible per-step displacement.
+func (l *LevyTorus) MaxStep() float64 { return l.maxStep }
+
+// GaussMarkov is the Gauss–Markov mobility model: velocities follow an
+// AR(1) process v_{t+1} = α·v_t + (1−α)·μ + σ√(1−α²)·ξ with standard
+// normal ξ per axis, and positions reflect at the square boundary
+// (flipping the corresponding velocity component). α ∈ [0,1) tunes
+// memory: α = 0 is an uncorrelated Gaussian walk, α → 1 near-straight
+// motion. With μ = 0 the position process mixes to an (approximately)
+// uniform stationary distribution on the square.
+type GaussMarkov struct {
+	side   float64
+	alpha  float64
+	sigma  float64
+	r      *rng.RNG
+	pos    []geom.Point
+	vx, vy []float64
+}
+
+// NewGaussMarkov returns a Gauss–Markov model with memory alpha in
+// [0, 1) and per-axis stationary speed scale sigma > 0.
+func NewGaussMarkov(n int, side, alpha, sigma float64) *GaussMarkov {
+	if n < 1 || side <= 0 || alpha < 0 || alpha >= 1 || sigma <= 0 {
+		panic("mobility: invalid Gauss-Markov parameters")
+	}
+	return &GaussMarkov{
+		side: side, alpha: alpha, sigma: sigma,
+		pos: make([]geom.Point, n),
+		vx:  make([]float64, n),
+		vy:  make([]float64, n),
+	}
+}
+
+// N implements Mobility.
+func (g *GaussMarkov) N() int { return len(g.pos) }
+
+// Side implements Mobility.
+func (g *GaussMarkov) Side() float64 { return g.side }
+
+// Torus implements Mobility.
+func (g *GaussMarkov) Torus() bool { return false }
+
+// Reset implements Mobility: uniform positions, stationary N(0, σ²)
+// velocities.
+func (g *GaussMarkov) Reset(r *rng.RNG) {
+	g.r = r
+	for i := range g.pos {
+		g.pos[i] = geom.Point{X: r.Float64() * g.side, Y: r.Float64() * g.side}
+		g.vx[i] = g.sigma * r.NormFloat64()
+		g.vy[i] = g.sigma * r.NormFloat64()
+	}
+}
+
+// Move implements Mobility.
+func (g *GaussMarkov) Move() {
+	noise := g.sigma * math.Sqrt(1-g.alpha*g.alpha)
+	for i := range g.pos {
+		g.vx[i] = g.alpha*g.vx[i] + noise*g.r.NormFloat64()
+		g.vy[i] = g.alpha*g.vy[i] + noise*g.r.NormFloat64()
+		x, flipX := geom.Reflect(g.pos[i].X+g.vx[i], g.side)
+		y, flipY := geom.Reflect(g.pos[i].Y+g.vy[i], g.side)
+		if flipX {
+			g.vx[i] = -g.vx[i]
+		}
+		if flipY {
+			g.vy[i] = -g.vy[i]
+		}
+		g.pos[i] = geom.Point{X: x, Y: y}
+	}
+}
+
+// Position implements Mobility.
+func (g *GaussMarkov) Position(u int) geom.Point { return g.pos[u] }
+
+// WaypointSquare is the classic random waypoint model on the square
+// (not the torus): nodes travel in straight lines to uniform waypoints
+// with per-leg speeds in [vmin, vmax]. Its stationary position
+// distribution is famously NON-uniform (center-biased, vanishing at the
+// boundary) — the model violates the uniformity property the paper's
+// expansion argument uses, which experiment E19 probes.
+type WaypointSquare struct {
+	side        float64
+	vmin, vmax  float64
+	r           *rng.RNG
+	pos, target []geom.Point
+	speed       []float64
+}
+
+// NewWaypointSquare returns a square random waypoint model.
+func NewWaypointSquare(n int, side, vmin, vmax float64) *WaypointSquare {
+	if n < 1 || side <= 0 || vmin <= 0 || vmax < vmin {
+		panic("mobility: invalid waypoint parameters")
+	}
+	return &WaypointSquare{
+		side: side, vmin: vmin, vmax: vmax,
+		pos:    make([]geom.Point, n),
+		target: make([]geom.Point, n),
+		speed:  make([]float64, n),
+	}
+}
+
+// N implements Mobility.
+func (w *WaypointSquare) N() int { return len(w.pos) }
+
+// Side implements Mobility.
+func (w *WaypointSquare) Side() float64 { return w.side }
+
+// Torus implements Mobility.
+func (w *WaypointSquare) Torus() bool { return false }
+
+// Reset implements Mobility. The exact stationary distribution of RWP
+// is not uniform; we approximate a stationary start by sampling the
+// midpoint of a random leg (position = uniform point on a segment
+// between two uniform endpoints, which reproduces the center bias),
+// then drawing a fresh target.
+func (w *WaypointSquare) Reset(r *rng.RNG) {
+	w.r = r
+	for i := range w.pos {
+		a := geom.Point{X: r.Float64() * w.side, Y: r.Float64() * w.side}
+		b := geom.Point{X: r.Float64() * w.side, Y: r.Float64() * w.side}
+		u := r.Float64()
+		w.pos[i] = geom.Point{X: a.X + u*(b.X-a.X), Y: a.Y + u*(b.Y-a.Y)}
+		w.target[i] = b
+		w.speed[i] = w.legSpeed()
+	}
+}
+
+func (w *WaypointSquare) legSpeed() float64 {
+	return w.vmin + (w.vmax-w.vmin)*w.r.Float64()
+}
+
+// Move implements Mobility.
+func (w *WaypointSquare) Move() {
+	for i := range w.pos {
+		p, t := w.pos[i], w.target[i]
+		dx, dy := t.X-p.X, t.Y-p.Y
+		d := math.Sqrt(dx*dx + dy*dy)
+		if d <= w.speed[i] {
+			w.pos[i] = t
+			w.target[i] = geom.Point{X: w.r.Float64() * w.side, Y: w.r.Float64() * w.side}
+			w.speed[i] = w.legSpeed()
+			continue
+		}
+		scale := w.speed[i] / d
+		w.pos[i] = geom.Point{X: p.X + dx*scale, Y: p.Y + dy*scale}
+	}
+}
+
+// Position implements Mobility.
+func (w *WaypointSquare) Position(u int) geom.Point { return w.pos[u] }

@@ -1,0 +1,201 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/geom"
+	"meg/internal/rng"
+	"meg/internal/stats"
+)
+
+func TestLevyStepLengthDistribution(t *testing.T) {
+	l := NewLevyTorus(1, 50, 2.0, 1, 10)
+	l.Reset(rng.New(1))
+	const samples = 50000
+	var acc stats.Accumulator
+	for i := 0; i < samples; i++ {
+		s := l.stepLength()
+		if s < 1-1e-9 || s > 10+1e-9 {
+			t.Fatalf("step length %v outside truncation [1, 10]", s)
+		}
+		acc.Add(s)
+	}
+	// Truncated Pareto(α=2) on [1,10]: E = ln(10)/(1−1/10) ≈ 2.56.
+	want := math.Log(10) / 0.9
+	if math.Abs(acc.Mean()-want) > 0.1 {
+		t.Fatalf("Lévy mean step %v, want ≈ %v", acc.Mean(), want)
+	}
+}
+
+func TestLevyBounds(t *testing.T) {
+	const side = 30.0
+	l := NewLevyTorus(20, side, 1.8, 0.5, 6)
+	l.Reset(rng.New(2))
+	prev := make([]geom.Point, 20)
+	for u := range prev {
+		prev[u] = l.Position(u)
+	}
+	for s := 0; s < 50; s++ {
+		l.Move()
+		for u := 0; u < 20; u++ {
+			p := l.Position(u)
+			if p.X < 0 || p.X >= side || p.Y < 0 || p.Y >= side {
+				t.Fatalf("Lévy position out of torus: %+v", p)
+			}
+			if d := geom.TorusDist(prev[u], p, side); d > l.MaxStep()+1e-9 {
+				t.Fatalf("Lévy jumped %v > maxStep", d)
+			}
+			prev[u] = p
+		}
+	}
+}
+
+func TestGaussMarkovVelocityCorrelation(t *testing.T) {
+	// With high alpha, consecutive velocities are strongly correlated;
+	// with alpha = 0 they are independent.
+	const side = 1000.0 // large: avoid reflections skewing the test
+	for _, tc := range []struct {
+		alpha  float64
+		lo, hi float64
+	}{
+		{0.9, 0.8, 1.0},
+		{0.0, -0.2, 0.2},
+	} {
+		g := NewGaussMarkov(1, side, tc.alpha, 1)
+		g.Reset(rng.New(3))
+		g.pos[0] = geom.Point{X: side / 2, Y: side / 2}
+		var xs, ys []float64
+		for s := 0; s < 4000; s++ {
+			prev := g.vx[0]
+			g.Move()
+			xs = append(xs, prev)
+			ys = append(ys, g.vx[0])
+		}
+		corr := stats.Pearson(xs, ys)
+		if corr < tc.lo || corr > tc.hi {
+			t.Fatalf("α=%v: velocity autocorrelation %v outside [%v, %v]", tc.alpha, corr, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestGaussMarkovStationarySpeed(t *testing.T) {
+	// The AR(1) update preserves Var(v) = σ².
+	g := NewGaussMarkov(200, 1000, 0.7, 2)
+	g.Reset(rng.New(5))
+	for s := 0; s < 50; s++ {
+		g.Move()
+	}
+	var acc stats.Accumulator
+	for u := 0; u < 200; u++ {
+		acc.Add(g.vx[u])
+	}
+	if math.Abs(acc.StdDev()-2) > 0.4 {
+		t.Fatalf("stationary velocity sd %v, want ≈ 2", acc.StdDev())
+	}
+}
+
+func TestGaussMarkovInBounds(t *testing.T) {
+	const side = 12.0
+	g := NewGaussMarkov(30, side, 0.8, 2)
+	g.Reset(rng.New(7))
+	for s := 0; s < 100; s++ {
+		g.Move()
+		for u := 0; u < 30; u++ {
+			p := g.Position(u)
+			if p.X < 0 || p.X > side || p.Y < 0 || p.Y > side {
+				t.Fatalf("Gauss-Markov out of bounds: %+v", p)
+			}
+		}
+	}
+}
+
+func TestWaypointSquareCenterBias(t *testing.T) {
+	// RWP on the square is center-biased: the central quarter of the
+	// area must hold noticeably more than 25% of the mass, and the
+	// boundary ring less than uniform.
+	const side = 20.0
+	w := NewWaypointSquare(50, side, 0.5, 1.5)
+	r := rng.New(9)
+	center, total := 0, 0
+	for rep := 0; rep < 100; rep++ {
+		w.Reset(r.Split())
+		// A few moves to settle legs.
+		for s := 0; s < 20; s++ {
+			w.Move()
+		}
+		for u := 0; u < 50; u++ {
+			p := w.Position(u)
+			total++
+			if p.X > side/4 && p.X < 3*side/4 && p.Y > side/4 && p.Y < 3*side/4 {
+				center++
+			}
+		}
+	}
+	frac := float64(center) / float64(total)
+	if frac < 0.30 {
+		t.Fatalf("central-quarter mass %v — expected clear center bias (> 0.30)", frac)
+	}
+}
+
+func TestWaypointSquareSpeedBound(t *testing.T) {
+	const side = 25.0
+	w := NewWaypointSquare(15, side, 1, 2)
+	w.Reset(rng.New(11))
+	prev := make([]geom.Point, 15)
+	for u := range prev {
+		prev[u] = w.Position(u)
+	}
+	for s := 0; s < 100; s++ {
+		w.Move()
+		for u := 0; u < 15; u++ {
+			p := w.Position(u)
+			if d := prev[u].Dist(p); d > 2+1e-9 {
+				t.Fatalf("waypoint-square node moved %v > vmax", d)
+			}
+			if p.X < 0 || p.X > side || p.Y < 0 || p.Y > side {
+				t.Fatalf("waypoint-square out of bounds: %+v", p)
+			}
+			prev[u] = p
+		}
+	}
+}
+
+func TestExtraModelConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLevyTorus(0, 10, 2, 1, 5) },
+		func() { NewLevyTorus(5, 10, 1, 1, 5) },   // alpha ≤ 1
+		func() { NewLevyTorus(5, 10, 2, 5, 1) },   // min > max
+		func() { NewGaussMarkov(5, 10, 1, 1) },    // alpha ≥ 1
+		func() { NewGaussMarkov(5, 10, 0.5, 0) },  // sigma ≤ 0
+		func() { NewWaypointSquare(5, 10, 2, 1) }, // vmin > vmax
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExtraModelsFloodViaDynamics(t *testing.T) {
+	// All three extra models integrate with the dynamics adapter.
+	const side = 16.0
+	r := rng.New(13)
+	models := map[string]Mobility{
+		"levy":        NewLevyTorus(60, side, 2, 0.5, 4),
+		"gaussmarkov": NewGaussMarkov(60, side, 0.8, 1.5),
+		"rwp-square":  NewWaypointSquare(60, side, 0.5, 1.5),
+	}
+	for name, m := range models {
+		d := NewDynamics(m, 6)
+		d.Reset(r.Split())
+		g := d.Graph()
+		if g.N() != 60 {
+			t.Fatalf("%s: bad snapshot", name)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package protocol implements the family of broadcast protocols the
+// paper positions flooding within: "flooding time in fact represents
+// the 'natural' lower bound for broadcast protocols in dynamic
+// networks. For this reason, flooding is often used in order to
+// evaluate the relative efficiency of alternative protocols" (Section
+// 1, citing [8, 16, 29]). The package provides that evaluation: the
+// alternatives actually used in unstructured/dynamic networks, all
+// running on any core.Dynamics with per-round message accounting, so
+// their latency and message complexity can be compared against the
+// flooding baseline.
+//
+// Protocols:
+//
+//   - Flooding — every informed node transmits to all current neighbors
+//     every round: the paper's mechanism and the latency lower bound of
+//     this family.
+//   - Probabilistic flooding (Gnutella-style, the paper's [29]): a node
+//     forwards to all neighbors for one round upon becoming informed,
+//     and only with probability Beta.
+//   - Push gossip (rumor spreading, the paper's [30]): every informed
+//     node sends to ONE uniformly random current neighbor per round.
+//   - Push–pull gossip: informed nodes push to one random neighbor;
+//     uninformed nodes pull from one random neighbor.
+//
+// All protocols share the synchronous semantics of the paper's flooding
+// definition: nodes informed in round t start acting in round t+1, and
+// the graph advances one Markov step per round.
+package protocol
+
+import (
+	"fmt"
+
+	"meg/internal/bitset"
+	"meg/internal/core"
+	"meg/internal/rng"
+)
+
+// Result records one protocol run.
+type Result struct {
+	// Rounds is the completion time (or the cap if Completed is false).
+	Rounds int
+	// Completed reports whether all nodes were informed within the cap.
+	Completed bool
+	// Trajectory[t] is the number of informed nodes after t rounds.
+	Trajectory []int
+	// Messages is the total number of point-to-point transmissions sent
+	// (including redundant ones to already-informed nodes).
+	Messages int64
+}
+
+// Protocol is a broadcast protocol runnable on any evolving graph.
+type Protocol interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// Run executes the protocol from source on d (already Reset by the
+	// caller) for at most maxRounds rounds, drawing randomness from r.
+	Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result
+}
+
+// checkArgs validates the shared Run preconditions.
+func checkArgs(n, source, maxRounds int) {
+	if source < 0 || source >= n {
+		panic("protocol: source out of range")
+	}
+	if maxRounds <= 0 {
+		panic("protocol: maxRounds must be positive")
+	}
+}
+
+// Flooding is the paper's flooding mechanism with message accounting.
+type Flooding struct{}
+
+// Name implements Protocol.
+func (Flooding) Name() string { return "flooding" }
+
+// Run implements Protocol.
+func (Flooding) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
+	n := d.N()
+	checkArgs(n, source, maxRounds)
+	informed := bitset.New(n)
+	informed.Add(source)
+	senders := make([]int32, 1, n)
+	senders[0] = int32(source)
+	res := Result{Trajectory: []int{1}}
+	if n == 1 {
+		res.Completed = true
+		return res
+	}
+	newly := make([]int32, 0, 64)
+	for t := 0; t < maxRounds; t++ {
+		g := d.Graph()
+		newly = newly[:0]
+		for _, u := range senders {
+			nbrs := g.Neighbors(int(u))
+			res.Messages += int64(len(nbrs))
+			for _, v := range nbrs {
+				if !informed.Contains(int(v)) {
+					informed.Add(int(v))
+					newly = append(newly, v)
+				}
+			}
+		}
+		senders = append(senders, newly...)
+		res.Trajectory = append(res.Trajectory, len(senders))
+		d.Step()
+		if len(senders) == n {
+			res.Rounds = t + 1
+			res.Completed = true
+			return res
+		}
+	}
+	res.Rounds = maxRounds
+	return res
+}
+
+// Probabilistic is Gnutella-style probabilistic flooding: upon becoming
+// informed a node forwards to all its neighbors in the next round with
+// probability Beta (the source always forwards), then falls silent.
+// Beta = 1 is one-shot flooding (parsimonious with budget 1).
+type Probabilistic struct {
+	// Beta is the forwarding probability in (0, 1].
+	Beta float64
+}
+
+// Name implements Protocol.
+func (p Probabilistic) Name() string { return fmt.Sprintf("prob-flood(β=%.2f)", p.Beta) }
+
+// Run implements Protocol.
+func (p Probabilistic) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
+	if p.Beta <= 0 || p.Beta > 1 {
+		panic("protocol: Beta must be in (0, 1]")
+	}
+	n := d.N()
+	checkArgs(n, source, maxRounds)
+	informed := bitset.New(n)
+	informed.Add(source)
+	active := make([]int32, 1, n)
+	active[0] = int32(source)
+	count := 1
+	res := Result{Trajectory: []int{1}}
+	if n == 1 {
+		res.Completed = true
+		return res
+	}
+	newly := make([]int32, 0, 64)
+	for t := 0; t < maxRounds; t++ {
+		if len(active) == 0 {
+			res.Rounds = t
+			return res // died out
+		}
+		g := d.Graph()
+		newly = newly[:0]
+		for _, u := range active {
+			nbrs := g.Neighbors(int(u))
+			res.Messages += int64(len(nbrs))
+			for _, v := range nbrs {
+				if !informed.Contains(int(v)) {
+					informed.Add(int(v))
+					newly = append(newly, v)
+				}
+			}
+		}
+		// Freshly informed nodes decide once whether they will forward.
+		active = active[:0]
+		for _, v := range newly {
+			if r.Bernoulli(p.Beta) {
+				active = append(active, v)
+			}
+		}
+		count += len(newly)
+		res.Trajectory = append(res.Trajectory, count)
+		d.Step()
+		if count == n {
+			res.Rounds = t + 1
+			res.Completed = true
+			return res
+		}
+	}
+	res.Rounds = maxRounds
+	return res
+}
+
+// PushGossip is classic push rumor spreading: every informed node sends
+// the message to one uniformly random current neighbor per round.
+type PushGossip struct{}
+
+// Name implements Protocol.
+func (PushGossip) Name() string { return "push-gossip" }
+
+// Run implements Protocol.
+func (PushGossip) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
+	n := d.N()
+	checkArgs(n, source, maxRounds)
+	informed := bitset.New(n)
+	informed.Add(source)
+	members := make([]int32, 1, n)
+	members[0] = int32(source)
+	res := Result{Trajectory: []int{1}}
+	if n == 1 {
+		res.Completed = true
+		return res
+	}
+	newly := make([]int32, 0, 64)
+	for t := 0; t < maxRounds; t++ {
+		g := d.Graph()
+		newly = newly[:0]
+		for _, u := range members {
+			nbrs := g.Neighbors(int(u))
+			if len(nbrs) == 0 {
+				continue
+			}
+			res.Messages++
+			v := nbrs[r.Intn(len(nbrs))]
+			if !informed.Contains(int(v)) {
+				informed.Add(int(v))
+				newly = append(newly, v)
+			}
+		}
+		members = append(members, newly...)
+		res.Trajectory = append(res.Trajectory, len(members))
+		d.Step()
+		if len(members) == n {
+			res.Rounds = t + 1
+			res.Completed = true
+			return res
+		}
+	}
+	res.Rounds = maxRounds
+	return res
+}
+
+// PushPull combines push and pull: informed nodes push to one random
+// neighbor, uninformed nodes pull from one random neighbor (learning
+// the message if that neighbor is informed). Both directions count as
+// one message each.
+type PushPull struct{}
+
+// Name implements Protocol.
+func (PushPull) Name() string { return "push-pull" }
+
+// Run implements Protocol.
+func (PushPull) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
+	n := d.N()
+	checkArgs(n, source, maxRounds)
+	// informed is the state at the start of the round (all decisions
+	// read it, enforcing synchrony); next accumulates the round's
+	// discoveries and becomes the new informed set at the boundary.
+	informed := bitset.New(n)
+	informed.Add(source)
+	next := bitset.New(n)
+	count := 1
+	res := Result{Trajectory: []int{1}}
+	if n == 1 {
+		res.Completed = true
+		return res
+	}
+	for t := 0; t < maxRounds; t++ {
+		g := d.Graph()
+		next.CopyFrom(informed)
+		added := 0
+		for u := 0; u < n; u++ {
+			nbrs := g.Neighbors(u)
+			if len(nbrs) == 0 {
+				continue
+			}
+			v := int(nbrs[r.Intn(len(nbrs))])
+			res.Messages++
+			if informed.Contains(u) {
+				// push: u → v
+				if !next.Contains(v) {
+					next.Add(v)
+					added++
+				}
+			} else if informed.Contains(v) {
+				// pull: u learns from v (v informed at round start).
+				if !next.Contains(u) {
+					next.Add(u)
+					added++
+				}
+			}
+		}
+		informed.CopyFrom(next)
+		count += added
+		res.Trajectory = append(res.Trajectory, count)
+		d.Step()
+		if count == n {
+			res.Rounds = t + 1
+			res.Completed = true
+			return res
+		}
+	}
+	res.Rounds = maxRounds
+	return res
+}
+
+// LossyFlooding is flooding over unreliable links: every transmission
+// is independently lost with probability Loss. It models the
+// faulty-network motivation of the paper's introduction at the message
+// level rather than the topology level: the question is how much loss
+// flooding absorbs before its completion time degrades.
+type LossyFlooding struct {
+	// Loss is the per-message loss probability in [0, 1).
+	Loss float64
+}
+
+// Name implements Protocol.
+func (l LossyFlooding) Name() string { return fmt.Sprintf("lossy-flood(f=%.2f)", l.Loss) }
+
+// Run implements Protocol.
+func (l LossyFlooding) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
+	if l.Loss < 0 || l.Loss >= 1 {
+		panic("protocol: Loss must be in [0, 1)")
+	}
+	n := d.N()
+	checkArgs(n, source, maxRounds)
+	informed := bitset.New(n)
+	informed.Add(source)
+	senders := make([]int32, 1, n)
+	senders[0] = int32(source)
+	res := Result{Trajectory: []int{1}}
+	if n == 1 {
+		res.Completed = true
+		return res
+	}
+	newly := make([]int32, 0, 64)
+	for t := 0; t < maxRounds; t++ {
+		g := d.Graph()
+		newly = newly[:0]
+		for _, u := range senders {
+			nbrs := g.Neighbors(int(u))
+			res.Messages += int64(len(nbrs))
+			for _, v := range nbrs {
+				if informed.Contains(int(v)) {
+					continue
+				}
+				if l.Loss > 0 && r.Bernoulli(l.Loss) {
+					continue // message lost
+				}
+				informed.Add(int(v))
+				newly = append(newly, v)
+			}
+		}
+		senders = append(senders, newly...)
+		res.Trajectory = append(res.Trajectory, len(senders))
+		d.Step()
+		if len(senders) == n {
+			res.Rounds = t + 1
+			res.Completed = true
+			return res
+		}
+	}
+	res.Rounds = maxRounds
+	return res
+}

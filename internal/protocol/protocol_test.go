@@ -1,0 +1,253 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/core"
+	"meg/internal/edgemeg"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+func static(g *graph.Graph) core.Dynamics { return core.NewStatic(g) }
+
+func TestFloodingMatchesCore(t *testing.T) {
+	// The protocol-package flooding must complete in exactly the same
+	// rounds as core.Flood on any dynamics.
+	for _, g := range []*graph.Graph{graph.Path(10), graph.Cycle(11), graph.Star(8), graph.Complete(6)} {
+		want := core.Flood(static(g), 0, core.DefaultRoundCap(g.N()))
+		got := Flooding{}.Run(static(g), 0, core.DefaultRoundCap(g.N()), rng.New(1))
+		if got.Rounds != want.Rounds || got.Completed != want.Completed {
+			t.Fatalf("n=%d: protocol flooding %d/%v, core %d/%v",
+				g.N(), got.Rounds, got.Completed, want.Rounds, want.Completed)
+		}
+	}
+}
+
+func TestFloodingMessageCount(t *testing.T) {
+	// On K_n flooding completes in 1 round; the source sends n-1
+	// messages, then the final round's bookkeeping stops. Trajectory
+	// [1, n].
+	res := Flooding{}.Run(static(graph.Complete(10)), 0, 10, rng.New(1))
+	if res.Messages != 9 {
+		t.Fatalf("K10 flooding messages = %d, want 9", res.Messages)
+	}
+	// On a path flooding sends every round: Σ_t Σ_{u∈I_t} deg(u).
+	res = Flooding{}.Run(static(graph.Path(3)), 0, 10, rng.New(1))
+	// Round 1: I={0}: deg 1. Round 2: I={0,1}: deg 1+2=3. Total 4.
+	if res.Messages != 4 {
+		t.Fatalf("path flooding messages = %d, want 4", res.Messages)
+	}
+}
+
+func TestProbabilisticBetaOneOnStatic(t *testing.T) {
+	// β=1 forwards once upon receipt: on a static connected graph this
+	// completes in the same time as full flooding (frontier argument).
+	for _, g := range []*graph.Graph{graph.Path(9), graph.Cycle(12), graph.Complete(7)} {
+		want := Flooding{}.Run(static(g), 0, core.DefaultRoundCap(g.N()), rng.New(2))
+		got := Probabilistic{Beta: 1}.Run(static(g), 0, core.DefaultRoundCap(g.N()), rng.New(2))
+		if !got.Completed || got.Rounds != want.Rounds {
+			t.Fatalf("β=1 on n=%d: %d/%v, want %d", g.N(), got.Rounds, got.Completed, want.Rounds)
+		}
+		if got.Messages > want.Messages {
+			t.Fatalf("β=1 sent more messages (%d) than flooding (%d)", got.Messages, want.Messages)
+		}
+	}
+}
+
+func TestProbabilisticCanDieOut(t *testing.T) {
+	// With tiny β on a path, the process usually dies at the first
+	// non-forwarding node; the run must stop early, not burn the cap.
+	died := 0
+	r := rng.New(3)
+	for i := 0; i < 50; i++ {
+		res := Probabilistic{Beta: 0.05}.Run(static(graph.Path(50)), 0, 1000, r.Split())
+		if !res.Completed {
+			died++
+			if res.Rounds >= 1000 {
+				t.Fatal("die-out not detected early")
+			}
+		}
+	}
+	if died == 0 {
+		t.Fatal("β=0.05 never died out on a path — implausible")
+	}
+}
+
+func TestProbabilisticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for β out of range")
+		}
+	}()
+	Probabilistic{Beta: 0}.Run(static(graph.Path(3)), 0, 5, rng.New(1))
+}
+
+func TestPushGossipCompleteGraph(t *testing.T) {
+	// Pittel: push rumor spreading on K_n takes log2 n + ln n + O(1)
+	// rounds.
+	const n = 512
+	r := rng.New(5)
+	var sum float64
+	const reps = 60
+	for i := 0; i < reps; i++ {
+		res := PushGossip{}.Run(static(graph.Complete(n)), 0, 10000, r.Split())
+		if !res.Completed {
+			t.Fatal("push gossip on K_n did not complete")
+		}
+		sum += float64(res.Rounds)
+	}
+	mean := sum / reps
+	want := math.Log2(n) + math.Log(n)
+	if math.Abs(mean-want) > 0.2*want {
+		t.Fatalf("push gossip rounds mean %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestPushGossipMessagesPerRound(t *testing.T) {
+	// Exactly one message per informed node per round (complete graph:
+	// no isolated nodes).
+	res := PushGossip{}.Run(static(graph.Complete(64)), 0, 10000, rng.New(7))
+	var want int64
+	for t0 := 0; t0+1 < len(res.Trajectory); t0++ {
+		want += int64(res.Trajectory[t0])
+	}
+	if res.Messages != want {
+		t.Fatalf("gossip messages = %d, want %d", res.Messages, want)
+	}
+}
+
+func TestPushPullFasterThanPush(t *testing.T) {
+	const n = 512
+	r := rng.New(9)
+	var push, pushpull float64
+	const reps = 40
+	for i := 0; i < reps; i++ {
+		a := PushGossip{}.Run(static(graph.Complete(n)), 0, 10000, r.Split())
+		b := PushPull{}.Run(static(graph.Complete(n)), 0, 10000, r.Split())
+		if !a.Completed || !b.Completed {
+			t.Fatal("gossip incomplete on K_n")
+		}
+		push += float64(a.Rounds)
+		pushpull += float64(b.Rounds)
+	}
+	if pushpull >= push {
+		t.Fatalf("push-pull (%v) not faster than push (%v) on K_n", pushpull/reps, push/reps)
+	}
+}
+
+func TestAllProtocolsOnEvolvingGraph(t *testing.T) {
+	// Integration: every protocol completes on a connected-regime
+	// stationary edge-MEG, and flooding is the fastest (it dominates
+	// this family round-for-round).
+	n := 512
+	pHat := 6 * math.Log(float64(n)) / float64(n)
+	cfg := edgemeg.Config{N: n, P: 0.5 * pHat / (1 - pHat), Q: 0.5}
+	r := rng.New(11)
+	mk := func() core.Dynamics {
+		m := edgemeg.MustNew(cfg)
+		m.Reset(r.Split())
+		return m
+	}
+	floodRounds := Flooding{}.Run(mk(), 0, core.DefaultRoundCap(n), r.Split())
+	if !floodRounds.Completed {
+		t.Fatal("flooding incomplete")
+	}
+	for _, p := range []Protocol{Probabilistic{Beta: 0.9}, PushGossip{}, PushPull{}} {
+		res := p.Run(mk(), 0, core.DefaultRoundCap(n), r.Split())
+		if !res.Completed {
+			t.Fatalf("%s incomplete on edge-MEG", p.Name())
+		}
+		if res.Rounds < floodRounds.Rounds {
+			t.Fatalf("%s (%d rounds) beat flooding (%d): flooding must lower-bound the family",
+				p.Name(), res.Rounds, floodRounds.Rounds)
+		}
+	}
+}
+
+func TestProtocolNames(t *testing.T) {
+	if (Flooding{}).Name() != "flooding" || (PushGossip{}).Name() != "push-gossip" ||
+		(PushPull{}).Name() != "push-pull" {
+		t.Error("names wrong")
+	}
+	if (Probabilistic{Beta: 0.5}).Name() != "prob-flood(β=0.50)" {
+		t.Errorf("prob name = %q", Probabilistic{Beta: 0.5}.Name())
+	}
+}
+
+func TestTrajectoriesMonotone(t *testing.T) {
+	r := rng.New(13)
+	g := graph.Cycle(30)
+	for _, p := range []Protocol{Flooding{}, Probabilistic{Beta: 0.8}, PushGossip{}, PushPull{}} {
+		res := p.Run(static(g), 0, 200, r.Split())
+		for i := 1; i < len(res.Trajectory); i++ {
+			if res.Trajectory[i] < res.Trajectory[i-1] {
+				t.Fatalf("%s trajectory decreased", p.Name())
+			}
+		}
+	}
+}
+
+func TestSingleNodeAllProtocols(t *testing.T) {
+	g := graph.Empty(1)
+	r := rng.New(15)
+	for _, p := range []Protocol{Flooding{}, Probabilistic{Beta: 0.5}, PushGossip{}, PushPull{}} {
+		res := p.Run(static(g), 0, 5, r)
+		if !res.Completed || res.Rounds != 0 {
+			t.Fatalf("%s single node: %+v", p.Name(), res)
+		}
+	}
+}
+
+func TestLossyFloodingZeroLossMatchesFlooding(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(10), graph.Complete(8)} {
+		want := Flooding{}.Run(static(g), 0, 100, rng.New(1))
+		got := LossyFlooding{Loss: 0}.Run(static(g), 0, 100, rng.New(1))
+		if got.Rounds != want.Rounds || got.Messages != want.Messages {
+			t.Fatalf("loss=0 diverged from flooding: %+v vs %+v", got, want)
+		}
+	}
+}
+
+func TestLossyFloodingSlowsOnPath(t *testing.T) {
+	// On a path each hop must succeed individually: with loss f the
+	// expected time per hop is 1/(1-f), so the mean completion time
+	// grows by that factor.
+	const n = 40
+	const f = 0.5
+	r := rng.New(3)
+	var lossSum, cleanSum float64
+	const reps = 60
+	for i := 0; i < reps; i++ {
+		lossRes := LossyFlooding{Loss: f}.Run(static(graph.Path(n)), 0, 10000, r.Split())
+		if !lossRes.Completed {
+			t.Fatal("lossy flooding on a path did not complete")
+		}
+		lossSum += float64(lossRes.Rounds)
+		cleanSum += float64(n - 1)
+	}
+	factor := lossSum / cleanSum
+	want := 1 / (1 - f)
+	if math.Abs(factor-want) > 0.25*want {
+		t.Fatalf("slowdown factor %v, want ≈ %v", factor, want)
+	}
+}
+
+func TestLossyFloodingAlwaysCompletesOnStaticConnected(t *testing.T) {
+	// Retransmission every round means loss < 1 never kills the
+	// process on a static connected graph.
+	res := LossyFlooding{Loss: 0.9}.Run(static(graph.Cycle(20)), 0, 100000, rng.New(5))
+	if !res.Completed {
+		t.Fatal("lossy flooding failed on connected static graph")
+	}
+}
+
+func TestLossyFloodingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for loss ≥ 1")
+		}
+	}()
+	LossyFlooding{Loss: 1}.Run(static(graph.Path(3)), 0, 5, rng.New(1))
+}

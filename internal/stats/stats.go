@@ -1,0 +1,404 @@
+// Package stats provides the statistical machinery the experiment
+// harness uses to summarize and fit simulation measurements: streaming
+// accumulators, summaries with quantiles and confidence intervals,
+// least-squares fits (including log-log fits for growth exponents),
+// histograms, and a chi-square uniformity statistic.
+//
+// Everything is deterministic and allocation-light; no external
+// dependencies are used.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes running mean and variance with Welford's
+// algorithm, plus min and max. The zero value is an empty accumulator
+// ready for use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples folded in.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean, or NaN if empty.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
+
+// Variance returns the unbiased sample variance, or NaN if n < 2.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation, or NaN if n < 2.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample, or NaN if empty.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest sample, or NaN if empty.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// StdErr returns the standard error of the mean, or NaN if n < 2.
+func (a *Accumulator) StdErr() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Summary holds order statistics and moments of a sample.
+type Summary struct {
+	N                  int
+	Mean, StdDev       float64
+	Min, Max           float64
+	Median, P10, P90   float64
+	P25, P75           float64
+	StdErr, CI95Radius float64
+}
+
+// Summarize computes a Summary of xs. It returns the zero Summary if xs
+// is empty. xs is not modified.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:      acc.N(),
+		Mean:   acc.Mean(),
+		StdDev: acc.StdDev(),
+		Min:    acc.Min(),
+		Max:    acc.Max(),
+		Median: Quantile(sorted, 0.5),
+		P10:    Quantile(sorted, 0.10),
+		P90:    Quantile(sorted, 0.90),
+		P25:    Quantile(sorted, 0.25),
+		P75:    Quantile(sorted, 0.75),
+	}
+	if acc.N() >= 2 {
+		s.StdErr = acc.StdErr()
+		s.CI95Radius = 1.96 * s.StdErr
+	}
+	return s
+}
+
+// String renders the summary compactly for experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f ±%.3f sd=%.3f [%.3f, %.3f]",
+		s.N, s.Mean, s.CI95Radius, s.StdDev, s.Min, s.Max)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of a sorted sample using
+// linear interpolation between closest ranks. It panics if sorted is
+// empty or q is outside [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of range")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or NaN if empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Mean()
+}
+
+// Fit is the result of an ordinary least-squares line fit y = a + b·x.
+type Fit struct {
+	Intercept, Slope float64
+	R2               float64 // coefficient of determination
+	N                int
+}
+
+// LinearFit fits y = a + b·x by least squares. It panics if the inputs
+// have different lengths or fewer than two points, or if x is constant.
+func LinearFit(x, y []float64) Fit {
+	if len(x) != len(y) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if len(x) < 2 {
+		panic("stats: LinearFit needs at least two points")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		resid := syy - b*sxy
+		r2 = 1 - resid/syy
+	}
+	return Fit{Intercept: a, Slope: b, R2: r2, N: len(x)}
+}
+
+// LogLogFit fits y = C·x^e by OLS on (log x, log y) and returns the
+// exponent e as Slope and log C as Intercept. All inputs must be
+// strictly positive.
+func LogLogFit(x, y []float64) Fit {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			panic("stats: LogLogFit requires positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	return LinearFit(lx, ly)
+}
+
+// Pearson returns the Pearson correlation coefficient of (x, y).
+// It panics on length mismatch or fewer than two points; it returns NaN
+// if either sample is constant.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(x) < 2 {
+		panic("stats: Pearson needs at least two points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, syy, sxy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ChiSquareUniform returns the chi-square statistic of observed counts
+// against the uniform distribution over len(counts) categories, along
+// with the number of degrees of freedom (len-1). Callers compare the
+// statistic against a critical value for their tolerance.
+func ChiSquareUniform(counts []int) (stat float64, dof int) {
+	if len(counts) < 2 {
+		panic("stats: ChiSquareUniform needs at least two categories")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, len(counts) - 1
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, len(counts) - 1
+}
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// the given expected counts. Expected entries must be positive.
+func ChiSquare(observed []int, expected []float64) float64 {
+	if len(observed) != len(expected) {
+		panic("stats: ChiSquare length mismatch")
+	}
+	var stat float64
+	for i, c := range observed {
+		if expected[i] <= 0 {
+			panic("stats: ChiSquare expected counts must be positive")
+		}
+		d := float64(c) - expected[i]
+		stat += d * d / expected[i]
+	}
+	return stat
+}
+
+// Histogram is a fixed-width bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // samples below Lo
+	Over     int // samples at or above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics if bins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{
+		Lo: lo, Hi: hi,
+		Counts:   make([]int, bins),
+		binWidth: (hi - lo) / float64(bins),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i >= len(h.Counts) { // floating-point edge at Hi
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range
+// ones.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// MaxAbsDeviationFromUniform returns max_i |share_i - 1/bins| over the
+// in-range bins, a crude but robust uniformity check used by the
+// stationarity experiments.
+func (h *Histogram) MaxAbsDeviationFromUniform() float64 {
+	inRange := 0
+	for _, c := range h.Counts {
+		inRange += c
+	}
+	if inRange == 0 {
+		return 0
+	}
+	want := 1.0 / float64(len(h.Counts))
+	worst := 0.0
+	for _, c := range h.Counts {
+		d := math.Abs(float64(c)/float64(inRange) - want)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// GeometricMean returns the geometric mean of strictly positive xs, or
+// NaN if xs is empty.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeometricMean requires positive data")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// RatioSpread returns max(xs)/min(xs) for strictly positive xs — the
+// bounded-ratio statistic used to check Θ(·) claims: if y_i/f_i is
+// Θ(1) across a wide parameter range, the spread stays small.
+func RatioSpread(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: RatioSpread of empty sample")
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: RatioSpread requires positive data")
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi / lo
+}

@@ -1,0 +1,313 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestAccumulatorKnown(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v", a.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if !almostEqual(a.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Error("empty accumulator should return NaN")
+	}
+	a.Add(1)
+	if !math.IsNaN(a.Variance()) {
+		t.Error("variance of single sample should be NaN")
+	}
+}
+
+func TestAccumulatorMatchesDirect(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var a Accumulator
+		var sum float64
+		for _, v := range raw {
+			a.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		direct := ss / float64(len(raw)-1)
+		return almostEqual(a.Mean(), mean, 1e-9) && almostEqual(a.Variance(), direct, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanInRangeProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var a Accumulator
+		for _, v := range raw {
+			a.Add(float64(v))
+		}
+		return a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almostEqual(s.P25, 2, 1e-12) || !almostEqual(s.P75, 4, 1e-12) {
+		t.Errorf("quartiles %v %v", s.P25, s.P75)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary should have N=0")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3*v - 7
+	}
+	fit := LinearFit(x, y)
+	if !almostEqual(fit.Slope, 3, 1e-9) || !almostEqual(fit.Intercept, -7, 1e-9) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1.1, 1.9, 3.05, 3.95}
+	fit := LinearFit(x, y)
+	if fit.Slope < 0.9 || fit.Slope > 1.1 {
+		t.Errorf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { LinearFit([]float64{1}, []float64{1}) },
+		func() { LinearFit([]float64{1, 2}, []float64{1}) },
+		func() { LinearFit([]float64{2, 2}, []float64{1, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLogLogFitPowerLaw(t *testing.T) {
+	x := []float64{1, 2, 4, 8, 16}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 5 * math.Pow(v, -0.5)
+	}
+	fit := LogLogFit(x, y)
+	if !almostEqual(fit.Slope, -0.5, 1e-9) {
+		t.Errorf("exponent = %v", fit.Slope)
+	}
+	if !almostEqual(math.Exp(fit.Intercept), 5, 1e-9) {
+		t.Errorf("coefficient = %v", math.Exp(fit.Intercept))
+	}
+}
+
+func TestLogLogFitPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LogLogFit([]float64{1, 0}, []float64{1, 1})
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if got := Pearson(x, y); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(x, neg); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+	if got := Pearson(x, []float64{5, 5, 5, 5}); !math.IsNaN(got) {
+		t.Errorf("Pearson with constant y = %v, want NaN", got)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	stat, dof := ChiSquareUniform([]int{25, 25, 25, 25})
+	if stat != 0 || dof != 3 {
+		t.Fatalf("stat=%v dof=%d", stat, dof)
+	}
+	stat, _ = ChiSquareUniform([]int{50, 0})
+	if !almostEqual(stat, 50, 1e-12) {
+		t.Errorf("stat = %v, want 50", stat)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	got := ChiSquare([]int{8, 12}, []float64{10, 10})
+	if !almostEqual(got, 0.8, 1e-12) {
+		t.Errorf("ChiSquare = %v, want 0.8", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+}
+
+func TestHistogramUniformDeviation(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	for i := 0; i < 400; i++ {
+		h.Add(float64(i % 4))
+	}
+	if dev := h.MaxAbsDeviationFromUniform(); !almostEqual(dev, 0, 1e-12) {
+		t.Errorf("deviation = %v", dev)
+	}
+	h2 := NewHistogram(0, 2, 2)
+	for i := 0; i < 100; i++ {
+		h2.Add(0.5)
+	}
+	if dev := h2.MaxAbsDeviationFromUniform(); !almostEqual(dev, 0.5, 1e-12) {
+		t.Errorf("deviation = %v, want 0.5", dev)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{1, 4}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeometricMean = %v", got)
+	}
+	if !math.IsNaN(GeometricMean(nil)) {
+		t.Error("GeometricMean(nil) should be NaN")
+	}
+}
+
+func TestRatioSpread(t *testing.T) {
+	if got := RatioSpread([]float64{2, 4, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("RatioSpread = %v", got)
+	}
+	if got := RatioSpread([]float64{5}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("RatioSpread single = %v", got)
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestStdErrAndCI(t *testing.T) {
+	s := Summarize([]float64{1, 1, 1, 1})
+	if s.StdErr != 0 || s.CI95Radius != 0 {
+		t.Errorf("constant sample: stderr=%v ci=%v", s.StdErr, s.CI95Radius)
+	}
+	s2 := Summarize([]float64{0, 2})
+	wantSE := math.Sqrt(2) / math.Sqrt(2)
+	if !almostEqual(s2.StdErr, wantSE, 1e-9) {
+		t.Errorf("stderr = %v, want %v", s2.StdErr, wantSE)
+	}
+}

@@ -1,0 +1,82 @@
+// Package sweep is the parallel experiment harness: it fans a list of
+// jobs out over a bounded worker pool and collects results in input
+// order, giving every job a deterministic private RNG stream so that a
+// sweep's output is identical no matter how many workers run it.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"meg/internal/rng"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes
+// workers <= 0: the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map applies fn to every item on up to workers goroutines and returns
+// the results in input order. fn receives the item index; it must not
+// retain references to shared mutable state without its own locking.
+func Map[I, O any](items []I, workers int, fn func(idx int, item I) O) []O {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]O, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			out[i] = fn(i, it)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = fn(i, items[i])
+			}
+		}()
+	}
+	for i := range items {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// MapSeeded is Map with a per-job RNG derived deterministically from
+// seed and the job index, so results do not depend on scheduling.
+func MapSeeded[I, O any](items []I, seed uint64, workers int, fn func(item I, r *rng.RNG) O) []O {
+	return Map(items, workers, func(idx int, item I) O {
+		return fn(item, rng.New(rng.SeedFor(seed, idx)))
+	})
+}
+
+// Repeat runs fn reps times (each with its own derived RNG) and returns
+// the reps results in order. It is the inner loop of every Monte Carlo
+// estimate in the experiment suite.
+func Repeat[O any](reps int, seed uint64, workers int, fn func(rep int, r *rng.RNG) O) []O {
+	idxs := make([]int, reps)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return MapSeeded(idxs, seed, workers, func(rep int, r *rng.RNG) O {
+		return fn(rep, r)
+	})
+}
+
+// Floats collects a float64 metric from reps repetitions; a convenience
+// wrapper over Repeat for the common "repeat and summarize" pattern.
+func Floats(reps int, seed uint64, workers int, fn func(rep int, r *rng.RNG) float64) []float64 {
+	return Repeat(reps, seed, workers, fn)
+}

@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"meg/internal/rng"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i * 3
+	}
+	got := Map(items, 8, func(idx int, item int) int { return item + idx })
+	for i, v := range got {
+		if v != i*3+i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd"}
+	fn := func(idx int, s string) int { return len(s) * (idx + 1) }
+	serial := Map(items, 1, fn)
+	parallel := Map(items, 4, fn)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel[%d] = %d, serial = %d", i, parallel[i], serial[i])
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map([]int{}, 4, func(int, int) int { return 1 }); len(got) != 0 {
+		t.Fatal("empty map returned results")
+	}
+}
+
+func TestMapUsesAllItems(t *testing.T) {
+	var calls int64
+	Map(make([]int, 57), 3, func(int, int) int {
+		atomic.AddInt64(&calls, 1)
+		return 0
+	})
+	if calls != 57 {
+		t.Fatalf("fn called %d times", calls)
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	// workers <= 0 must still process everything.
+	got := Map([]int{1, 2, 3}, 0, func(_ int, v int) int { return v * v })
+	if got[0] != 1 || got[1] != 4 || got[2] != 9 {
+		t.Fatalf("got %v", got)
+	}
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}
+
+// TestMapSeededDeterministicAcrossWorkers is the harness's core
+// guarantee: results do not depend on parallelism.
+func TestMapSeededDeterministicAcrossWorkers(t *testing.T) {
+	items := make([]int, 64)
+	fn := func(item int, r *rng.RNG) uint64 { return r.Uint64() }
+	one := MapSeeded(items, 7, 1, fn)
+	many := MapSeeded(items, 7, 16, fn)
+	for i := range one {
+		if one[i] != many[i] {
+			t.Fatalf("worker-count dependence at %d", i)
+		}
+	}
+	other := MapSeeded(items, 8, 1, fn)
+	if one[0] == other[0] {
+		t.Fatal("different seeds gave identical streams")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	res := Repeat(10, 3, 4, func(rep int, r *rng.RNG) int { return rep })
+	if len(res) != 10 {
+		t.Fatalf("Repeat returned %d", len(res))
+	}
+	for i, v := range res {
+		if v != i {
+			t.Fatalf("rep order wrong: res[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestFloats(t *testing.T) {
+	xs := Floats(5, 1, 2, func(rep int, r *rng.RNG) float64 { return float64(rep) * 2 })
+	want := []float64{0, 2, 4, 6, 8}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("Floats[%d] = %v", i, xs[i])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package table renders the experiment harness's result tables as
+// aligned monospaced text (for terminals and EXPERIMENTS.md) and as CSV
+// (for downstream plotting).
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented result table. Create one with New,
+// append rows with AddRow, and render with WriteText or WriteCSV.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Headers returns the column headers.
+func (t *Table) Headers() []string { return t.headers }
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the i-th data row.
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+// AddRow appends a row; cells are formatted with Cell. It panics if the
+// number of cells differs from the number of headers.
+func (t *Table) AddRow(cells ...any) {
+	if len(cells) != len(t.headers) {
+		panic(fmt.Sprintf("table: row has %d cells, want %d", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Cell formats a single value: floats compactly with 4 significant
+// digits, everything else via %v.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(x float64) string {
+	if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	a := x
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= 1000:
+		return fmt.Sprintf("%.1f", x)
+	case a >= 1:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%.4g", x)
+	}
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Text renders the table to a string (see WriteText).
+func (t *Table) Text() string {
+	var b strings.Builder
+	_ = t.WriteText(&b)
+	return b.String()
+}
+
+// WriteCSV emits the header row followed by the data rows in CSV form.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	seps := make([]string, len(t.headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}

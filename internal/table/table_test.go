@@ -1,0 +1,98 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddRowAndText(t *testing.T) {
+	tbl := New("demo", "name", "value")
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("b", 2.5)
+	out := tbl.Text()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.500") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the same prefix width for col 2.
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Errorf("header misaligned: %q", lines[1])
+	}
+}
+
+func TestAddRowMismatchPanics(t *testing.T) {
+	tbl := New("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tbl.AddRow(1)
+}
+
+func TestCellFormats(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{42, "42"},
+		{float64(42), "42"},
+		{3.14159, "3.142"},
+		{0.000123456, "0.0001235"},
+		{12345.678, "12345.7"},
+		{"s", "s"},
+		{true, "true"},
+		{float32(2), "2"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := New("t", "a", "b")
+	tbl.AddRow("x,y", 1)
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",1\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := New("title", "c1", "c2")
+	tbl.AddRow(1, 2)
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| c1 | c2 |") || !strings.Contains(md, "| --- | --- |") ||
+		!strings.Contains(md, "| 1 | 2 |") || !strings.Contains(md, "**title**") {
+		t.Fatalf("markdown wrong:\n%s", md)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tbl := New("t", "a")
+	tbl.AddRow(7)
+	if tbl.NumRows() != 1 || tbl.Row(0)[0] != "7" || tbl.Headers()[0] != "a" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tbl := New("", "a")
+	tbl.AddRow(1)
+	if strings.HasPrefix(tbl.Text(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}

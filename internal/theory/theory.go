@@ -1,0 +1,107 @@
+// Package theory provides deterministic mean-field predictors of the
+// flooding trajectory m_t = |I_t| for both substrates — the expected
+// one-step growth applied as a recurrence. These are sharper (but
+// heuristic) companions to the paper's worst-case bounds: Lemma 2.4
+// controls m_t through the expansion floor k(m), while the mean-field
+// recurrence tracks the typical m_t exactly enough to predict whole
+// trajectories, which experiment E18 verifies against simulation.
+package theory
+
+import "math"
+
+// EdgeTrajectory iterates the mean-field recurrence for flooding on a
+// stationary edge-MEG with marginal p̂:
+//
+//	m_{t+1} = m_t + (n − m_t)·(1 − (1−p̂)^{m_t})
+//
+// Every uninformed node has, independently, probability 1−(1−p̂)^{m_t}
+// of touching the informed set in the next snapshot (snapshots are
+// G(n,p̂) at every step). The returned slice starts at m_0 = 1 and ends
+// when m exceeds n−1/2 (rounded completion) or after maxRounds entries.
+func EdgeTrajectory(n int, pHat float64, maxRounds int) []float64 {
+	if n < 1 || pHat < 0 || pHat > 1 || maxRounds < 1 {
+		panic("theory: invalid EdgeTrajectory parameters")
+	}
+	out := []float64{1}
+	m := 1.0
+	for t := 0; t < maxRounds && m < float64(n)-0.5; t++ {
+		m += (float64(n) - m) * (1 - math.Pow(1-pHat, m))
+		out = append(out, m)
+	}
+	return out
+}
+
+// EdgeRounds returns the completion time of the mean-field recurrence:
+// the first t with m_t ≥ n − 1/2, or maxRounds if it never gets there.
+func EdgeRounds(n int, pHat float64, maxRounds int) int {
+	traj := EdgeTrajectory(n, pHat, maxRounds)
+	if traj[len(traj)-1] >= float64(n)-0.5 {
+		return len(traj) - 1
+	}
+	return maxRounds
+}
+
+// DiskSquareArea returns the area of the intersection between a disk of
+// radius rho centered at the center of a square of side L and the
+// square itself. Exact closed form: full disk for rho ≤ L/2, the disk
+// minus four circular segments for L/2 < rho ≤ L·√2/2, and L² beyond.
+func DiskSquareArea(rho, side float64) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	half := side / 2
+	switch {
+	case rho <= half:
+		return math.Pi * rho * rho
+	case rho >= half*math.Sqrt2:
+		return side * side
+	default:
+		// Segment beyond one side: ρ²·acos(h/ρ) − h·√(ρ²−h²).
+		seg := rho*rho*math.Acos(half/rho) - half*math.Sqrt(rho*rho-half*half)
+		return math.Pi*rho*rho - 4*seg
+	}
+}
+
+// GeometricTrajectory predicts flooding on the stationary geometric-MEG
+// with a frontier model: after t rounds the informed set fills a disk
+// of radius ρ_t = ρ_0 + t·(R+r) around the source (the message front
+// advances at most R per hop plus r of node motion; the paper's
+// Theorem 3.5 uses exactly this speed limit), clipped to the square of
+// side L, with node density δ = n/L². The source is modeled at the
+// square's center; corner sources finish in up to √2× more rounds.
+// ρ_0 = R (the first round informs the source's R-ball).
+func GeometricTrajectory(n int, side, radius, moveRadius float64, maxRounds int) []float64 {
+	if n < 1 || side <= 0 || radius <= 0 || maxRounds < 1 {
+		panic("theory: invalid GeometricTrajectory parameters")
+	}
+	density := float64(n) / (side * side)
+	speed := radius + moveRadius
+	out := []float64{1}
+	for t := 1; t <= maxRounds; t++ {
+		rho := radius + float64(t-1)*speed
+		m := density * DiskSquareArea(rho, side)
+		if m < 1 {
+			m = 1
+		}
+		if m > float64(n) {
+			m = float64(n)
+		}
+		out = append(out, m)
+		if m >= float64(n)-0.5 {
+			break
+		}
+	}
+	return out
+}
+
+// GeometricRounds returns the completion time of the frontier model:
+// the first t at which the disk covers the whole square (corner
+// reached), i.e. ρ_t ≥ L·√2/2 for a center source.
+func GeometricRounds(side, radius, moveRadius float64) float64 {
+	speed := radius + moveRadius
+	target := side * math.Sqrt2 / 2
+	if radius >= target {
+		return 1
+	}
+	return 1 + (target-radius)/speed
+}

@@ -1,0 +1,158 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/rng"
+)
+
+func TestEdgeTrajectoryMonotoneAndBounded(t *testing.T) {
+	traj := EdgeTrajectory(1000, 0.01, 100)
+	for i := 1; i < len(traj); i++ {
+		if traj[i] < traj[i-1] {
+			t.Fatal("trajectory decreased")
+		}
+		if traj[i] > 1000 {
+			t.Fatal("trajectory exceeded n")
+		}
+	}
+	if traj[len(traj)-1] < 999.5 {
+		t.Fatal("recurrence did not complete at np̂ = 10")
+	}
+}
+
+func TestEdgeTrajectoryEarlyGrowth(t *testing.T) {
+	// While m·p̂ ≪ 1, the per-round factor is ≈ 1 + np̂.
+	n := 10000
+	pHat := 0.001 // np̂ = 10
+	traj := EdgeTrajectory(n, pHat, 10)
+	growth := traj[1] / traj[0]
+	if math.Abs(growth-(1+float64(n)*pHat)) > 0.5 {
+		t.Fatalf("first-round growth %v, want ≈ %v", growth, 1+float64(n)*pHat)
+	}
+}
+
+func TestEdgeRounds(t *testing.T) {
+	// np̂ = 32 on n = 4096: log n/log np̂ = 2.4, mean-field completes in
+	// 3-4 rounds.
+	n := 4096
+	pHat := 32.0 / float64(n)
+	rounds := EdgeRounds(n, pHat, 100)
+	if rounds < 2 || rounds > 5 {
+		t.Fatalf("EdgeRounds = %d, want 3±", rounds)
+	}
+	// Zero p̂ never completes.
+	if EdgeRounds(100, 0, 25) != 25 {
+		t.Fatal("p̂=0 should hit the cap")
+	}
+}
+
+func TestDiskSquareAreaRegimes(t *testing.T) {
+	const side = 10.0
+	// Small disk: full circle.
+	if got, want := DiskSquareArea(2, side), math.Pi*4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("small disk area %v, want %v", got, want)
+	}
+	// Huge disk: the square.
+	if got := DiskSquareArea(100, side); got != 100 {
+		t.Fatalf("huge disk area %v, want 100", got)
+	}
+	// Boundary cases continuous.
+	eps := 1e-9
+	if math.Abs(DiskSquareArea(5-eps, side)-DiskSquareArea(5+eps, side)) > 1e-6 {
+		t.Fatal("area discontinuous at rho = L/2")
+	}
+	lim := 5 * math.Sqrt2
+	if math.Abs(DiskSquareArea(lim-eps, side)-DiskSquareArea(lim+eps, side)) > 1e-6 {
+		t.Fatal("area discontinuous at rho = L√2/2")
+	}
+}
+
+func TestDiskSquareAreaAgainstMonteCarlo(t *testing.T) {
+	// Validate the circular-segment formula in the clipped regime by
+	// Monte Carlo integration.
+	const side = 10.0
+	const rho = 6.5 // between L/2 and L√2/2
+	r := rng.New(1)
+	const samples = 400000
+	hits := 0
+	for i := 0; i < samples; i++ {
+		x := r.Float64()*side - side/2
+		y := r.Float64()*side - side/2
+		if x*x+y*y <= rho*rho {
+			hits++
+		}
+	}
+	mc := float64(hits) / samples * side * side
+	got := DiskSquareArea(rho, side)
+	if math.Abs(got-mc) > 0.02*side*side {
+		t.Fatalf("segment formula %v vs Monte Carlo %v", got, mc)
+	}
+}
+
+func TestDiskSquareAreaMonotone(t *testing.T) {
+	const side = 8.0
+	prev := 0.0
+	for rho := 0.1; rho < 8; rho += 0.1 {
+		a := DiskSquareArea(rho, side)
+		if a < prev-1e-12 {
+			t.Fatalf("area decreased at rho=%v", rho)
+		}
+		prev = a
+	}
+}
+
+func TestGeometricTrajectoryShape(t *testing.T) {
+	n := 4096
+	side := 64.0
+	traj := GeometricTrajectory(n, side, 6, 3, 1000)
+	for i := 1; i < len(traj); i++ {
+		if traj[i] < traj[i-1]-1e-9 {
+			t.Fatal("trajectory decreased")
+		}
+	}
+	last := traj[len(traj)-1]
+	if last < float64(n)-0.5 {
+		t.Fatalf("frontier model did not complete: %v", last)
+	}
+	// Completion near the analytic prediction.
+	want := GeometricRounds(side, 6, 3)
+	got := float64(len(traj) - 1)
+	if math.Abs(got-want) > 2 {
+		t.Fatalf("completion %v, prediction %v", got, want)
+	}
+}
+
+func TestGeometricRoundsScaling(t *testing.T) {
+	// Doubling R (and r with it) roughly halves the prediction.
+	a := GeometricRounds(64, 4, 2)
+	b := GeometricRounds(64, 8, 4)
+	if b < a/2.5 || b > a/1.5 {
+		t.Fatalf("rounds scaling: R=4 → %v, R=8 → %v", a, b)
+	}
+	// Huge radius: one round.
+	if GeometricRounds(10, 100, 0) != 1 {
+		t.Fatal("giant radius should complete in one round")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { EdgeTrajectory(0, 0.1, 10) },
+		func() { EdgeTrajectory(10, -0.1, 10) },
+		func() { EdgeTrajectory(10, 0.1, 0) },
+		func() { GeometricTrajectory(0, 1, 1, 1, 10) },
+		func() { GeometricTrajectory(10, 0, 1, 1, 10) },
+		func() { GeometricTrajectory(10, 1, 0, 1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,102 @@
+// Package walk implements random walks on Markovian evolving graphs —
+// the other fundamental exploration primitive on MEGs, analyzed by
+// Avin, Koucký and Lotker (the paper's reference [2], where hitting and
+// cover times on evolving graphs were first studied). A token sits on a
+// node; at every time step it moves to a uniformly random neighbor in
+// the *current* snapshot (staying put when isolated), and the graph
+// then advances.
+//
+// The package measures hitting times (first arrival at a target) and
+// cover times (first time every node has been visited), the quantities
+// [2] bounds. On a static snapshot these reduce to the classical
+// random-walk quantities, which the tests use as ground truth.
+package walk
+
+import (
+	"meg/internal/bitset"
+	"meg/internal/core"
+	"meg/internal/rng"
+)
+
+// Result records one random-walk run on an evolving graph.
+type Result struct {
+	// Steps is the number of time steps executed.
+	Steps int
+	// Done reports whether the objective (hit / cover) was reached
+	// before the cap.
+	Done bool
+	// Visited is the set of nodes visited (including the start).
+	Visited *bitset.Set
+}
+
+// Hit walks the token from start until it first reaches target (or the
+// cap expires) and returns the hitting time. The walk is lazy on
+// isolated nodes: a node with no current neighbors keeps the token for
+// the step.
+func Hit(d core.Dynamics, start, target, maxSteps int, r *rng.RNG) Result {
+	n := d.N()
+	checkNode(n, start)
+	checkNode(n, target)
+	if maxSteps <= 0 {
+		panic("walk: maxSteps must be positive")
+	}
+	visited := bitset.New(n)
+	visited.Add(start)
+	pos := start
+	if pos == target {
+		return Result{Steps: 0, Done: true, Visited: visited}
+	}
+	for t := 1; t <= maxSteps; t++ {
+		pos = step(d, pos, r)
+		visited.Add(pos)
+		d.Step()
+		if pos == target {
+			return Result{Steps: t, Done: true, Visited: visited}
+		}
+	}
+	return Result{Steps: maxSteps, Done: false, Visited: visited}
+}
+
+// Cover walks the token from start until every node has been visited
+// (or the cap expires) and returns the cover time.
+func Cover(d core.Dynamics, start, maxSteps int, r *rng.RNG) Result {
+	n := d.N()
+	checkNode(n, start)
+	if maxSteps <= 0 {
+		panic("walk: maxSteps must be positive")
+	}
+	visited := bitset.New(n)
+	visited.Add(start)
+	remaining := n - 1
+	pos := start
+	if remaining == 0 {
+		return Result{Steps: 0, Done: true, Visited: visited}
+	}
+	for t := 1; t <= maxSteps; t++ {
+		pos = step(d, pos, r)
+		if !visited.Contains(pos) {
+			visited.Add(pos)
+			remaining--
+		}
+		d.Step()
+		if remaining == 0 {
+			return Result{Steps: t, Done: true, Visited: visited}
+		}
+	}
+	return Result{Steps: maxSteps, Done: false, Visited: visited}
+}
+
+// step advances the token one hop in the current snapshot.
+func step(d core.Dynamics, pos int, r *rng.RNG) int {
+	nbrs := d.Graph().Neighbors(pos)
+	if len(nbrs) == 0 {
+		return pos // lazy on isolation
+	}
+	return int(nbrs[r.Intn(len(nbrs))])
+}
+
+func checkNode(n, v int) {
+	if v < 0 || v >= n {
+		panic("walk: node out of range")
+	}
+}

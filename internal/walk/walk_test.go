@@ -1,0 +1,175 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/core"
+	"meg/internal/edgemeg"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+func TestHitSameNode(t *testing.T) {
+	d := core.NewStatic(graph.Cycle(5))
+	res := Hit(d, 2, 2, 10, rng.New(1))
+	if !res.Done || res.Steps != 0 {
+		t.Fatalf("hit self: %+v", res)
+	}
+}
+
+func TestHitCompleteGraph(t *testing.T) {
+	// On K_n the hitting time is geometric with mean n-1.
+	const n = 16
+	r := rng.New(2)
+	var sum float64
+	const reps = 2000
+	for i := 0; i < reps; i++ {
+		d := core.NewStatic(graph.Complete(n))
+		res := Hit(d, 0, 1, 100000, r.Split())
+		if !res.Done {
+			t.Fatal("hit on K_n did not finish")
+		}
+		sum += float64(res.Steps)
+	}
+	mean := sum / reps
+	if math.Abs(mean-(n-1)) > 1.5 {
+		t.Fatalf("K%d hitting time mean %v, want ≈ %d", n, mean, n-1)
+	}
+}
+
+func TestHitPathEndToEnd(t *testing.T) {
+	// Hitting time of the far end of a path of length L is L².
+	const L = 8
+	r := rng.New(3)
+	var sum float64
+	const reps = 1500
+	for i := 0; i < reps; i++ {
+		d := core.NewStatic(graph.Path(L + 1))
+		res := Hit(d, 0, L, 1000000, r.Split())
+		if !res.Done {
+			t.Fatal("path hit did not finish")
+		}
+		sum += float64(res.Steps)
+	}
+	mean := sum / reps
+	want := float64(L * L)
+	if math.Abs(mean-want) > 0.12*want {
+		t.Fatalf("path hitting time mean %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestCoverCompleteGraph(t *testing.T) {
+	// Coupon collector: cover time of K_n ≈ (n-1)·H_{n-1}.
+	const n = 12
+	r := rng.New(5)
+	var sum float64
+	const reps = 2000
+	for i := 0; i < reps; i++ {
+		d := core.NewStatic(graph.Complete(n))
+		res := Cover(d, 0, 100000, r.Split())
+		if !res.Done {
+			t.Fatal("cover did not finish")
+		}
+		if res.Visited.Count() != n {
+			t.Fatal("cover finished without visiting everything")
+		}
+		sum += float64(res.Steps)
+	}
+	mean := sum / reps
+	h := 0.0
+	for k := 1; k <= n-1; k++ {
+		h += 1 / float64(k)
+	}
+	want := float64(n-1) * h
+	if math.Abs(mean-want) > 0.1*want {
+		t.Fatalf("K%d cover time mean %v, want ≈ %v", n, mean, want)
+	}
+}
+
+func TestCoverCycleQuadratic(t *testing.T) {
+	// Cover time of the n-cycle is n(n-1)/2.
+	const n = 12
+	r := rng.New(7)
+	var sum float64
+	const reps = 1200
+	for i := 0; i < reps; i++ {
+		d := core.NewStatic(graph.Cycle(n))
+		res := Cover(d, 0, 1000000, r.Split())
+		sum += float64(res.Steps)
+	}
+	mean := sum / reps
+	want := float64(n*(n-1)) / 2
+	if math.Abs(mean-want) > 0.12*want {
+		t.Fatalf("cycle cover time mean %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestWalkLazyOnIsolatedNode(t *testing.T) {
+	// Node 0 is isolated at t=0 and connects to 1 at t=1: the token
+	// waits one step, then crosses.
+	g0 := graph.Empty(2)
+	g1 := graph.FromEdges(2, [][2]int{{0, 1}})
+	d := core.NewSequence(g0, g1, g1)
+	res := Hit(d, 0, 1, 10, rng.New(9))
+	if !res.Done || res.Steps != 2 {
+		t.Fatalf("lazy walk: %+v, want done at step 2", res)
+	}
+}
+
+func TestWalkOnEdgeMEG(t *testing.T) {
+	// Integration: cover an evolving stationary edge-MEG; the evolving
+	// links must let the token cover everything within a generous cap.
+	n := 64
+	cfg := edgemeg.Config{N: n, P: 0.02, Q: 0.5}
+	m := edgemeg.MustNew(cfg)
+	r := rng.New(11)
+	m.Reset(r.Split())
+	res := Cover(m, 0, 100*n*n, r)
+	if !res.Done {
+		t.Fatalf("cover on edge-MEG incomplete after %d steps (visited %d/%d)",
+			res.Steps, res.Visited.Count(), n)
+	}
+}
+
+func TestWalkCap(t *testing.T) {
+	// Disconnected target: the cap is respected.
+	d := core.NewStatic(graph.FromEdges(3, [][2]int{{0, 1}}))
+	res := Hit(d, 0, 2, 50, rng.New(13))
+	if res.Done || res.Steps != 50 {
+		t.Fatalf("cap not respected: %+v", res)
+	}
+}
+
+func TestWalkPanics(t *testing.T) {
+	d := core.NewStatic(graph.Path(3))
+	r := rng.New(1)
+	for _, fn := range []func(){
+		func() { Hit(d, -1, 0, 10, r) },
+		func() { Hit(d, 0, 3, 10, r) },
+		func() { Hit(d, 0, 1, 0, r) },
+		func() { Cover(d, 5, 10, r) },
+		func() { Cover(d, 0, 0, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkCoverEdgeMEG(b *testing.B) {
+	n := 256
+	cfg := edgemeg.Config{N: n, P: 0.01, Q: 0.5}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := edgemeg.MustNew(cfg)
+		m.Reset(r.Split())
+		Cover(m, 0, 100*n*n, r.Split())
+	}
+}

@@ -1,0 +1,141 @@
+// Package meg is the public API of this repository: a library for
+// simulating information spreading (flooding) in stationary Markovian
+// evolving graphs, reproducing Clementi, Monti, Pasquale, Silvestri,
+// "Information Spreading in Stationary Markovian Evolving Graphs"
+// (IEEE IPDPS 2009).
+//
+// # Overview
+//
+// A Markovian evolving graph (MEG) is a Markov chain over graphs on a
+// fixed node set. The paper bounds the completion time of the flooding
+// mechanism — the process in which every informed node forwards the
+// message to all current neighbors each round — on any stationary MEG
+// in terms of parameterized node-expansion, and instantiates the bound
+// for two concrete models:
+//
+//   - geometric MEGs: n mobile nodes performing independent random
+//     walks on a √n×√n grid, connected within transmission radius R
+//     (Theorem 3.4: flooding completes in O(√n/R + log log R) rounds);
+//   - edge-MEGs: every potential edge is an independent two-state
+//     Markov chain with birth rate p and death rate q (Theorem 4.3:
+//     O(log n/log(np̂) + log log(np̂)) rounds, p̂ = p/(p+q)).
+//
+// # Quick start
+//
+//	model := meg.NewEdgeMarkovian(meg.EdgeConfig{N: 1024, P: 0.004, Q: 0.5})
+//	r := meg.NewRNG(1)
+//	model.Reset(r)
+//	res := meg.Flood(model, 0, meg.DefaultRoundCap(1024))
+//	fmt.Println(res.Rounds, res.Completed)
+//
+// See the examples/ directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the per-theorem reproduction
+// results.
+package meg
+
+import (
+	"meg/internal/core"
+	"meg/internal/edgemeg"
+	"meg/internal/geommeg"
+	"meg/internal/graph"
+	"meg/internal/mobility"
+	"meg/internal/protocol"
+	"meg/internal/rng"
+	"meg/internal/walk"
+)
+
+// Dynamics is a Markovian evolving graph: see core.Dynamics.
+type Dynamics = core.Dynamics
+
+// FloodResult reports one flooding run: completion time, trajectory of
+// informed-set sizes, and the final informed set.
+type FloodResult = core.FloodResult
+
+// Graph is an immutable CSR snapshot of an evolving graph.
+type Graph = graph.Graph
+
+// RNG is the deterministic random number generator used by every model.
+type RNG = rng.RNG
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Flood runs the flooding process on d from the given source with a
+// round cap; see core.Flood for exact semantics.
+func Flood(d Dynamics, source, maxRounds int) FloodResult {
+	return core.Flood(d, source, maxRounds)
+}
+
+// FloodingTime estimates the flooding time (max over the given
+// sources), resetting d before each run; see core.FloodingTime.
+func FloodingTime(d Dynamics, sources []int, maxRounds int, r *RNG) FloodResult {
+	return core.FloodingTime(d, sources, maxRounds, r)
+}
+
+// DefaultRoundCap returns a safe default cap on flooding rounds.
+func DefaultRoundCap(n int) int { return core.DefaultRoundCap(n) }
+
+// GeometricConfig parameterizes a geometric MEG (random-walk mobility
+// on a grid); see the geommeg package for field documentation.
+type GeometricConfig = geommeg.Config
+
+// Geometric is a geometric Markovian evolving graph.
+type Geometric = geommeg.Model
+
+// NewGeometric returns a geometric MEG, panicking on invalid
+// configuration (use geommeg.New directly for error returns).
+func NewGeometric(cfg GeometricConfig) *Geometric { return geommeg.MustNew(cfg) }
+
+// EdgeConfig parameterizes an edge-Markovian MEG; see the edgemeg
+// package for field documentation.
+type EdgeConfig = edgemeg.Config
+
+// EdgeMarkovian is an edge-Markovian evolving graph.
+type EdgeMarkovian = edgemeg.Model
+
+// NewEdgeMarkovian returns an edge-MEG, panicking on invalid
+// configuration (use edgemeg.New directly for error returns).
+func NewEdgeMarkovian(cfg EdgeConfig) *EdgeMarkovian { return edgemeg.MustNew(cfg) }
+
+// Mobility is a node mobility process usable with NewMobilityDynamics.
+type Mobility = mobility.Mobility
+
+// NewMobilityDynamics turns any Mobility into a Dynamics with
+// transmission radius R.
+func NewMobilityDynamics(m Mobility, radius float64) Dynamics {
+	return mobility.NewDynamics(m, radius)
+}
+
+// Static wraps a fixed graph as a constant Dynamics (the paper's static
+// baseline).
+func Static(g *Graph) Dynamics { return core.NewStatic(g) }
+
+// Protocol is a broadcast protocol runnable on any Dynamics; the
+// protocol package provides Flooding, Probabilistic, PushGossip and
+// PushPull — the family for which flooding is the latency baseline.
+type Protocol = protocol.Protocol
+
+// ProtocolResult is the outcome of a protocol run, including message
+// accounting.
+type ProtocolResult = protocol.Result
+
+// WalkResult is the outcome of a random-walk run (hitting or covering).
+type WalkResult = walk.Result
+
+// WalkHit runs a random walk on d from start until it reaches target;
+// see walk.Hit.
+func WalkHit(d Dynamics, start, target, maxSteps int, r *RNG) WalkResult {
+	return walk.Hit(d, start, target, maxSteps, r)
+}
+
+// WalkCover runs a random walk on d from start until every node has
+// been visited; see walk.Cover.
+func WalkCover(d Dynamics, start, maxSteps int, r *RNG) WalkResult {
+	return walk.Cover(d, start, maxSteps, r)
+}
+
+// FloodParsimonious runs the k-round-budget (amnesiac) flooding variant
+// of the paper's reference [4]; see core.FloodParsimonious.
+func FloodParsimonious(d Dynamics, source, activeRounds, maxRounds int) FloodResult {
+	return core.FloodParsimonious(d, source, activeRounds, maxRounds)
+}

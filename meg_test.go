@@ -1,0 +1,109 @@
+// Integration tests of the public facade: the end-to-end pipelines a
+// library user runs, checked against the paper's bounds.
+package meg_test
+
+import (
+	"math"
+	"testing"
+
+	"meg"
+	"meg/internal/bounds"
+	"meg/internal/mobility"
+)
+
+func TestQuickstartEdge(t *testing.T) {
+	// The README quickstart, as a test.
+	n := 1024
+	model := meg.NewEdgeMarkovian(meg.EdgeConfig{N: n, P: 0.004, Q: 0.5})
+	r := meg.NewRNG(1)
+	model.Reset(r)
+	res := meg.Flood(model, 0, meg.DefaultRoundCap(n))
+	if !res.Completed {
+		t.Fatal("quickstart flooding did not complete")
+	}
+	if res.Rounds < 1 || res.Rounds > 20 {
+		t.Fatalf("quickstart rounds = %d, far from the theory's ≈ 3", res.Rounds)
+	}
+}
+
+func TestGeometricWithinTheoremBounds(t *testing.T) {
+	// One stationary geometric flood sits between the Theorem 3.5 lower
+	// bound and a small multiple of the Theorem 3.4 shape.
+	n := 2048
+	radius := 2 * math.Sqrt(math.Log(float64(n)))
+	model := meg.NewGeometric(meg.GeometricConfig{N: n, R: radius, MoveRadius: radius / 2})
+	r := meg.NewRNG(7)
+	lower := bounds.GeometricLower(math.Sqrt(float64(n)), radius, radius/2)
+	upper := 3 * bounds.GeometricUpperShape(n, radius)
+	for trial := 0; trial < 5; trial++ {
+		model.Reset(r.Split())
+		res := meg.Flood(model, trial%n, meg.DefaultRoundCap(n))
+		if !res.Completed {
+			t.Fatal("geometric flooding did not complete")
+		}
+		got := float64(res.Rounds)
+		if got < lower {
+			t.Fatalf("trial %d: rounds %v below Theorem 3.5 bound %v", trial, got, lower)
+		}
+		if got > upper {
+			t.Fatalf("trial %d: rounds %v above 3× Theorem 3.4 shape %v", trial, got, upper)
+		}
+	}
+}
+
+func TestEdgeWithinTheoremBounds(t *testing.T) {
+	n := 2048
+	pHat := 4 * math.Log(float64(n)) / float64(n)
+	model := meg.NewEdgeMarkovian(meg.EdgeConfig{N: n, P: 0.5 * pHat / (1 - pHat), Q: 0.5})
+	r := meg.NewRNG(9)
+	lower := bounds.EdgeLower(n, pHat)
+	upper := 4 * bounds.EdgeUpperShape(n, pHat)
+	for trial := 0; trial < 5; trial++ {
+		model.Reset(r.Split())
+		res := meg.Flood(model, trial%n, meg.DefaultRoundCap(n))
+		if !res.Completed {
+			t.Fatal("edge flooding did not complete")
+		}
+		got := float64(res.Rounds)
+		if got < lower || got > upper {
+			t.Fatalf("trial %d: rounds %v outside [%v, %v]", trial, got, lower, upper)
+		}
+	}
+}
+
+func TestFloodingTimeFacade(t *testing.T) {
+	n := 512
+	model := meg.NewEdgeMarkovian(meg.EdgeConfig{N: n, P: 0.02, Q: 0.5})
+	res := meg.FloodingTime(model, []int{0, n / 2, n - 1}, meg.DefaultRoundCap(n), meg.NewRNG(3))
+	if !res.Completed {
+		t.Fatal("facade FloodingTime did not complete")
+	}
+}
+
+func TestMobilityDynamicsFacade(t *testing.T) {
+	side := 32.0
+	mob := mobility.NewBilliard(256, side, 2, 0.1)
+	d := meg.NewMobilityDynamics(mob, 6)
+	d.Reset(meg.NewRNG(5))
+	res := meg.Flood(d, 0, meg.DefaultRoundCap(256))
+	if !res.Completed {
+		t.Fatal("mobility facade flooding did not complete")
+	}
+}
+
+func TestStaticFacade(t *testing.T) {
+	// The static baseline the paper compares against: flooding time on
+	// a static snapshot equals the source's eccentricity.
+	model := meg.NewGeometric(meg.GeometricConfig{N: 512, R: 8, MoveRadius: 0})
+	model.Reset(meg.NewRNG(11))
+	g := model.Graph()
+	d := meg.Static(g)
+	res := meg.Flood(d, 0, meg.DefaultRoundCap(512))
+	ecc, conn := g.Eccentricity(0)
+	if conn != res.Completed {
+		t.Fatalf("completion %v but connected %v", res.Completed, conn)
+	}
+	if conn && res.Rounds != ecc {
+		t.Fatalf("static flooding %d != eccentricity %d", res.Rounds, ecc)
+	}
+}
