@@ -59,10 +59,7 @@ func BenchmarkE18_MeanField(b *testing.B)       { benchExperiment(b, "E18") }
 func BenchmarkE19_Uniformity(b *testing.B)      { benchExperiment(b, "E19") }
 func BenchmarkE20_Faults(b *testing.B)          { benchExperiment(b, "E20") }
 
-// BenchmarkFloodGeometric measures one full stationary geometric-MEG
-// flooding run (sample π, then flood to completion) at the paper's
-// canonical parameters.
-func BenchmarkFloodGeometric(b *testing.B) {
+func benchFloodGeometric(b *testing.B, opt meg.FloodOptions) {
 	n := 4096
 	radius := 2 * math.Sqrt(math.Log(float64(n)))
 	cfg := meg.GeometricConfig{N: n, R: radius, MoveRadius: radius / 2}
@@ -72,15 +69,24 @@ func BenchmarkFloodGeometric(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		model.Reset(r.Split())
-		res := meg.Flood(model, 0, meg.DefaultRoundCap(n))
+		res := meg.FloodOpt(model, 0, meg.DefaultRoundCap(n), opt)
 		rounds += float64(res.Rounds)
 	}
 	b.ReportMetric(rounds/float64(b.N), "rounds/op")
 }
 
-// BenchmarkFloodEdge measures one full stationary edge-MEG flooding run
-// at p̂ = 4·log n/n.
-func BenchmarkFloodEdge(b *testing.B) {
+// BenchmarkFloodGeometric measures one full stationary geometric-MEG
+// flooding run (sample π, then flood to completion) at the paper's
+// canonical parameters, using the direction-optimizing default kernel.
+func BenchmarkFloodGeometric(b *testing.B) { benchFloodGeometric(b, meg.FloodOptions{}) }
+
+// BenchmarkFloodGeometricPush pins the sparse push kernel (the
+// pre-direction-optimizing behavior) for comparison.
+func BenchmarkFloodGeometricPush(b *testing.B) {
+	benchFloodGeometric(b, meg.FloodOptions{Kernel: meg.KernelPush})
+}
+
+func benchFloodEdge(b *testing.B, opt meg.FloodOptions) {
 	n := 4096
 	pHat := 4 * math.Log(float64(n)) / float64(n)
 	cfg := meg.EdgeConfig{N: n, P: 0.5 * pHat / (1 - pHat), Q: 0.5}
@@ -90,8 +96,44 @@ func BenchmarkFloodEdge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		model.Reset(r.Split())
-		res := meg.Flood(model, 0, meg.DefaultRoundCap(n))
+		res := meg.FloodOpt(model, 0, meg.DefaultRoundCap(n), opt)
 		rounds += float64(res.Rounds)
 	}
 	b.ReportMetric(rounds/float64(b.N), "rounds/op")
+}
+
+// BenchmarkFloodEdge measures one full stationary edge-MEG flooding run
+// at p̂ = 4·log n/n with the direction-optimizing default kernel.
+func BenchmarkFloodEdge(b *testing.B) { benchFloodEdge(b, meg.FloodOptions{}) }
+
+// BenchmarkFloodEdgePush pins the sparse push kernel (the
+// pre-direction-optimizing behavior) for comparison.
+func BenchmarkFloodEdgePush(b *testing.B) {
+	benchFloodEdge(b, meg.FloodOptions{Kernel: meg.KernelPush})
+}
+
+// BenchmarkFloodEdgeMulti64 amortizes one stationary edge-MEG snapshot
+// sequence across 64 sources with the bit-parallel batched engine; the
+// per-source cost ("flood/op" = time/64) is the number to compare
+// against BenchmarkFloodEdge.
+func BenchmarkFloodEdgeMulti64(b *testing.B) {
+	n := 4096
+	pHat := 4 * math.Log(float64(n)) / float64(n)
+	cfg := meg.EdgeConfig{N: n, P: 0.5 * pHat / (1 - pHat), Q: 0.5}
+	r := meg.NewRNG(1)
+	model := meg.NewEdgeMarkovian(cfg)
+	sources := make([]int, 64)
+	for i := range sources {
+		sources[i] = i * (n / 64)
+	}
+	rounds := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Reset(r.Split())
+		for _, res := range meg.FloodMulti(model, sources, meg.DefaultRoundCap(n)) {
+			rounds += float64(res.Rounds)
+		}
+	}
+	b.ReportMetric(rounds/float64(b.N)/64, "rounds/flood")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/64, "ns/flood")
 }

@@ -14,6 +14,13 @@
 //	-scale quick|standard|full   experiment size (default standard)
 //	-seed N                      base RNG seed (default 1)
 //	-workers N                   parallelism (default: all CPUs)
+//	-kernel auto|push|pull       flooding kernel (default auto). Kernels
+//	                             compute identical results per flooding
+//	                             call; note that pinning one also forces
+//	                             the per-source (unbatched) estimator in
+//	                             the multi-source experiments (E4, E8),
+//	                             whose sampled rows then differ from the
+//	                             auto run at standard/full scale.
 //	-csv DIR                     also write every table as CSV into DIR
 //	-list                        list experiments and exit
 package main
@@ -26,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"meg/internal/core"
 	"meg/internal/experiments"
 )
 
@@ -33,6 +41,7 @@ func main() {
 	scaleFlag := flag.String("scale", "standard", "experiment scale: quick|standard|full")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+	kernelFlag := flag.String("kernel", "auto", "flooding kernel: auto|push|pull (identical results per flooding call; pinning one also disables source batching in E4/E8)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -49,7 +58,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	params := experiments.Params{Scale: scale, Seed: *seed, Workers: *workers}
+	kernel, err := core.ParseKernel(*kernelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	params := experiments.Params{Scale: scale, Seed: *seed, Workers: *workers, Kernel: kernel}
 
 	var selected []experiments.Experiment
 	if flag.NArg() == 0 {

@@ -1,0 +1,3 @@
+module meg
+
+go 1.22

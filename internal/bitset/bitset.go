@@ -162,6 +162,13 @@ func (s *Set) IsSubsetOf(t *Set) bool {
 	return true
 }
 
+// Words exposes the backing word slice: bit v of Words()[v/64] is set
+// iff v is in the set. Bits at positions ≥ n are always zero. The slice
+// aliases the set's storage — callers must treat it as read-only. It
+// exists for word-parallel kernels (dense flooding, multi-source
+// batching) that fuse membership tests into their own word loops.
+func (s *Set) Words() []uint64 { return s.words }
+
 // ForEach calls fn for every element of the set in increasing order.
 func (s *Set) ForEach(fn func(v int)) {
 	for wi, w := range s.words {

@@ -281,3 +281,22 @@ func BenchmarkContains(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestWords(t *testing.T) {
+	s := New(130)
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	w := s.Words()
+	if len(w) != 3 {
+		t.Fatalf("words = %d, want 3", len(w))
+	}
+	if w[0] != 1 || w[1] != 1 || w[2] != 1<<1 {
+		t.Fatalf("word contents wrong: %x %x %x", w[0], w[1], w[2])
+	}
+	// Words aliases the live storage: later mutations must show through.
+	s.Add(1)
+	if w[0] != 3 {
+		t.Fatal("Words is not a live alias")
+	}
+}

@@ -1,7 +1,13 @@
 package core
 
 import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+
 	"meg/internal/bitset"
+	"meg/internal/graph"
 	"meg/internal/rng"
 )
 
@@ -67,6 +73,93 @@ func (r FloodResult) RoundsToHalf(n int) int {
 	return -1
 }
 
+// Kernel selects the per-round strategy for computing N(I_t).
+type Kernel int
+
+const (
+	// KernelAuto is the direction-optimizing default: push while the
+	// informed set is small, switch to pull once it passes the
+	// configured threshold fraction of n. Both kernels compute exactly
+	// I_{t+1} = I_t ∪ N(I_t), so the choice affects speed only.
+	KernelAuto Kernel = iota
+	// KernelPush always scans the adjacency lists of informed senders
+	// (the sparse kernel): O(Σ_{u∈I_t} deg u) per round.
+	KernelPush
+	// KernelPull always scans uninformed receivers (the dense kernel):
+	// each uninformed node checks its own adjacency row for an informed
+	// neighbor, with early exit on the first hit. The uninformed side is
+	// enumerated word-parallel from the informed bitset's complement.
+	KernelPull
+)
+
+// String returns the kernel's flag spelling.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelPush:
+		return "push"
+	case KernelPull:
+		return "pull"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel converts a flag value into a Kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch strings.ToLower(s) {
+	case "auto", "":
+		return KernelAuto, nil
+	case "push", "sparse":
+		return KernelPush, nil
+	case "pull", "dense":
+		return KernelPull, nil
+	default:
+		return KernelAuto, fmt.Errorf("core: unknown kernel %q (want auto|push|pull)", s)
+	}
+}
+
+// pullThresholdFor derives KernelAuto’s push→pull switch fraction
+// from an average-degree estimate: the switch point that balances the
+// two kernels’ expected costs is f* ≈ 1/√d̄ for average degree d̄
+// (push costs ≈ f·n·d̄ probes, pull costs ≈ (1−f)·n·min(d̄, 1/f) with
+// early exit), clamped to [0.02, 0.5].
+func pullThresholdFor(avgDeg float64) float64 {
+	if avgDeg <= 1 || math.IsNaN(avgDeg) {
+		return 0.5
+	}
+	f := 1 / math.Sqrt(avgDeg)
+	if f < 0.02 {
+		return 0.02
+	}
+	if f > 0.5 {
+		return 0.5
+	}
+	return f
+}
+
+// DegreeHinter is optionally implemented by Dynamics whose expected
+// snapshot degree is known in closed form (e.g. (n−1)·p̂ for the
+// stationary edge-MEG). The hint positions KernelAuto's push→pull
+// switch without per-round measurement; it has no effect on results.
+type DegreeHinter interface {
+	ExpectedDegree() float64
+}
+
+// FloodOptions tunes the flooding engine. The zero value (KernelAuto,
+// derived threshold) is the right choice almost always.
+type FloodOptions struct {
+	// Kernel selects the per-round strategy (default KernelAuto).
+	Kernel Kernel
+	// PullThreshold overrides the informed-set fraction at which
+	// KernelAuto switches push→pull. ≤ 0 means derive it — 1/√d̄
+	// clamped to [0.02, 0.5] — from the dynamics' DegreeHinter if
+	// implemented, else from each snapshot's average degree. Values > 1
+	// effectively pin KernelAuto to push.
+	PullThreshold float64
+}
+
 // Flood runs the flooding process of Section 2 on d starting from
 // source: I_0 = {source}; thereafter I_{t+1} = I_t ∪ N(I_t) where the
 // out-neighborhood is taken in the snapshot G_t, and the chain then
@@ -79,7 +172,17 @@ func (r FloodResult) RoundsToHalf(n int) int {
 //
 // maxRounds must be positive; a cap of 4n is a safe default for
 // connected-regime experiments (see DefaultRoundCap).
+//
+// Flood uses the direction-optimizing engine with default options; use
+// FloodOpt to pin a kernel or move the push/pull switch point.
 func Flood(d Dynamics, source, maxRounds int) FloodResult {
+	return FloodOpt(d, source, maxRounds, FloodOptions{})
+}
+
+// FloodOpt is Flood with explicit engine options. All kernels produce
+// bit-identical FloodResults on the same dynamics state and RNG stream
+// (the kernels never draw randomness; only the dynamics does).
+func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 	n := d.N()
 	if source < 0 || source >= n {
 		panic("core: flood source out of range")
@@ -105,6 +208,17 @@ func Flood(d Dynamics, source, maxRounds int) FloodResult {
 		res.Completed = true
 		return res
 	}
+	thresh := opt.PullThreshold
+	if thresh <= 0 {
+		if h, ok := d.(DegreeHinter); ok {
+			thresh = pullThresholdFor(h.ExpectedDegree())
+		}
+	}
+	// For the static baseline the snapshot never changes, so once the
+	// engine pulls it can afford a one-time dense-row export and test
+	// "informed neighbor?" by word-parallel row intersection.
+	st, isStatic := d.(*Static)
+	var rows *graph.DenseRows
 	// senders holds exactly the nodes of I_t; nodes discovered during
 	// round t are appended only after the round completes, enforcing
 	// the paper's synchronous semantics (a node informed at step t does
@@ -114,13 +228,33 @@ func Flood(d Dynamics, source, maxRounds int) FloodResult {
 	newly := make([]int32, 0, 256)
 	for t := 0; t < maxRounds; t++ {
 		g := d.Graph()
+		pull := false
+		switch opt.Kernel {
+		case KernelPull:
+			pull = true
+		case KernelPush:
+			// never pull
+		default:
+			th := thresh
+			if th <= 0 {
+				th = pullThresholdFor(g.AvgDegree())
+			}
+			pull = float64(len(senders)) >= th*float64(n)
+		}
 		newly = newly[:0]
-		for _, u := range senders {
-			for _, v := range g.Neighbors(int(u)) {
-				if !informed.Contains(int(v)) {
-					informed.Add(int(v))
-					arrival[v] = int32(t + 1)
-					newly = append(newly, v)
+		if pull {
+			if isStatic && rows == nil && denseRowsWorthwhile(st.G) {
+				rows = graph.NewDenseRows(st.G)
+			}
+			newly = pullRound(g, rows, informed, arrival, t, newly)
+		} else {
+			for _, u := range senders {
+				for _, v := range g.Neighbors(int(u)) {
+					if !informed.Contains(int(v)) {
+						informed.Add(int(v))
+						arrival[v] = int32(t + 1)
+						newly = append(newly, v)
+					}
 				}
 			}
 		}
@@ -137,6 +271,62 @@ func Flood(d Dynamics, source, maxRounds int) FloodResult {
 	return res
 }
 
+// pullRound computes one round of I_{t+1} = I_t ∪ N(I_t) from the
+// receivers' side: every uninformed node (enumerated word-parallel from
+// the complement of the informed bitset) scans its own adjacency for an
+// informed neighbor, stopping at the first hit. Nodes discovered this
+// round are recorded in newly and added to informed only after the
+// sweep, so the informed words seen during the scan are exactly I_t —
+// the same synchronous semantics the push kernel enforces via its
+// senders list. With rows non-nil the membership scan is a word-parallel
+// row∧informed intersection instead of a CSR walk.
+func pullRound(g *graph.Graph, rows *graph.DenseRows, informed *bitset.Set, arrival []int32, t int, newly []int32) []int32 {
+	words := informed.Words()
+	n := informed.Len()
+	for wi, w := range words {
+		rem := ^w
+		if rem == 0 {
+			continue
+		}
+		base := wi * 64
+		for rem != 0 {
+			b := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			v := base + b
+			if v >= n {
+				break
+			}
+			hit := false
+			if rows != nil {
+				hit = rows.Intersects(v, informed)
+			} else {
+				for _, u := range g.Neighbors(v) {
+					if words[u>>6]&(1<<(uint(u)&63)) != 0 {
+						hit = true
+						break
+					}
+				}
+			}
+			if hit {
+				arrival[v] = int32(t + 1)
+				newly = append(newly, int32(v))
+			}
+		}
+	}
+	for _, v := range newly {
+		informed.Add(int(v))
+	}
+	return newly
+}
+
+// denseRowsWorthwhile gates the one-time bit-matrix export for static
+// snapshots: worthwhile when a dense row (n/64 words) undercuts the
+// average CSR row and the matrix stays comfortably in cache-friendly
+// territory (n ≤ 8192 ⇒ ≤ 8 MiB).
+func denseRowsWorthwhile(g *graph.Graph) bool {
+	return g.N() <= 8192 && g.AvgDegree() >= 64
+}
+
 // DefaultRoundCap returns a generous cap on flooding rounds for a graph
 // on n nodes: 4n + 32. Any connected-regime process in this repository
 // finishes orders of magnitude sooner; hitting the cap signals a
@@ -150,14 +340,35 @@ func DefaultRoundCap(n int) int { return 4*n + 32 }
 // small sample of sources converges quickly to the true maximum; tests
 // on small graphs pass all n sources for exactness.
 func FloodingTime(d Dynamics, sources []int, maxRounds int, r *rng.RNG) FloodResult {
+	return FloodingTimeOpt(d, sources, maxRounds, r, FloodOptions{})
+}
+
+// FloodingTimeOpt is FloodingTime with explicit engine options.
+func FloodingTimeOpt(d Dynamics, sources []int, maxRounds int, r *rng.RNG, opt FloodOptions) FloodResult {
 	if len(sources) == 0 {
 		panic("core: FloodingTime needs at least one source")
 	}
 	var worst FloodResult
 	for i, s := range sources {
 		d.Reset(r.Split())
-		res := Flood(d, s, maxRounds)
+		res := FloodOpt(d, s, maxRounds, opt)
 		if i == 0 || beats(res, worst) {
+			worst = res
+		}
+	}
+	return worst
+}
+
+// WorstResult returns the worst (slowest) of the given results, with
+// any incomplete run beating any complete one — the max that defines
+// flooding time. It panics on an empty slice.
+func WorstResult(results []FloodResult) FloodResult {
+	if len(results) == 0 {
+		panic("core: WorstResult needs at least one result")
+	}
+	worst := results[0]
+	for _, res := range results[1:] {
+		if beats(res, worst) {
 			worst = res
 		}
 	}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/edgemeg"
+	"meg/internal/geommeg"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// sameResult compares every observable field of two FloodResults.
+func sameResult(t *testing.T, label string, a, b FloodResult) {
+	t.Helper()
+	if a.Source != b.Source || a.Rounds != b.Rounds || a.Completed != b.Completed {
+		t.Fatalf("%s: headline mismatch: (%d,%d,%v) vs (%d,%d,%v)",
+			label, a.Source, a.Rounds, a.Completed, b.Source, b.Rounds, b.Completed)
+	}
+	if len(a.Trajectory) != len(b.Trajectory) {
+		t.Fatalf("%s: trajectory lengths %d vs %d", label, len(a.Trajectory), len(b.Trajectory))
+	}
+	for i := range a.Trajectory {
+		if a.Trajectory[i] != b.Trajectory[i] {
+			t.Fatalf("%s: trajectory[%d] = %d vs %d", label, i, a.Trajectory[i], b.Trajectory[i])
+		}
+	}
+	for v := range a.Arrival {
+		if a.Arrival[v] != b.Arrival[v] {
+			t.Fatalf("%s: arrival[%d] = %d vs %d", label, v, a.Arrival[v], b.Arrival[v])
+		}
+	}
+	if !a.Informed.Equal(b.Informed) {
+		t.Fatalf("%s: informed sets differ", label)
+	}
+}
+
+// kernelVariants is the matrix of engine configurations that must all
+// produce bit-identical results: the two pinned kernels, the auto
+// default, and forced-threshold autos that pin the switch to round 0
+// (always pull once any node is informed) and to never.
+func kernelVariants() map[string]FloodOptions {
+	return map[string]FloodOptions{
+		"push":        {Kernel: KernelPush},
+		"pull":        {Kernel: KernelPull},
+		"auto":        {},
+		"auto-pull":   {PullThreshold: 1e-9},
+		"auto-never":  {PullThreshold: 2},
+		"auto-switch": {PullThreshold: 0.1},
+	}
+}
+
+// TestKernelEquivalenceEdge cross-checks sparse and dense flooding on
+// stationary edge-MEG realizations: the kernels draw no randomness, so
+// resetting the model with the same seed must reproduce the identical
+// snapshot sequence and hence the identical FloodResult.
+func TestKernelEquivalenceEdge(t *testing.T) {
+	n := 256
+	pHat := 8 * math.Log(float64(n)) / float64(n)
+	cfg := edgemeg.Config{N: n, P: 0.5 * pHat / (1 - pHat), Q: 0.5}
+	for seed := uint64(1); seed <= 5; seed++ {
+		ref := FloodResult{}
+		first := true
+		for name, opt := range kernelVariants() {
+			m := edgemeg.MustNew(cfg)
+			m.Reset(rng.New(seed))
+			res := FloodOpt(m, int(seed)%n, DefaultRoundCap(n), opt)
+			if !res.Completed {
+				t.Fatalf("seed %d kernel %s: flood did not complete", seed, name)
+			}
+			if first {
+				ref = res
+				first = false
+				continue
+			}
+			sameResult(t, name, res, ref)
+		}
+	}
+}
+
+// TestKernelEquivalenceGeom is the geometric-MEG counterpart, covering
+// the model whose snapshots come from mobile node positions.
+func TestKernelEquivalenceGeom(t *testing.T) {
+	n := 400
+	radius := 2 * math.Sqrt(math.Log(float64(n)))
+	cfg := geommeg.Config{N: n, R: radius, MoveRadius: radius / 2}
+	for seed := uint64(1); seed <= 3; seed++ {
+		ref := FloodResult{}
+		first := true
+		for name, opt := range kernelVariants() {
+			m := geommeg.MustNew(cfg)
+			m.Reset(rng.New(seed))
+			res := FloodOpt(m, 0, DefaultRoundCap(n), opt)
+			if first {
+				ref = res
+				first = false
+				continue
+			}
+			sameResult(t, name, res, ref)
+		}
+	}
+}
+
+// TestKernelEquivalenceStaticDense forces the pull kernel onto a dense
+// static snapshot, exercising the one-time DenseRows export path
+// (n ≤ 8192, average degree ≥ 64) against the push kernel.
+func TestKernelEquivalenceStaticDense(t *testing.T) {
+	n := 512
+	g := edgemeg.SampleGNP(n, 0.3, rng.New(7))
+	if g.AvgDegree() < 64 {
+		t.Fatalf("test graph too sparse for the dense-rows gate: avg degree %.1f", g.AvgDegree())
+	}
+	push := FloodOpt(NewStatic(g), 3, DefaultRoundCap(n), FloodOptions{Kernel: KernelPush})
+	pull := FloodOpt(NewStatic(g), 3, DefaultRoundCap(n), FloodOptions{Kernel: KernelPull})
+	sameResult(t, "static-dense", pull, push)
+	if !pull.Completed {
+		t.Fatal("dense static flood should complete")
+	}
+}
+
+// TestKernelEquivalenceIncomplete checks both kernels agree on runs
+// that hit the round cap (disconnected graph).
+func TestKernelEquivalenceIncomplete(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	push := FloodOpt(NewStatic(g), 0, 4, FloodOptions{Kernel: KernelPush})
+	pull := FloodOpt(NewStatic(g), 0, 4, FloodOptions{Kernel: KernelPull})
+	sameResult(t, "incomplete", pull, push)
+	if push.Completed || push.Rounds != 4 {
+		t.Fatalf("expected capped incomplete run, got rounds=%d completed=%v", push.Rounds, push.Completed)
+	}
+}
+
+// TestPullThresholdFor pins the auto switch point derivation.
+func TestPullThresholdFor(t *testing.T) {
+	if got := pullThresholdFor(100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("pullThresholdFor(100) = %v, want 0.1", got)
+	}
+	if got := pullThresholdFor(0); got != 0.5 {
+		t.Fatalf("pullThresholdFor(0) = %v, want 0.5 (degenerate)", got)
+	}
+	if got := pullThresholdFor(1e9); got != 0.02 {
+		t.Fatalf("pullThresholdFor(1e9) = %v, want clamp 0.02", got)
+	}
+}
+
+// TestParseKernel covers the flag round trip.
+func TestParseKernel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+	}{{"auto", KernelAuto}, {"push", KernelPush}, {"sparse", KernelPush}, {"pull", KernelPull}, {"dense", KernelPull}, {"", KernelAuto}} {
+		got, err := ParseKernel(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseKernel(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseKernel("bogus"); err == nil {
+		t.Fatal("bogus kernel accepted")
+	}
+	if KernelAuto.String() != "auto" || KernelPush.String() != "push" || KernelPull.String() != "pull" {
+		t.Fatal("kernel labels wrong")
+	}
+}
+
+// TestDegreeHinterModels confirms both concrete models provide the
+// kernel-switch hint and that it is in a sane range.
+func TestDegreeHinterModels(t *testing.T) {
+	var d Dynamics = edgemeg.MustNew(edgemeg.Config{N: 100, P: 0.02, Q: 0.5})
+	h, ok := d.(DegreeHinter)
+	if !ok {
+		t.Fatal("edgemeg.Model does not implement DegreeHinter")
+	}
+	want := 99 * (0.02 / 0.52)
+	if math.Abs(h.ExpectedDegree()-want) > 1e-9 {
+		t.Fatalf("edge ExpectedDegree = %v, want %v", h.ExpectedDegree(), want)
+	}
+	d = geommeg.MustNew(geommeg.Config{N: 100, R: 3, MoveRadius: 1})
+	h, ok = d.(DegreeHinter)
+	if !ok {
+		t.Fatal("geommeg.Model does not implement DegreeHinter")
+	}
+	if deg := h.ExpectedDegree(); deg <= 0 || deg > 99 {
+		t.Fatalf("geom ExpectedDegree = %v out of range", deg)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/bits"
+
+	"meg/internal/bitset"
+	"meg/internal/graph"
+)
+
+// FloodMulti floods from every given source simultaneously over a
+// single realization of d: one snapshot sequence G_0, G_1, … is shared
+// by all runs, instead of regenerating the dynamics once per source the
+// way FloodingTime does. Sources are packed 64 per machine word, so one
+// scan of a snapshot advances up to 64 floods at once (the bit-parallel
+// multi-source BFS technique, adapted to evolving snapshots): per round
+// the batch costs O(n + m) word operations total rather than per
+// source.
+//
+// Semantics per source are exactly Flood's — I_{t+1} = I_t ∪ N(I_t) in
+// G_t, synchronous rounds, the same Trajectory/Arrival/Rounds — and on
+// a deterministic dynamics (Static, Sequence) the k-th result is
+// bit-identical to a solo Flood from sources[k]. On random dynamics the
+// marginal law of each result matches a solo run on that realization;
+// jointly the runs are coupled through the shared snapshots, which is
+// the point (and is harmless for stationary-model estimates that
+// average or maximize over sources).
+//
+// FloodMulti does not Reset d: the caller controls the initial
+// distribution. The chain advances until every run completes or
+// maxRounds rounds have been evaluated, whichever comes first.
+func FloodMulti(d Dynamics, sources []int, maxRounds int) []FloodResult {
+	n := d.N()
+	if len(sources) == 0 {
+		panic("core: FloodMulti needs at least one source")
+	}
+	if maxRounds <= 0 {
+		panic("core: maxRounds must be positive")
+	}
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			panic("core: flood source out of range")
+		}
+	}
+
+	results := make([]FloodResult, len(sources))
+	for i, s := range sources {
+		arrival := make([]int32, n)
+		for j := range arrival {
+			arrival[j] = -1
+		}
+		arrival[s] = 0
+		results[i] = FloodResult{
+			Source:     s,
+			Trajectory: append(make([]int, 0, 64), 1),
+			Arrival:    arrival,
+		}
+	}
+	if n == 1 {
+		for i := range results {
+			results[i].Completed = true
+			results[i].Informed = informedFromArrival(results[i].Arrival)
+		}
+		return results
+	}
+
+	groups := make([]*multiGroup, 0, (len(sources)+63)/64)
+	for base := 0; base < len(sources); base += 64 {
+		size := len(sources) - base
+		if size > 64 {
+			size = 64
+		}
+		groups = append(groups, newMultiGroup(n, sources[base:base+size], results[base:base+size]))
+	}
+
+	remaining := len(groups)
+	for t := 0; t < maxRounds && remaining > 0; t++ {
+		g := d.Graph()
+		for _, grp := range groups {
+			if grp.done {
+				continue
+			}
+			grp.round(g, t)
+			if grp.done {
+				remaining--
+			}
+		}
+		d.Step()
+	}
+	for i := range results {
+		if !results[i].Completed {
+			results[i].Rounds = maxRounds
+		}
+		results[i].Informed = informedFromArrival(results[i].Arrival)
+	}
+	return results
+}
+
+// FloodAll is FloodMulti from every node: the exact per-source flooding
+// profile of one realization, from which the realization's flooding
+// time is the worst entry (WorstResult). Memory is dominated by the
+// n×n int32 arrival matrix — 4n² bytes (256 MiB at n = 8192) — plus
+// O(n) words per 64-source group, so it is meant for the moderate n of
+// exact experiments, not the largest sweeps.
+func FloodAll(d Dynamics, maxRounds int) []FloodResult {
+	sources := make([]int, d.N())
+	for i := range sources {
+		sources[i] = i
+	}
+	return FloodMulti(d, sources, maxRounds)
+}
+
+// multiGroup runs up to 64 floods bit-parallel: masks[v] has bit k set
+// iff node v is informed in the group's k-th flood.
+type multiGroup struct {
+	results []FloodResult // aliases the caller's slice
+	masks   []uint64      // current informed membership per node
+	next    []uint64      // scratch for the synchronous update
+	counts  []int         // informed-set size per flood
+	full    uint64        // mask with one bit per flood in the group
+	done    bool          // every flood in the group completed
+}
+
+func newMultiGroup(n int, sources []int, results []FloodResult) *multiGroup {
+	g := &multiGroup{
+		results: results,
+		masks:   make([]uint64, n),
+		next:    make([]uint64, n),
+		counts:  make([]int, len(sources)),
+	}
+	for k, s := range sources {
+		g.masks[s] |= 1 << uint(k)
+		g.counts[k] = 1
+	}
+	if len(sources) == 64 {
+		g.full = ^uint64(0)
+	} else {
+		g.full = 1<<uint(len(sources)) - 1
+	}
+	return g
+}
+
+// round advances every incomplete flood of the group one synchronous
+// step on snapshot g: next[v] = masks[v] | ⋁_{u ∈ N(v)} masks[u], all
+// 64 floods at once per word operation. Reading only masks (written
+// last round) while writing next keeps the update synchronous.
+func (grp *multiGroup) round(g *graph.Graph, t int) {
+	n := len(grp.masks)
+	masks, next := grp.masks, grp.next
+	full := grp.full
+	for v := 0; v < n; v++ {
+		acc := masks[v]
+		if acc != full {
+			for _, u := range g.Neighbors(v) {
+				acc |= masks[u]
+			}
+		}
+		next[v] = acc
+		if diff := acc &^ masks[v]; diff != 0 {
+			for diff != 0 {
+				k := bits.TrailingZeros64(diff)
+				diff &= diff - 1
+				grp.results[k].Arrival[v] = int32(t + 1)
+				grp.counts[k]++
+			}
+		}
+	}
+	grp.masks, grp.next = next, masks
+	grp.done = true
+	for k := range grp.results {
+		res := &grp.results[k]
+		if res.Completed {
+			continue
+		}
+		res.Trajectory = append(res.Trajectory, grp.counts[k])
+		if grp.counts[k] == n {
+			res.Rounds = t + 1
+			res.Completed = true
+		} else {
+			grp.done = false
+		}
+	}
+}
+
+// informedFromArrival reconstructs the final informed set from the
+// arrival times (arrival ≥ 0 ⇔ informed).
+func informedFromArrival(arrival []int32) *bitset.Set {
+	s := bitset.New(len(arrival))
+	for v, a := range arrival {
+		if a >= 0 {
+			s.Add(v)
+		}
+	}
+	return s
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"meg/internal/edgemeg"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// randomSequence builds a deterministic evolving graph from independent
+// G(n, p) snapshots — deterministic replay makes solo and batched runs
+// directly comparable.
+func randomSequence(n, steps int, p float64, seed uint64) *Sequence {
+	r := rng.New(seed)
+	gs := make([]*graph.Graph, steps)
+	for i := range gs {
+		gs[i] = edgemeg.SampleGNP(n, p, r)
+	}
+	return NewSequence(gs...)
+}
+
+// TestFloodMultiMatchesSoloOnSequence is the batched engine's core
+// guarantee: on a deterministic snapshot sequence, every result of
+// FloodMulti is bit-identical to a solo Flood from that source.
+func TestFloodMultiMatchesSoloOnSequence(t *testing.T) {
+	n := 200
+	seq := randomSequence(n, 64, 2.5/float64(n), 11)
+	sources := []int{0, 1, 17, 63, 64, 65, 128, n - 1}
+	seq.Reset(nil)
+	multi := FloodMulti(seq, sources, DefaultRoundCap(n))
+	if len(multi) != len(sources) {
+		t.Fatalf("FloodMulti returned %d results for %d sources", len(multi), len(sources))
+	}
+	for i, s := range sources {
+		seq.Reset(nil)
+		solo := Flood(seq, s, DefaultRoundCap(n))
+		sameResult(t, "multi vs solo", multi[i], solo)
+	}
+}
+
+// TestFloodMultiManyGroups crosses the 64-source word boundary: 150
+// sources split into three bit-parallel groups must still match solo
+// runs exactly.
+func TestFloodMultiManyGroups(t *testing.T) {
+	n := 150
+	seq := randomSequence(n, 64, 3.0/float64(n), 23)
+	seq.Reset(nil)
+	all := FloodAll(seq, DefaultRoundCap(n))
+	if len(all) != n {
+		t.Fatalf("FloodAll returned %d results", len(all))
+	}
+	for _, s := range []int{0, 63, 64, 100, 127, 128, 149} {
+		seq.Reset(nil)
+		solo := Flood(seq, s, DefaultRoundCap(n))
+		sameResult(t, "all vs solo", all[s], solo)
+	}
+	// The realization's flooding time is the worst entry.
+	worst := WorstResult(all)
+	for _, res := range all {
+		if res.Completed && worst.Completed && res.Rounds > worst.Rounds {
+			t.Fatal("WorstResult is not the max")
+		}
+	}
+}
+
+// TestFloodMultiIncomplete checks cap semantics: sources in one
+// component never reach the other, Rounds pins to the cap and arrival
+// stays -1 across the cut.
+func TestFloodMultiIncomplete(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	d := NewStatic(g)
+	res := FloodMulti(d, []int{0, 3}, 5)
+	for i, r := range res {
+		if r.Completed || r.Rounds != 5 {
+			t.Fatalf("result %d: rounds=%d completed=%v, want capped", i, r.Rounds, r.Completed)
+		}
+	}
+	if res[0].Arrival[4] != -1 || res[1].Arrival[0] != -1 {
+		t.Fatal("arrival crossed a disconnected cut")
+	}
+	if res[0].Informed.Count() != 3 || res[1].Informed.Count() != 3 {
+		t.Fatal("informed sets should cover exactly one component")
+	}
+}
+
+// TestFloodMultiStationaryEdge runs the batched engine on the actual
+// random dynamics (not a replayed sequence) and checks the single-source
+// batch agrees bit-for-bit with a solo Flood on the same seed — the
+// property the flood package's BatchSources fast path relies on.
+func TestFloodMultiStationaryEdge(t *testing.T) {
+	n := 256
+	pHat := 8 * math.Log(float64(n)) / float64(n)
+	cfg := edgemeg.Config{N: n, P: 0.5 * pHat / (1 - pHat), Q: 0.5}
+
+	m1 := edgemeg.MustNew(cfg)
+	m1.Reset(rng.New(42))
+	batched := FloodMulti(m1, []int{5}, DefaultRoundCap(n))
+
+	m2 := edgemeg.MustNew(cfg)
+	m2.Reset(rng.New(42))
+	solo := Flood(m2, 5, DefaultRoundCap(n))
+
+	sameResult(t, "single-source batch", batched[0], solo)
+}
+
+// TestFloodMultiSingleNode covers the degenerate universe.
+func TestFloodMultiSingleNode(t *testing.T) {
+	res := FloodMulti(NewStatic(graph.Empty(1)), []int{0}, 3)
+	if !res[0].Completed || res[0].Rounds != 0 || res[0].Informed.Count() != 1 {
+		t.Fatalf("single node: %+v", res[0])
+	}
+}
+
+// TestFloodMultiPanics pins the argument contract.
+func TestFloodMultiPanics(t *testing.T) {
+	d := NewStatic(graph.Path(4))
+	for name, fn := range map[string]func(){
+		"no sources":    func() { FloodMulti(d, nil, 5) },
+		"bad source":    func() { FloodMulti(d, []int{9}, 5) },
+		"bad maxRounds": func() { FloodMulti(d, []int{0}, 0) },
+		"empty worst":   func() { WorstResult(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

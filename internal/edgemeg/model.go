@@ -138,6 +138,25 @@ func (m *Model) N() int { return m.cfg.N }
 // EdgeCount returns |E_t| of the current snapshot.
 func (m *Model) EdgeCount() int { return len(m.edges) }
 
+// ExpectedDegree implements core.DegreeHinter: the stationary expected
+// degree (n−1)·p̂, which positions the flooding engine's push→pull
+// switch. For the frozen chain (p = q = 0) the degree never changes
+// from the initial snapshot, so the hint comes from that instead. The
+// hint affects kernel choice (speed) only, never results.
+func (m *Model) ExpectedDegree() float64 {
+	if m.cfg.P+m.cfg.Q == 0 {
+		switch m.cfg.Init {
+		case InitComplete:
+			return float64(m.cfg.N - 1)
+		case InitGraph:
+			return m.cfg.Start.AvgDegree()
+		default:
+			return 0
+		}
+	}
+	return float64(m.cfg.N-1) * m.cfg.PHat()
+}
+
 // Reset implements core.Dynamics: it samples a fresh G_0 according to
 // the configured InitMode and keeps r for subsequent steps.
 func (m *Model) Reset(r *rng.RNG) {

@@ -120,6 +120,7 @@ func E1GeneralBound(p Params) *Report {
 				Trials:  trials,
 				Seed:    rng.SeedFor(p.Seed, n*7+boolInt(c.matching)),
 				Workers: p.Workers,
+				Kernel:  p.Kernel,
 			})
 			ratio := camp.MaxRounds() / bound
 			if ratio > worstRatio {

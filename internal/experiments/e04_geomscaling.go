@@ -54,6 +54,8 @@ func E4GeometricScaling(p Params) *Report {
 			Seed:            rng.SeedFor(p.Seed, n*131+int(radius*7)),
 			Workers:         p.Workers,
 			MaxRounds:       core.DefaultRoundCap(n),
+			Kernel:          p.Kernel,
+			BatchSources:    true,
 		})
 		sqrtNoverR := math.Sqrt(float64(n)) / radius
 		return row{

@@ -50,6 +50,7 @@ func E5GeometricLower(p Params) *Report {
 			Trials:  trials,
 			Seed:    rng.SeedFor(p.Seed, 500+i),
 			Workers: p.Workers,
+			Kernel:  p.Kernel,
 		})
 		lower := bounds.GeometricLower(side, radius, moveR)
 		minRounds := camp.Summary.Min

@@ -49,7 +49,7 @@ func E6Stationarity(p Params) *Report {
 					hist.Add(float64(i))
 				}
 			}
-			fr := core.Flood(m, r.Intn(n), core.DefaultRoundCap(n))
+			fr := core.FloodOpt(m, r.Intn(n), core.DefaultRoundCap(n), p.FloodOptions())
 			rounds := math.NaN()
 			if fr.Completed {
 				rounds = float64(fr.Rounds)

@@ -52,7 +52,7 @@ func E9EdgeGrowth(p Params) *Report {
 			m := edgemeg.MustNew(cfg)
 			m.Reset(r)
 			maxDeg := m.Graph().MaxDegree()
-			fr := core.Flood(m, r.Intn(n), core.DefaultRoundCap(n))
+			fr := core.FloodOpt(m, r.Intn(n), core.DefaultRoundCap(n), p.FloodOptions())
 			growth := fr.GrowthFactors()
 			o := out{maxDeg: maxDeg, rounds: fr.Rounds, completed: fr.Completed}
 			for _, g := range growth {

@@ -78,6 +78,7 @@ func E11MobilityModels(p Params) *Report {
 			Trials:  trials,
 			Seed:    rng.SeedFor(p.Seed, 4000+i),
 			Workers: p.Workers,
+			Kernel:  p.Kernel,
 		})
 		ratio := camp.MeanRounds() / sqrtNoverR
 		ratios = append(ratios, ratio)

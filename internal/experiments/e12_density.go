@@ -42,6 +42,7 @@ func E12Density(p Params) *Report {
 			Trials:  trials,
 			Seed:    rng.SeedFor(p.Seed, 4400+i),
 			Workers: p.Workers,
+			Kernel:  p.Kernel,
 		})
 		ratio := camp.MeanRounds() / (side / radius)
 		ratios = append(ratios, ratio)

@@ -51,6 +51,7 @@ func E13SubThreshold(p Params) *Report {
 			Seed:      rng.SeedFor(p.Seed, 4700+i),
 			Workers:   p.Workers,
 			MaxRounds: cap,
+			Kernel:    p.Kernel,
 		})
 		completed := trials - camp.Incomplete
 		if f == 0 {

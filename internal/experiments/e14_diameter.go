@@ -76,10 +76,10 @@ func E14FloodVsDiameter(p Params) *Report {
 
 			// Static flooding from the first corner node (worst-ish
 			// source) on the frozen snapshot.
-			staticRes := core.Flood(core.NewStatic(g), sources[0], core.DefaultRoundCap(n))
+			staticRes := core.FloodOpt(core.NewStatic(g), sources[0], core.DefaultRoundCap(n), p.FloodOptions())
 			// Dynamic flooding from the same source and same G_0: reuse
 			// the model, which still holds the sampled positions.
-			dynRes := core.Flood(m, sources[0], core.DefaultRoundCap(n))
+			dynRes := core.FloodOpt(m, sources[0], core.DefaultRoundCap(n), p.FloodOptions())
 			st, dy := math.NaN(), math.NaN()
 			if staticRes.Completed {
 				st = float64(staticRes.Rounds)

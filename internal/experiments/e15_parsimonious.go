@@ -47,7 +47,7 @@ func E15Parsimonious(p Params) *Report {
 			m.Reset(r)
 			var fr core.FloodResult
 			if budget <= 0 {
-				fr = core.Flood(m, r.Intn(n), core.DefaultRoundCap(n))
+				fr = core.FloodOpt(m, r.Intn(n), core.DefaultRoundCap(n), p.FloodOptions())
 			} else {
 				fr = core.FloodParsimonious(m, r.Intn(n), budget, core.DefaultRoundCap(n))
 			}

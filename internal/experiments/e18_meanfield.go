@@ -41,7 +41,7 @@ func E18MeanField(p Params) *Report {
 	trajs := sweep.Repeat(trials, rng.SeedFor(p.Seed, 1800), p.Workers, func(rep int, r *rng.RNG) []int {
 		m := edgemeg.MustNew(cfg)
 		m.Reset(r)
-		return core.Flood(m, r.Intn(n), core.DefaultRoundCap(n)).Trajectory
+		return core.FloodOpt(m, r.Intn(n), core.DefaultRoundCap(n), p.FloodOptions()).Trajectory
 	})
 	maxLen := len(pred)
 	for _, tr := range trajs {
@@ -89,7 +89,7 @@ func E18MeanField(p Params) *Report {
 		m.Reset(r)
 		// Central source to match the frontier model.
 		src := m.NearestNodes(pt(side/2, side/2), 1)[0]
-		return core.Flood(m, src, core.DefaultRoundCap(n)).Trajectory
+		return core.FloodOpt(m, src, core.DefaultRoundCap(n), p.FloodOptions()).Trajectory
 	})
 	gLen := len(gpred)
 	for _, tr := range gtrajs {

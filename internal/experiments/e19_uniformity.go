@@ -98,6 +98,7 @@ func E19Uniformity(p Params) *Report {
 
 		camp := flood.Run(e.factory, flood.Options{
 			Trials: trials, Seed: rng.SeedFor(p.Seed, 1950+i), Workers: p.Workers,
+			Kernel: p.Kernel,
 		})
 		ratio := camp.MeanRounds() / x
 		if e.uniform {

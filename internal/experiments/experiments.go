@@ -14,6 +14,7 @@ import (
 	"io"
 	"strings"
 
+	"meg/internal/core"
 	"meg/internal/table"
 )
 
@@ -62,6 +63,17 @@ type Params struct {
 	Scale   Scale
 	Seed    uint64
 	Workers int
+	// Kernel pins the flooding engine's per-round strategy for every
+	// flooding call an experiment makes (default core.KernelAuto).
+	// Kernels are result-equivalent, so this only changes speed — it
+	// exists so megbench can time and cross-check them.
+	Kernel core.Kernel
+}
+
+// FloodOptions returns the flooding engine options experiments thread
+// into their core.FloodOpt and flood.Run calls.
+func (p Params) FloodOptions() core.FloodOptions {
+	return core.FloodOptions{Kernel: p.Kernel}
 }
 
 // Check is one machine-verifiable shape assertion derived from a

@@ -33,6 +33,34 @@ type Options struct {
 	Seed uint64
 	// Workers bounds parallelism (default: all CPUs).
 	Workers int
+	// Kernel selects the flooding engine's per-round strategy
+	// (default core.KernelAuto, the direction-optimizing push/pull
+	// switch). All kernels produce identical results.
+	Kernel core.Kernel
+	// PullThreshold overrides the informed-set fraction at which the
+	// auto kernel switches push→pull; ≤ 0 derives it from the model's
+	// expected degree (see core.FloodOptions).
+	PullThreshold float64
+	// BatchSources runs each trial's sources over ONE shared
+	// realization via core.FloodMulti (bit-parallel, up to 64 sources
+	// per word) instead of resetting the dynamics per source. Roughly
+	// SourcesPerTrial× cheaper; the per-trial max is then over runs
+	// coupled through the shared snapshots, which remains a valid
+	// flooding-time estimator for stationary models. With
+	// SourcesPerTrial == 1 the batched and unbatched paths are
+	// bit-identical. Batching applies only with the default
+	// KernelAuto: pinning Kernel forces the per-source path so the
+	// pinned kernel is actually the code that runs.
+	BatchSources bool
+}
+
+// batched reports whether the batched multi-source path applies.
+func (o Options) batched() bool {
+	return o.BatchSources && o.Kernel == core.KernelAuto
+}
+
+func (o Options) floodOptions() core.FloodOptions {
+	return core.FloodOptions{Kernel: o.Kernel, PullThreshold: o.PullThreshold}
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -93,7 +121,13 @@ func Run(factory Factory, opt Options) Campaign {
 		for i := 1; i < len(sources); i++ {
 			sources[i] = r.Intn(n)
 		}
-		res := core.FloodingTime(d, sources, opt.MaxRounds, r)
+		var res core.FloodResult
+		if opt.batched() {
+			d.Reset(r.Split())
+			res = core.WorstResult(core.FloodMulti(d, sources, opt.MaxRounds))
+		} else {
+			res = core.FloodingTimeOpt(d, sources, opt.MaxRounds, r, opt.floodOptions())
+		}
 		return Trial{Result: res, RoundsToHalf: res.RoundsToHalf(n)}
 	})
 

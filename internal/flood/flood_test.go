@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"meg/internal/core"
+	"meg/internal/edgemeg"
 	"meg/internal/graph"
 )
 
@@ -91,5 +92,57 @@ func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults(10)
 	if o.Trials != 1 || o.SourcesPerTrial != 1 || o.MaxRounds != core.DefaultRoundCap(10) {
 		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+// TestRunBatchSourcesMatchesUnbatchedSingleSource pins the estimator
+// compatibility guarantee: with SourcesPerTrial == 1 the batched and
+// unbatched paths consume the same RNG stream and must produce
+// bit-identical campaigns.
+func TestRunBatchSourcesMatchesUnbatchedSingleSource(t *testing.T) {
+	mk := func(batch bool) Campaign {
+		return Run(func() core.Dynamics {
+			return edgemeg.MustNew(edgemeg.Config{N: 128, P: 0.05, Q: 0.5})
+		}, Options{Trials: 6, Seed: 5, BatchSources: batch})
+	}
+	a, b := mk(false), mk(true)
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		ra, rb := a.Trials[i].Result, b.Trials[i].Result
+		if ra.Rounds != rb.Rounds || ra.Completed != rb.Completed || ra.Source != rb.Source {
+			t.Fatalf("trial %d diverged: (%d,%v) vs (%d,%v)", i, ra.Rounds, ra.Completed, rb.Rounds, rb.Completed)
+		}
+		if !ra.Informed.Equal(rb.Informed) {
+			t.Fatalf("trial %d informed sets differ", i)
+		}
+	}
+}
+
+// TestRunBatchSourcesMultiSource checks the batched multi-source path
+// end to end: max-over-sources on a path graph still finds the endpoint
+// worst case, and the campaign is deterministic across worker counts.
+func TestRunBatchSourcesMultiSource(t *testing.T) {
+	opts := func(workers int) Options {
+		return Options{Trials: 6, SourcesPerTrial: 10, Seed: 2, Workers: workers, BatchSources: true}
+	}
+	c := Run(pathFactory(7), opts(0))
+	if c.MaxRounds() != 6 {
+		t.Fatalf("max = %v, want 6 (endpoint source found)", c.MaxRounds())
+	}
+	for _, tr := range c.Trials {
+		if tr.RoundsToHalf < 0 {
+			t.Fatal("RoundsToHalf missing")
+		}
+	}
+	// Worker-count independence of the batched fan-out.
+	serial := Run(pathFactory(7), opts(1))
+	four := Run(pathFactory(7), opts(4))
+	for i := range serial.Trials {
+		if serial.Trials[i].Result.Rounds != c.Trials[i].Result.Rounds ||
+			four.Trials[i].Result.Rounds != c.Trials[i].Result.Rounds {
+			t.Fatalf("batched campaign depends on worker count at trial %d", i)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package geommeg
 
 import (
+	"math"
 	"sort"
 
 	"meg/internal/geom"
@@ -82,6 +83,20 @@ func (m *Model) N() int { return m.cfg.N }
 
 // Side returns the physical side length of the support square.
 func (m *Model) Side() float64 { return m.cfg.Side() }
+
+// ExpectedDegree implements core.DegreeHinter: under the (near-)uniform
+// stationary distribution a node expects about (n−1)·πR²/side²
+// neighbors — exact on the torus, a boundary-effect estimate on the
+// box. It positions the flooding engine's push→pull switch and affects
+// kernel choice (speed) only, never results.
+func (m *Model) ExpectedDegree() float64 {
+	side := m.cfg.Side()
+	frac := math.Pi * m.cfg.R * m.cfg.R / (side * side)
+	if frac > 1 {
+		frac = 1
+	}
+	return float64(m.cfg.N-1) * frac
+}
 
 // Reset implements core.Dynamics: it samples fresh node positions
 // according to the configured InitMode and keeps r for the walk.

@@ -60,10 +60,56 @@ type RNG = rng.RNG
 // NewRNG returns a deterministic generator for the given seed.
 func NewRNG(seed uint64) *RNG { return rng.New(seed) }
 
+// Kernel selects the flooding engine's per-round strategy; all kernels
+// compute exactly the same FloodResult, so the choice is purely a
+// performance knob.
+type Kernel = core.Kernel
+
+// Kernel values: KernelAuto is the direction-optimizing default — push
+// (scan informed senders' adjacency lists) while the informed set is
+// small, pull (each uninformed node checks word-parallel for an
+// informed neighbor) once it exceeds the switch threshold. KernelPush
+// and KernelPull pin one strategy.
+const (
+	KernelAuto = core.KernelAuto
+	KernelPush = core.KernelPush
+	KernelPull = core.KernelPull
+)
+
+// FloodOptions tunes the flooding engine. The zero value (KernelAuto
+// with a derived push→pull threshold) is right almost always: the
+// switch point defaults to an informed-set fraction of 1/√d̄ for
+// expected degree d̄, clamped to [0.02, 0.5] — the fraction at which
+// the two kernels' expected per-round costs balance. The estimate d̄
+// comes from the model when it knows its stationary degree
+// (core.DegreeHinter), else from each snapshot. Set PullThreshold to
+// move the switch point, or Kernel to pin a strategy outright.
+type FloodOptions = core.FloodOptions
+
 // Flood runs the flooding process on d from the given source with a
 // round cap; see core.Flood for exact semantics.
 func Flood(d Dynamics, source, maxRounds int) FloodResult {
 	return core.Flood(d, source, maxRounds)
+}
+
+// FloodOpt is Flood with explicit engine options (kernel selection and
+// push→pull switch threshold); see core.FloodOpt.
+func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
+	return core.FloodOpt(d, source, maxRounds, opt)
+}
+
+// FloodMulti floods from every source simultaneously over one shared
+// realization of d, packing up to 64 sources per machine word so one
+// snapshot scan advances all runs at once; see core.FloodMulti for the
+// exact coupling semantics. Call Reset on d first.
+func FloodMulti(d Dynamics, sources []int, maxRounds int) []FloodResult {
+	return core.FloodMulti(d, sources, maxRounds)
+}
+
+// FloodAll is FloodMulti from every node — the full per-source flooding
+// profile of one realization; see core.FloodAll.
+func FloodAll(d Dynamics, maxRounds int) []FloodResult {
+	return core.FloodAll(d, maxRounds)
 }
 
 // FloodingTime estimates the flooding time (max over the given
