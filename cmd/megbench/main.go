@@ -26,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 	kernelFlag := flag.String("kernel", "auto", "flooding kernel: auto|push|pull (identical results per flooding call; pinning one also disables source batching in E4/E8)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
+	jsonOut := flag.Bool("json", false, "emit the reports as a JSON array (the same experiments.Report payload megserve returns for experiment jobs) instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -87,11 +89,17 @@ func main() {
 	}
 
 	failures := 0
+	var reports []*experiments.Report
 	for _, e := range selected {
 		start := time.Now()
 		rep := e.Run(params)
-		rep.WriteText(os.Stdout)
-		fmt.Printf("   (%s, scale=%s, %.1fs)\n\n", e.ID, scale, time.Since(start).Seconds())
+		if *jsonOut {
+			reports = append(reports, rep)
+			fmt.Fprintf(os.Stderr, "megbench: %s done (scale=%s, %.1fs)\n", e.ID, scale, time.Since(start).Seconds())
+		} else {
+			rep.WriteText(os.Stdout)
+			fmt.Printf("   (%s, scale=%s, %.1fs)\n\n", e.ID, scale, time.Since(start).Seconds())
+		}
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, e.ID, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "megbench: %v\n", err)
@@ -100,6 +108,14 @@ func main() {
 		}
 		if !rep.Passed() {
 			failures++
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "megbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if failures > 0 {

@@ -1,0 +1,75 @@
+// Command megserve is the simulation service: it accepts declarative
+// simulation specs over HTTP, schedules them on a bounded worker pool,
+// deduplicates identical in-flight specs (single-flight), serves
+// repeated specs from a content-addressed result cache, and streams
+// per-round progress over SSE.
+//
+//	megserve -addr :8080 -jobs 2 -cache-entries 256 -cache-dir /var/cache/meg
+//
+// API:
+//
+//	POST   /v1/jobs             submit a spec JSON, returns {id, hash, status, outcome}
+//	GET    /v1/jobs/{id}        status + progress + result (when done)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/cache/{hash}     cached result by content address
+//	GET    /healthz             liveness + counters
+//
+// See the README's "Running the service" section for the spec schema
+// and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"meg/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("jobs", 2, "concurrent simulation jobs (each job parallelizes its trials internally)")
+	queue := flag.Int("queue", 64, "pending job queue capacity")
+	cacheEntries := flag.Int("cache-entries", 256, "in-memory result cache entries (LRU)")
+	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
+	flag.Parse()
+
+	cache, err := serve.NewCache(*cacheEntries, *cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "megserve: %v\n", err)
+		os.Exit(1)
+	}
+	exec := &serve.Executor{}
+	sched := serve.NewScheduler(*jobs, *queue, exec, cache)
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(sched).Handler()}
+
+	// Graceful shutdown: stop accepting, let in-flight responses end,
+	// cancel running jobs, drain workers.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "megserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		sched.Close()
+		close(done)
+	}()
+
+	fmt.Printf("megserve: listening on %s (jobs=%d queue=%d cache=%d dir=%q)\n",
+		*addr, *jobs, *queue, *cacheEntries, *cacheDir)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "megserve: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -2,26 +2,31 @@
 // Markovian evolving graph model and prints the per-round trajectory —
 // the quickest way to explore the dynamics interactively.
 //
+// megsim builds a spec.Spec from its flags and runs it through the same
+// serve.Executor that powers megserve, so a CLI run and an HTTP job
+// with the same spec are the same computation — same seed derivation,
+// same engine, same result, same content hash.
+//
 // Usage examples:
 //
 //	megsim -model geometric -n 4096 -mult 2 -rfrac 0.5 -trace
 //	megsim -model edge -n 4096 -phatmult 4 -q 0.5
 //	megsim -model waypoint -n 4096 -mult 2
-//	megsim -model geometric -n 4096 -sources 8 -trials 5
+//	megsim -model geometric -n 4096 -sources 8 -trials 5 -json
+//	megsim -spec run.json -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"meg/internal/core"
-	"meg/internal/edgemeg"
-	"meg/internal/flood"
 	"meg/internal/geommeg"
-	"meg/internal/mobility"
 	"meg/internal/rng"
+	"meg/internal/serve"
+	"meg/internal/spec"
 )
 
 func main() {
@@ -33,96 +38,105 @@ func main() {
 	phatmult := flag.Float64("phatmult", 4, "edge model: p̂ = phatmult·log n/n")
 	q := flag.Float64("q", 0.5, "edge model death rate")
 	emptyStart := flag.Bool("empty", false, "edge model: start from the empty graph (worst case)")
+	proto := flag.String("protocol", "flooding", "protocol: flooding|probabilistic|push|push-pull|lossy")
+	beta := flag.Float64("beta", 0, "forward probability (probabilistic protocol)")
+	loss := flag.Float64("loss", 0, "per-message loss probability (lossy protocol)")
+	kernel := flag.String("kernel", "auto", "flooding kernel: auto|push|pull")
+	batch := flag.Bool("batch", false, "batch each trial's sources bit-parallel over one realization")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	trials := flag.Int("trials", 1, "independent trials")
 	sources := flag.Int("sources", 1, "sources per trial (flooding time = max)")
+	specFile := flag.String("spec", "", "run this spec JSON file instead of building one from the model flags")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON (the same payload megserve returns)")
 	trace := flag.Bool("trace", false, "print the informed-count trajectory of trial 0")
 	dotFile := flag.String("dot", "", "write the initial snapshot of a fresh run as Graphviz DOT to this file")
 	flag.Parse()
 
-	radius := *mult * math.Sqrt(math.Log(float64(*n))/(*density))
-	side := math.Sqrt(float64(*n))
-	moveR := *rfrac * radius
-
-	factory, desc := buildFactory(*model, *n, radius, moveR, *density, *phatmult, *q, *emptyStart, side)
-	if factory == nil {
-		fmt.Fprintf(os.Stderr, "megsim: unknown model %q\n", *model)
-		os.Exit(2)
+	var sp spec.Spec
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		sp, err = spec.Parse(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		sp, err = spec.Spec{
+			Model: spec.Model{
+				Name: *model, N: *n,
+				Mult: *mult, RFrac: *rfrac, Density: *density,
+				PhatMult: *phatmult, Q: *q, Empty: *emptyStart,
+			},
+			Protocol: spec.Protocol{Name: *proto, Beta: *beta, Loss: *loss},
+			Engine:   spec.Engine{Kernel: *kernel, BatchSources: *batch},
+			Trials:   *trials,
+			Sources:  *sources,
+			Seed:     *seed,
+		}.Canonical()
+		if err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Printf("model: %s\n", desc)
 
 	if *dotFile != "" {
-		if err := dumpDOT(*dotFile, factory, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "megsim: %v\n", err)
-			os.Exit(1)
+		if err := dumpDOT(*dotFile, sp); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("wrote snapshot DOT to %s\n", *dotFile)
+		if !*jsonOut {
+			fmt.Printf("wrote snapshot DOT to %s\n", *dotFile)
+		}
 	}
 
-	camp := flood.Run(factory, flood.Options{
-		Trials:          *trials,
-		SourcesPerTrial: *sources,
-		Seed:            *seed,
-	})
-	if *trace && len(camp.Trials) > 0 {
+	exec := &serve.Executor{}
+	res, err := exec.Execute(context.Background(), sp, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("model: %s\n", res.Model)
+	fmt.Printf("protocol: %s\n", res.Protocol)
+	fmt.Printf("spec hash: %s\n", res.Hash)
+	if *trace && len(res.Trajectory) > 0 {
 		fmt.Println("trajectory (|I_t| per round) of trial 0:")
-		for t, m := range camp.Trials[0].Result.Trajectory {
+		for t, m := range res.Trajectory {
 			fmt.Printf("  t=%-4d informed=%d\n", t, m)
 		}
 	}
-	fmt.Printf("trials: %d completed, %d hit the round cap\n", len(camp.Rounds), camp.Incomplete)
-	if len(camp.Rounds) > 0 {
-		fmt.Printf("flooding rounds: %s\n", camp.Summary)
+	fmt.Printf("trials: %d completed, %d hit the round cap\n", res.CompletedTrials, res.IncompleteTrials)
+	if res.CompletedTrials > 0 {
+		fmt.Printf("rounds: %s\n", res.Rounds)
 	}
 }
 
-func buildFactory(model string, n int, radius, moveR, density, phatmult, q float64, emptyStart bool, side float64) (flood.Factory, string) {
-	switch model {
-	case "geometric":
-		cfg := geommeg.Config{N: n, R: radius, MoveRadius: moveR, Density: density}
-		return func() core.Dynamics { return geommeg.MustNew(cfg) },
-			fmt.Sprintf("geometric-MEG n=%d R=%.2f r=%.2f δ=%.2f", n, radius, moveR, density)
-	case "torus":
-		cfg := geommeg.Config{N: n, R: radius, MoveRadius: moveR, Density: density, Torus: true}
-		return func() core.Dynamics { return geommeg.MustNew(cfg) },
-			fmt.Sprintf("walkers on toroidal grid n=%d R=%.2f r=%.2f", n, radius, moveR)
-	case "edge":
-		pHat := phatmult * math.Log(float64(n)) / float64(n)
-		p := q * pHat / (1 - pHat)
-		init := edgemeg.InitStationary
-		if emptyStart {
-			init = edgemeg.InitEmpty
-		}
-		cfg := edgemeg.Config{N: n, P: p, Q: q, Init: init}
-		return func() core.Dynamics { return edgemeg.MustNew(cfg) },
-			fmt.Sprintf("edge-MEG n=%d p=%.3g q=%.3g p̂=%.3g init=%s", n, p, q, pHat, init)
-	case "waypoint":
-		return func() core.Dynamics {
-				return mobility.NewDynamics(mobility.NewWaypointTorus(n, side, moveR/2, moveR), radius)
-			},
-			fmt.Sprintf("random waypoint torus n=%d R=%.2f v∈[%.2f,%.2f]", n, radius, moveR/2, moveR)
-	case "billiard":
-		return func() core.Dynamics {
-				return mobility.NewDynamics(mobility.NewBilliard(n, side, moveR, 0.1), radius)
-			},
-			fmt.Sprintf("billiard n=%d R=%.2f speed=%.2f", n, radius, moveR)
-	case "walkers":
-		return func() core.Dynamics {
-				return mobility.NewDynamics(mobility.NewWalkersTorus(n, side, moveR), radius)
-			},
-			fmt.Sprintf("continuous walkers torus n=%d R=%.2f r=%.2f", n, radius, moveR)
-	case "iiddisk":
-		return func() core.Dynamics {
-				return mobility.NewDynamics(mobility.NewRestrictedDisk(n, side, 2*radius), radius)
-			},
-			fmt.Sprintf("restricted i.i.d. disk n=%d R=%.2f roam=%.2f", n, radius, 2*radius)
-	}
-	return nil, ""
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "megsim: %v\n", err)
+	os.Exit(2)
 }
 
-// dumpDOT samples a fresh initial snapshot and writes it as DOT, with
-// geographic positions when the model is geometric.
-func dumpDOT(path string, factory flood.Factory, seed uint64) error {
+// dumpDOT samples a fresh initial snapshot of the spec's model and
+// writes it as DOT, with geographic positions when the model is
+// geometric.
+func dumpDOT(path string, sp spec.Spec) error {
+	factory, _, err := sp.NewFactory()
+	if err != nil {
+		return err
+	}
+	seed, err := sp.EffectiveSeed()
+	if err != nil {
+		return err
+	}
 	d := factory()
 	d.Reset(rng.New(seed))
 	g := d.Graph()

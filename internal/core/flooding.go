@@ -158,6 +158,16 @@ type FloodOptions struct {
 	// implemented, else from each snapshot's average degree. Values > 1
 	// effectively pin KernelAuto to push.
 	PullThreshold float64
+	// Stop, if non-nil, is polled once per round; when it returns true
+	// the run aborts immediately with Completed == false and Rounds set
+	// to the cap (indistinguishable from hitting the cap, which is the
+	// right reading for a cancelled run). Polling is O(1) per round, so
+	// cancellation latency is one flooding round.
+	Stop func() bool
+	// Progress, if non-nil, is called after every evaluated round with
+	// the round number t+1 and |I_{t+1}|. It runs on the flooding
+	// goroutine; keep it cheap.
+	Progress func(round, informed int)
 }
 
 // Flood runs the flooding process of Section 2 on d starting from
@@ -227,6 +237,9 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 	senders[0] = int32(source)
 	newly := make([]int32, 0, 256)
 	for t := 0; t < maxRounds; t++ {
+		if opt.Stop != nil && opt.Stop() {
+			break
+		}
 		g := d.Graph()
 		pull := false
 		switch opt.Kernel {
@@ -261,6 +274,9 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 		senders = append(senders, newly...)
 		res.Trajectory = append(res.Trajectory, len(senders))
 		d.Step()
+		if opt.Progress != nil {
+			opt.Progress(t+1, len(senders))
+		}
 		if len(senders) == n {
 			res.Rounds = t + 1
 			res.Completed = true

@@ -29,6 +29,23 @@ import (
 // distribution. The chain advances until every run completes or
 // maxRounds rounds have been evaluated, whichever comes first.
 func FloodMulti(d Dynamics, sources []int, maxRounds int) []FloodResult {
+	return FloodMultiOpt(d, sources, maxRounds, MultiOptions{})
+}
+
+// MultiOptions tunes FloodMultiOpt. The zero value is FloodMulti.
+type MultiOptions struct {
+	// Stop, if non-nil, is polled once per round; when it returns true
+	// the batch aborts with every unfinished flood left incomplete
+	// (Rounds set to the cap), matching FloodOptions.Stop semantics.
+	Stop func() bool
+	// Progress, if non-nil, is called after every evaluated round with
+	// the round number t+1 and the largest informed count across the
+	// batch's floods. It runs on the flooding goroutine; keep it cheap.
+	Progress func(round, informed int)
+}
+
+// FloodMultiOpt is FloodMulti with cancellation and progress hooks.
+func FloodMultiOpt(d Dynamics, sources []int, maxRounds int, opt MultiOptions) []FloodResult {
 	n := d.N()
 	if len(sources) == 0 {
 		panic("core: FloodMulti needs at least one source")
@@ -74,6 +91,9 @@ func FloodMulti(d Dynamics, sources []int, maxRounds int) []FloodResult {
 
 	remaining := len(groups)
 	for t := 0; t < maxRounds && remaining > 0; t++ {
+		if opt.Stop != nil && opt.Stop() {
+			break
+		}
 		g := d.Graph()
 		for _, grp := range groups {
 			if grp.done {
@@ -85,6 +105,17 @@ func FloodMulti(d Dynamics, sources []int, maxRounds int) []FloodResult {
 			}
 		}
 		d.Step()
+		if opt.Progress != nil {
+			most := 0
+			for _, grp := range groups {
+				for _, c := range grp.counts {
+					if c > most {
+						most = c
+					}
+				}
+			}
+			opt.Progress(t+1, most)
+		}
 	}
 	for i := range results {
 		if !results[i].Completed {

@@ -10,11 +10,14 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 
 	"meg/internal/core"
+	"meg/internal/spec"
+	"meg/internal/stats"
 	"meg/internal/table"
 )
 
@@ -76,6 +79,28 @@ func (p Params) FloodOptions() core.FloodOptions {
 	return core.FloodOptions{Kernel: p.Kernel}
 }
 
+// ParamsFromSpec is the spec-driven constructor: it maps an experiment
+// spec (experiment ID + scale + seed policy) onto run parameters. The
+// experiment ID itself is resolved by the caller via ByID.
+func ParamsFromSpec(s spec.Spec) (Params, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return Params{}, err
+	}
+	if c.Experiment == "" {
+		return Params{}, fmt.Errorf("experiments: spec names no experiment")
+	}
+	scale, err := ParseScale(c.Scale)
+	if err != nil {
+		return Params{}, err
+	}
+	seed, err := c.EffectiveSeed()
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{Scale: scale, Seed: seed, Workers: c.Workers}, nil
+}
+
 // Check is one machine-verifiable shape assertion derived from a
 // theorem (e.g. "measured ≤ bound in every trial", "ratio spread ≤ 2").
 type Check struct {
@@ -100,6 +125,50 @@ type Report struct {
 	// Metrics holds the experiment's headline numeric results, used by
 	// the bench harness's ReportMetric output.
 	Metrics map[string]float64
+}
+
+// reportJSON is the wire form of a Report; Metrics values pass through
+// stats.NullableFloat so NaN/Inf (legitimate for, say, an unfit slope)
+// encode as null instead of failing the encoder.
+type reportJSON struct {
+	ID      string              `json:"id"`
+	Title   string              `json:"title"`
+	Tables  []*table.Table      `json:"tables"`
+	Checks  []Check             `json:"checks"`
+	Notes   []string            `json:"notes,omitempty"`
+	Metrics map[string]*float64 `json:"metrics,omitempty"`
+	Passed  bool                `json:"passed"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	j := reportJSON{
+		ID: r.ID, Title: r.Title, Tables: r.Tables,
+		Checks: r.Checks, Notes: r.Notes, Passed: r.Passed(),
+	}
+	if r.Metrics != nil {
+		j.Metrics = make(map[string]*float64, len(r.Metrics))
+		for k, v := range r.Metrics {
+			j.Metrics[k] = stats.NullableFloat(v)
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler (null metrics become NaN).
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var j reportJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*r = Report{ID: j.ID, Title: j.Title, Tables: j.Tables, Checks: j.Checks, Notes: j.Notes}
+	if j.Metrics != nil {
+		r.Metrics = make(map[string]float64, len(j.Metrics))
+		for k, v := range j.Metrics {
+			r.Metrics[k] = stats.FloatFromNullable(v)
+		}
+	}
+	return nil
 }
 
 // Passed reports whether every check passed.

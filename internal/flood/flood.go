@@ -5,13 +5,44 @@
 package flood
 
 import (
+	"context"
 	"math"
 
 	"meg/internal/core"
 	"meg/internal/rng"
+	"meg/internal/spec"
 	"meg/internal/stats"
 	"meg/internal/sweep"
 )
+
+// OptionsFromSpec is the spec-driven constructor: it maps a canonical
+// simulation spec onto campaign options (trials, sources, round cap,
+// effective seed, kernel tuning). Progress callbacks are left nil for
+// the caller to attach.
+func OptionsFromSpec(s spec.Spec) (Options, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return Options{}, err
+	}
+	kernel, err := c.Kernel()
+	if err != nil {
+		return Options{}, err
+	}
+	seed, err := c.EffectiveSeed()
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{
+		Trials:          c.Trials,
+		SourcesPerTrial: c.Sources,
+		MaxRounds:       c.MaxRounds,
+		Seed:            seed,
+		Workers:         c.Workers,
+		Kernel:          kernel,
+		PullThreshold:   c.Engine.PullThreshold,
+		BatchSources:    c.Engine.BatchSources,
+	}, nil
+}
 
 // Factory builds a fresh, independent dynamics instance for one trial.
 // Trials run concurrently, so instances must not share mutable state.
@@ -52,6 +83,16 @@ type Options struct {
 	// KernelAuto: pinning Kernel forces the per-source path so the
 	// pinned kernel is actually the code that runs.
 	BatchSources bool
+	// OnRound, if non-nil, is called after every flooding round with
+	// the trial index, round number, and informed count — the feed for
+	// live progress streams. Trials run in parallel, so OnRound is
+	// called concurrently from worker goroutines and must be safe for
+	// that; in the unbatched multi-source path the round number restarts
+	// once per source within a trial.
+	OnRound func(trial, round, informed int)
+	// OnTrialDone, if non-nil, is called as each trial finishes (in
+	// completion order, concurrently — same caveats as OnRound).
+	OnTrialDone func(trial int, t Trial)
 }
 
 // batched reports whether the batched multi-source path applies.
@@ -110,26 +151,52 @@ func (c Campaign) MaxRounds() float64 {
 // (taking the worst). Trials execute in parallel and deterministically
 // with respect to opt.Seed.
 func Run(factory Factory, opt Options) Campaign {
+	c, _ := RunContext(context.Background(), factory, opt)
+	return c
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// cancelled, queued trials are never started, running trials abort at
+// their next flooding round, and RunContext returns the zero Campaign
+// together with ctx.Err(). A completed campaign is identical to Run's
+// for the same options.
+func RunContext(ctx context.Context, factory Factory, opt Options) (Campaign, error) {
 	probe := factory()
 	n := probe.N()
 	opt = opt.withDefaults(n)
 
-	trials := sweep.Repeat(opt.Trials, opt.Seed, opt.Workers, func(rep int, r *rng.RNG) Trial {
+	stop := func() bool { return ctx.Err() != nil }
+	trials, err := sweep.RepeatCtx(ctx, opt.Trials, opt.Seed, opt.Workers, func(rep int, r *rng.RNG) Trial {
 		d := factory()
 		sources := make([]int, opt.SourcesPerTrial)
 		// First source fixed for comparability; the rest sampled.
 		for i := 1; i < len(sources); i++ {
 			sources[i] = r.Intn(n)
 		}
+		var progress func(round, informed int)
+		if opt.OnRound != nil {
+			progress = func(round, informed int) { opt.OnRound(rep, round, informed) }
+		}
 		var res core.FloodResult
 		if opt.batched() {
 			d.Reset(r.Split())
-			res = core.WorstResult(core.FloodMulti(d, sources, opt.MaxRounds))
+			res = core.WorstResult(core.FloodMultiOpt(d, sources, opt.MaxRounds,
+				core.MultiOptions{Stop: stop, Progress: progress}))
 		} else {
-			res = core.FloodingTimeOpt(d, sources, opt.MaxRounds, r, opt.floodOptions())
+			fo := opt.floodOptions()
+			fo.Stop = stop
+			fo.Progress = progress
+			res = core.FloodingTimeOpt(d, sources, opt.MaxRounds, r, fo)
 		}
-		return Trial{Result: res, RoundsToHalf: res.RoundsToHalf(n)}
+		t := Trial{Result: res, RoundsToHalf: res.RoundsToHalf(n)}
+		if opt.OnTrialDone != nil && ctx.Err() == nil {
+			opt.OnTrialDone(rep, t)
+		}
+		return t
 	})
+	if err != nil {
+		return Campaign{}, err
+	}
 
 	c := Campaign{Trials: trials}
 	for _, t := range trials {
@@ -142,7 +209,7 @@ func Run(factory Factory, opt Options) Campaign {
 	if len(c.Rounds) > 0 {
 		c.Summary = stats.Summarize(c.Rounds)
 	}
-	return c
+	return c, nil
 }
 
 // MeanRounds is a convenience accessor: the mean completed flooding

@@ -1,12 +1,17 @@
 package flood
 
 import (
+	"context"
 	"math"
+	"sync"
 	"testing"
+	"time"
 
 	"meg/internal/core"
 	"meg/internal/edgemeg"
 	"meg/internal/graph"
+	"meg/internal/rng"
+	"meg/internal/spec"
 )
 
 func pathFactory(n int) Factory {
@@ -144,5 +149,133 @@ func TestRunBatchSourcesMultiSource(t *testing.T) {
 			four.Trials[i].Result.Rounds != c.Trials[i].Result.Rounds {
 			t.Fatalf("batched campaign depends on worker count at trial %d", i)
 		}
+	}
+}
+
+// slowDynamics is an edgeless (never-completing) dynamics whose Step
+// sleeps, so a run without cancellation takes maxRounds·delay.
+type slowDynamics struct {
+	g     *graph.Graph
+	delay time.Duration
+}
+
+func (s *slowDynamics) N() int              { return s.g.N() }
+func (s *slowDynamics) Reset(*rng.RNG)      {}
+func (s *slowDynamics) Graph() *graph.Graph { return s.g }
+func (s *slowDynamics) Step()               { time.Sleep(s.delay) }
+
+func TestRunContextCancelPrompt(t *testing.T) {
+	// One trial of 10 000 rounds at 1 ms/round ≈ 10 s uncancelled.
+	// Cancellation must abort mid-trial, not wait for the trial to end.
+	factory := func() core.Dynamics {
+		return &slowDynamics{g: graph.Empty(16), delay: time.Millisecond}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunContext(ctx, factory, Options{Trials: 1, MaxRounds: 10000, Seed: 1})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("cancelled campaign returned nil error")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; want prompt (≈30ms + one round)", elapsed)
+	}
+}
+
+func TestRunContextCancelBatched(t *testing.T) {
+	factory := func() core.Dynamics {
+		return &slowDynamics{g: graph.Empty(16), delay: time.Millisecond}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunContext(ctx, factory, Options{
+		Trials: 1, SourcesPerTrial: 8, BatchSources: true, MaxRounds: 10000, Seed: 1,
+	})
+	if err == nil {
+		t.Fatalf("cancelled batched campaign returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("batched cancellation took %v; want prompt", elapsed)
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	opt := Options{Trials: 5, SourcesPerTrial: 3, Seed: 7}
+	want := Run(pathFactory(17), opt)
+	got, err := RunContext(context.Background(), pathFactory(17), opt)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if len(got.Trials) != len(want.Trials) || got.Summary != want.Summary {
+		t.Fatalf("RunContext diverged from Run:\n got %+v\nwant %+v", got.Summary, want.Summary)
+	}
+}
+
+func TestRunProgressCallbacks(t *testing.T) {
+	var mu sync.Mutex
+	rounds := 0
+	trialsDone := 0
+	lastInformed := make(map[int]int)
+	c := Run(pathFactory(9), Options{
+		Trials: 3,
+		Seed:   1,
+		OnRound: func(trial, round, informed int) {
+			mu.Lock()
+			rounds++
+			lastInformed[trial] = informed
+			mu.Unlock()
+		},
+		OnTrialDone: func(trial int, tr Trial) {
+			mu.Lock()
+			trialsDone++
+			mu.Unlock()
+		},
+	})
+	if c.Incomplete != 0 {
+		t.Fatalf("incomplete = %d", c.Incomplete)
+	}
+	if trialsDone != 3 {
+		t.Fatalf("OnTrialDone fired %d times, want 3", trialsDone)
+	}
+	// A 9-path from source 0 completes in 8 rounds per trial.
+	if rounds != 3*8 {
+		t.Fatalf("OnRound fired %d times, want 24", rounds)
+	}
+	for trial, informed := range lastInformed {
+		if informed != 9 {
+			t.Fatalf("trial %d last informed = %d, want 9", trial, informed)
+		}
+	}
+}
+
+func TestOptionsFromSpec(t *testing.T) {
+	s, err := spec.Parse([]byte(`{
+		"model": {"name": "edge", "n": 64},
+		"trials": 4, "sources": 2, "seed": 9,
+		"engine": {"kernel": "push", "pullThreshold": 0.3, "batchSources": true}
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	opt, err := OptionsFromSpec(s)
+	if err != nil {
+		t.Fatalf("OptionsFromSpec: %v", err)
+	}
+	if opt.Trials != 4 || opt.SourcesPerTrial != 2 || opt.Seed != 9 {
+		t.Fatalf("campaign fields wrong: %+v", opt)
+	}
+	if opt.Kernel != core.KernelPush || opt.PullThreshold != 0.3 || !opt.BatchSources {
+		t.Fatalf("engine fields wrong: %+v", opt)
+	}
+	if opt.MaxRounds != core.DefaultRoundCap(64) {
+		t.Fatalf("round cap not materialized: %d", opt.MaxRounds)
 	}
 }

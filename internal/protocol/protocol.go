@@ -57,6 +57,33 @@ type Protocol interface {
 	Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result
 }
 
+// ByName builds a protocol from its canonical spelling — the
+// spec-driven constructor used by simulation specs and CLIs. beta and
+// loss parameterize the probabilistic and lossy variants and are
+// ignored by the others.
+func ByName(name string, beta, loss float64) (Protocol, error) {
+	switch name {
+	case "flooding", "":
+		return Flooding{}, nil
+	case "probabilistic", "prob":
+		if beta <= 0 || beta > 1 {
+			return nil, fmt.Errorf("protocol: probabilistic flooding needs beta in (0, 1], got %g", beta)
+		}
+		return Probabilistic{Beta: beta}, nil
+	case "push", "push-gossip":
+		return PushGossip{}, nil
+	case "push-pull", "pushpull":
+		return PushPull{}, nil
+	case "lossy":
+		if loss < 0 || loss >= 1 {
+			return nil, fmt.Errorf("protocol: lossy flooding needs loss in [0, 1), got %g", loss)
+		}
+		return LossyFlooding{Loss: loss}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown protocol %q (want flooding|probabilistic|push|push-pull|lossy)", name)
+	}
+}
+
 // checkArgs validates the shared Run preconditions.
 func checkArgs(n, source, maxRounds int) {
 	if source < 0 || source >= n {

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result store: marshaled Result bytes
+// keyed by spec hash, held in an in-memory LRU and optionally mirrored
+// to a directory of <hash>.json files so results survive restarts.
+// Stored bytes are returned verbatim — a cache hit is byte-identical to
+// the response that populated it.
+type Cache struct {
+	mu         sync.Mutex
+	entries    map[string]*list.Element
+	order      *list.List // front = most recently used
+	maxEntries int
+	dir        string
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	hash string
+	data []byte
+}
+
+// NewCache returns a cache holding up to maxEntries results in memory
+// (≤ 0 selects 256). dir, when non-empty, enables the on-disk mirror
+// (created if missing); disk entries are not evicted.
+func NewCache(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		entries:    make(map[string]*list.Element),
+		order:      list.New(),
+		maxEntries: maxEntries,
+		dir:        dir,
+	}, nil
+}
+
+// validHash gates hashes before they touch the filesystem: exactly the
+// lowercase hex sha256 alphabet, so a crafted "hash" cannot traverse
+// paths.
+func validHash(hash string) bool {
+	if len(hash) != 64 {
+		return false
+	}
+	for _, c := range hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the cached result bytes for hash, consulting memory
+// first and then the disk mirror (promoting disk hits into memory).
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	if !validHash(hash) {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.hits++
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(hash)); err == nil {
+			c.put(hash, data, false)
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return data, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores the result bytes under hash (in memory, and on disk when
+// the mirror is enabled). The caller must not mutate data afterwards.
+func (c *Cache) Put(hash string, data []byte) {
+	if !validHash(hash) {
+		return
+	}
+	c.put(hash, data, true)
+}
+
+func (c *Cache) put(hash string, data []byte, writeDisk bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[hash]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, data: data})
+		for c.order.Len() > c.maxEntries {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).hash)
+		}
+	}
+	c.mu.Unlock()
+	if writeDisk && c.dir != "" {
+		// Atomic write: a crashed writer must not leave a torn file
+		// that later reads as a (corrupt) cached result.
+		tmp, err := os.CreateTemp(c.dir, "put-*")
+		if err != nil {
+			return
+		}
+		if _, err := tmp.Write(data); err == nil {
+			tmp.Close()
+			os.Rename(tmp.Name(), c.path(hash))
+		} else {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fakeHash(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(3, "")
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		c.Put(fakeHash(i), []byte{byte(i)})
+	}
+	// Touch 1 so 2 becomes the LRU entry, then overflow.
+	if _, ok := c.Get(fakeHash(1)); !ok {
+		t.Fatalf("entry 1 missing")
+	}
+	c.Put(fakeHash(4), []byte{4})
+	if _, ok := c.Get(fakeHash(2)); ok {
+		t.Fatalf("LRU entry 2 not evicted")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if _, ok := c.Get(fakeHash(i)); !ok {
+			t.Fatalf("entry %d evicted wrongly", i)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+}
+
+func TestCacheRejectsBadHashes(t *testing.T) {
+	c, _ := NewCache(0, t.TempDir())
+	for _, h := range []string{
+		"short",
+		strings.Repeat("g", 64),         // non-hex
+		"../../etc/passwd",              // traversal attempt
+		strings.Repeat("A", 64),         // uppercase hex not canonical
+		strings.Repeat("ab", 32) + "/x", // length off
+	} {
+		c.Put(h, []byte("x"))
+		if _, ok := c.Get(h); ok {
+			t.Errorf("bad hash %q accepted", h)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("bad hashes stored: len = %d", c.Len())
+	}
+}
+
+func TestCacheDiskMirrorSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	h := fakeHash(7)
+	data := []byte(`{"hello":"world"}`)
+
+	c1, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	c1.Put(h, data)
+	if _, err := os.Stat(filepath.Join(dir, h+".json")); err != nil {
+		t.Fatalf("disk mirror file missing: %v", err)
+	}
+
+	// A fresh cache over the same dir (a "restart") serves the result
+	// from disk and promotes it into memory.
+	c2, err := NewCache(0, dir)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	got, ok := c2.Get(h)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("disk hit wrong: ok=%v data=%q", ok, got)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("disk hit not promoted to memory")
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c, _ := NewCache(0, "")
+	c.Put(fakeHash(1), []byte("a"))
+	c.Get(fakeHash(1))
+	c.Get(fakeHash(2))
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}

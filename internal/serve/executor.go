@@ -1,0 +1,283 @@
+// Package serve is the simulation service layer: a spec executor, a
+// content-addressed result cache, a job scheduler with a bounded worker
+// pool and single-flight deduplication, and the HTTP/SSE API that
+// cmd/megserve exposes. cmd/megsim runs through the same Executor, so
+// the CLI and the service share one code path from spec to result.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"meg/internal/experiments"
+	"meg/internal/flood"
+	"meg/internal/rng"
+	"meg/internal/spec"
+	"meg/internal/stats"
+	"meg/internal/sweep"
+)
+
+// Event is one entry of a job's progress stream.
+type Event struct {
+	// Type is round|trial|experiment|done|canceled|error.
+	Type string `json:"type"`
+	// Trial is the trial index for round/trial events.
+	Trial int `json:"trial,omitempty"`
+	// Round and Informed carry the per-round informed count of round
+	// events.
+	Round    int `json:"round,omitempty"`
+	Informed int `json:"informed,omitempty"`
+	// Rounds and Completed summarize a finished trial.
+	Rounds    int  `json:"rounds,omitempty"`
+	Completed bool `json:"completed,omitempty"`
+	// Message carries free-form detail (experiment/error events).
+	Message string `json:"message,omitempty"`
+}
+
+// TrialResult is the JSON form of one trial's outcome.
+type TrialResult struct {
+	Source       int   `json:"source"`
+	Rounds       int   `json:"rounds"`
+	Completed    bool  `json:"completed"`
+	RoundsToHalf int   `json:"roundsToHalf"`
+	Messages     int64 `json:"messages,omitempty"`
+}
+
+// Result is the JSON result of one executed spec. It is fully
+// deterministic for a given canonical spec (no timestamps, sorted map
+// keys), so re-running a spec reproduces the cached bytes exactly.
+type Result struct {
+	// Hash is the spec's content address.
+	Hash string `json:"hash"`
+	// Spec is the canonical spec that produced the result.
+	Spec spec.Spec `json:"spec"`
+	// Model and Protocol describe the instantiated run (campaign jobs).
+	Model    string `json:"model,omitempty"`
+	Protocol string `json:"protocol,omitempty"`
+	// Trials holds the per-trial outcomes (campaign jobs).
+	Trials []TrialResult `json:"trials,omitempty"`
+	// CompletedTrials/IncompleteTrials count trials that finished
+	// flooding vs. hit the round cap.
+	CompletedTrials  int `json:"completedTrials"`
+	IncompleteTrials int `json:"incompleteTrials"`
+	// Rounds summarizes the completed trials' spreading times.
+	Rounds stats.Summary `json:"rounds"`
+	// Trajectory is trial 0's per-round informed count.
+	Trajectory []int `json:"trajectory,omitempty"`
+	// Report is the experiment report (experiment jobs only).
+	Report *experiments.Report `json:"report,omitempty"`
+}
+
+// Runner executes specs. Executor is the real implementation; the
+// scheduler depends on the interface so tests can gate or count runs.
+type Runner interface {
+	// Execute runs the spec to completion, feeding progress events to
+	// sink (which may be nil and must be safe for concurrent calls).
+	// It returns ctx.Err() when cancelled.
+	Execute(ctx context.Context, s spec.Spec, sink func(Event)) (*Result, error)
+}
+
+// Executor runs simulation specs through the flood/protocol/experiment
+// engines. The zero value is ready for use; one Executor is safe for
+// concurrent Execute calls.
+type Executor struct {
+	invocations atomic.Int64
+}
+
+// Invocations returns how many Execute calls started — the observable
+// the single-flight and cache tests (and the smoke test) assert on.
+func (e *Executor) Invocations() int64 { return e.invocations.Load() }
+
+// Execute implements Runner.
+func (e *Executor) Execute(ctx context.Context, s spec.Spec, sink func(Event)) (*Result, error) {
+	e.invocations.Add(1)
+	c, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := c.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if c.Experiment != "" {
+		return e.runExperiment(ctx, c, hash, sink)
+	}
+	if c.Protocol.Name == "flooding" {
+		return e.runFlooding(ctx, c, hash, sink)
+	}
+	return e.runProtocol(ctx, c, hash, sink)
+}
+
+// publicSpec strips execution-only hints from the spec embedded in a
+// Result: Workers is excluded from the content hash, so it must not
+// leak into the cached bytes either — otherwise the same hash would
+// serve different bytes depending on which submitter simulated first.
+func publicSpec(c spec.Spec) spec.Spec {
+	c.Workers = 0
+	return c
+}
+
+// runFlooding executes a flooding campaign on the optimized engine.
+func (e *Executor) runFlooding(ctx context.Context, c spec.Spec, hash string, sink func(Event)) (*Result, error) {
+	factory, desc, err := c.NewFactory()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := flood.OptionsFromSpec(c)
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		opt.OnRound = func(trial, round, informed int) {
+			sink(Event{Type: "round", Trial: trial, Round: round, Informed: informed})
+		}
+		opt.OnTrialDone = func(trial int, t flood.Trial) {
+			sink(Event{Type: "trial", Trial: trial, Rounds: t.Result.Rounds, Completed: t.Result.Completed})
+		}
+	}
+	camp, err := flood.RunContext(ctx, factory, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Hash:             hash,
+		Spec:             publicSpec(c),
+		Model:            desc,
+		Protocol:         "flooding",
+		CompletedTrials:  len(camp.Rounds),
+		IncompleteTrials: camp.Incomplete,
+		Rounds:           camp.Summary,
+	}
+	for _, t := range camp.Trials {
+		res.Trials = append(res.Trials, TrialResult{
+			Source:       t.Result.Source,
+			Rounds:       t.Result.Rounds,
+			Completed:    t.Result.Completed,
+			RoundsToHalf: t.RoundsToHalf,
+		})
+	}
+	if len(camp.Trials) > 0 {
+		res.Trajectory = camp.Trials[0].Result.Trajectory
+	}
+	return res, nil
+}
+
+// runProtocol executes a campaign of a non-flooding protocol: the same
+// trial/source estimator as flood.Run (worst over sources, fresh
+// dynamics per trial), with cancellation checked between trials.
+func (e *Executor) runProtocol(ctx context.Context, c spec.Spec, hash string, sink func(Event)) (*Result, error) {
+	factory, desc, err := c.NewFactory()
+	if err != nil {
+		return nil, err
+	}
+	proto, err := c.NewProtocol()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := c.EffectiveSeed()
+	if err != nil {
+		return nil, err
+	}
+	n := c.Model.N
+
+	type trial struct {
+		src       int
+		rounds    int
+		completed bool
+		messages  int64
+		traj      []int
+	}
+	trials, err := sweep.RepeatCtx(ctx, c.Trials, seed, c.Workers, func(rep int, r *rng.RNG) trial {
+		d := factory()
+		worst := trial{}
+		for i := 0; i < c.Sources; i++ {
+			src := 0
+			if i > 0 {
+				src = r.Intn(n)
+			}
+			d.Reset(r.Split())
+			res := proto.Run(d, src, c.MaxRounds, r)
+			t := trial{src: src, rounds: res.Rounds, completed: res.Completed, messages: res.Messages, traj: res.Trajectory}
+			if i == 0 || worseTrial(t.rounds, t.completed, worst.rounds, worst.completed) {
+				worst = t
+			}
+		}
+		if sink != nil && ctx.Err() == nil {
+			sink(Event{Type: "trial", Trial: rep, Rounds: worst.rounds, Completed: worst.completed})
+		}
+		return worst
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Hash: hash, Spec: publicSpec(c), Model: desc, Protocol: proto.Name()}
+	var rounds []float64
+	for _, t := range trials {
+		res.Trials = append(res.Trials, TrialResult{
+			Source:       t.src,
+			Rounds:       t.rounds,
+			Completed:    t.completed,
+			RoundsToHalf: roundsToHalf(t.traj, n),
+			Messages:     t.messages,
+		})
+		if t.completed {
+			rounds = append(rounds, float64(t.rounds))
+			res.CompletedTrials++
+		} else {
+			res.IncompleteTrials++
+		}
+	}
+	if len(rounds) > 0 {
+		res.Rounds = stats.Summarize(rounds)
+	}
+	if len(trials) > 0 {
+		res.Trajectory = trials[0].traj
+	}
+	return res, nil
+}
+
+// worseTrial mirrors core's flooding-time ordering: incomplete beats
+// complete, then more rounds beats fewer.
+func worseTrial(aRounds int, aCompleted bool, bRounds int, bCompleted bool) bool {
+	if aCompleted != bCompleted {
+		return !aCompleted
+	}
+	return aRounds > bRounds
+}
+
+// roundsToHalf returns the first index t with traj[t] ≥ n/2, or -1.
+func roundsToHalf(traj []int, n int) int {
+	for t, m := range traj {
+		if 2*m >= n {
+			return t
+		}
+	}
+	return -1
+}
+
+// runExperiment executes a paper-reproduction experiment as a job. The
+// experiment harness is not round-cancellable; cancellation is honored
+// before it starts and observed after it returns.
+func (e *Executor) runExperiment(ctx context.Context, c spec.Spec, hash string, sink func(Event)) (*Result, error) {
+	exp, ok := experiments.ByID(c.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown experiment %q", c.Experiment)
+	}
+	params, err := experiments.ParamsFromSpec(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		sink(Event{Type: "experiment", Message: fmt.Sprintf("%s: %s (scale=%s)", exp.ID, exp.Title, params.Scale)})
+	}
+	rep := exp.Run(params)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Hash: hash, Spec: publicSpec(c), Report: rep}, nil
+}

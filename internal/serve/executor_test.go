@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"meg/internal/spec"
+)
+
+func TestExecutorProtocolPath(t *testing.T) {
+	s := spec.Spec{
+		Model:    spec.Model{Name: "edge", N: 128},
+		Protocol: spec.Protocol{Name: "push-pull"},
+		Trials:   3,
+		Sources:  2,
+	}
+	var mu sync.Mutex
+	trials := 0
+	exec := &Executor{}
+	res, err := exec.Execute(context.Background(), s, func(e Event) {
+		if e.Type == "trial" {
+			mu.Lock()
+			trials++
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if trials != 3 {
+		t.Fatalf("trial events = %d, want 3", trials)
+	}
+	if res.Protocol != "push-pull" || len(res.Trials) != 3 {
+		t.Fatalf("result wrong: protocol=%q trials=%d", res.Protocol, len(res.Trials))
+	}
+	for i, tr := range res.Trials {
+		if tr.Messages == 0 && tr.Completed {
+			t.Errorf("trial %d completed with zero messages", i)
+		}
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("protocol result does not marshal: %v", err)
+	}
+}
+
+func TestExecutorExperimentPath(t *testing.T) {
+	s := spec.Spec{Experiment: "E2", Scale: "quick"}
+	exec := &Executor{}
+	var events []Event
+	var mu sync.Mutex
+	res, err := exec.Execute(context.Background(), s, func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Report == nil || res.Report.ID != "E2" {
+		t.Fatalf("missing experiment report: %+v", res.Report)
+	}
+	if len(res.Report.Tables) == 0 || len(res.Report.Checks) == 0 {
+		t.Fatalf("report lacks tables/checks")
+	}
+	if len(events) == 0 || events[0].Type != "experiment" {
+		t.Fatalf("no experiment event emitted")
+	}
+	// The whole result — report, tables, metrics — must marshal and
+	// round-trip through JSON (NaN metrics become null).
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("experiment result does not marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("experiment result does not unmarshal: %v", err)
+	}
+	if back.Report.ID != "E2" || len(back.Report.Tables) != len(res.Report.Tables) {
+		t.Fatalf("report round trip lost data")
+	}
+	if back.Report.Tables[0].NumRows() != res.Report.Tables[0].NumRows() {
+		t.Fatalf("table rows lost in round trip")
+	}
+}
+
+func TestExecutorUnknownExperiment(t *testing.T) {
+	exec := &Executor{}
+	if _, err := exec.Execute(context.Background(), spec.Spec{Experiment: "E999"}, nil); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+func TestExecutorSeedPolicyContentDeterministic(t *testing.T) {
+	s := spec.Spec{
+		Model:      spec.Model{Name: "edge", N: 128},
+		Trials:     2,
+		SeedPolicy: spec.SeedContent,
+	}
+	exec := &Executor{}
+	r1, err := exec.Execute(context.Background(), s, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	r2, err := exec.Execute(context.Background(), s, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Fatalf("content-seeded runs are not reproducible")
+	}
+}
+
+func TestResultBytesIgnoreWorkers(t *testing.T) {
+	// Workers is excluded from the content hash, so two submitters
+	// differing only in workers must produce byte-identical results —
+	// otherwise the cache would serve different bytes for one hash
+	// depending on who simulated first.
+	base := spec.Spec{Model: spec.Model{Name: "edge", N: 128}, Trials: 2}
+	w4 := base
+	w4.Workers = 4
+	exec := &Executor{}
+	r1, err := exec.Execute(context.Background(), base, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	r2, err := exec.Execute(context.Background(), w4, nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Fatalf("worker count leaked into result bytes:\n%s\n%s", b1, b2)
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"meg/internal/spec"
+)
+
+// maxSpecBytes bounds the request body of a job submission.
+const maxSpecBytes = 1 << 20
+
+// Server is the HTTP face of the scheduler: the megserve API.
+//
+//	POST   /v1/jobs            submit a spec, get {id, hash, status, outcome}
+//	GET    /v1/jobs/{id}       job status, progress, and (when done) result
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/jobs/{id}/events  SSE stream of progress events
+//	GET    /v1/cache/{hash}    cached result bytes by content address
+//	GET    /healthz            liveness + job/cache counters
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wires the API routes around a scheduler.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/cache/{hash}", s.handleCache)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a {error: ...} payload.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// submitResponse is the POST /v1/jobs payload.
+type submitResponse struct {
+	ID      string    `json:"id"`
+	Hash    string    `json:"hash"`
+	Status  JobStatus `json:"status"`
+	Outcome Outcome   `json:"outcome"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	sp, err := spec.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, outcome, err := s.sched.Submit(sp)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if outcome == OutcomeCached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, submitResponse{ID: job.ID, Hash: job.Hash, Status: job.Status(), Outcome: outcome})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sched.Cancel(id) {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	job, _ := s.sched.Get(id)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "status": job.Status()})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, unsubscribe := job.Subscribe()
+	defer unsubscribe()
+	for _, e := range replay {
+		writeSSE(w, e)
+	}
+	flusher.Flush()
+	// The replay of a finished job already ends with the terminal
+	// event; a live job's channel closes after delivering it. A slow
+	// subscriber can lose events to channel backpressure, though, so if
+	// the channel closes before we saw a terminal event, synthesize it
+	// from the job's final status — the stream contract is that it
+	// always ends with done/canceled/error on job completion.
+	if len(replay) > 0 && isTerminalEvent(replay[len(replay)-1]) {
+		return
+	}
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				writeSSE(w, terminalEventFor(job))
+				flusher.Flush()
+				return
+			}
+			writeSSE(w, e)
+			flusher.Flush()
+			if isTerminalEvent(e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// terminalEventFor reconstructs the terminal event from a finished
+// job's state (used when the live channel dropped it under
+// backpressure).
+func terminalEventFor(j *Job) Event {
+	switch j.Status() {
+	case StatusFailed:
+		return Event{Type: "error", Message: j.Err()}
+	case StatusCanceled:
+		return Event{Type: "canceled"}
+	default:
+		return Event{Type: "done"}
+	}
+}
+
+// isTerminalEvent reports whether the event ends the stream.
+func isTerminalEvent(e Event) bool {
+	switch e.Type {
+	case "done", "canceled", "error":
+		return true
+	}
+	return false
+}
+
+// writeSSE writes one event in text/event-stream framing.
+func writeSSE(w io.Writer, e Event) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.sched.cache.Get(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.sched.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":   true,
+		"jobs": s.sched.Counts(),
+		"cache": map[string]any{
+			"entries": s.sched.cache.Len(),
+			"hits":    hits,
+			"misses":  misses,
+		},
+	})
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// Summary and Fit are the result types that cross the JSON boundary
+// (megserve responses, megsim/megbench -json). encoding/json rejects
+// NaN and ±Inf outright, and both occur legitimately here (StdDev of a
+// single sample, say), so the custom marshalers below map non-finite
+// values to null and null back to NaN, keeping every result
+// round-trippable.
+
+// NullableFloat converts a float64 to its JSON representation: the
+// value itself when finite, nil (→ null) when NaN or ±Inf.
+func NullableFloat(f float64) *float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil
+	}
+	return &f
+}
+
+// FloatFromNullable inverts NullableFloat: nil becomes NaN.
+func FloatFromNullable(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// summaryJSON mirrors Summary with non-finite-safe fields.
+type summaryJSON struct {
+	N          int      `json:"n"`
+	Mean       *float64 `json:"mean"`
+	StdDev     *float64 `json:"stddev"`
+	Min        *float64 `json:"min"`
+	Max        *float64 `json:"max"`
+	Median     *float64 `json:"median"`
+	P10        *float64 `json:"p10"`
+	P90        *float64 `json:"p90"`
+	P25        *float64 `json:"p25"`
+	P75        *float64 `json:"p75"`
+	StdErr     *float64 `json:"stderr"`
+	CI95Radius *float64 `json:"ci95Radius"`
+}
+
+// MarshalJSON implements json.Marshaler; NaN/±Inf become null.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{
+		N:          s.N,
+		Mean:       NullableFloat(s.Mean),
+		StdDev:     NullableFloat(s.StdDev),
+		Min:        NullableFloat(s.Min),
+		Max:        NullableFloat(s.Max),
+		Median:     NullableFloat(s.Median),
+		P10:        NullableFloat(s.P10),
+		P90:        NullableFloat(s.P90),
+		P25:        NullableFloat(s.P25),
+		P75:        NullableFloat(s.P75),
+		StdErr:     NullableFloat(s.StdErr),
+		CI95Radius: NullableFloat(s.CI95Radius),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler; null becomes NaN.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var j summaryJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*s = Summary{
+		N:          j.N,
+		Mean:       FloatFromNullable(j.Mean),
+		StdDev:     FloatFromNullable(j.StdDev),
+		Min:        FloatFromNullable(j.Min),
+		Max:        FloatFromNullable(j.Max),
+		Median:     FloatFromNullable(j.Median),
+		P10:        FloatFromNullable(j.P10),
+		P90:        FloatFromNullable(j.P90),
+		P25:        FloatFromNullable(j.P25),
+		P75:        FloatFromNullable(j.P75),
+		StdErr:     FloatFromNullable(j.StdErr),
+		CI95Radius: FloatFromNullable(j.CI95Radius),
+	}
+	return nil
+}
+
+// fitJSON mirrors Fit with non-finite-safe fields.
+type fitJSON struct {
+	Intercept *float64 `json:"intercept"`
+	Slope     *float64 `json:"slope"`
+	R2        *float64 `json:"r2"`
+	N         int      `json:"n"`
+}
+
+// MarshalJSON implements json.Marshaler; NaN/±Inf become null.
+func (f Fit) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fitJSON{
+		Intercept: NullableFloat(f.Intercept),
+		Slope:     NullableFloat(f.Slope),
+		R2:        NullableFloat(f.R2),
+		N:         f.N,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler; null becomes NaN.
+func (f *Fit) UnmarshalJSON(data []byte) error {
+	var j fitJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*f = Fit{
+		Intercept: FloatFromNullable(j.Intercept),
+		Slope:     FloatFromNullable(j.Slope),
+		R2:        FloatFromNullable(j.R2),
+		N:         j.N,
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	in := Summarize([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Summary
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the summary:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestSummaryJSONSingleSampleNaN(t *testing.T) {
+	// One sample: StdDev/StdErr are NaN, which plain encoding/json
+	// refuses to emit. The custom marshaler must map them to null.
+	in := Summarize([]float64{7})
+	if !math.IsNaN(in.StdDev) {
+		t.Fatalf("expected NaN StdDev for a single sample, got %v", in.StdDev)
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal with NaN fields: %v", err)
+	}
+	if !strings.Contains(string(b), `"stddev":null`) {
+		t.Fatalf("NaN StdDev not encoded as null: %s", b)
+	}
+	var out Summary
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !math.IsNaN(out.StdDev) {
+		t.Fatalf("null fields should decode back to NaN, got %+v", out)
+	}
+	if out.Mean != 7 || out.N != 1 {
+		t.Fatalf("finite fields corrupted: %+v", out)
+	}
+}
+
+func TestSummaryJSONInf(t *testing.T) {
+	in := Summary{N: 2, Mean: math.Inf(1), Min: math.Inf(-1), Max: 3}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal with Inf fields: %v", err)
+	}
+	var out Summary
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// Inf is not representable in JSON; it comes back as NaN (null).
+	if !math.IsNaN(out.Mean) || !math.IsNaN(out.Min) || out.Max != 3 {
+		t.Fatalf("Inf handling wrong: %+v", out)
+	}
+}
+
+func TestFitJSONRoundTrip(t *testing.T) {
+	in := LinearFit([]float64{1, 2, 3, 4}, []float64{2.5, 4.4, 6.1, 8.2})
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Fit
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the fit:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestFitJSONNaN(t *testing.T) {
+	in := Fit{Intercept: math.NaN(), Slope: 2, R2: math.NaN(), N: 5}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Fit
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !math.IsNaN(out.Intercept) || out.Slope != 2 || !math.IsNaN(out.R2) || out.N != 5 {
+		t.Fatalf("NaN round trip wrong: %+v", out)
+	}
+}

@@ -5,6 +5,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -19,6 +20,16 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // the results in input order. fn receives the item index; it must not
 // retain references to shared mutable state without its own locking.
 func Map[I, O any](items []I, workers int, fn func(idx int, item I) O) []O {
+	out, _ := MapCtx(context.Background(), items, workers, fn)
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, no new
+// jobs are dispatched, in-flight jobs finish (fn itself should poll ctx
+// if single jobs are long), and MapCtx returns ctx.Err(). Entries for
+// undispatched jobs are left as the zero value, so on a non-nil error
+// the output is partial.
+func MapCtx[I, O any](ctx context.Context, items []I, workers int, fn func(idx int, item I) O) ([]O, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -27,13 +38,19 @@ func Map[I, O any](items []I, workers int, fn func(idx int, item I) O) []O {
 	}
 	out := make([]O, len(items))
 	if len(items) == 0 {
-		return out
+		return out, ctx.Err()
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i, it := range items {
+			select {
+			case <-done:
+				return out, ctx.Err()
+			default:
+			}
 			out[i] = fn(i, it)
 		}
-		return out
+		return out, ctx.Err()
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -46,12 +63,17 @@ func Map[I, O any](items []I, workers int, fn func(idx int, item I) O) []O {
 			}
 		}()
 	}
+dispatch:
 	for i := range items {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }
 
 // MapSeeded is Map with a per-job RNG derived deterministically from
@@ -66,12 +88,20 @@ func MapSeeded[I, O any](items []I, seed uint64, workers int, fn func(item I, r 
 // the reps results in order. It is the inner loop of every Monte Carlo
 // estimate in the experiment suite.
 func Repeat[O any](reps int, seed uint64, workers int, fn func(rep int, r *rng.RNG) O) []O {
+	out, _ := RepeatCtx(context.Background(), reps, seed, workers, fn)
+	return out
+}
+
+// RepeatCtx is Repeat with cooperative cancellation (see MapCtx): a
+// non-nil error means the returned slice holds zero values for the
+// repetitions that never ran.
+func RepeatCtx[O any](ctx context.Context, reps int, seed uint64, workers int, fn func(rep int, r *rng.RNG) O) ([]O, error) {
 	idxs := make([]int, reps)
 	for i := range idxs {
 		idxs[i] = i
 	}
-	return MapSeeded(idxs, seed, workers, func(rep int, r *rng.RNG) O {
-		return fn(rep, r)
+	return MapCtx(ctx, idxs, workers, func(idx int, rep int) O {
+		return fn(rep, rng.New(rng.SeedFor(seed, idx)))
 	})
 }
 

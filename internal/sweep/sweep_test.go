@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"meg/internal/rng"
 )
@@ -124,6 +126,71 @@ func TestRepeatDeterministicAcrossWorkerCounts(t *testing.T) {
 			if got[i] != one[i] {
 				t.Fatalf("workers=%d diverged at rep %d", workers, i)
 			}
+		}
+	}
+}
+
+func TestMapCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	items := make([]int, 1000)
+	out, err := MapCtx(ctx, items, 4, func(idx int, _ int) int {
+		if started.Add(1) == 4 {
+			cancel() // cancel after a handful of jobs are in flight
+		}
+		time.Sleep(time.Millisecond)
+		return idx + 1
+	})
+	if err == nil {
+		t.Fatalf("cancelled MapCtx returned nil error")
+	}
+	if len(out) != 1000 {
+		t.Fatalf("output length %d", len(out))
+	}
+	ran := int(started.Load())
+	if ran >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch: all %d jobs ran", ran)
+	}
+	// Results of jobs that ran are in place; undispatched stay zero.
+	zero := 0
+	for _, v := range out {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Fatalf("expected undispatched zero entries after cancellation")
+	}
+}
+
+func TestMapCtxSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, err := MapCtx(ctx, make([]int, 100), 1, func(idx int, _ int) int {
+		n++
+		if n == 5 {
+			cancel()
+		}
+		return n
+	})
+	if err == nil {
+		t.Fatalf("cancelled serial MapCtx returned nil error")
+	}
+	if n != 5 {
+		t.Fatalf("serial path ran %d jobs after cancellation, want exactly 5", n)
+	}
+}
+
+func TestRepeatCtxMatchesRepeat(t *testing.T) {
+	f := func(rep int, r *rng.RNG) uint64 { return r.Uint64() }
+	want := Repeat(16, 42, 4, f)
+	got, err := RepeatCtx(context.Background(), 16, 42, 4, f)
+	if err != nil {
+		t.Fatalf("RepeatCtx: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RepeatCtx diverged from Repeat at %d", i)
 		}
 	}
 }

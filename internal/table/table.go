@@ -5,6 +5,7 @@ package table
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -43,6 +44,30 @@ func (t *Table) AddRow(cells ...any) {
 		row[i] = Cell(c)
 	}
 	t.rows = append(t.rows, row)
+}
+
+// tableJSON is the wire form of a Table (cells are already formatted
+// strings, so nothing non-finite can leak into the encoder).
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON implements json.Marshaler, exposing the unexported
+// headers and rows for the -json CLI modes and the megserve API.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{Title: t.Title, Headers: t.headers, Rows: t.rows})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j tableJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	t.Title, t.headers, t.rows = j.Title, j.Headers, j.Rows
+	return nil
 }
 
 // Cell formats a single value: floats compactly with 4 significant
