@@ -1,19 +1,27 @@
 // Command megbench regenerates the paper-reproduction experiments
 // (E1–E13, see DESIGN.md): every theorem, claim and corollary of the
 // paper is validated by simulation and printed as a table plus
-// pass/fail shape checks.
+// pass/fail shape checks. With -suite it instead runs the benchmark
+// trajectory suite: a fixed set of named flooding scenarios timed with
+// the serial and the sharded engine on the same seeds, written as a
+// schema-versioned BENCH_<git-sha>.json (and failing if the engines'
+// results diverge).
 //
 // Usage:
 //
 //	megbench [flags] [experiment IDs...]
+//	megbench -suite [flags] [scenario name filters...]
 //
-// With no IDs, the full suite runs in index order.
+// With no IDs, the full experiment suite runs in index order.
 //
 // Flags:
 //
 //	-scale quick|standard|full   experiment size (default standard)
 //	-seed N                      base RNG seed (default 1)
 //	-workers N                   parallelism (default: all CPUs)
+//	-par N                       intra-trial sharded-engine workers
+//	                             (0/1 = serial, -1 = all CPUs); results
+//	                             are identical for every value
 //	-kernel auto|push|pull       flooding kernel (default auto). Kernels
 //	                             compute identical results per flooding
 //	                             call; note that pinning one also forces
@@ -23,6 +31,8 @@
 //	                             auto run at standard/full scale.
 //	-csv DIR                     also write every table as CSV into DIR
 //	-list                        list experiments and exit
+//	-suite                       run the benchmark trajectory suite
+//	-out DIR                     directory for BENCH_<sha>.json (default .)
 package main
 
 import (
@@ -43,10 +53,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 	kernelFlag := flag.String("kernel", "auto", "flooding kernel: auto|push|pull (identical results per flooding call; pinning one also disables source batching in E4/E8)")
+	parallelism := flag.Int("par", 0, "intra-trial worker count of the sharded engine (0/1 = serial, -1 = all CPUs); results are identical for every value")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
-	jsonOut := flag.Bool("json", false, "emit the reports as a JSON array (the same experiments.Report payload megserve returns for experiment jobs) instead of text")
+	jsonOut := flag.Bool("json", false, "emit the reports (or the BENCH file with -suite) as JSON on stdout instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
+	suite := flag.Bool("suite", false, "run the benchmark trajectory suite and write BENCH_<git-sha>.json")
+	outDir := flag.String("out", ".", "directory for the BENCH_<git-sha>.json artifact (with -suite)")
 	flag.Parse()
+
+	if *suite {
+		runSuite(*outDir, *parallelism, *jsonOut, flag.Args())
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -65,7 +83,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	params := experiments.Params{Scale: scale, Seed: *seed, Workers: *workers, Kernel: kernel}
+	params := experiments.Params{Scale: scale, Seed: *seed, Workers: *workers, Kernel: kernel, Parallelism: *parallelism}
 
 	var selected []experiments.Experiment
 	if flag.NArg() == 0 {

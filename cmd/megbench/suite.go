@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"meg/internal/bench"
+)
+
+// runSuite executes the benchmark trajectory suite and writes
+// BENCH_<git-sha>.json into outDir. The process exits non-zero when the
+// sharded engine's results diverge from the serial engine's on the same
+// seeds — the file is still written first, so CI can upload the
+// evidence alongside the failure.
+func runSuite(outDir string, parallelism int, jsonOut bool, filters []string) {
+	f, runErr := bench.Run(bench.Options{
+		Parallelism: parallelism,
+		Filter:      filters,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if f == nil {
+		fmt.Fprintf(os.Stderr, "megbench: %v\n", runErr)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "megbench: %v\n", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(outDir, bench.FileName(f.GitSHA))
+	if err := f.Write(path); err != nil {
+		fmt.Fprintf(os.Stderr, "megbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "megbench: wrote %s\n", path)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(f); err != nil {
+			fmt.Fprintf(os.Stderr, "megbench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, r := range f.Results {
+			status := "identical"
+			if !r.Identical {
+				status = "DIVERGED"
+			}
+			fmt.Printf("%-18s n=%-7d speedup=%.2fx  %s\n", r.Name, r.N, r.SpeedupVsSerial, status)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "megbench: %v\n", runErr)
+		os.Exit(1)
+	}
+}

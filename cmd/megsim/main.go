@@ -43,6 +43,7 @@ func main() {
 	loss := flag.Float64("loss", 0, "per-message loss probability (lossy protocol)")
 	kernel := flag.String("kernel", "auto", "flooding kernel: auto|push|pull")
 	batch := flag.Bool("batch", false, "batch each trial's sources bit-parallel over one realization")
+	parallelism := flag.Int("par", 0, "intra-trial worker count of the sharded engine (0/1 = serial, -1 = all CPUs); results are identical for every value")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	trials := flag.Int("trials", 1, "independent trials")
 	sources := flag.Int("sources", 1, "sources per trial (flooding time = max)")
@@ -62,6 +63,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *parallelism != 0 {
+			// An execution hint (excluded from the content hash), so the
+			// flag may override the file without changing the run.
+			sp.Parallelism = *parallelism
+		}
 	} else {
 		var err error
 		sp, err = spec.Spec{
@@ -70,11 +76,12 @@ func main() {
 				Mult: *mult, RFrac: *rfrac, Density: *density,
 				PhatMult: *phatmult, Q: *q, Empty: *emptyStart,
 			},
-			Protocol: spec.Protocol{Name: *proto, Beta: *beta, Loss: *loss},
-			Engine:   spec.Engine{Kernel: *kernel, BatchSources: *batch},
-			Trials:   *trials,
-			Sources:  *sources,
-			Seed:     *seed,
+			Protocol:    spec.Protocol{Name: *proto, Beta: *beta, Loss: *loss},
+			Engine:      spec.Engine{Kernel: *kernel, BatchSources: *batch},
+			Trials:      *trials,
+			Sources:     *sources,
+			Seed:        *seed,
+			Parallelism: *parallelism,
 		}.Canonical()
 		if err != nil {
 			fatal(err)

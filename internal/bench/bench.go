@@ -1,0 +1,327 @@
+// Package bench is the benchmark trajectory recorder: a fixed suite of
+// named flooding scenarios, each run with the serial and the sharded
+// engine on the same seeds, timed, and emitted as a schema-versioned
+// BENCH_<git-sha>.json. CI runs the suite on every push and uploads the
+// file as an artifact, so the repository accumulates a measured speed
+// trajectory instead of anecdotes — and because serial and sharded
+// variants must produce byte-identical flooding results, the suite
+// doubles as the cross-kernel divergence gate.
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"meg/internal/flood"
+	"meg/internal/par"
+	"meg/internal/spec"
+)
+
+// SchemaVersion identifies the BENCH file layout. Bump on any
+// backwards-incompatible change so trajectory tooling can dispatch.
+const SchemaVersion = 1
+
+// Scenario is one named workload of the suite. Spec carries the model,
+// trial, source, and engine configuration; the runner executes it once
+// with Parallelism 1 (serial baseline) and once with the sharded
+// engine, asserting byte-identical results.
+type Scenario struct {
+	// Name is the stable scenario identifier (the trajectory key).
+	Name string `json:"name"`
+	// Note says what the scenario exercises.
+	Note string `json:"note"`
+	// Spec is the canonical workload. Seed/SeedPolicy are fixed so the
+	// serial and sharded runs (and every CI run) see the same draws.
+	Spec spec.Spec `json:"spec"`
+}
+
+// Suite returns the fixed scenario list: geometric flooding at three
+// sizes (the scaling axis the paper's Θ(√n/R) bound lives on), sparse
+// and dense edge-MEGs (the Θ(log n/log np̂) axis), and a batched
+// 64-source geometric run (the bit-parallel estimator).
+func Suite() []Scenario {
+	geom := func(n int) spec.Spec {
+		return spec.Spec{
+			Model:  spec.Model{Name: "geometric", N: n, RFrac: 0.5},
+			Trials: 1,
+			Seed:   7,
+		}
+	}
+	edge := func(n int, phatMult float64) spec.Spec {
+		return spec.Spec{
+			Model:  spec.Model{Name: "edge", N: n, PhatMult: phatMult},
+			Trials: 1,
+			Seed:   7,
+		}
+	}
+	multi := geom(65536)
+	multi.Sources = 64
+	multi.Engine.BatchSources = true
+	return []Scenario{
+		{Name: "geom-4k", Note: "geometric-MEG n=4096, single source", Spec: geom(4096)},
+		{Name: "geom-64k", Note: "geometric-MEG n=65536, single source", Spec: geom(65536)},
+		{Name: "geom-512k", Note: "geometric-MEG n=524288, single source — the headline scaling scenario", Spec: geom(524288)},
+		{Name: "edge-sparse-64k", Note: "edge-MEG n=65536, p̂ = 2·log n/n (near-threshold sparse)", Spec: edge(65536, 2)},
+		{Name: "edge-dense-16k", Note: "edge-MEG n=16384, p̂ = 16·log n/n (dense churn)", Spec: edge(16384, 16)},
+		{Name: "multi64-geom-64k", Note: "geometric-MEG n=65536, 64 sources batched bit-parallel", Spec: multi},
+	}
+}
+
+// Variant is one timed execution of a scenario.
+type Variant struct {
+	// Variant is "serial" or "sharded".
+	Variant string `json:"variant"`
+	// Parallelism is the intra-trial worker count used.
+	Parallelism int `json:"parallelism"`
+	// Rounds is the total number of evaluated flooding rounds.
+	Rounds int `json:"rounds"`
+	// Completed reports whether every trial finished flooding.
+	Completed bool `json:"completed"`
+	// WallNS is the wall-clock time of the campaign in nanoseconds.
+	WallNS int64 `json:"wallNS"`
+	// NSPerRound is WallNS divided by Rounds.
+	NSPerRound float64 `json:"nsPerRound"`
+	// AllocBytes/Allocs are the heap allocation deltas of the run.
+	AllocBytes uint64 `json:"allocBytes"`
+	Allocs     uint64 `json:"allocs"`
+	// Checksum fingerprints the full FloodResult set (sources, rounds,
+	// trajectories, arrival arrays). Serial and sharded checksums must
+	// match — the suite fails otherwise.
+	Checksum string `json:"checksum"`
+}
+
+// Result is one scenario's outcome: the serial baseline, the sharded
+// run, and the speedup between them.
+type Result struct {
+	Name  string `json:"name"`
+	Note  string `json:"note"`
+	Model string `json:"model"`
+	N     int    `json:"n"`
+	// Hash is the scenario spec's content address, tying the trajectory
+	// entry to the exact workload definition.
+	Hash     string    `json:"hash"`
+	Variants []Variant `json:"variants"`
+	// SpeedupVsSerial is serial wall time divided by sharded wall time.
+	SpeedupVsSerial float64 `json:"speedupVsSerial"`
+	// Identical reports that every variant produced the same checksum.
+	Identical bool `json:"identical"`
+}
+
+// File is the schema-versioned BENCH_<sha>.json payload.
+type File struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	GitSHA        string `json:"gitSHA"`
+	GeneratedAt   string `json:"generatedAt"`
+	GoVersion     string `json:"goVersion"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	CPUs          int    `json:"cpus"`
+	// Parallelism is the sharded worker count the suite ran with.
+	Parallelism int      `json:"parallelism"`
+	Results     []Result `json:"results"`
+}
+
+// Options configures a suite run.
+type Options struct {
+	// Parallelism is the sharded variant's worker count (<= 0: all
+	// CPUs). The serial baseline always runs with 1.
+	Parallelism int
+	// Filter, when non-empty, keeps only scenarios whose name contains
+	// one of the entries.
+	Filter []string
+	// Log, if non-nil, receives one progress line per variant.
+	Log func(format string, args ...any)
+}
+
+// Run executes the fixed suite and assembles the BENCH file. It returns
+// an error — after completing every scenario — if any scenario's serial
+// and sharded results diverge, so callers can both persist the file and
+// fail the build.
+func Run(opts Options) (*File, error) {
+	return RunScenarios(Suite(), opts)
+}
+
+// RunScenarios is Run over an explicit scenario list.
+func RunScenarios(scenarios []Scenario, opts Options) (*File, error) {
+	workers := par.Workers(opts.Parallelism)
+	f := &File{
+		SchemaVersion: SchemaVersion,
+		GitSHA:        GitSHA(),
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Parallelism:   workers,
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var diverged []string
+	for _, sc := range scenarios {
+		if !nameMatches(sc.Name, opts.Filter) {
+			continue
+		}
+		c, err := sc.Spec.Canonical()
+		if err != nil {
+			return nil, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
+		}
+		hash, err := c.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
+		}
+		res := Result{Name: sc.Name, Note: sc.Note, Model: c.Model.Name, N: c.Model.N, Hash: hash}
+		for _, pv := range []struct {
+			variant string
+			par     int
+		}{{"serial", 1}, {"sharded", workers}} {
+			v, err := runVariant(c, pv.variant, pv.par)
+			if err != nil {
+				return nil, fmt.Errorf("bench: scenario %s (%s): %w", sc.Name, pv.variant, err)
+			}
+			logf("bench: %-18s %-8s par=%-2d rounds=%-5d %8.1f ms  checksum=%s",
+				sc.Name, pv.variant, pv.par, v.Rounds, float64(v.WallNS)/1e6, v.Checksum)
+			res.Variants = append(res.Variants, v)
+		}
+		res.Identical = true
+		for _, v := range res.Variants[1:] {
+			if v.Checksum != res.Variants[0].Checksum {
+				res.Identical = false
+				diverged = append(diverged, sc.Name)
+				break
+			}
+		}
+		if s, p := res.Variants[0].WallNS, res.Variants[len(res.Variants)-1].WallNS; p > 0 {
+			res.SpeedupVsSerial = float64(s) / float64(p)
+		}
+		f.Results = append(f.Results, res)
+	}
+	if len(diverged) > 0 {
+		return f, fmt.Errorf("bench: sharded results diverge from serial on the same seeds: %s", strings.Join(diverged, ", "))
+	}
+	return f, nil
+}
+
+// runVariant executes one (scenario, parallelism) pair and measures it.
+func runVariant(c spec.Spec, variant string, parallelism int) (Variant, error) {
+	c.Parallelism = parallelism
+	c.Workers = 1 // isolate intra-trial parallelism from trial fan-out
+	factory, _, err := c.NewFactory()
+	if err != nil {
+		return Variant{}, err
+	}
+	opt, err := flood.OptionsFromSpec(c)
+	if err != nil {
+		return Variant{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	camp := flood.Run(factory, opt)
+	wall := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+
+	v := Variant{
+		Variant:     variant,
+		Parallelism: parallelism,
+		Completed:   camp.Incomplete == 0,
+		WallNS:      wall,
+		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+		Allocs:      after.Mallocs - before.Mallocs,
+		Checksum:    checksum(camp),
+	}
+	for _, t := range camp.Trials {
+		v.Rounds += len(t.Result.Trajectory) - 1
+	}
+	if v.Rounds > 0 {
+		v.NSPerRound = float64(wall) / float64(v.Rounds)
+	}
+	return v, nil
+}
+
+// checksum fingerprints every trial's full FloodResult — source,
+// rounds, completion, trajectory, and the per-node arrival array — so
+// any divergence between engine configurations is caught, not just
+// differing round counts.
+func checksum(camp flood.Campaign) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	for _, t := range camp.Trials {
+		r := t.Result
+		w(uint64(r.Source))
+		w(uint64(r.Rounds))
+		if r.Completed {
+			w(1)
+		} else {
+			w(0)
+		}
+		for _, m := range r.Trajectory {
+			w(uint64(m))
+		}
+		for _, a := range r.Arrival {
+			w(uint64(uint32(a)))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// nameMatches reports whether name passes the filter (empty filter
+// passes everything).
+func nameMatches(name string, filter []string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if strings.Contains(name, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// GitSHA resolves the commit the benchmark describes: $GITHUB_SHA when
+// CI exports it, otherwise `git rev-parse HEAD`, otherwise "local".
+func GitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return short(sha)
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return short(sha)
+		}
+	}
+	return "local"
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+// FileName returns the canonical artifact name for the given SHA.
+func FileName(sha string) string { return "BENCH_" + sha + ".json" }
+
+// Write marshals f as indented JSON into path.
+func (f *File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"meg/internal/spec"
+)
+
+// tinySuite mirrors the real suite's shape at test-sized n.
+func tinySuite() []Scenario {
+	multi := spec.Spec{
+		Model:   spec.Model{Name: "geometric", N: 512, RFrac: 0.5},
+		Trials:  1,
+		Sources: 64,
+		Engine:  spec.Engine{BatchSources: true},
+		Seed:    7,
+	}
+	return []Scenario{
+		{Name: "tiny-geom", Note: "t", Spec: spec.Spec{Model: spec.Model{Name: "geometric", N: 512, RFrac: 0.5}, Trials: 2, Seed: 7}},
+		{Name: "tiny-edge", Note: "t", Spec: spec.Spec{Model: spec.Model{Name: "edge", N: 512, PhatMult: 4}, Trials: 2, Seed: 7}},
+		{Name: "tiny-multi", Note: "t", Spec: multi},
+	}
+}
+
+func TestRunScenariosSerialShardedIdentical(t *testing.T) {
+	f, err := RunScenarios(tinySuite(), Options{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("RunScenarios: %v", err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d", f.SchemaVersion)
+	}
+	if len(f.Results) != 3 {
+		t.Fatalf("got %d results", len(f.Results))
+	}
+	for _, r := range f.Results {
+		if !r.Identical {
+			t.Errorf("%s: serial and sharded diverged", r.Name)
+		}
+		if len(r.Variants) != 2 {
+			t.Fatalf("%s: %d variants", r.Name, len(r.Variants))
+		}
+		for _, v := range r.Variants {
+			if v.Rounds <= 0 || v.WallNS <= 0 || v.NSPerRound <= 0 {
+				t.Errorf("%s/%s: empty measurement %+v", r.Name, v.Variant, v)
+			}
+			if !v.Completed {
+				t.Errorf("%s/%s: flooding did not complete", r.Name, v.Variant)
+			}
+			if len(v.Checksum) != 16 {
+				t.Errorf("%s/%s: checksum %q", r.Name, v.Variant, v.Checksum)
+			}
+		}
+		if r.Hash == "" {
+			t.Errorf("%s: missing spec hash", r.Name)
+		}
+	}
+}
+
+func TestRunScenariosFilter(t *testing.T) {
+	f, err := RunScenarios(tinySuite(), Options{Parallelism: 2, Filter: []string{"edge"}})
+	if err != nil {
+		t.Fatalf("RunScenarios: %v", err)
+	}
+	if len(f.Results) != 1 || f.Results[0].Name != "tiny-edge" {
+		t.Fatalf("filter selected %+v", f.Results)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	f, err := RunScenarios(tinySuite()[:1], Options{Parallelism: 2})
+	if err != nil {
+		t.Fatalf("RunScenarios: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), FileName(f.GitSHA))
+	if err := f.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var re File
+	if err := json.Unmarshal(data, &re); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if re.SchemaVersion != f.SchemaVersion || len(re.Results) != len(f.Results) {
+		t.Fatalf("round trip mutated the file")
+	}
+	if re.Results[0].Variants[0].Checksum != f.Results[0].Variants[0].Checksum {
+		t.Fatalf("round trip mutated a checksum")
+	}
+}
+
+func TestSuiteSpecsAreValid(t *testing.T) {
+	for _, sc := range Suite() {
+		if _, err := sc.Spec.Canonical(); err != nil {
+			t.Errorf("%s: invalid spec: %v", sc.Name, err)
+		}
+		if sc.Name == "" || sc.Note == "" {
+			t.Errorf("scenario missing name/note: %+v", sc)
+		}
+	}
+}

@@ -169,6 +169,14 @@ func (s *Set) IsSubsetOf(t *Set) bool {
 // batching) that fuse membership tests into their own word loops.
 func (s *Set) Words() []uint64 { return s.words }
 
+// MutableWords exposes the backing word slice for in-place word-level
+// mutation — the write-side counterpart of Words, used by the sharded
+// flooding kernels whose workers own disjoint word ranges of the
+// informed set. Callers must keep every bit at positions ≥ n zero (the
+// invariant Count, Fill and the word-parallel complement scans rely
+// on), and must not mutate concurrently with readers of the same words.
+func (s *Set) MutableWords() []uint64 { return s.words }
+
 // ForEach calls fn for every element of the set in increasing order.
 func (s *Set) ForEach(fn func(v int)) {
 	for wi, w := range s.words {

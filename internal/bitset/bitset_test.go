@@ -282,6 +282,22 @@ func BenchmarkContains(b *testing.B) {
 	_ = sink
 }
 
+func TestMutableWordsAliasesStorage(t *testing.T) {
+	s := New(130)
+	w := s.MutableWords()
+	if len(w) != 3 {
+		t.Fatalf("130-bit set has %d words", len(w))
+	}
+	w[1] |= 1 << 5 // element 69
+	if !s.Contains(69) || s.Count() != 1 {
+		t.Fatal("word-level write not visible through the set API")
+	}
+	s.Add(3)
+	if w[0]&(1<<3) == 0 {
+		t.Fatal("set API write not visible through MutableWords")
+	}
+}
+
 func TestWords(t *testing.T) {
 	s := New(130)
 	s.Add(0)

@@ -158,6 +158,15 @@ type FloodOptions struct {
 	// implemented, else from each snapshot's average degree. Values > 1
 	// effectively pin KernelAuto to push.
 	PullThreshold float64
+	// Parallelism is the intra-trial worker count of the sharded
+	// engine: node space and sender lists are split into contiguous
+	// shards, each worker writes a private frontier word-range, and the
+	// per-round merge applies shard outputs in shard order — so the
+	// FloodResult is byte-identical for every value, including 1.
+	// 0 or 1 runs the plain serial kernels; < 0 uses all CPUs. If the
+	// dynamics implements Parallelizable it is handed the same worker
+	// count for its snapshot builds.
+	Parallelism int
 	// Stop, if non-nil, is polled once per round; when it returns true
 	// the run aborts immediately with Completed == false and Rounds set
 	// to the cap (indistinguishable from hitting the cap, which is the
@@ -224,6 +233,11 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 			thresh = pullThresholdFor(h.ExpectedDegree())
 		}
 	}
+	workers := engineWorkers(opt.Parallelism, d)
+	var eng *shardEngine
+	if workers > 1 {
+		eng = newShardEngine(n, workers)
+	}
 	// For the static baseline the snapshot never changes, so once the
 	// engine pulls it can afford a one-time dense-row export and test
 	// "informed neighbor?" by word-parallel row intersection.
@@ -257,9 +271,15 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 		newly = newly[:0]
 		if pull {
 			if isStatic && rows == nil && denseRowsWorthwhile(st.G) {
-				rows = graph.NewDenseRows(st.G)
+				rows = graph.NewDenseRowsParallel(st.G, workers)
 			}
-			newly = pullRound(g, rows, informed, arrival, t, newly)
+			if eng != nil {
+				newly = eng.pullRound(g, rows, informed, arrival, t, newly)
+			} else {
+				newly = pullRound(g, rows, informed, arrival, t, newly)
+			}
+		} else if eng != nil {
+			newly = eng.pushRound(g, senders, informed, arrival, t, newly)
 		} else {
 			for _, u := range senders {
 				for _, v := range g.Neighbors(int(u)) {
@@ -343,11 +363,46 @@ func denseRowsWorthwhile(g *graph.Graph) bool {
 	return g.N() <= 8192 && g.AvgDegree() >= 64
 }
 
-// DefaultRoundCap returns a generous cap on flooding rounds for a graph
-// on n nodes: 4n + 32. Any connected-regime process in this repository
-// finishes orders of magnitude sooner; hitting the cap signals a
-// disconnected or sub-threshold configuration.
-func DefaultRoundCap(n int) int { return 4*n + 32 }
+// Round-cap constants: the default cap is
+// max(minRoundCap, roundCapC · ⌈log₂ n⌉ · roundCapGrowthGuard, ⌈√n⌉).
+// Connected-regime flooding completes in O(log n) rounds (edge-MEG,
+// Corollary 4.5) or Θ(√n/R) = Θ(√(n/log n)) rounds (geometric-MEG,
+// Theorem 3.4 — about 100 rounds at n = 512k with the default radius).
+// The c·log₂(n)·guard term covers both with an order of magnitude of
+// headroom through every n this repository simulates, and the ⌈√n⌉
+// term keeps the cap above the geometric models' diameter-limited
+// growth asymptotically (√n ≥ √(n/log n)·anything sensible), so no
+// healthy default-parameter flood can hit the cap at any n. A stalled
+// run still stops quickly: the previous linear cap of 4n+32 spun a
+// stalled 512k-node flood for ~2M rounds; the guarded cap stops it
+// after 1216.
+const (
+	minRoundCap         = 64
+	roundCapC           = 4
+	roundCapGrowthGuard = 16
+)
+
+// DefaultRoundCap returns the default cap on flooding rounds for a
+// graph on n nodes: max(64, 64·⌈log₂ n⌉, ⌈√n⌉). Any connected-regime
+// process in this repository finishes well below it; hitting the cap
+// signals a disconnected or sub-threshold configuration. Processes that
+// legitimately need more rounds — sub-threshold ablations, tiny
+// transmission radii, long static paths — must pass an explicit
+// MaxRounds (every API that consumes the default, from core.Flood
+// through flood.Options to the run spec, accepts an override).
+func DefaultRoundCap(n int) int {
+	if n < 2 {
+		return minRoundCap
+	}
+	c := roundCapC * roundCapGrowthGuard * bits.Len(uint(n-1)) // ⌈log₂ n⌉
+	if s := int(math.Ceil(math.Sqrt(float64(n)))); s > c {
+		c = s // diameter guard for the geometric models at huge n
+	}
+	if c < minRoundCap {
+		c = minRoundCap
+	}
+	return c
+}
 
 // FloodingTime estimates the flooding time of d — the maximum of T(s)
 // over sources s — by running the process from each of the given

@@ -5,6 +5,7 @@ import (
 
 	"meg/internal/bitset"
 	"meg/internal/graph"
+	"meg/internal/par"
 )
 
 // FloodMulti floods from every given source simultaneously over a
@@ -34,6 +35,14 @@ func FloodMulti(d Dynamics, sources []int, maxRounds int) []FloodResult {
 
 // MultiOptions tunes FloodMultiOpt. The zero value is FloodMulti.
 type MultiOptions struct {
+	// Parallelism is the intra-batch worker count: the node space is
+	// split into contiguous shards, each worker updating the masks and
+	// arrival entries of its own shard, with per-shard informed-count
+	// deltas reduced in shard order — results are byte-identical for
+	// every value, including 1. 0 or 1 runs the serial loop; < 0 uses
+	// all CPUs. A Parallelizable dynamics receives the same worker
+	// count for its snapshot builds.
+	Parallelism int
 	// Stop, if non-nil, is polled once per round; when it returns true
 	// the batch aborts with every unfinished flood left incomplete
 	// (Rounds set to the cap), matching FloodOptions.Stop semantics.
@@ -89,6 +98,7 @@ func FloodMultiOpt(d Dynamics, sources []int, maxRounds int, opt MultiOptions) [
 		groups = append(groups, newMultiGroup(n, sources[base:base+size], results[base:base+size]))
 	}
 
+	workers := engineWorkers(opt.Parallelism, d)
 	remaining := len(groups)
 	for t := 0; t < maxRounds && remaining > 0; t++ {
 		if opt.Stop != nil && opt.Stop() {
@@ -99,7 +109,11 @@ func FloodMultiOpt(d Dynamics, sources []int, maxRounds int, opt MultiOptions) [
 			if grp.done {
 				continue
 			}
-			grp.round(g, t)
+			if workers > 1 {
+				grp.roundParallel(g, t, workers)
+			} else {
+				grp.round(g, t)
+			}
 			if grp.done {
 				remaining--
 			}
@@ -149,6 +163,10 @@ type multiGroup struct {
 	counts  []int         // informed-set size per flood
 	full    uint64        // mask with one bit per flood in the group
 	done    bool          // every flood in the group completed
+
+	// shardCounts holds per-shard informed-count deltas for the sharded
+	// round; reduced into counts in shard order after the join.
+	shardCounts [][]int
 }
 
 func newMultiGroup(n int, sources []int, results []FloodResult) *multiGroup {
@@ -196,6 +214,65 @@ func (grp *multiGroup) round(g *graph.Graph, t int) {
 		}
 	}
 	grp.masks, grp.next = next, masks
+	grp.finishRound(n, t)
+}
+
+// roundParallel is round on a worker pool: the node space is split into
+// contiguous shards, each worker computing next[v] and arrival updates
+// for its own nodes only (masks, written last round, is read-only
+// during the sweep) and accumulating informed-count deltas in a
+// shard-private array. Deltas are reduced in shard order after the
+// join, so the group's state is byte-identical to the serial round's
+// for every worker count.
+func (grp *multiGroup) roundParallel(g *graph.Graph, t, workers int) {
+	n := len(grp.masks)
+	masks, next := grp.masks, grp.next
+	full := grp.full
+	if len(grp.shardCounts) < workers {
+		grp.shardCounts = make([][]int, workers)
+		for i := range grp.shardCounts {
+			grp.shardCounts[i] = make([]int, len(grp.results))
+		}
+	}
+	par.ForBlocks(workers, n, func(shard, lo, hi int) {
+		local := grp.shardCounts[shard]
+		for i := range local {
+			local[i] = 0
+		}
+		for v := lo; v < hi; v++ {
+			acc := masks[v]
+			if acc != full {
+				for _, u := range g.Neighbors(v) {
+					acc |= masks[u]
+				}
+			}
+			next[v] = acc
+			if diff := acc &^ masks[v]; diff != 0 {
+				for diff != 0 {
+					k := bits.TrailingZeros64(diff)
+					diff &= diff - 1
+					grp.results[k].Arrival[v] = int32(t + 1)
+					local[k]++
+				}
+			}
+		}
+	})
+	used := workers
+	if used > n {
+		used = n
+	}
+	for shard := 0; shard < used; shard++ {
+		for k, d := range grp.shardCounts[shard] {
+			grp.counts[k] += d
+		}
+	}
+	grp.masks, grp.next = next, masks
+	grp.finishRound(n, t)
+}
+
+// finishRound appends the per-flood trajectory entries and marks floods
+// (and the group) complete once every node is informed.
+func (grp *multiGroup) finishRound(n, t int) {
 	grp.done = true
 	for k := range grp.results {
 		res := &grp.results[k]

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/bits"
+
+	"meg/internal/bitset"
+	"meg/internal/graph"
+	"meg/internal/par"
+)
+
+// Parallelizable is optionally implemented by Dynamics whose snapshot
+// construction can use a worker pool. Implementations must keep the
+// produced snapshots byte-identical for every worker count — the knob
+// is an execution hint, never a semantic. The flooding engine hands its
+// own Parallelism setting to the dynamics before the first round.
+type Parallelizable interface {
+	// SetParallelism sets the worker count for subsequent snapshot
+	// builds: 0 or 1 means serial, < 0 means all CPUs.
+	SetParallelism(workers int)
+}
+
+// engineWorkers resolves an options Parallelism knob to a concrete
+// worker count and forwards it to the dynamics when supported.
+func engineWorkers(parallelism int, d Dynamics) int {
+	if parallelism == 0 {
+		parallelism = 1 // zero value keeps the serial engine
+	}
+	workers := par.Workers(parallelism)
+	if pz, ok := d.(Parallelizable); ok {
+		pz.SetParallelism(workers)
+	}
+	return workers
+}
+
+// shardEngine holds the per-run scratch of the shard-parallel flooding
+// kernels: one private frontier bitmap per worker plus per-shard newly
+// lists. Every round runs as fork/join phases over contiguous shards —
+// senders are split by position for the push scan, the node space is
+// split by word range for the merge and the pull scan — and shard
+// outputs are combined in shard order, so the informed set, arrival
+// times and trajectory come out byte-identical for every worker count.
+type shardEngine struct {
+	workers   int
+	words     int        // words of the node universe
+	frontiers [][]uint64 // per-worker private frontier bitmaps
+	newly     [][]int32  // per-shard newly-informed lists
+}
+
+func newShardEngine(n, workers int) *shardEngine {
+	words := (n + 63) / 64
+	e := &shardEngine{
+		workers:   workers,
+		words:     words,
+		frontiers: make([][]uint64, workers),
+		newly:     make([][]int32, workers),
+	}
+	for i := range e.frontiers {
+		e.frontiers[i] = make([]uint64, words)
+		e.newly[i] = make([]int32, 0, 256)
+	}
+	return e
+}
+
+// reset truncates every shard's newly list. A round with fewer shards
+// than workers leaves the tail shards unexecuted, so the combine loops
+// (which always walk all worker slots in order) must never see a stale
+// list from an earlier round.
+func (e *shardEngine) reset() {
+	for i := range e.newly {
+		e.newly[i] = e.newly[i][:0]
+	}
+}
+
+// pushRound is the sharded push kernel: phase 1 splits the senders of
+// I_t into contiguous shards, each worker marking the uninformed
+// neighbors it discovers in its private frontier bitmap; phase 2 splits
+// the node space into contiguous word ranges, ORs the frontiers
+// together, and applies the union to the shared informed set and
+// arrival array — each word is owned by exactly one shard, so no write
+// races and no locks. Phase boundaries are full barriers (par.ForBlocks
+// joins before returning).
+func (e *shardEngine) pushRound(g *graph.Graph, senders []int32, informed *bitset.Set, arrival []int32, t int, newly []int32) []int32 {
+	words := informed.MutableWords()
+	e.reset()
+	// par.ForBlocks runs min(workers, len(senders)) blocks, so only the
+	// first `used` frontiers are written this round; the merge phase
+	// must OR exactly those (reset cleared newly, not the frontiers).
+	used := e.workers
+	if used > len(senders) {
+		used = len(senders)
+	}
+	frontiers := e.frontiers[:used]
+	par.ForBlocks(e.workers, len(senders), func(shard, lo, hi int) {
+		f := e.frontiers[shard]
+		for i := range f {
+			f[i] = 0
+		}
+		for _, u := range senders[lo:hi] {
+			for _, v := range g.Neighbors(int(u)) {
+				if words[v>>6]&(1<<(uint(v)&63)) == 0 {
+					f[v>>6] |= 1 << (uint(v) & 63)
+				}
+			}
+		}
+	})
+	par.ForBlocks(e.workers, e.words, func(shard, lo, hi int) {
+		out := e.newly[shard][:0]
+		for wi := lo; wi < hi; wi++ {
+			m := uint64(0)
+			for _, f := range frontiers {
+				m |= f[wi]
+			}
+			m &^= words[wi]
+			if m == 0 {
+				continue
+			}
+			words[wi] |= m
+			base := wi * 64
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				v := int32(base + b)
+				arrival[v] = int32(t + 1)
+				out = append(out, v)
+			}
+		}
+		e.newly[shard] = out
+	})
+	for shard := 0; shard < e.workers; shard++ {
+		newly = append(newly, e.newly[shard]...)
+	}
+	return newly
+}
+
+// pullRound is the sharded pull kernel: the uninformed complement is
+// scanned per contiguous word range, each worker testing its own nodes
+// for an informed neighbor (CSR walk, or word-parallel row intersection
+// when rows is non-nil) and recording hits in its shard's newly list.
+// The informed set is only read during the scan — hits are applied
+// after the join, in shard order, preserving the synchronous semantics
+// and worker-count independence of the serial kernel.
+func (e *shardEngine) pullRound(g *graph.Graph, rows *graph.DenseRows, informed *bitset.Set, arrival []int32, t int, newly []int32) []int32 {
+	words := informed.MutableWords()
+	n := informed.Len()
+	e.reset()
+	par.ForBlocks(e.workers, e.words, func(shard, lo, hi int) {
+		out := e.newly[shard][:0]
+		for wi := lo; wi < hi; wi++ {
+			rem := ^words[wi]
+			if rem == 0 {
+				continue
+			}
+			base := wi * 64
+			for rem != 0 {
+				b := bits.TrailingZeros64(rem)
+				rem &= rem - 1
+				v := base + b
+				if v >= n {
+					break
+				}
+				hit := false
+				if rows != nil {
+					hit = rows.Intersects(v, informed)
+				} else {
+					for _, u := range g.Neighbors(v) {
+						if words[u>>6]&(1<<(uint(u)&63)) != 0 {
+							hit = true
+							break
+						}
+					}
+				}
+				if hit {
+					arrival[v] = int32(t + 1)
+					out = append(out, int32(v))
+				}
+			}
+		}
+		e.newly[shard] = out
+	})
+	for shard := 0; shard < e.workers; shard++ {
+		for _, v := range e.newly[shard] {
+			words[v>>6] |= 1 << (uint(v) & 63)
+		}
+		newly = append(newly, e.newly[shard]...)
+	}
+	return newly
+}

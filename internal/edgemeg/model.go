@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"meg/internal/graph"
+	"meg/internal/par"
 	"meg/internal/rng"
 )
 
@@ -93,22 +94,77 @@ func (c Config) PHat() float64 {
 
 // Model is an edge-Markovian evolving graph. It implements
 // core.Dynamics. The zero value is unusable; construct with New.
+//
+// The Θ(n²) pair-index space is split into a fixed number of
+// contiguous shards (a function of n only, never of the worker count),
+// each owning an independent RNG stream split from the trial generator
+// at Reset in shard order. Step resamples every shard's births and
+// deaths from its own stream, so the chain's realization is identical
+// for every parallelism setting — the worker pool only decides how many
+// shards resample concurrently.
 type Model struct {
 	cfg Config
 	r   *rng.RNG
 
 	// edges holds the current edge set as packPair keys in ascending
-	// (lexicographic) order.
+	// (lexicographic) order. Shard key ranges are contiguous, so the
+	// concatenation of per-shard outputs in shard order is sorted.
 	edges []uint64
+
+	// shards partitions the pair-index space [0, C(n,2)).
+	shards []edgeShard
+
+	// parallel is the Step/Graph worker count (core.Parallelizable);
+	// realizations and snapshots are byte-identical for every value.
+	parallel int
 
 	builder *graph.Builder
 	g       *graph.Graph
 	dirty   bool
 
-	// scratch buffers reused across steps.
+	// merged is the double buffer the per-shard step outputs are
+	// concatenated into before swapping with edges.
+	merged []uint64
+	// starts[i] is the offset of shard i's key range in edges
+	// (len(shards)+1 entries); recomputed each Step.
+	starts []int
+	// sweep holds the parallel snapshot decode's per-block buffers.
+	sweep graph.BlockSweep
+}
+
+// edgeShard owns the contiguous pair-index range [lo, hi) together with
+// the RNG stream and scratch buffers its resampling uses.
+type edgeShard struct {
+	lo, hi int64  // pair-index range
+	loKey  uint64 // packPair key of pair lo
+	r      *rng.RNG
+
 	births    []uint64
 	survivors []uint64
 	merged    []uint64
+}
+
+// shardTargetPairs sizes the pair-space shards: big enough that the
+// per-shard skip-sampling loop dominates the fork/join overhead, small
+// enough that a many-core pool has work to balance.
+const shardTargetPairs = 1 << 21
+
+// maxShards bounds the shard count (and hence the per-Reset stream
+// splits) for very large n.
+const maxShards = 64
+
+// shardCountFor returns the number of pair-space shards for n nodes — a
+// function of n only, so the chain's realization never depends on the
+// worker count.
+func shardCountFor(n int) int {
+	s := PairCount(n) / shardTargetPairs
+	if s < 1 {
+		return 1
+	}
+	if s > maxShards {
+		return maxShards
+	}
+	return int(s)
 }
 
 // New returns a model for the given configuration. The model is not
@@ -117,7 +173,18 @@ func New(cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{cfg: cfg, builder: graph.NewBuilder(cfg.N)}, nil
+	m := &Model{cfg: cfg, builder: graph.NewBuilder(cfg.N)}
+	s := shardCountFor(cfg.N)
+	total := PairCount(cfg.N)
+	m.shards = make([]edgeShard, s)
+	m.starts = make([]int, s+1)
+	for i := range m.shards {
+		lo := total * int64(i) / int64(s)
+		hi := total * int64(i+1) / int64(s)
+		u, v := PairAt(cfg.N, lo)
+		m.shards[i] = edgeShard{lo: lo, hi: hi, loKey: packPair(u, v)}
+	}
+	return m, nil
 }
 
 // MustNew is New for known-good configurations; it panics on error.
@@ -157,14 +224,42 @@ func (m *Model) ExpectedDegree() float64 {
 	return float64(m.cfg.N-1) * m.cfg.PHat()
 }
 
+// SetParallelism implements core.Parallelizable: Step resamples its
+// pair-space shards and Graph decodes the snapshot on up to workers
+// goroutines. Because every shard draws from its own stream regardless
+// of scheduling, the realization is byte-identical for every worker
+// count. 0 or 1 runs serially; < 0 uses all CPUs.
+func (m *Model) SetParallelism(workers int) {
+	if workers == 0 {
+		workers = 1
+	}
+	m.parallel = par.Workers(workers)
+}
+
 // Reset implements core.Dynamics: it samples a fresh G_0 according to
-// the configured InitMode and keeps r for subsequent steps.
+// the configured InitMode, and splits one RNG stream per pair-space
+// shard from r (in shard order) for subsequent steps.
 func (m *Model) Reset(r *rng.RNG) {
 	m.r = r
+	for i := range m.shards {
+		m.shards[i].r = r.Split()
+	}
 	m.edges = m.edges[:0]
 	switch m.cfg.Init {
 	case InitStationary:
-		m.edges = appendGNPKeys(m.edges, m.cfg.N, m.cfg.PHat(), r)
+		// Each shard samples the G(n, p̂) restriction to its own index
+		// range from its own stream — the same product of independent
+		// Bernoulli(p̂) trials, partitioned; the concatenation in shard
+		// order is sorted because shard key ranges are contiguous.
+		pHat := m.cfg.PHat()
+		workers := m.parallel
+		par.Do(workers, len(m.shards), func(i int) {
+			sh := &m.shards[i]
+			sh.merged = appendGNPKeysRange(sh.merged[:0], m.cfg.N, pHat, sh.lo, sh.hi, sh.r)
+		})
+		for i := range m.shards {
+			m.edges = append(m.edges, m.shards[i].merged...)
+		}
 	case InitEmpty:
 		// nothing
 	case InitComplete:
@@ -188,11 +283,14 @@ func (m *Model) Reset(r *rng.RNG) {
 // with probability q and every absent edge is born independently with
 // probability p, exactly as the per-pair transition matrix prescribes.
 //
-// Births are drawn by geometric skip sampling over the full pair-index
-// space; candidates that land on currently present pairs are discarded,
-// which leaves precisely an independent Bernoulli(p) trial on each
-// absent pair. Deaths are drawn by skip sampling over the current edge
-// list. Expected cost O(|E_t| + p·C(n,2)).
+// Births are drawn by geometric skip sampling over each shard's
+// pair-index range; candidates that land on currently present pairs are
+// discarded, which leaves precisely an independent Bernoulli(p) trial
+// on each absent pair. Deaths are drawn by skip sampling over each
+// shard's slice of the current edge list. Expected cost
+// O(|E_t| + p·C(n,2)) total, spread over the worker pool; every shard
+// draws from its own stream, so the realization does not depend on the
+// worker count.
 func (m *Model) Step() {
 	if m.r == nil {
 		panic("edgemeg: Step before Reset")
@@ -200,50 +298,85 @@ func (m *Model) Step() {
 	n := m.cfg.N
 	p, q := m.cfg.P, m.cfg.Q
 
-	// Births against the state at time t (before deaths are applied):
-	// a pair that dies this step was present at time t, so it takes no
+	// Locate each shard's slice of the (sorted) edge list. Shard i owns
+	// keys in [loKey_i, loKey_{i+1}).
+	s := len(m.shards)
+	m.starts[0] = 0
+	for i := 1; i < s; i++ {
+		key := m.shards[i].loKey
+		base := m.starts[i-1]
+		m.starts[i] = base + sort.Search(len(m.edges)-base, func(j int) bool { return m.edges[base+j] >= key })
+	}
+	m.starts[s] = len(m.edges)
+
+	par.Do(m.parallel, s, func(i int) {
+		m.shards[i].step(n, p, q, m.edges[m.starts[i]:m.starts[i+1]])
+	})
+
+	// Concatenate shard outputs in shard order; ranges are contiguous,
+	// so the result is sorted. Each shard copies into its precomputed
+	// slot concurrently. The buffer then swaps with edges, so steady
+	// state allocates nothing.
+	total := 0
+	for i := range m.shards {
+		m.starts[i] = total
+		total += len(m.shards[i].merged)
+	}
+	merged := m.merged[:0]
+	if cap(merged) < total {
+		merged = make([]uint64, 0, total+total/4)
+	}
+	merged = merged[:total]
+	par.Do(m.parallel, s, func(i int) {
+		copy(merged[m.starts[i]:], m.shards[i].merged)
+	})
+	m.merged = m.edges
+	m.edges = merged
+	m.dirty = true
+}
+
+// step advances one shard: births against the shard's index range,
+// deaths over its current edge slice, and the synchronous merge — the
+// same three phases the pre-sharded Step ran globally.
+func (sh *edgeShard) step(n int, p, q float64, edges []uint64) {
+	// Births against the state at time t (before deaths are applied): a
+	// pair that dies this step was present at time t, so it takes no
 	// birth trial; discarding candidate hits on present pairs is what
 	// enforces that.
-	m.births = m.births[:0]
+	sh.births = sh.births[:0]
 	if p > 0 {
-		total := PairCount(n)
-		var idx int64 = -1
+		idx := sh.lo - 1
 		for {
-			idx += m.r.Geometric(p) + 1
-			if idx >= total {
+			idx += sh.r.Geometric(p) + 1
+			if idx >= sh.hi {
 				break
 			}
 			u, v := PairAt(n, idx)
-			m.births = append(m.births, packPair(u, v))
+			sh.births = append(sh.births, packPair(u, v))
 		}
 	}
 
 	// Deaths: mark current edges that flip to absent.
-	m.survivors = m.survivors[:0]
+	sh.survivors = sh.survivors[:0]
 	if q <= 0 {
-		m.survivors = append(m.survivors, m.edges...)
+		sh.survivors = append(sh.survivors, edges...)
 	} else if q >= 1 {
 		// all die
 	} else {
-		next := -1 + m.r.Geometric(q) + 1 // first death position
-		for i, e := range m.edges {
+		next := -1 + sh.r.Geometric(q) + 1 // first death position
+		for i, e := range edges {
 			if int64(i) == next {
-				next += m.r.Geometric(q) + 1
+				next += sh.r.Geometric(q) + 1
 				continue
 			}
-			m.survivors = append(m.survivors, e)
+			sh.survivors = append(sh.survivors, e)
 		}
 	}
 
 	// Merge survivors with effective births (those not colliding with a
 	// time-t edge). Both lists are ascending; collisions are detected
-	// against the original edge list during the merge. The merged list
-	// goes into a scratch buffer that then swaps with edges, so steady
-	// state allocates nothing.
-	merged := mergeStep(m.merged[:0], m.survivors, m.births, m.edges)
-	m.merged = m.edges
-	m.edges = merged
-	m.dirty = true
+	// against the original edge slice during the merge.
+	sh.merged = mergeStep(sh.merged[:0], sh.survivors, sh.births, edges)
 }
 
 // mergeStep merges survivors and births into dst, dropping any birth
@@ -273,17 +406,24 @@ func mergeStep(dst, survivors, births, original []uint64) []uint64 {
 }
 
 // Graph implements core.Dynamics; it materializes the current snapshot
-// as a CSR graph, reusing internal buffers across steps.
+// as a CSR graph, reusing internal buffers across steps. The key decode
+// and the CSR build run on the configured worker pool; per-block decode
+// buffers are concatenated in block order, so the snapshot is
+// byte-identical to a serial build for every worker count.
 func (m *Model) Graph() *graph.Graph {
-	if m.dirty {
-		m.builder.Reset(m.cfg.N)
-		for _, e := range m.edges {
-			u, v := unpackPair(e)
-			m.builder.AddEdge(u, v)
-		}
-		m.g = m.builder.Build()
-		m.dirty = false
+	if !m.dirty {
+		return m.g
 	}
+	m.builder.Reset(m.cfg.N)
+	m.g = m.sweep.Run(m.builder, m.parallel, len(m.edges), func(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
+		for _, e := range m.edges[lo:hi] {
+			u, v := unpackPair(e)
+			srcs = append(srcs, int32(u))
+			dsts = append(dsts, int32(v))
+		}
+		return srcs, dsts
+	})
+	m.dirty = false
 	return m.g
 }
 
@@ -304,22 +444,32 @@ func (m *Model) HasEdge(u, v int) bool {
 // ascending order using geometric skip sampling: expected time
 // O(1 + p·C(n,2)).
 func appendGNPKeys(dst []uint64, n int, p float64, r *rng.RNG) []uint64 {
-	if p <= 0 {
+	return appendGNPKeysRange(dst, n, p, 0, PairCount(n), r)
+}
+
+// appendGNPKeysRange is appendGNPKeys restricted to the pair-index
+// range [lo, hi): an independent Bernoulli(p) trial per pair in the
+// range, enumerated by geometric skips.
+func appendGNPKeysRange(dst []uint64, n int, p float64, lo, hi int64, r *rng.RNG) []uint64 {
+	if p <= 0 || lo >= hi {
 		return dst
 	}
-	total := PairCount(n)
 	if p >= 1 {
-		for u := 0; u < n; u++ {
-			for v := u + 1; v < n; v++ {
-				dst = append(dst, packPair(u, v))
+		u, v := PairAt(n, lo)
+		for k := lo; k < hi; k++ {
+			dst = append(dst, packPair(u, v))
+			v++
+			if v == n {
+				u++
+				v = u + 1
 			}
 		}
 		return dst
 	}
-	var idx int64 = -1
+	idx := lo - 1
 	for {
 		idx += r.Geometric(p) + 1
-		if idx >= total {
+		if idx >= hi {
 			break
 		}
 		u, v := PairAt(n, idx)

@@ -117,10 +117,11 @@ func E1GeneralBound(p Params) *Report {
 			bound := 2 * core.CorollarySum(ks)
 
 			camp := flood.Run(func() core.Dynamics { return newCycleMatching(n, c.matching) }, flood.Options{
-				Trials:  trials,
-				Seed:    rng.SeedFor(p.Seed, n*7+boolInt(c.matching)),
-				Workers: p.Workers,
-				Kernel:  p.Kernel,
+				Trials:      trials,
+				Seed:        rng.SeedFor(p.Seed, n*7+boolInt(c.matching)),
+				Workers:     p.Workers,
+				Parallelism: p.Parallelism,
+				Kernel:      p.Kernel,
 			})
 			ratio := camp.MaxRounds() / bound
 			if ratio > worstRatio {

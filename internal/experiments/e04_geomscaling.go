@@ -53,6 +53,7 @@ func E4GeometricScaling(p Params) *Report {
 			SourcesPerTrial: sourcesPerTrial,
 			Seed:            rng.SeedFor(p.Seed, n*131+int(radius*7)),
 			Workers:         p.Workers,
+			Parallelism:     p.Parallelism,
 			MaxRounds:       core.DefaultRoundCap(n),
 			Kernel:          p.Kernel,
 			BatchSources:    true,

@@ -47,10 +47,11 @@ func E5GeometricLower(p Params) *Report {
 		moveR := f * radius
 		cfg := geommeg.Config{N: n, R: radius, MoveRadius: moveR}
 		camp := flood.Run(func() core.Dynamics { return geommeg.MustNew(cfg) }, flood.Options{
-			Trials:  trials,
-			Seed:    rng.SeedFor(p.Seed, 500+i),
-			Workers: p.Workers,
-			Kernel:  p.Kernel,
+			Trials:      trials,
+			Seed:        rng.SeedFor(p.Seed, 500+i),
+			Workers:     p.Workers,
+			Parallelism: p.Parallelism,
+			Kernel:      p.Kernel,
 		})
 		lower := bounds.GeometricLower(side, radius, moveR)
 		minRounds := camp.Summary.Min

@@ -69,6 +69,7 @@ func E8EdgeScaling(p Params) *Report {
 				SourcesPerTrial: sourcesPerTrial,
 				Seed:            rng.SeedFor(p.Seed, n*17+len(lw.name)),
 				Workers:         p.Workers,
+				Parallelism:     p.Parallelism,
 				Kernel:          p.Kernel,
 				BatchSources:    true,
 			})
@@ -99,6 +100,7 @@ func E8EdgeScaling(p Params) *Report {
 			SourcesPerTrial: sourcesPerTrial,
 			Seed:            rng.SeedFor(p.Seed, 9000+int(mult)),
 			Workers:         p.Workers,
+			Parallelism:     p.Parallelism,
 			Kernel:          p.Kernel,
 			BatchSources:    true,
 		})

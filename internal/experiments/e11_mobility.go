@@ -75,10 +75,11 @@ func E11MobilityModels(p Params) *Report {
 	incompleteTotal := 0
 	for i, e := range entries {
 		camp := flood.Run(e.factory, flood.Options{
-			Trials:  trials,
-			Seed:    rng.SeedFor(p.Seed, 4000+i),
-			Workers: p.Workers,
-			Kernel:  p.Kernel,
+			Trials:      trials,
+			Seed:        rng.SeedFor(p.Seed, 4000+i),
+			Workers:     p.Workers,
+			Parallelism: p.Parallelism,
+			Kernel:      p.Kernel,
 		})
 		ratio := camp.MeanRounds() / sqrtNoverR
 		ratios = append(ratios, ratio)

@@ -39,10 +39,11 @@ func E12Density(p Params) *Report {
 		cfg := geommeg.Config{N: n, R: radius, MoveRadius: radius / 2, Density: delta}
 		side := cfg.Side()
 		camp := flood.Run(func() core.Dynamics { return geommeg.MustNew(cfg) }, flood.Options{
-			Trials:  trials,
-			Seed:    rng.SeedFor(p.Seed, 4400+i),
-			Workers: p.Workers,
-			Kernel:  p.Kernel,
+			Trials:      trials,
+			Seed:        rng.SeedFor(p.Seed, 4400+i),
+			Workers:     p.Workers,
+			Parallelism: p.Parallelism,
+			Kernel:      p.Kernel,
 		})
 		ratio := camp.MeanRounds() / (side / radius)
 		ratios = append(ratios, ratio)

@@ -47,11 +47,12 @@ func E13SubThreshold(p Params) *Report {
 	for i, f := range moveFactors {
 		cfg := geommeg.Config{N: n, R: radius, MoveRadius: f * radius, Eps: 0.5}
 		camp := flood.Run(func() core.Dynamics { return geommeg.MustNew(cfg) }, flood.Options{
-			Trials:    trials,
-			Seed:      rng.SeedFor(p.Seed, 4700+i),
-			Workers:   p.Workers,
-			MaxRounds: cap,
-			Kernel:    p.Kernel,
+			Trials:      trials,
+			Seed:        rng.SeedFor(p.Seed, 4700+i),
+			Workers:     p.Workers,
+			Parallelism: p.Parallelism,
+			MaxRounds:   cap,
+			Kernel:      p.Kernel,
 		})
 		completed := trials - camp.Incomplete
 		if f == 0 {

@@ -71,12 +71,16 @@ type Params struct {
 	// Kernels are result-equivalent, so this only changes speed — it
 	// exists so megbench can time and cross-check them.
 	Kernel core.Kernel
+	// Parallelism is the intra-trial worker count of the sharded
+	// flooding engine and model snapshot builds (0/1 = serial). Like
+	// Kernel it is result-equivalent: it only changes speed.
+	Parallelism int
 }
 
 // FloodOptions returns the flooding engine options experiments thread
 // into their core.FloodOpt and flood.Run calls.
 func (p Params) FloodOptions() core.FloodOptions {
-	return core.FloodOptions{Kernel: p.Kernel}
+	return core.FloodOptions{Kernel: p.Kernel, Parallelism: p.Parallelism}
 }
 
 // ParamsFromSpec is the spec-driven constructor: it maps an experiment
@@ -98,7 +102,7 @@ func ParamsFromSpec(s spec.Spec) (Params, error) {
 	if err != nil {
 		return Params{}, err
 	}
-	return Params{Scale: scale, Seed: seed, Workers: c.Workers}, nil
+	return Params{Scale: scale, Seed: seed, Workers: c.Workers, Parallelism: c.Parallelism}, nil
 }
 
 // Check is one machine-verifiable shape assertion derived from a

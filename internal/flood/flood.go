@@ -38,6 +38,7 @@ func OptionsFromSpec(s spec.Spec) (Options, error) {
 		MaxRounds:       c.MaxRounds,
 		Seed:            seed,
 		Workers:         c.Workers,
+		Parallelism:     c.Parallelism,
 		Kernel:          kernel,
 		PullThreshold:   c.Engine.PullThreshold,
 		BatchSources:    c.Engine.BatchSources,
@@ -64,6 +65,14 @@ type Options struct {
 	Seed uint64
 	// Workers bounds parallelism (default: all CPUs).
 	Workers int
+	// Parallelism is the intra-trial worker count of the sharded
+	// flooding engine and the models' parallel snapshot builds
+	// (core.FloodOptions.Parallelism). Results are byte-identical for
+	// every value; 0 or 1 keeps the serial kernels. Trial-level Workers
+	// and intra-trial Parallelism multiply, so campaigns typically
+	// raise one or the other: many short trials want Workers, few huge
+	// trials want Parallelism.
+	Parallelism int
 	// Kernel selects the flooding engine's per-round strategy
 	// (default core.KernelAuto, the direction-optimizing push/pull
 	// switch). All kernels produce identical results.
@@ -101,7 +110,7 @@ func (o Options) batched() bool {
 }
 
 func (o Options) floodOptions() core.FloodOptions {
-	return core.FloodOptions{Kernel: o.Kernel, PullThreshold: o.PullThreshold}
+	return core.FloodOptions{Kernel: o.Kernel, PullThreshold: o.PullThreshold, Parallelism: o.Parallelism}
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -181,7 +190,7 @@ func RunContext(ctx context.Context, factory Factory, opt Options) (Campaign, er
 		if opt.batched() {
 			d.Reset(r.Split())
 			res = core.WorstResult(core.FloodMultiOpt(d, sources, opt.MaxRounds,
-				core.MultiOptions{Stop: stop, Progress: progress}))
+				core.MultiOptions{Parallelism: opt.Parallelism, Stop: stop, Progress: progress}))
 		} else {
 			fo := opt.floodOptions()
 			fo.Stop = stop

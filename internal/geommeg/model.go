@@ -6,6 +6,7 @@ import (
 
 	"meg/internal/geom"
 	"meg/internal/graph"
+	"meg/internal/par"
 	"meg/internal/rng"
 )
 
@@ -34,6 +35,12 @@ type Model struct {
 	g          *graph.Graph
 	dirty      bool
 	bruteForce bool // too few cells for a 3×3 scan: compare all pairs
+
+	// parallel is the snapshot-build worker count (core.Parallelizable);
+	// snapshots are byte-identical for every value.
+	parallel int
+	// sweep holds the parallel cell sweep's per-block edge buffers.
+	sweep graph.BlockSweep
 }
 
 // New returns a model for the given configuration. The model is not
@@ -80,6 +87,19 @@ func (m *Model) Config() Config { return m.cfg }
 
 // N implements core.Dynamics.
 func (m *Model) N() int { return m.cfg.N }
+
+// SetParallelism implements core.Parallelizable: snapshot construction
+// (the cell-list edge sweep and the CSR build) runs on up to workers
+// goroutines. The produced snapshots are byte-identical for every
+// worker count — the sweep emits edges per contiguous node block and
+// concatenates blocks in order, reproducing the serial emission order
+// exactly. 0 or 1 builds serially; < 0 uses all CPUs.
+func (m *Model) SetParallelism(workers int) {
+	if workers == 0 {
+		workers = 1
+	}
+	m.parallel = par.Workers(workers)
+}
 
 // Side returns the physical side length of the support square.
 func (m *Model) Side() float64 { return m.cfg.Side() }
@@ -251,7 +271,24 @@ func (m *Model) Graph() *graph.Graph {
 		cursor[c]++
 	}
 
-	for u := 0; u < n; u++ {
+	// Edge sweep: per contiguous node block, each worker emits its
+	// block's (u, v > u) edges into a private buffer in the same order
+	// the serial u-ascending loop would; graph.BlockSweep concatenates
+	// blocks in order, reproducing the serial edge list — and with it
+	// the CSR snapshot — byte-identically for every worker count.
+	m.g = m.sweep.Run(m.builder, m.parallel, n, func(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
+		return m.sweepRange(lo, hi, starts, srcs, dsts)
+	})
+	m.dirty = false
+	return m.g
+}
+
+// sweepRange scans the 3×3 cell neighborhoods of nodes [lo, hi) and
+// appends every edge (u, v) with u in range and v > u to srcs/dsts, in
+// ascending-u order.
+func (m *Model) sweepRange(lo, hi int, starts []int32, srcs, dsts []int32) ([]int32, []int32) {
+	k := m.cellsPer
+	for u := lo; u < hi; u++ {
 		cu := int(m.nodeCell[u])
 		cx, cy := cu%k, cu/k
 		for dy := -1; dy <= 1; dy++ {
@@ -269,15 +306,14 @@ func (m *Model) Graph() *graph.Graph {
 						continue
 					}
 					if m.lat.adjacent(m.ix[u], m.iy[u], m.ix[v], m.iy[v]) {
-						m.builder.AddEdge(u, v)
+						srcs = append(srcs, int32(u))
+						dsts = append(dsts, int32(v))
 					}
 				}
 			}
 		}
 	}
-	m.g = m.builder.Build()
-	m.dirty = false
-	return m.g
+	return srcs, dsts
 }
 
 // Position returns the physical coordinates of node u.

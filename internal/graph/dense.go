@@ -1,6 +1,9 @@
 package graph
 
-import "meg/internal/bitset"
+import (
+	"meg/internal/bitset"
+	"meg/internal/par"
+)
 
 // DenseRows is a bit-matrix export of a snapshot's adjacency: row u is
 // a packed bitmap over [0, n) with bit v set iff {u, v} is an edge.
@@ -17,14 +20,29 @@ type DenseRows struct {
 
 // NewDenseRows materializes the dense adjacency rows of g.
 func NewDenseRows(g *Graph) *DenseRows {
+	return NewDenseRowsParallel(g, 1)
+}
+
+// NewDenseRowsParallel is NewDenseRows on a worker pool: rows are
+// filled per contiguous node block, each worker writing only its own
+// rows, so the matrix is byte-identical to the serial build for every
+// worker count. workers <= 1 builds serially.
+func NewDenseRowsParallel(g *Graph, workers int) *DenseRows {
 	stride := (g.n + 63) / 64
 	d := &DenseRows{n: g.n, stride: stride, words: make([]uint64, g.n*stride)}
-	for u := 0; u < g.n; u++ {
-		row := d.words[u*stride : (u+1)*stride]
-		for _, v := range g.Neighbors(u) {
-			row[v>>6] |= 1 << (uint(v) & 63)
+	fill := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			row := d.words[u*stride : (u+1)*stride]
+			for _, v := range g.Neighbors(u) {
+				row[v>>6] |= 1 << (uint(v) & 63)
+			}
 		}
 	}
+	if workers <= 1 || g.n < 256 {
+		fill(0, g.n)
+		return d
+	}
+	par.ForBlocks(workers, g.n, func(_, lo, hi int) { fill(lo, hi) })
 	return d
 }
 

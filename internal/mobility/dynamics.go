@@ -3,6 +3,7 @@ package mobility
 import (
 	"meg/internal/geom"
 	"meg/internal/graph"
+	"meg/internal/par"
 	"meg/internal/rng"
 )
 
@@ -24,6 +25,12 @@ type Dynamics struct {
 	g        *graph.Graph
 	dirty    bool
 	brute    bool
+
+	// parallel is the snapshot-build worker count
+	// (core.Parallelizable); snapshots are byte-identical for every
+	// value.
+	parallel int
+	sweep    graph.BlockSweep
 }
 
 // NewDynamics wraps mob with transmission radius R. It panics if R is
@@ -54,6 +61,16 @@ func NewDynamics(mob Mobility, radius float64) *Dynamics {
 
 // Mobility returns the wrapped mobility process.
 func (d *Dynamics) Mobility() Mobility { return d.mob }
+
+// SetParallelism implements core.Parallelizable: snapshot construction
+// runs on up to workers goroutines, byte-identically for every worker
+// count. 0 or 1 builds serially; < 0 uses all CPUs.
+func (d *Dynamics) SetParallelism(workers int) {
+	if workers == 0 {
+		workers = 1
+	}
+	d.parallel = par.Workers(workers)
+}
 
 // Radius returns the transmission radius R.
 func (d *Dynamics) Radius() float64 { return d.radius }
@@ -146,8 +163,25 @@ func (d *Dynamics) Graph() *graph.Graph {
 		d.order[cursor[c]] = int32(u)
 		cursor[c]++
 	}
+	// Edge sweep: per contiguous node block into private buffers,
+	// concatenated in block order — the same order the serial
+	// u-ascending loop emits, so snapshots are byte-identical for every
+	// worker count (graph.BlockSweep; see geommeg.Model.Graph for the
+	// same pattern).
+	d.g = d.sweep.Run(d.builder, d.parallel, n, func(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
+		return d.sweepRange(lo, hi, starts, srcs, dsts)
+	})
+	d.dirty = false
+	return d.g
+}
+
+// sweepRange scans the 3×3 cell neighborhoods of nodes [lo, hi) and
+// appends every edge (u, v) with u in range and v > u to srcs/dsts, in
+// ascending-u order.
+func (d *Dynamics) sweepRange(lo, hi int, starts []int32, srcs, dsts []int32) ([]int32, []int32) {
+	k := d.cellsPer
 	wrap := d.mob.Torus()
-	for u := 0; u < n; u++ {
+	for u := lo; u < hi; u++ {
 		cu := int(d.nodeCell[u])
 		cx, cy := cu%k, cu/k
 		for dy := -1; dy <= 1; dy++ {
@@ -165,13 +199,12 @@ func (d *Dynamics) Graph() *graph.Graph {
 						continue
 					}
 					if d.adjacent(u, v) {
-						d.builder.AddEdge(u, v)
+						srcs = append(srcs, int32(u))
+						dsts = append(dsts, int32(v))
 					}
 				}
 			}
 		}
 	}
-	d.g = d.builder.Build()
-	d.dirty = false
-	return d.g
+	return srcs, dsts
 }

@@ -1,0 +1,96 @@
+// Package par provides the tiny deterministic fork/join primitives the
+// shard-parallel kernels are built from: run a fixed set of shard tasks
+// over a bounded pool of goroutines, and split index ranges into
+// contiguous blocks.
+//
+// Determinism contract: callers assign every shard a fixed identity and
+// write only to shard-private (or shard-disjoint) state inside the
+// parallel region, then combine shard outputs in shard order after Do
+// returns. Under that discipline the result is byte-identical for every
+// worker count, including 1 — which is how the flooding engine, the
+// snapshot builders, and the evolving-graph models keep "parallelism is
+// an execution hint, never a semantic" true.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism knob: values <= 0 mean "all CPUs",
+// anything else is used as given.
+func Workers(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Do runs fn(shard) for every shard in [0, shards) on at most workers
+// goroutines. Shards are claimed dynamically (an atomic cursor), so the
+// assignment of shards to goroutines is scheduling-dependent — fn must
+// key all its effects on the shard index, never on the executing
+// goroutine. With workers <= 1 (or a single shard) Do degrades to a
+// plain serial loop with zero goroutine overhead.
+func Do(workers, shards int, fn func(shard int)) {
+	if shards <= 0 {
+		return
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Block returns the half-open range [lo, hi) of the given block when
+// [0, n) is split into blocks contiguous, near-equal pieces. Blocks
+// cover [0, n) exactly, in order, and differ in size by at most one.
+func Block(n, blocks, block int) (lo, hi int) {
+	q, r := n/blocks, n%blocks
+	lo = block*q + min(block, r)
+	hi = lo + q
+	if block < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ForBlocks splits [0, n) into one contiguous block per worker and runs
+// fn(block, lo, hi) for each on the pool. Writes to disjoint index
+// ranges need no synchronization, and combining per-block outputs in
+// block order reproduces the serial left-to-right result.
+func ForBlocks(workers, n int, fn func(block, lo, hi int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	Do(workers, workers, func(b int) {
+		lo, hi := Block(n, workers, b)
+		fn(b, lo, hi)
+	})
+}

@@ -1,0 +1,82 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryShardExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, shards := range []int{0, 1, 2, 7, 64} {
+			hits := make([]atomic.Int32, shards)
+			Do(workers, shards, func(s int) { hits[s].Add(1) })
+			for s := range hits {
+				if got := hits[s].Load(); got != 1 {
+					t.Fatalf("workers=%d shards=%d: shard %d ran %d times", workers, shards, s, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockPartitionsExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 100, 1 << 16} {
+		for _, blocks := range []int{1, 2, 3, 7, 16} {
+			prev := 0
+			for b := 0; b < blocks; b++ {
+				lo, hi := Block(n, blocks, b)
+				if lo != prev {
+					t.Fatalf("n=%d blocks=%d: block %d starts at %d, want %d", n, blocks, b, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d blocks=%d: block %d inverted [%d,%d)", n, blocks, b, lo, hi)
+				}
+				if size := hi - lo; size > n/blocks+1 {
+					t.Fatalf("n=%d blocks=%d: block %d oversized (%d)", n, blocks, b, size)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d blocks=%d: blocks cover [0,%d), want [0,%d)", n, blocks, prev, n)
+			}
+		}
+	}
+}
+
+func TestForBlocksIsDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Each block writes only its own range; concatenation in block order
+	// must match the serial left-to-right result for every worker count.
+	const n = 1000
+	want := make([]int, n)
+	ForBlocks(1, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = i * i
+		}
+	})
+	for _, workers := range []int{2, 3, 8} {
+		got := make([]int, n)
+		ForBlocks(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = i * i
+			}
+		})
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}

@@ -8,9 +8,19 @@ import (
 	"sync"
 )
 
+// resultsGeneration versions the on-disk cache namespace
+// (<dir>/g<generation>/<hash>.json). Bump it whenever an engine change
+// alters the simulation realization behind an unchanged spec hash —
+// generation 2 is the edge-MEG's sharded per-shard RNG streams — so a
+// cache directory populated by an older binary is never served as
+// current: the "same hash → same bytes" invariant holds per generation,
+// and stale generations are simply never read.
+const resultsGeneration = 2
+
 // Cache is the content-addressed result store: marshaled Result bytes
 // keyed by spec hash, held in an in-memory LRU and optionally mirrored
-// to a directory of <hash>.json files so results survive restarts.
+// to a directory of g<generation>/<hash>.json files so results survive
+// restarts (within one engine generation; see resultsGeneration).
 // Stored bytes are returned verbatim — a cache hit is byte-identical to
 // the response that populated it.
 type Cache struct {
@@ -36,7 +46,7 @@ func NewCache(maxEntries int, dir string) (*Cache, error) {
 		maxEntries = 256
 	}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := os.MkdirAll(generationDir(dir), 0o755); err != nil {
 			return nil, fmt.Errorf("serve: cache dir: %w", err)
 		}
 	}
@@ -134,7 +144,12 @@ func (c *Cache) put(hash string, data []byte, writeDisk bool) {
 }
 
 func (c *Cache) path(hash string) string {
-	return filepath.Join(c.dir, hash+".json")
+	return filepath.Join(generationDir(c.dir), hash+".json")
+}
+
+// generationDir is the engine-generation subdirectory of the mirror.
+func generationDir(dir string) string {
+	return filepath.Join(dir, fmt.Sprintf("g%d", resultsGeneration))
 }
 
 // Len returns the number of in-memory entries.

@@ -68,8 +68,19 @@ func TestCacheDiskMirrorSurvivesRestart(t *testing.T) {
 		t.Fatalf("NewCache: %v", err)
 	}
 	c1.Put(h, data)
-	if _, err := os.Stat(filepath.Join(dir, h+".json")); err != nil {
+	if _, err := os.Stat(filepath.Join(generationDir(dir), h+".json")); err != nil {
 		t.Fatalf("disk mirror file missing: %v", err)
+	}
+
+	// Entries from another engine generation must never be served: the
+	// namespace is what guarantees "same hash → same bytes" holds per
+	// generation when an engine change alters realizations.
+	stale := fakeHash(9)
+	if err := os.WriteFile(filepath.Join(dir, stale+".json"), []byte(`{"old":true}`), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, ok := c1.Get(stale); ok {
+		t.Fatal("cache served an un-namespaced (stale-generation) entry")
 	}
 
 	// A fresh cache over the same dir (a "restart") serves the result

@@ -110,11 +110,13 @@ func (e *Executor) Execute(ctx context.Context, s spec.Spec, sink func(Event)) (
 }
 
 // publicSpec strips execution-only hints from the spec embedded in a
-// Result: Workers is excluded from the content hash, so it must not
-// leak into the cached bytes either — otherwise the same hash would
-// serve different bytes depending on which submitter simulated first.
+// Result: Workers and Parallelism are excluded from the content hash,
+// so they must not leak into the cached bytes either — otherwise the
+// same hash would serve different bytes depending on which submitter
+// simulated first.
 func publicSpec(c spec.Spec) spec.Spec {
 	c.Workers = 0
+	c.Parallelism = 0
 	return c
 }
 

@@ -9,7 +9,7 @@
 //  2. Canonicalize: defaults filled in, fields the chosen model or
 //     protocol does not consume zeroed out, the round cap materialized;
 //  3. Hash: SHA-256 over the canonical form minus execution-only hints
-//     (Workers), yielding the content address under which results are
+//     (Workers, Parallelism), yielding the content address under which results are
 //     cached — two specs that describe the same computation hash
 //     identically no matter how sparsely they were written.
 package spec
@@ -165,6 +165,12 @@ type Spec struct {
 	// hint: excluded from the content hash, so the same spec run with
 	// different parallelism still hits the same cache entry.
 	Workers int `json:"workers,omitempty"`
+	// Parallelism is the intra-trial worker count of the sharded
+	// flooding engine and the models' parallel snapshot builds
+	// (0 or 1 = serial, -1 = all CPUs). Like Workers it is an execution
+	// hint: results are byte-identical for every value, so it is
+	// excluded from the content hash and stripped from cached results.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Parse strictly decodes and canonicalizes a spec: unknown fields are
@@ -220,6 +226,9 @@ func (s Spec) Canonical() (Spec, error) {
 	}
 	if s.Workers < 0 {
 		return Spec{}, fmt.Errorf("spec: workers %d must be non-negative", s.Workers)
+	}
+	if s.Parallelism < -1 {
+		return Spec{}, fmt.Errorf("spec: parallelism %d must be -1 (all CPUs), 0/1 (serial), or a worker count", s.Parallelism)
 	}
 
 	if s.Experiment != "" {
@@ -340,8 +349,8 @@ func (s Spec) Canonical() (Spec, error) {
 }
 
 // hashView is the hashed subset of a canonical spec: everything except
-// execution-only hints (Workers). Field order is fixed by this struct,
-// so the marshaled form is canonical.
+// execution-only hints (Workers, Parallelism). Field order is fixed by
+// this struct, so the marshaled form is canonical.
 type hashView struct {
 	SchemaVersion int      `json:"version"`
 	Model         Model    `json:"model"`

@@ -67,7 +67,7 @@ func TestHashStableAcrossSpellings(t *testing.T) {
 		"model": {"name":"geometric","n":256,"mult":2,"rfrac":0.5,"density":1},
 		"protocol": {"name":"flooding"},
 		"engine": {"kernel":"auto"},
-		"trials": 1, "sources": 1, "maxRounds": 1056,
+		"trials": 1, "sources": 1, "maxRounds": 512,
 		"seed": 1, "seedPolicy": "fixed"
 	}`))
 	if err != nil {

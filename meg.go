@@ -83,8 +83,20 @@ const (
 // the two kernels' expected per-round costs balance. The estimate d̄
 // comes from the model when it knows its stationary degree
 // (core.DegreeHinter), else from each snapshot. Set PullThreshold to
-// move the switch point, or Kernel to pin a strategy outright.
+// move the switch point, Kernel to pin a strategy outright, or
+// Parallelism to run the sharded engine — results are byte-identical
+// for every worker count.
 type FloodOptions = core.FloodOptions
+
+// MultiOptions tunes FloodMultiOpt (cancellation, progress, and the
+// sharded engine's Parallelism).
+type MultiOptions = core.MultiOptions
+
+// Parallelizable is implemented by dynamics whose snapshot construction
+// can use a worker pool (all models in this repository); snapshots stay
+// byte-identical for every worker count. The flooding engine forwards
+// its own Parallelism automatically, so most callers never touch this.
+type Parallelizable = core.Parallelizable
 
 // Flood runs the flooding process on d from the given source with a
 // round cap; see core.Flood for exact semantics.
@@ -104,6 +116,12 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 // exact coupling semantics. Call Reset on d first.
 func FloodMulti(d Dynamics, sources []int, maxRounds int) []FloodResult {
 	return core.FloodMulti(d, sources, maxRounds)
+}
+
+// FloodMultiOpt is FloodMulti with explicit options (cancellation,
+// progress hooks, sharded-engine parallelism); see core.FloodMultiOpt.
+func FloodMultiOpt(d Dynamics, sources []int, maxRounds int, opt MultiOptions) []FloodResult {
+	return core.FloodMultiOpt(d, sources, maxRounds, opt)
 }
 
 // FloodAll is FloodMulti from every node — the full per-source flooding
