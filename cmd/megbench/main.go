@@ -54,6 +54,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 	kernelFlag := flag.String("kernel", "auto", "flooding kernel: auto|push|pull (identical results per flooding call; pinning one also disables source batching in E4/E8)")
 	parallelism := flag.Int("par", 0, "intra-trial worker count of the sharded engine (0/1 = serial, -1 = all CPUs); results are identical for every value")
+	protoEngine := flag.String("proto-engine", "", "gossip engine for protocol experiments: kernel|reference (default kernel; results are identical)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
 	jsonOut := flag.Bool("json", false, "emit the reports (or the BENCH file with -suite) as JSON on stdout instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -83,7 +84,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	params := experiments.Params{Scale: scale, Seed: *seed, Workers: *workers, Kernel: kernel, Parallelism: *parallelism}
+	switch *protoEngine {
+	case "", "kernel", "reference":
+	default:
+		fmt.Fprintf(os.Stderr, "megbench: unknown -proto-engine %q (want kernel|reference)\n", *protoEngine)
+		os.Exit(2)
+	}
+	params := experiments.Params{Scale: scale, Seed: *seed, Workers: *workers, Kernel: kernel, Parallelism: *parallelism, ProtocolEngine: *protoEngine}
 
 	var selected []experiments.Experiment
 	if flag.NArg() == 0 {

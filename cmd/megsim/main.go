@@ -42,6 +42,7 @@ func main() {
 	beta := flag.Float64("beta", 0, "forward probability (probabilistic protocol)")
 	loss := flag.Float64("loss", 0, "per-message loss probability (lossy protocol)")
 	kernel := flag.String("kernel", "auto", "flooding kernel: auto|push|pull")
+	protoEngine := flag.String("engine", "", "protocol engine for non-flooding protocols: kernel|reference (default kernel; results are identical)")
 	batch := flag.Bool("batch", false, "batch each trial's sources bit-parallel over one realization")
 	parallelism := flag.Int("par", 0, "intra-trial worker count of the sharded engine (0/1 = serial, -1 = all CPUs); results are identical for every value")
 	seed := flag.Uint64("seed", 1, "RNG seed")
@@ -68,6 +69,10 @@ func main() {
 			// flag may override the file without changing the run.
 			sp.Parallelism = *parallelism
 		}
+		if *protoEngine != "" {
+			// Also an execution hint: the engines are byte-identical.
+			sp.ProtocolEngine = *protoEngine
+		}
 	} else {
 		var err error
 		sp, err = spec.Spec{
@@ -76,12 +81,13 @@ func main() {
 				Mult: *mult, RFrac: *rfrac, Density: *density,
 				PhatMult: *phatmult, Q: *q, Empty: *emptyStart,
 			},
-			Protocol:    spec.Protocol{Name: *proto, Beta: *beta, Loss: *loss},
-			Engine:      spec.Engine{Kernel: *kernel, BatchSources: *batch},
-			Trials:      *trials,
-			Sources:     *sources,
-			Seed:        *seed,
-			Parallelism: *parallelism,
+			Protocol:       spec.Protocol{Name: *proto, Beta: *beta, Loss: *loss},
+			Engine:         spec.Engine{Kernel: *kernel, BatchSources: *batch},
+			Trials:         *trials,
+			Sources:        *sources,
+			Seed:           *seed,
+			Parallelism:    *parallelism,
+			ProtocolEngine: *protoEngine,
 		}.Canonical()
 		if err != nil {
 			fatal(err)

@@ -44,8 +44,13 @@ type Scenario struct {
 
 // Suite returns the fixed scenario list: geometric flooding at three
 // sizes (the scaling axis the paper's Θ(√n/R) bound lives on), sparse
-// and dense edge-MEGs (the Θ(log n/log np̂) axis), and a batched
-// 64-source geometric run (the bit-parallel estimator).
+// and dense edge-MEGs (the Θ(log n/log np̂) axis), a batched 64-source
+// geometric run (the bit-parallel estimator), and the gossip-family
+// protocols (push, push-pull, lossy) — for those the serial baseline is
+// the per-node reference implementation and the sharded run is the
+// bitset kernel engine, so the speedup column records the protocol
+// engine's gain and the checksum gate doubles as the reference-vs-
+// kernel equivalence check.
 func Suite() []Scenario {
 	geom := func(n int) spec.Spec {
 		return spec.Spec{
@@ -64,6 +69,10 @@ func Suite() []Scenario {
 	multi := geom(65536)
 	multi.Sources = 64
 	multi.Engine.BatchSources = true
+	proto := func(base spec.Spec, p spec.Protocol) spec.Spec {
+		base.Protocol = p
+		return base
+	}
 	return []Scenario{
 		{Name: "geom-4k", Note: "geometric-MEG n=4096, single source", Spec: geom(4096)},
 		{Name: "geom-64k", Note: "geometric-MEG n=65536, single source", Spec: geom(65536)},
@@ -71,6 +80,9 @@ func Suite() []Scenario {
 		{Name: "edge-sparse-64k", Note: "edge-MEG n=65536, p̂ = 2·log n/n (near-threshold sparse)", Spec: edge(65536, 2)},
 		{Name: "edge-dense-16k", Note: "edge-MEG n=16384, p̂ = 16·log n/n (dense churn)", Spec: edge(16384, 16)},
 		{Name: "multi64-geom-64k", Note: "geometric-MEG n=65536, 64 sources batched bit-parallel", Spec: multi},
+		{Name: "proto-push-geom-16k", Note: "push gossip on geometric-MEG n=16384: reference vs sharded kernel", Spec: proto(geom(16384), spec.Protocol{Name: "push"})},
+		{Name: "proto-pushpull-edge-16k", Note: "push-pull gossip on edge-MEG n=16384: reference vs sharded kernel", Spec: proto(edge(16384, 4), spec.Protocol{Name: "push-pull"})},
+		{Name: "proto-lossy-geom-16k", Note: "lossy flooding (f=0.2) on geometric-MEG n=16384: reference vs sharded kernel", Spec: proto(geom(16384), spec.Protocol{Name: "lossy", Loss: 0.2})},
 	}
 }
 
@@ -78,6 +90,10 @@ func Suite() []Scenario {
 type Variant struct {
 	// Variant is "serial" or "sharded".
 	Variant string `json:"variant"`
+	// Engine identifies the implementation for protocol scenarios:
+	// "reference" (serial baseline) or "kernel" (sharded run). Empty for
+	// flooding scenarios.
+	Engine string `json:"engine,omitempty"`
 	// Parallelism is the intra-trial worker count used.
 	Parallelism int `json:"parallelism"`
 	// Rounds is the total number of evaluated flooding rounds.
@@ -211,9 +227,17 @@ func RunScenarios(scenarios []Scenario, opts Options) (*File, error) {
 }
 
 // runVariant executes one (scenario, parallelism) pair and measures it.
+// Flooding scenarios time the flooding engine serially vs sharded; for
+// gossip-family protocol scenarios the serial baseline runs the
+// internal/protocol reference implementation and the sharded run the
+// bitset kernel engine — byte-identical by contract, so the shared
+// checksum gate applies unchanged.
 func runVariant(c spec.Spec, variant string, parallelism int) (Variant, error) {
 	c.Parallelism = parallelism
 	c.Workers = 1 // isolate intra-trial parallelism from trial fan-out
+	if c.Protocol.Name != "" && c.Protocol.Name != "flooding" {
+		return runProtocolVariant(c, variant, parallelism)
+	}
 	factory, _, err := c.NewFactory()
 	if err != nil {
 		return Variant{}, err
@@ -222,29 +246,72 @@ func runVariant(c spec.Spec, variant string, parallelism int) (Variant, error) {
 	if err != nil {
 		return Variant{}, err
 	}
+	var camp flood.Campaign
+	v := measure(func() { camp = flood.Run(factory, opt) })
+	v.Variant = variant
+	v.Parallelism = parallelism
+	v.Completed = camp.Incomplete == 0
+	v.Checksum = checksum(camp)
+	for _, t := range camp.Trials {
+		v.Rounds += len(t.Result.Trajectory) - 1
+	}
+	v.finishRates()
+	return v, nil
+}
+
+// measure times run under a clean heap baseline and returns a Variant
+// carrying the wall-clock and allocation measurements — the one
+// harness both the flooding and the protocol paths use, so the two row
+// kinds can never silently measure differently.
+func measure(run func()) Variant {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	camp := flood.Run(factory, opt)
+	run()
 	wall := time.Since(start).Nanoseconds()
 	runtime.ReadMemStats(&after)
-
-	v := Variant{
-		Variant:     variant,
-		Parallelism: parallelism,
-		Completed:   camp.Incomplete == 0,
-		WallNS:      wall,
-		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
-		Allocs:      after.Mallocs - before.Mallocs,
-		Checksum:    checksum(camp),
+	return Variant{
+		WallNS:     wall,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Allocs:     after.Mallocs - before.Mallocs,
 	}
+}
+
+// finishRates derives the per-round rate once Rounds is known.
+func (v *Variant) finishRates() {
+	if v.Rounds > 0 {
+		v.NSPerRound = float64(v.WallNS) / float64(v.Rounds)
+	}
+}
+
+// runProtocolVariant measures a gossip-family scenario: the serial
+// variant pins the reference engine, the sharded variant the kernel.
+func runProtocolVariant(c spec.Spec, variant string, parallelism int) (Variant, error) {
+	engine := flood.EngineKernel
+	if variant == "serial" {
+		engine = flood.EngineReference
+	}
+	c.ProtocolEngine = engine
+	factory, _, err := c.NewFactory()
+	if err != nil {
+		return Variant{}, err
+	}
+	opt, err := flood.ProtocolOptionsFromSpec(c)
+	if err != nil {
+		return Variant{}, err
+	}
+	var camp flood.ProtocolCampaign
+	v := measure(func() { camp = flood.RunProtocol(factory, opt) })
+	v.Variant = variant
+	v.Engine = engine
+	v.Parallelism = parallelism
+	v.Completed = camp.Incomplete == 0
+	v.Checksum = protocolChecksum(camp)
 	for _, t := range camp.Trials {
 		v.Rounds += len(t.Result.Trajectory) - 1
 	}
-	if v.Rounds > 0 {
-		v.NSPerRound = float64(wall) / float64(v.Rounds)
-	}
+	v.finishRates()
 	return v, nil
 }
 
@@ -273,6 +340,34 @@ func checksum(camp flood.Campaign) string {
 		}
 		for _, a := range r.Arrival {
 			w(uint64(uint32(a)))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// protocolChecksum fingerprints a protocol campaign over the fields
+// both engines produce — source, rounds, completion, trajectory, and
+// message totals (the reference engine computes no arrival arrays) —
+// so reference-vs-kernel divergence fails the suite.
+func protocolChecksum(camp flood.ProtocolCampaign) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	for _, t := range camp.Trials {
+		r := t.Result
+		w(uint64(r.Source))
+		w(uint64(r.Rounds))
+		if r.Completed {
+			w(1)
+		} else {
+			w(0)
+		}
+		w(uint64(r.Messages))
+		for _, m := range r.Trajectory {
+			w(uint64(m))
 		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())

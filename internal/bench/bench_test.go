@@ -105,3 +105,48 @@ func TestSuiteSpecsAreValid(t *testing.T) {
 		}
 	}
 }
+
+func TestRunProtocolScenario(t *testing.T) {
+	// A gossip scenario times the reference engine serially against the
+	// sharded kernel — identical checksums, engine labels recorded.
+	scenarios := []Scenario{{
+		Name: "tiny-proto",
+		Note: "t",
+		Spec: spec.Spec{
+			Model:    spec.Model{Name: "edge", N: 512, PhatMult: 4},
+			Protocol: spec.Protocol{Name: "push-pull"},
+			Trials:   2,
+			Seed:     7,
+		},
+	}}
+	f, err := RunScenarios(scenarios, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("RunScenarios: %v", err)
+	}
+	r := f.Results[0]
+	if !r.Identical {
+		t.Fatalf("reference and kernel engines diverged: %+v", r.Variants)
+	}
+	if r.Variants[0].Engine != "reference" || r.Variants[1].Engine != "kernel" {
+		t.Fatalf("engine labels wrong: %q/%q", r.Variants[0].Engine, r.Variants[1].Engine)
+	}
+	for _, v := range r.Variants {
+		if v.Rounds <= 0 || !v.Completed || v.WallNS <= 0 {
+			t.Fatalf("%s: empty measurement %+v", v.Variant, v)
+		}
+	}
+}
+
+func TestSuiteCoversProtocols(t *testing.T) {
+	// The fixed suite must carry gossip scenarios so the trajectory
+	// records protocol speedups and CI gates their divergence.
+	protos := 0
+	for _, sc := range Suite() {
+		if sc.Spec.Protocol.Name != "" && sc.Spec.Protocol.Name != "flooding" {
+			protos++
+		}
+	}
+	if protos < 3 {
+		t.Fatalf("suite has %d protocol scenarios, want ≥ 3", protos)
+	}
+}

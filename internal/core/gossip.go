@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"meg/internal/bitset"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// GossipProtocol selects one of the bitset-frontier protocol kernels —
+// the rumor-spreading / gossip family the paper frames flooding as the
+// latency lower bound of (Section 1; Clementi et al., arXiv:1302.3828
+// and arXiv:1111.0583 study exactly these processes on evolving
+// graphs). Flooding itself runs on the dedicated engine (FloodOpt).
+type GossipProtocol int
+
+const (
+	// GossipPush is push rumor spreading: every informed node sends to
+	// one uniformly random current neighbor per round.
+	GossipPush GossipProtocol = iota
+	// GossipPushPull adds the pull direction: uninformed nodes query one
+	// random neighbor and learn the message if that neighbor is informed.
+	GossipPushPull
+	// GossipProbFlood is Gnutella-style probabilistic flooding: a node
+	// forwards to all neighbors for one round upon becoming informed,
+	// and only with probability Beta (the source always forwards).
+	GossipProbFlood
+	// GossipLossyFlood is flooding with every transmission independently
+	// lost with probability Loss.
+	GossipLossyFlood
+)
+
+// String returns the protocol's canonical spec spelling.
+func (p GossipProtocol) String() string {
+	switch p {
+	case GossipPush:
+		return "push"
+	case GossipPushPull:
+		return "push-pull"
+	case GossipProbFlood:
+		return "probabilistic"
+	case GossipLossyFlood:
+		return "lossy"
+	default:
+		return fmt.Sprintf("GossipProtocol(%d)", int(p))
+	}
+}
+
+// ParseGossip converts a protocol name (the spec spelling or its
+// aliases) into a GossipProtocol. "flooding" is rejected: flooding runs
+// on the flooding engine, not the gossip one.
+func ParseGossip(name string) (GossipProtocol, error) {
+	switch strings.ToLower(name) {
+	case "push", "push-gossip":
+		return GossipPush, nil
+	case "push-pull", "pushpull":
+		return GossipPushPull, nil
+	case "probabilistic", "prob":
+		return GossipProbFlood, nil
+	case "lossy":
+		return GossipLossyFlood, nil
+	default:
+		return 0, fmt.Errorf("core: unknown gossip protocol %q (want push|push-pull|probabilistic|lossy)", name)
+	}
+}
+
+// GossipOptions tunes a Gossip run. The zero value runs push gossip
+// semantics-compatible defaults serially.
+type GossipOptions struct {
+	// Beta is GossipProbFlood's forwarding probability in (0, 1].
+	Beta float64
+	// Loss is GossipLossyFlood's per-message loss probability in [0, 1).
+	Loss float64
+	// Parallelism is the intra-run worker count of the sharded engine
+	// (0 or 1 = serial, < 0 = all CPUs). Because every random decision
+	// is keyed by (node, round) — never by iteration order — the
+	// GossipResult is byte-identical for every value, including 1, and
+	// matches the reference implementations in internal/protocol on the
+	// same seeds. A Parallelizable dynamics receives the same worker
+	// count for its snapshot builds.
+	Parallelism int
+	// Stop, if non-nil, is polled once per round; when it returns true
+	// the run aborts with Completed == false and Rounds set to the cap,
+	// matching FloodOptions.Stop semantics.
+	Stop func() bool
+	// Progress, if non-nil, is called after every evaluated round with
+	// the round number t+1 and the informed count. It runs on the
+	// calling goroutine; keep it cheap.
+	Progress func(round, informed int)
+}
+
+// GossipResult records one protocol run on the gossip engine. It is a
+// superset of the reference protocol.Result: Rounds, Completed,
+// Trajectory and Messages carry the exact semantics of the reference
+// implementations, plus the final informed set and per-node arrival
+// times the bitset engine computes for free.
+type GossipResult struct {
+	// Source is the initiator node.
+	Source int
+	// Rounds is the completion time, the die-out round (probabilistic
+	// flooding), or the cap if neither fired.
+	Rounds int
+	// Completed reports whether all nodes were informed within the cap.
+	Completed bool
+	// Trajectory[t] is the number of informed nodes after t rounds.
+	Trajectory []int
+	// Messages is the total number of point-to-point transmissions sent
+	// (including redundant ones to already-informed nodes).
+	Messages int64
+	// Informed is the final informed set (owned by the caller).
+	Informed *bitset.Set
+	// Arrival[v] is the round at which v became informed (0 for the
+	// source), or -1 if v was never informed.
+	Arrival []int32
+}
+
+// RoundsToHalf returns the first t with Trajectory[t] ≥ n/2, or -1.
+func (r GossipResult) RoundsToHalf(n int) int {
+	for t, m := range r.Trajectory {
+		if 2*m >= n {
+			return t
+		}
+	}
+	return -1
+}
+
+// Gossip runs the selected protocol from source on d for at most
+// maxRounds rounds — the engine-grade counterpart of the reference
+// implementations in internal/protocol, built on the same bitset
+// frontiers and shard-parallel phases as the flooding engine.
+//
+// Randomness: one word is consumed from r to derive the run's stream
+// base; the decision of node v in round t is then drawn from
+// rng.At(base, v, t). Decisions are pure functions of (node, round), so
+// the result is byte-identical for every Parallelism value and byte-
+// identical to the internal/protocol reference on the same seeds (the
+// reference consumes exactly one word of r too).
+//
+// Gossip does not Reset d: the caller controls the initial
+// distribution. Like the reference, the chain advances only between
+// evaluated rounds — completion is checked before Step, so the final
+// snapshot is never resampled for nothing.
+func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *rng.RNG, opt GossipOptions) GossipResult {
+	n := d.N()
+	if source < 0 || source >= n {
+		panic("core: gossip source out of range")
+	}
+	if maxRounds <= 0 {
+		panic("core: maxRounds must be positive")
+	}
+	switch proto {
+	case GossipProbFlood:
+		if opt.Beta <= 0 || opt.Beta > 1 {
+			panic("core: gossip Beta must be in (0, 1]")
+		}
+	case GossipLossyFlood:
+		if opt.Loss < 0 || opt.Loss >= 1 {
+			panic("core: gossip Loss must be in [0, 1)")
+		}
+	}
+	base := r.Uint64()
+	informed := bitset.New(n)
+	informed.Add(source)
+	arrival := make([]int32, n)
+	for i := range arrival {
+		arrival[i] = -1
+	}
+	arrival[source] = 0
+	res := GossipResult{
+		Source:     source,
+		Trajectory: make([]int, 1, 64),
+		Informed:   informed,
+		Arrival:    arrival,
+	}
+	res.Trajectory[0] = 1
+	if n == 1 {
+		res.Completed = true
+		return res
+	}
+
+	workers := engineWorkers(opt.Parallelism, d)
+	var eng *gossipEngine
+	if workers > 1 {
+		eng = newGossipEngine(n, workers)
+	}
+	// senders holds exactly the informed set in discovery order; for
+	// probabilistic flooding, active holds the subset still forwarding
+	// (its own buffer — it is rewritten every round while senders grows).
+	senders := make([]int32, 1, n)
+	senders[0] = int32(source)
+	active := senders
+	if proto == GossipProbFlood {
+		active = append(make([]int32, 0, n), int32(source))
+	}
+	count := 1
+	newly := make([]int32, 0, 256)
+	// frontier is the serial kernels' private mark buffer for rounds
+	// whose decisions read the round-start informed set (push-pull).
+	var frontier []uint64
+	if eng == nil {
+		frontier = make([]uint64, (n+63)/64)
+	}
+
+	for t := 0; ; t++ {
+		if opt.Stop != nil && opt.Stop() {
+			break
+		}
+		g := d.Graph()
+		newly = newly[:0]
+		switch proto {
+		case GossipPush:
+			if eng != nil {
+				newly = eng.pushGossipRound(g, senders, informed, arrival, base, t, newly, &res.Messages)
+			} else {
+				newly = pushGossipRound(g, senders, informed, arrival, base, t, newly, &res.Messages)
+			}
+		case GossipPushPull:
+			if eng != nil {
+				newly = eng.pushPullRound(g, informed, arrival, base, t, newly, &res.Messages)
+			} else {
+				newly = pushPullRound(g, frontier, informed, arrival, base, t, newly, &res.Messages)
+			}
+		case GossipProbFlood:
+			res.Messages += degreeSum(g, active)
+			if eng != nil {
+				newly = eng.pushRound(g, active, informed, arrival, t, newly)
+			} else {
+				newly = probFloodRound(g, active, informed, arrival, t, newly)
+			}
+		case GossipLossyFlood:
+			res.Messages += degreeSum(g, senders)
+			if eng != nil {
+				newly = eng.lossyRound(g, informed, arrival, base, t, opt.Loss, newly)
+			} else {
+				newly = lossyRound(g, informed, arrival, base, t, opt.Loss, newly)
+			}
+		}
+		if proto == GossipProbFlood {
+			// Freshly informed nodes decide once whether they forward,
+			// keyed by (node, round informed) — the same draw the
+			// reference makes.
+			active = active[:0]
+			for _, v := range newly {
+				lr := rng.At(base, uint64(v), uint64(t))
+				if lr.Bernoulli(opt.Beta) {
+					active = append(active, v)
+				}
+			}
+		}
+		senders = append(senders, newly...)
+		count += len(newly)
+		res.Trajectory = append(res.Trajectory, count)
+		if opt.Progress != nil {
+			opt.Progress(t+1, count)
+		}
+		if count == n {
+			res.Rounds = t + 1
+			res.Completed = true
+			return res
+		}
+		if proto == GossipProbFlood && len(active) == 0 {
+			res.Rounds = t + 1
+			return res // died out
+		}
+		if t+1 == maxRounds {
+			break
+		}
+		d.Step()
+	}
+	res.Rounds = maxRounds
+	return res
+}
+
+// degreeSum returns Σ deg(u) over the given nodes — the per-round
+// message count of the flooding-style protocols (every listed node
+// transmits to its whole current neighborhood).
+func degreeSum(g *graph.Graph, nodes []int32) int64 {
+	var sum int64
+	for _, u := range nodes {
+		sum += int64(len(g.Neighbors(int(u))))
+	}
+	return sum
+}
+
+// pushGossipRound is the serial push-gossip kernel: every sender draws
+// one uniformly random neighbor from its (node, round) stream and
+// transmits; uninformed targets join the informed set. Marking during
+// the scan is safe — push decisions never read the informed set, and
+// senders are extended only at the round boundary.
+func pushGossipRound(g *graph.Graph, senders []int32, informed *bitset.Set, arrival []int32, base uint64, t int, newly []int32, messages *int64) []int32 {
+	words := informed.MutableWords()
+	for _, u := range senders {
+		nbrs := g.Neighbors(int(u))
+		if len(nbrs) == 0 {
+			continue
+		}
+		*messages++
+		lr := rng.At(base, uint64(u), uint64(t))
+		v := nbrs[lr.Intn(len(nbrs))]
+		if words[v>>6]&(1<<(uint(v)&63)) == 0 {
+			words[v>>6] |= 1 << (uint(v) & 63)
+			arrival[v] = int32(t + 1)
+			newly = append(newly, v)
+		}
+	}
+	return newly
+}
+
+// pushPullRound is the serial push-pull kernel. Both directions read
+// the round-start informed set, so discoveries are buffered in the
+// frontier bitmap and merged only after the scan — the same synchrony
+// the reference enforces with its next bitset.
+func pushPullRound(g *graph.Graph, frontier []uint64, informed *bitset.Set, arrival []int32, base uint64, t int, newly []int32, messages *int64) []int32 {
+	words := informed.MutableWords()
+	n := informed.Len()
+	for u := 0; u < n; u++ {
+		nbrs := g.Neighbors(u)
+		if len(nbrs) == 0 {
+			continue
+		}
+		lr := rng.At(base, uint64(u), uint64(t))
+		v := int(nbrs[lr.Intn(len(nbrs))])
+		*messages++
+		if words[u>>6]&(1<<(uint(u)&63)) != 0 {
+			if words[v>>6]&(1<<(uint(v)&63)) == 0 {
+				frontier[v>>6] |= 1 << (uint(v) & 63)
+			}
+		} else if words[v>>6]&(1<<(uint(v)&63)) != 0 {
+			frontier[u>>6] |= 1 << (uint(u) & 63)
+		}
+	}
+	return mergeWords(frontier, words, arrival, t, newly)
+}
+
+// probFloodRound is the serial probabilistic-flood discovery pass: the
+// active nodes transmit to their whole neighborhoods (message count is
+// accounted by the caller via degreeSum). It is exactly the flooding
+// push kernel over the active list.
+func probFloodRound(g *graph.Graph, active []int32, informed *bitset.Set, arrival []int32, t int, newly []int32) []int32 {
+	words := informed.MutableWords()
+	for _, u := range active {
+		for _, v := range g.Neighbors(int(u)) {
+			if words[v>>6]&(1<<(uint(v)&63)) == 0 {
+				words[v>>6] |= 1 << (uint(v) & 63)
+				arrival[v] = int32(t + 1)
+				newly = append(newly, v)
+			}
+		}
+	}
+	return newly
+}
+
+// lossyRound is the serial lossy-flood kernel, receiver-driven: every
+// uninformed node (enumerated word-parallel from the informed
+// complement) scans its adjacency for informed neighbors, drawing the
+// fate of each arriving copy from its own (node, round) stream and
+// stopping at the first delivery. The informed set is only read during
+// the scan; hits are applied after it, preserving synchrony.
+func lossyRound(g *graph.Graph, informed *bitset.Set, arrival []int32, base uint64, t int, loss float64, newly []int32) []int32 {
+	words := informed.MutableWords()
+	n := informed.Len()
+	start := len(newly)
+	for wi, w := range words {
+		rem := ^w
+		if rem == 0 {
+			continue
+		}
+		wbase := wi * 64
+		for rem != 0 {
+			b := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			v := wbase + b
+			if v >= n {
+				break
+			}
+			if scanLossy(g, words, v, base, t, loss) {
+				arrival[v] = int32(t + 1)
+				newly = append(newly, int32(v))
+			}
+		}
+	}
+	for _, v := range newly[start:] {
+		words[v>>6] |= 1 << (uint(v) & 63)
+	}
+	return newly
+}
+
+// scanLossy decides whether uninformed node v receives the message in
+// round t: it walks v's adjacency, and each informed neighbor's copy
+// survives with probability 1−loss, drawn from v's (node, round)
+// stream in adjacency order.
+func scanLossy(g *graph.Graph, words []uint64, v int, base uint64, t int, loss float64) bool {
+	lr := rng.At(base, uint64(v), uint64(t))
+	for _, u := range g.Neighbors(v) {
+		if words[u>>6]&(1<<(uint(u)&63)) == 0 {
+			continue
+		}
+		if loss > 0 && lr.Bernoulli(loss) {
+			continue // this copy lost; try the next informed neighbor
+		}
+		return true
+	}
+	return false
+}
+
+// mergeWords applies a frontier bitmap to the informed words, records
+// arrivals, appends the discoveries to newly in node order, and zeroes
+// the frontier for the next round.
+func mergeWords(frontier, words []uint64, arrival []int32, t int, newly []int32) []int32 {
+	for wi, f := range frontier {
+		if f == 0 {
+			continue
+		}
+		frontier[wi] = 0
+		m := f &^ words[wi]
+		if m == 0 {
+			continue
+		}
+		words[wi] |= m
+		wbase := wi * 64
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			v := int32(wbase + b)
+			arrival[v] = int32(t + 1)
+			newly = append(newly, v)
+		}
+	}
+	return newly
+}

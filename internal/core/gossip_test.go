@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+func TestParseGossip(t *testing.T) {
+	cases := map[string]GossipProtocol{
+		"push": GossipPush, "push-gossip": GossipPush,
+		"push-pull": GossipPushPull, "pushpull": GossipPushPull,
+		"probabilistic": GossipProbFlood, "prob": GossipProbFlood,
+		"lossy": GossipLossyFlood,
+	}
+	for in, want := range cases {
+		got, err := ParseGossip(in)
+		if err != nil || got != want {
+			t.Errorf("ParseGossip(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"flooding", "", "warp"} {
+		if _, err := ParseGossip(bad); err == nil {
+			t.Errorf("ParseGossip(%q) accepted", bad)
+		}
+	}
+	if GossipPush.String() != "push" || GossipPushPull.String() != "push-pull" ||
+		GossipProbFlood.String() != "probabilistic" || GossipLossyFlood.String() != "lossy" {
+		t.Error("String spellings wrong")
+	}
+}
+
+func TestGossipSingleNode(t *testing.T) {
+	for _, p := range []GossipProtocol{GossipPush, GossipPushPull, GossipProbFlood, GossipLossyFlood} {
+		res := Gossip(NewStatic(graph.Empty(1)), p, 0, 5, rng.New(1), GossipOptions{Beta: 0.5, Loss: 0.1})
+		if !res.Completed || res.Rounds != 0 || res.Messages != 0 {
+			t.Fatalf("%s single node: %+v", p, res)
+		}
+	}
+}
+
+func TestGossipArgPanics(t *testing.T) {
+	g := NewStatic(graph.Path(4))
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("source", func() { Gossip(g, GossipPush, 9, 5, rng.New(1), GossipOptions{}) })
+	expectPanic("maxRounds", func() { Gossip(g, GossipPush, 0, 0, rng.New(1), GossipOptions{}) })
+	expectPanic("beta", func() { Gossip(g, GossipProbFlood, 0, 5, rng.New(1), GossipOptions{}) })
+	expectPanic("loss", func() { Gossip(g, GossipLossyFlood, 0, 5, rng.New(1), GossipOptions{Loss: 1}) })
+}
+
+func TestGossipStopAborts(t *testing.T) {
+	// Stop after the second round: the run must end promptly, incomplete,
+	// with Rounds pinned to the cap.
+	rounds := 0
+	res := Gossip(NewStatic(graph.Path(64)), GossipPush, 0, 50, rng.New(1), GossipOptions{
+		Progress: func(round, informed int) { rounds = round },
+		Stop:     func() bool { return rounds >= 2 },
+	})
+	if res.Completed || res.Rounds != 50 {
+		t.Fatalf("stopped run: %+v", res)
+	}
+	if rounds != 2 {
+		t.Fatalf("ran %d rounds after stop", rounds)
+	}
+}
+
+func TestGossipProbFloodDiesOutEarly(t *testing.T) {
+	// With tiny β on a path the process usually dies at the first
+	// non-forwarding node; the run must stop early, not burn the cap.
+	died := false
+	r := rng.New(3)
+	for i := 0; i < 40 && !died; i++ {
+		res := Gossip(NewStatic(graph.Path(50)), GossipProbFlood, 0, 1000, r.Split(), GossipOptions{Beta: 0.05})
+		if !res.Completed {
+			died = true
+			if res.Rounds >= 1000 {
+				t.Fatal("die-out not detected early")
+			}
+		}
+	}
+	if !died {
+		t.Fatal("β=0.05 never died out on a path — implausible")
+	}
+}
+
+func TestGossipLossyZeroLossIsFlooding(t *testing.T) {
+	// loss=0 delivers every copy: rounds must match the flooding engine.
+	for _, g := range []*graph.Graph{graph.Path(10), graph.Complete(8), graph.Cycle(12)} {
+		want := Flood(NewStatic(g), 0, DefaultRoundCap(g.N()))
+		got := Gossip(NewStatic(g), GossipLossyFlood, 0, DefaultRoundCap(g.N()), rng.New(1), GossipOptions{})
+		if got.Rounds != want.Rounds || got.Completed != want.Completed {
+			t.Fatalf("n=%d: lossy(0) %d/%v vs flood %d/%v", g.N(), got.Rounds, got.Completed, want.Rounds, want.Completed)
+		}
+	}
+}

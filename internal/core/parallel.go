@@ -103,6 +103,16 @@ func (e *shardEngine) pushRound(g *graph.Graph, senders []int32, informed *bitse
 			}
 		}
 	})
+	return e.mergeFrontiers(frontiers, words, arrival, t, newly)
+}
+
+// mergeFrontiers is the shared phase 2 of every frontier-marking
+// kernel: the node space is split into contiguous word ranges, the
+// given frontiers are ORed together, and the union is applied to the
+// shared informed words and arrival array — each word owned by exactly
+// one shard, discoveries collected per shard and concatenated in shard
+// order, so newly comes out in node order for every worker count.
+func (e *shardEngine) mergeFrontiers(frontiers [][]uint64, words []uint64, arrival []int32, t int, newly []int32) []int32 {
 	par.ForBlocks(e.workers, e.words, func(shard, lo, hi int) {
 		out := e.newly[shard][:0]
 		for wi := lo; wi < hi; wi++ {

@@ -75,6 +75,12 @@ type Params struct {
 	// flooding engine and model snapshot builds (0/1 = serial). Like
 	// Kernel it is result-equivalent: it only changes speed.
 	Parallelism int
+	// ProtocolEngine selects the implementation protocol experiments
+	// (E16) run the gossip family on: "kernel" (the bit-parallel
+	// sharded engine, also the default for "") or "reference" (the
+	// per-node oracle in internal/protocol). The engines are
+	// byte-identical, so like Kernel this only changes speed.
+	ProtocolEngine string
 }
 
 // FloodOptions returns the flooding engine options experiments thread
@@ -102,7 +108,7 @@ func ParamsFromSpec(s spec.Spec) (Params, error) {
 	if err != nil {
 		return Params{}, err
 	}
-	return Params{Scale: scale, Seed: seed, Workers: c.Workers, Parallelism: c.Parallelism}, nil
+	return Params{Scale: scale, Seed: seed, Workers: c.Workers, Parallelism: c.Parallelism, ProtocolEngine: c.ProtocolEngine}, nil
 }
 
 // Check is one machine-verifiable shape assertion derived from a

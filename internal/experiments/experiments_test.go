@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -167,4 +168,25 @@ func TestCycleMatchingPanics(t *testing.T) {
 		}
 	}()
 	newCycleMatching(3, false)
+}
+
+func TestE16EngineEquivalent(t *testing.T) {
+	// The kernel and reference gossip engines must produce the same E16
+	// report — byte-identical draws make the engine a pure speed knob.
+	kernel := E16Protocols(Params{Scale: Quick, Seed: 5, ProtocolEngine: "kernel", Parallelism: 4})
+	reference := E16Protocols(Params{Scale: Quick, Seed: 5, ProtocolEngine: "reference"})
+	a, err := json.Marshal(kernel)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	b, err := json.Marshal(reference)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	// Byte-identical, notes included: protocolEngine is excluded from
+	// the spec content hash, so the cached report bytes must not record
+	// which engine ran.
+	if string(a) != string(b) {
+		t.Fatalf("E16 reports diverge across engines:\n%s\n%s", a, b)
+	}
 }

@@ -1,0 +1,229 @@
+package flood
+
+import (
+	"context"
+	"fmt"
+
+	"meg/internal/core"
+	"meg/internal/protocol"
+	"meg/internal/rng"
+	"meg/internal/spec"
+	"meg/internal/stats"
+	"meg/internal/sweep"
+)
+
+// Protocol engine spellings: which implementation runs a non-flooding
+// protocol campaign. Both produce byte-identical results on the same
+// seeds, so the choice is an execution hint (like Parallelism) —
+// excluded from spec content hashes.
+const (
+	// EngineKernel is the bit-parallel sharded gossip engine
+	// (core.Gossip) — the default.
+	EngineKernel = "kernel"
+	// EngineReference is the per-node oracle in internal/protocol,
+	// retained for cross-checking and as the equivalence baseline.
+	EngineReference = "reference"
+)
+
+// ProtocolOptions configures a campaign of a non-flooding protocol
+// (push gossip, push-pull, probabilistic or lossy flooding): the same
+// trial/source estimator as Options, plus the protocol selection and
+// engine knobs.
+type ProtocolOptions struct {
+	// Protocol is the protocol name (push|push-pull|probabilistic|lossy).
+	Protocol string
+	// Beta is probabilistic flooding's forwarding probability.
+	Beta float64
+	// Loss is lossy flooding's per-message loss probability.
+	Loss float64
+	// Engine selects the implementation: EngineKernel (default, also
+	// the empty string) or EngineReference. Byte-identical results.
+	Engine string
+	// Trials is the number of independent repetitions (default 1).
+	Trials int
+	// SourcesPerTrial is how many sources each trial maximizes over
+	// (default 1; first source is node 0, the rest uniform).
+	SourcesPerTrial int
+	// MaxRounds caps each run (default core.DefaultRoundCap(n)).
+	MaxRounds int
+	// Seed derives every trial's RNG stream.
+	Seed uint64
+	// Workers bounds trial-level parallelism (default: all CPUs).
+	Workers int
+	// Parallelism is the intra-trial worker count of the sharded gossip
+	// engine and the models' snapshot builds. Results are byte-identical
+	// for every value; the reference engine ignores it for the protocol
+	// rounds but still hands it to the models.
+	Parallelism int
+	// OnRound, if non-nil, receives per-round progress (kernel engine
+	// only; the reference implementations have no round hooks). Called
+	// concurrently from trial workers.
+	OnRound func(trial, round, informed int)
+	// OnTrialDone, if non-nil, is called as each trial finishes
+	// (completion order, concurrently).
+	OnTrialDone func(trial int, t ProtocolTrial)
+}
+
+// ProtocolOptionsFromSpec maps a canonical non-flooding spec onto
+// campaign options. It rejects flooding specs — those run on the
+// flooding engine via OptionsFromSpec.
+func ProtocolOptionsFromSpec(s spec.Spec) (ProtocolOptions, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return ProtocolOptions{}, err
+	}
+	if c.Protocol.Name == "flooding" {
+		return ProtocolOptions{}, fmt.Errorf("flood: spec runs flooding; use OptionsFromSpec")
+	}
+	seed, err := c.EffectiveSeed()
+	if err != nil {
+		return ProtocolOptions{}, err
+	}
+	return ProtocolOptions{
+		Protocol:        c.Protocol.Name,
+		Beta:            c.Protocol.Beta,
+		Loss:            c.Protocol.Loss,
+		Engine:          c.ProtocolEngine,
+		Trials:          c.Trials,
+		SourcesPerTrial: c.Sources,
+		MaxRounds:       c.MaxRounds,
+		Seed:            seed,
+		Workers:         c.Workers,
+		Parallelism:     c.Parallelism,
+	}, nil
+}
+
+func (o ProtocolOptions) withDefaults(n int) ProtocolOptions {
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.SourcesPerTrial <= 0 {
+		o.SourcesPerTrial = 1
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = core.DefaultRoundCap(n)
+	}
+	return o
+}
+
+// ProtocolTrial is one repetition's outcome (maximized over sources).
+type ProtocolTrial struct {
+	Result core.GossipResult
+	// RoundsToHalf is the first round with ≥ n/2 informed (-1 if never).
+	RoundsToHalf int
+}
+
+// ProtocolCampaign is the aggregate outcome of RunProtocol.
+type ProtocolCampaign struct {
+	Trials []ProtocolTrial
+	// Rounds holds the spreading time of every completed trial.
+	Rounds []float64
+	// Incomplete counts trials that hit the round cap (or died out).
+	Incomplete int
+	// Summary summarizes Rounds (zero value if no trial completed).
+	Summary stats.Summary
+}
+
+// RunProtocol executes a protocol campaign; see RunProtocolContext.
+func RunProtocol(factory Factory, opt ProtocolOptions) ProtocolCampaign {
+	c, _ := RunProtocolContext(context.Background(), factory, opt)
+	return c
+}
+
+// RunProtocolContext runs opt.Trials independent repetitions of the
+// selected protocol — fresh dynamics per trial, worst result over the
+// trial's sources — in parallel and deterministically with respect to
+// opt.Seed. The kernel and reference engines produce byte-identical
+// campaigns on every field the reference computes (Source, Rounds,
+// Completed, Trajectory, Messages); the kernel additionally populates
+// Informed and Arrival, which the reference adapter leaves nil.
+// Cancellation mirrors RunContext (kernel runs abort at the next
+// round, reference runs at the next source).
+func RunProtocolContext(ctx context.Context, factory Factory, opt ProtocolOptions) (ProtocolCampaign, error) {
+	probe := factory()
+	n := probe.N()
+	opt = opt.withDefaults(n)
+
+	var ref protocol.Protocol
+	var gp core.GossipProtocol
+	var err error
+	if opt.Engine == EngineReference {
+		ref, err = protocol.ByName(opt.Protocol, opt.Beta, opt.Loss)
+	} else {
+		gp, err = core.ParseGossip(opt.Protocol)
+	}
+	if err != nil {
+		return ProtocolCampaign{}, err
+	}
+
+	stop := func() bool { return ctx.Err() != nil }
+	trials, err := sweep.RepeatCtx(ctx, opt.Trials, opt.Seed, opt.Workers, func(rep int, r *rng.RNG) ProtocolTrial {
+		d := factory()
+		sources := make([]int, opt.SourcesPerTrial)
+		// First source fixed for comparability; the rest sampled.
+		for i := 1; i < len(sources); i++ {
+			sources[i] = r.Intn(n)
+		}
+		var progress func(round, informed int)
+		if opt.OnRound != nil {
+			progress = func(round, informed int) { opt.OnRound(rep, round, informed) }
+		}
+		var worst core.GossipResult
+		for i, src := range sources {
+			if ctx.Err() != nil && i > 0 {
+				break
+			}
+			d.Reset(r.Split())
+			var res core.GossipResult
+			if ref != nil {
+				out := ref.Run(d, src, opt.MaxRounds, r)
+				res = core.GossipResult{
+					Source:     src,
+					Rounds:     out.Rounds,
+					Completed:  out.Completed,
+					Trajectory: out.Trajectory,
+					Messages:   out.Messages,
+				}
+			} else {
+				res = core.Gossip(d, gp, src, opt.MaxRounds, r, core.GossipOptions{
+					Beta: opt.Beta, Loss: opt.Loss,
+					Parallelism: opt.Parallelism,
+					Stop:        stop, Progress: progress,
+				})
+			}
+			if i == 0 || worseResult(res, worst) {
+				worst = res
+			}
+		}
+		t := ProtocolTrial{Result: worst, RoundsToHalf: worst.RoundsToHalf(n)}
+		if opt.OnTrialDone != nil && ctx.Err() == nil {
+			opt.OnTrialDone(rep, t)
+		}
+		return t
+	})
+	if err != nil {
+		return ProtocolCampaign{}, err
+	}
+
+	c := ProtocolCampaign{Trials: trials}
+	for _, t := range trials {
+		if t.Result.Completed {
+			c.Rounds = append(c.Rounds, float64(t.Result.Rounds))
+		} else {
+			c.Incomplete++
+		}
+	}
+	if len(c.Rounds) > 0 {
+		c.Summary = stats.Summarize(c.Rounds)
+	}
+	return c, nil
+}
+
+// worseResult mirrors core's flooding-time ordering: incomplete beats
+// complete, then more rounds beats fewer.
+func worseResult(a, b core.GossipResult) bool {
+	if a.Completed != b.Completed {
+		return !a.Completed
+	}
+	return a.Rounds > b.Rounds
+}

@@ -1,0 +1,120 @@
+package flood
+
+import (
+	"testing"
+
+	"meg/internal/spec"
+)
+
+// protocolSpecs builds one small spec per (model, protocol) pair — all
+// seven models crossed with the four gossip-family protocols.
+func protocolSpecs(t *testing.T) []spec.Spec {
+	t.Helper()
+	models := []string{"geometric", "torus", "edge", "waypoint", "billiard", "walkers", "iiddisk"}
+	protos := []spec.Protocol{
+		{Name: "push"},
+		{Name: "push-pull"},
+		{Name: "probabilistic", Beta: 0.8},
+		{Name: "lossy", Loss: 0.25},
+	}
+	var specs []spec.Spec
+	for _, m := range models {
+		for _, p := range protos {
+			s := spec.Spec{
+				Model:    spec.Model{Name: m, N: 500, RFrac: 0.5},
+				Protocol: p,
+				Trials:   2,
+				Sources:  2,
+				Seed:     13,
+			}
+			if _, err := s.Canonical(); err != nil {
+				t.Fatalf("%s/%s: %v", m, p.Name, err)
+			}
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// runProtocolWith executes a spec's protocol campaign with the given
+// engine and intra-trial parallelism.
+func runProtocolWith(t *testing.T, s spec.Spec, engine string, parallelism int) ProtocolCampaign {
+	t.Helper()
+	s.ProtocolEngine = engine
+	s.Parallelism = parallelism
+	factory, _, err := s.NewFactory()
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+	opt, err := ProtocolOptionsFromSpec(s)
+	if err != nil {
+		t.Fatalf("ProtocolOptionsFromSpec: %v", err)
+	}
+	return RunProtocol(factory, opt)
+}
+
+// protocolCampaignsEqual compares two protocol campaigns trial by
+// trial on the fields both engines produce (the reference engine does
+// not compute arrival arrays).
+func protocolCampaignsEqual(t *testing.T, label string, a, b ProtocolCampaign) {
+	t.Helper()
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("%s: trial counts %d vs %d", label, len(a.Trials), len(b.Trials))
+	}
+	if a.Incomplete != b.Incomplete {
+		t.Fatalf("%s: incomplete %d vs %d", label, a.Incomplete, b.Incomplete)
+	}
+	for i := range a.Trials {
+		ra, rb := a.Trials[i].Result, b.Trials[i].Result
+		if ra.Source != rb.Source || ra.Rounds != rb.Rounds || ra.Completed != rb.Completed || ra.Messages != rb.Messages {
+			t.Fatalf("%s: trial %d headers differ: {src %d rounds %d %v msgs %d} vs {src %d rounds %d %v msgs %d}",
+				label, i, ra.Source, ra.Rounds, ra.Completed, ra.Messages, rb.Source, rb.Rounds, rb.Completed, rb.Messages)
+		}
+		if len(ra.Trajectory) != len(rb.Trajectory) {
+			t.Fatalf("%s: trial %d trajectory lengths differ", label, i)
+		}
+		for j := range ra.Trajectory {
+			if ra.Trajectory[j] != rb.Trajectory[j] {
+				t.Fatalf("%s: trial %d trajectory[%d] = %d vs %d", label, i, j, ra.Trajectory[j], rb.Trajectory[j])
+			}
+		}
+	}
+}
+
+// TestProtocolParallelismIdentical is the determinism gate for the
+// sharded gossip engine, mirroring the flooding engine's: on every
+// (model, protocol) pair, Parallelism 1 and Parallelism 8 must produce
+// identical campaigns, because the worker pool is an execution hint.
+func TestProtocolParallelismIdentical(t *testing.T) {
+	for _, s := range protocolSpecs(t) {
+		label := s.Model.Name + "/" + s.Protocol.Name
+		serial := runProtocolWith(t, s, EngineKernel, 1)
+		sharded := runProtocolWith(t, s, EngineKernel, 8)
+		protocolCampaignsEqual(t, label, serial, sharded)
+	}
+}
+
+// TestProtocolEngineEquivalence pins the oracle contract end to end at
+// the campaign level: the kernel engine must reproduce the reference
+// engine byte for byte on every (model, protocol) pair — the invariant
+// that lets protocolEngine stay outside the spec content hash.
+func TestProtocolEngineEquivalence(t *testing.T) {
+	for _, s := range protocolSpecs(t) {
+		label := s.Model.Name + "/" + s.Protocol.Name
+		ref := runProtocolWith(t, s, EngineReference, 1)
+		ker := runProtocolWith(t, s, EngineKernel, 8)
+		protocolCampaignsEqual(t, label+"/ref-vs-kernel", ref, ker)
+		if ref.Incomplete == len(ref.Trials) {
+			t.Errorf("%s: every trial incomplete (vacuous comparison)", label)
+		}
+	}
+}
+
+// TestProtocolOptionsFromSpecRejectsFlooding pins the split between the
+// two engines: flooding specs belong to OptionsFromSpec.
+func TestProtocolOptionsFromSpecRejectsFlooding(t *testing.T) {
+	s := spec.Spec{Model: spec.Model{Name: "edge", N: 128}}
+	if _, err := ProtocolOptionsFromSpec(s); err == nil {
+		t.Fatal("flooding spec accepted by ProtocolOptionsFromSpec")
+	}
+}

@@ -13,7 +13,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -27,12 +29,37 @@ func Workers(p int) int {
 	return p
 }
 
+// WorkerPanic is the value Do re-panics with on the calling goroutine
+// when a shard panicked on a pool goroutine: the original panic value
+// plus the worker's stack, which the hand-off would otherwise lose
+// (the re-raise unwinds the caller's stack, not the worker's). Without
+// the capture a panic on a bare pool goroutine would kill the whole
+// process before any caller-side recover — e.g. megserve's job-worker
+// recover — could run.
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker goroutine's stack trace.
+	Stack []byte
+}
+
+// String formats the panic for %v consumers (error messages, logs):
+// the original value first, the worker stack after.
+func (w WorkerPanic) String() string {
+	return fmt.Sprintf("%v\nworker stack:\n%s", w.Value, w.Stack)
+}
+
 // Do runs fn(shard) for every shard in [0, shards) on at most workers
 // goroutines. Shards are claimed dynamically (an atomic cursor), so the
 // assignment of shards to goroutines is scheduling-dependent — fn must
 // key all its effects on the shard index, never on the executing
 // goroutine. With workers <= 1 (or a single shard) Do degrades to a
 // plain serial loop with zero goroutine overhead.
+//
+// A panic inside fn on a pool goroutine is captured (first one wins,
+// with the worker's stack), remaining shards are abandoned, and the
+// panic is re-raised on the calling goroutine as a WorkerPanic — the
+// parallel analogue of the serial loop's natural unwinding.
 func Do(workers, shards int, fn func(shard int)) {
 	if shards <= 0 {
 		return
@@ -46,13 +73,20 @@ func Do(workers, shards int, fn func(shard int)) {
 		}
 		return
 	}
+	var panicked atomic.Bool
+	var panicVal WorkerPanic
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			defer func() {
+				if p := recover(); p != nil && panicked.CompareAndSwap(false, true) {
+					panicVal = WorkerPanic{Value: p, Stack: debug.Stack()}
+				}
+			}()
+			for !panicked.Load() {
 				s := int(next.Add(1)) - 1
 				if s >= shards {
 					return
@@ -62,6 +96,9 @@ func Do(workers, shards int, fn func(shard int)) {
 		}()
 	}
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
 }
 
 // Block returns the half-open range [lo, hi) of the given block when

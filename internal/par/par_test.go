@@ -80,3 +80,27 @@ func TestWorkersNormalization(t *testing.T) {
 		t.Fatalf("Workers(5) = %d", got)
 	}
 }
+
+func TestDoPropagatesWorkerPanic(t *testing.T) {
+	// A panic inside a shard must surface on the calling goroutine as a
+	// WorkerPanic carrying the worker's stack — never crash the process.
+	defer func() {
+		p := recover()
+		wp, ok := p.(WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want WorkerPanic", p, p)
+		}
+		if wp.Value != "shard 3 poisoned" {
+			t.Fatalf("panic value %v", wp.Value)
+		}
+		if len(wp.Stack) == 0 {
+			t.Fatal("worker stack missing")
+		}
+	}()
+	Do(4, 64, func(shard int) {
+		if shard == 3 {
+			panic("shard 3 poisoned")
+		}
+	})
+	t.Fatal("panic swallowed")
+}

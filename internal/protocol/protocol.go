@@ -21,10 +21,26 @@
 //     node sends to ONE uniformly random current neighbor per round.
 //   - Push–pull gossip: informed nodes push to one random neighbor;
 //     uninformed nodes pull from one random neighbor.
+//   - Lossy flooding: flooding with every transmission independently
+//     lost with probability Loss.
 //
 // All protocols share the synchronous semantics of the paper's flooding
 // definition: nodes informed in round t start acting in round t+1, and
-// the graph advances one Markov step per round.
+// the graph advances one Markov step per round. The chain is advanced
+// only between rounds that are actually evaluated — the run returns as
+// soon as the completion (or die-out) check after a round fires, so no
+// final snapshot is ever sampled just to be thrown away.
+//
+// # Randomness discipline
+//
+// Every per-node random decision is drawn from a counter-based stream
+// keyed by (node, round): one word is consumed from the caller's RNG at
+// Run start to derive the run's stream base, and the decision of node v
+// in round t then comes from rng.At(base, v, t). Decisions are pure
+// functions of identity and time, never of iteration order — which is
+// what lets the bit-parallel sharded kernels in core (core.Gossip)
+// reproduce these reference implementations byte for byte at every
+// worker count.
 package protocol
 
 import (
@@ -114,7 +130,7 @@ func (Flooding) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
 		return res
 	}
 	newly := make([]int32, 0, 64)
-	for t := 0; t < maxRounds; t++ {
+	for t := 0; ; t++ {
 		g := d.Graph()
 		newly = newly[:0]
 		for _, u := range senders {
@@ -129,12 +145,15 @@ func (Flooding) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
 		}
 		senders = append(senders, newly...)
 		res.Trajectory = append(res.Trajectory, len(senders))
-		d.Step()
 		if len(senders) == n {
 			res.Rounds = t + 1
 			res.Completed = true
 			return res
 		}
+		if t+1 == maxRounds {
+			break
+		}
+		d.Step()
 	}
 	res.Rounds = maxRounds
 	return res
@@ -159,6 +178,7 @@ func (p Probabilistic) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) R
 	}
 	n := d.N()
 	checkArgs(n, source, maxRounds)
+	base := r.Uint64()
 	informed := bitset.New(n)
 	informed.Add(source)
 	active := make([]int32, 1, n)
@@ -170,11 +190,7 @@ func (p Probabilistic) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) R
 		return res
 	}
 	newly := make([]int32, 0, 64)
-	for t := 0; t < maxRounds; t++ {
-		if len(active) == 0 {
-			res.Rounds = t
-			return res // died out
-		}
+	for t := 0; ; t++ {
 		g := d.Graph()
 		newly = newly[:0]
 		for _, u := range active {
@@ -187,21 +203,30 @@ func (p Probabilistic) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) R
 				}
 			}
 		}
-		// Freshly informed nodes decide once whether they will forward.
+		// Freshly informed nodes decide once whether they will forward;
+		// the decision is keyed by (node, round informed).
 		active = active[:0]
 		for _, v := range newly {
-			if r.Bernoulli(p.Beta) {
+			lr := rng.At(base, uint64(v), uint64(t))
+			if lr.Bernoulli(p.Beta) {
 				active = append(active, v)
 			}
 		}
 		count += len(newly)
 		res.Trajectory = append(res.Trajectory, count)
-		d.Step()
 		if count == n {
 			res.Rounds = t + 1
 			res.Completed = true
 			return res
 		}
+		if len(active) == 0 {
+			res.Rounds = t + 1
+			return res // died out
+		}
+		if t+1 == maxRounds {
+			break
+		}
+		d.Step()
 	}
 	res.Rounds = maxRounds
 	return res
@@ -218,6 +243,7 @@ func (PushGossip) Name() string { return "push-gossip" }
 func (PushGossip) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
 	n := d.N()
 	checkArgs(n, source, maxRounds)
+	base := r.Uint64()
 	informed := bitset.New(n)
 	informed.Add(source)
 	members := make([]int32, 1, n)
@@ -228,7 +254,7 @@ func (PushGossip) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result
 		return res
 	}
 	newly := make([]int32, 0, 64)
-	for t := 0; t < maxRounds; t++ {
+	for t := 0; ; t++ {
 		g := d.Graph()
 		newly = newly[:0]
 		for _, u := range members {
@@ -237,7 +263,8 @@ func (PushGossip) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result
 				continue
 			}
 			res.Messages++
-			v := nbrs[r.Intn(len(nbrs))]
+			lr := rng.At(base, uint64(u), uint64(t))
+			v := nbrs[lr.Intn(len(nbrs))]
 			if !informed.Contains(int(v)) {
 				informed.Add(int(v))
 				newly = append(newly, v)
@@ -245,12 +272,15 @@ func (PushGossip) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result
 		}
 		members = append(members, newly...)
 		res.Trajectory = append(res.Trajectory, len(members))
-		d.Step()
 		if len(members) == n {
 			res.Rounds = t + 1
 			res.Completed = true
 			return res
 		}
+		if t+1 == maxRounds {
+			break
+		}
+		d.Step()
 	}
 	res.Rounds = maxRounds
 	return res
@@ -269,6 +299,7 @@ func (PushPull) Name() string { return "push-pull" }
 func (PushPull) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
 	n := d.N()
 	checkArgs(n, source, maxRounds)
+	base := r.Uint64()
 	// informed is the state at the start of the round (all decisions
 	// read it, enforcing synchrony); next accumulates the round's
 	// discoveries and becomes the new informed set at the boundary.
@@ -281,7 +312,7 @@ func (PushPull) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
 		res.Completed = true
 		return res
 	}
-	for t := 0; t < maxRounds; t++ {
+	for t := 0; ; t++ {
 		g := d.Graph()
 		next.CopyFrom(informed)
 		added := 0
@@ -290,7 +321,8 @@ func (PushPull) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
 			if len(nbrs) == 0 {
 				continue
 			}
-			v := int(nbrs[r.Intn(len(nbrs))])
+			lr := rng.At(base, uint64(u), uint64(t))
+			v := int(nbrs[lr.Intn(len(nbrs))])
 			res.Messages++
 			if informed.Contains(u) {
 				// push: u → v
@@ -309,12 +341,15 @@ func (PushPull) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
 		informed.CopyFrom(next)
 		count += added
 		res.Trajectory = append(res.Trajectory, count)
-		d.Step()
 		if count == n {
 			res.Rounds = t + 1
 			res.Completed = true
 			return res
 		}
+		if t+1 == maxRounds {
+			break
+		}
+		d.Step()
 	}
 	res.Rounds = maxRounds
 	return res
@@ -325,6 +360,12 @@ func (PushPull) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) Result {
 // faulty-network motivation of the paper's introduction at the message
 // level rather than the topology level: the question is how much loss
 // flooding absorbs before its completion time degrades.
+//
+// The loss draws are receiver-keyed: node v's stream for round t
+// decides the fate of the messages arriving at v, in v's adjacency
+// order, stopping at the first delivery (further copies are redundant).
+// Every informed node still transmits to all its neighbors, so the
+// message count is Σ_{u∈I_t} deg(u) per round, exactly as for flooding.
 type LossyFlooding struct {
 	// Loss is the per-message loss probability in [0, 1).
 	Loss float64
@@ -340,6 +381,7 @@ func (l LossyFlooding) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) R
 	}
 	n := d.N()
 	checkArgs(n, source, maxRounds)
+	base := r.Uint64()
 	informed := bitset.New(n)
 	informed.Add(source)
 	senders := make([]int32, 1, n)
@@ -350,31 +392,45 @@ func (l LossyFlooding) Run(d core.Dynamics, source, maxRounds int, r *rng.RNG) R
 		return res
 	}
 	newly := make([]int32, 0, 64)
-	for t := 0; t < maxRounds; t++ {
+	for t := 0; ; t++ {
 		g := d.Graph()
-		newly = newly[:0]
+		// Every informed node transmits to its whole neighborhood.
 		for _, u := range senders {
-			nbrs := g.Neighbors(int(u))
-			res.Messages += int64(len(nbrs))
-			for _, v := range nbrs {
-				if informed.Contains(int(v)) {
+			res.Messages += int64(len(g.Neighbors(int(u))))
+		}
+		// Receiver side: an uninformed node survives the round uninformed
+		// only if every incoming copy is lost.
+		newly = newly[:0]
+		for v := 0; v < n; v++ {
+			if informed.Contains(v) {
+				continue
+			}
+			lr := rng.At(base, uint64(v), uint64(t))
+			for _, u := range g.Neighbors(v) {
+				if !informed.Contains(int(u)) {
 					continue
 				}
-				if l.Loss > 0 && r.Bernoulli(l.Loss) {
-					continue // message lost
+				if l.Loss > 0 && lr.Bernoulli(l.Loss) {
+					continue // this copy lost; try the next informed neighbor
 				}
-				informed.Add(int(v))
-				newly = append(newly, v)
+				newly = append(newly, int32(v))
+				break
 			}
+		}
+		for _, v := range newly {
+			informed.Add(int(v))
 		}
 		senders = append(senders, newly...)
 		res.Trajectory = append(res.Trajectory, len(senders))
-		d.Step()
 		if len(senders) == n {
 			res.Rounds = t + 1
 			res.Completed = true
 			return res
 		}
+		if t+1 == maxRounds {
+			break
+		}
+		d.Step()
 	}
 	res.Rounds = maxRounds
 	return res

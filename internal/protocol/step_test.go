@@ -1,0 +1,145 @@
+package protocol
+
+import (
+	"testing"
+
+	"meg/internal/bitset"
+	"meg/internal/core"
+	"meg/internal/edgemeg"
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// countingDynamics wraps a Dynamics and counts Step calls — the probe
+// for the wasted-final-resample regression: a completed R-round run
+// needs snapshots G_0 … G_{R-1}, i.e. exactly R-1 steps.
+type countingDynamics struct {
+	core.Dynamics
+	steps int
+}
+
+func (c *countingDynamics) Step() {
+	c.steps++
+	c.Dynamics.Step()
+}
+
+// TestNoFinalRoundResample asserts that no protocol advances the chain
+// after its last evaluated round: a completed run of R rounds performs
+// exactly R-1 steps (each step is a full snapshot resample — O(churn)
+// on the edge-MEG, a full cell sweep on the geometric models — so the
+// old step-then-check order wasted one resample per trial).
+func TestNoFinalRoundResample(t *testing.T) {
+	n := 256
+	cfg := edgemeg.Config{N: n, P: 0.02, Q: 0.5}
+	protos := []Protocol{Flooding{}, Probabilistic{Beta: 0.9}, PushGossip{}, PushPull{}, LossyFlooding{Loss: 0.2}}
+	r := rng.New(21)
+	for _, p := range protos {
+		d := &countingDynamics{Dynamics: edgemeg.MustNew(cfg)}
+		d.Reset(r.Split())
+		res := p.Run(d, 0, core.DefaultRoundCap(n), r.Split())
+		if !res.Completed {
+			t.Fatalf("%s: incomplete — step accounting untestable", p.Name())
+		}
+		if d.steps != res.Rounds-1 {
+			t.Fatalf("%s: %d rounds took %d steps, want %d (no resample after the final round)",
+				p.Name(), res.Rounds, d.steps, res.Rounds-1)
+		}
+	}
+}
+
+// TestNoStepAtRoundCap pins the cap path: a run that exhausts maxRounds
+// evaluates maxRounds snapshots and steps only between them.
+func TestNoStepAtRoundCap(t *testing.T) {
+	// Two disconnected cliques: flooding can never complete.
+	b := graph.NewBuilder(8)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+4, v+4)
+		}
+	}
+	g := b.Build()
+	r := rng.New(3)
+	for _, p := range []Protocol{Flooding{}, PushGossip{}, PushPull{}, LossyFlooding{Loss: 0.1}} {
+		d := &countingDynamics{Dynamics: core.NewStatic(g)}
+		res := p.Run(d, 0, 10, r.Split())
+		if res.Completed {
+			t.Fatalf("%s: completed across disconnected components", p.Name())
+		}
+		if res.Rounds != 10 || d.steps != 9 {
+			t.Fatalf("%s: rounds=%d steps=%d, want 10 capped rounds and 9 steps", p.Name(), res.Rounds, d.steps)
+		}
+	}
+}
+
+// oldOrderFlooding replays the pre-fix loop structure — process, step,
+// then check — over the same dynamics. Flooding draws no protocol
+// randomness, so it must produce an identical Result to the fixed
+// implementation; the only difference is the wasted trailing Step.
+func oldOrderFlooding(d core.Dynamics, source, maxRounds int) Result {
+	n := d.N()
+	informed := bitset.New(n)
+	informed.Add(source)
+	senders := make([]int32, 1, n)
+	senders[0] = int32(source)
+	res := Result{Trajectory: []int{1}}
+	var newly []int32
+	for t := 0; t < maxRounds; t++ {
+		g := d.Graph()
+		newly = newly[:0]
+		for _, u := range senders {
+			nbrs := g.Neighbors(int(u))
+			res.Messages += int64(len(nbrs))
+			for _, v := range nbrs {
+				if !informed.Contains(int(v)) {
+					informed.Add(int(v))
+					newly = append(newly, v)
+				}
+			}
+		}
+		senders = append(senders, newly...)
+		res.Trajectory = append(res.Trajectory, len(senders))
+		d.Step()
+		if len(senders) == n {
+			res.Rounds = t + 1
+			res.Completed = true
+			return res
+		}
+	}
+	res.Rounds = maxRounds
+	return res
+}
+
+// TestStepOrderFixPreservesResults compares the fixed flooding loop
+// against an in-test replica of the old step-then-check order on the
+// same realizations: trajectories, round counts and message totals
+// must be unchanged — the fix only removes the unobserved final
+// resample.
+func TestStepOrderFixPreservesResults(t *testing.T) {
+	n := 256
+	cfg := edgemeg.Config{N: n, P: 0.02, Q: 0.5}
+	r := rng.New(9)
+	for i := 0; i < 3; i++ {
+		seed := r.Uint64()
+		dOld := edgemeg.MustNew(cfg)
+		dOld.Reset(rng.New(seed))
+		want := oldOrderFlooding(dOld, 0, core.DefaultRoundCap(n))
+
+		dNew := edgemeg.MustNew(cfg)
+		dNew.Reset(rng.New(seed))
+		got := Flooding{}.Run(dNew, 0, core.DefaultRoundCap(n), rng.New(1))
+
+		if got.Rounds != want.Rounds || got.Completed != want.Completed || got.Messages != want.Messages {
+			t.Fatalf("trial %d: fixed loop diverged: {%d %v %d} vs old {%d %v %d}",
+				i, got.Rounds, got.Completed, got.Messages, want.Rounds, want.Completed, want.Messages)
+		}
+		if len(got.Trajectory) != len(want.Trajectory) {
+			t.Fatalf("trial %d: trajectory lengths differ", i)
+		}
+		for j := range got.Trajectory {
+			if got.Trajectory[j] != want.Trajectory[j] {
+				t.Fatalf("trial %d: trajectory[%d] = %d vs %d", i, j, got.Trajectory[j], want.Trajectory[j])
+			}
+		}
+	}
+}

@@ -300,3 +300,27 @@ func SeedFor(base uint64, idx int) uint64 {
 	s := base + 0x9e3779b97f4a7c15*uint64(idx+1)
 	return splitMix64(&s)
 }
+
+// Mix hashes a sequence of words into one well-scrambled seed
+// (SplitMix64 absorption). It is the keying primitive of counter-based
+// streams: seeding an RNG with Mix(base, id, t) gives every (entity,
+// time) pair its own stream that is a pure function of identity — never
+// of iteration order, shard layout, or worker count. The gossip engines
+// key every per-node random decision this way.
+func Mix(words ...uint64) uint64 {
+	h := uint64(0x6a09e667f3bcc909) // √2 fraction: an arbitrary non-zero start
+	for _, w := range words {
+		h ^= w
+		h = splitMix64(&h)
+	}
+	return h
+}
+
+// At returns a generator for the stream keyed by (base, id, t) — see
+// Mix. The RNG is returned by value so per-node streams in hot loops
+// stay allocation-free.
+func At(base, id, t uint64) RNG {
+	var r RNG
+	r.Seed(Mix(base, id, t))
+	return r
+}

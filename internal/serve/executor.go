@@ -12,10 +12,8 @@ import (
 
 	"meg/internal/experiments"
 	"meg/internal/flood"
-	"meg/internal/rng"
 	"meg/internal/spec"
 	"meg/internal/stats"
-	"meg/internal/sweep"
 )
 
 // Event is one entry of a job's progress stream.
@@ -110,13 +108,14 @@ func (e *Executor) Execute(ctx context.Context, s spec.Spec, sink func(Event)) (
 }
 
 // publicSpec strips execution-only hints from the spec embedded in a
-// Result: Workers and Parallelism are excluded from the content hash,
-// so they must not leak into the cached bytes either — otherwise the
-// same hash would serve different bytes depending on which submitter
-// simulated first.
+// Result: Workers, Parallelism and ProtocolEngine are excluded from the
+// content hash, so they must not leak into the cached bytes either —
+// otherwise the same hash would serve different bytes depending on
+// which submitter simulated first.
 func publicSpec(c spec.Spec) spec.Spec {
 	c.Workers = 0
 	c.Parallelism = 0
+	c.ProtocolEngine = ""
 	return c
 }
 
@@ -165,9 +164,11 @@ func (e *Executor) runFlooding(ctx context.Context, c spec.Spec, hash string, si
 	return res, nil
 }
 
-// runProtocol executes a campaign of a non-flooding protocol: the same
-// trial/source estimator as flood.Run (worst over sources, fresh
-// dynamics per trial), with cancellation checked between trials.
+// runProtocol executes a campaign of a non-flooding protocol on the
+// gossip engine selected by the spec's ProtocolEngine hint (the
+// bit-parallel sharded kernel by default, the per-node reference on
+// request — byte-identical either way), through the same campaign
+// runner megsim and the bench suite use.
 func (e *Executor) runProtocol(ctx context.Context, c spec.Spec, hash string, sink func(Event)) (*Result, error) {
 	factory, desc, err := c.NewFactory()
 	if err != nil {
@@ -177,86 +178,45 @@ func (e *Executor) runProtocol(ctx context.Context, c spec.Spec, hash string, si
 	if err != nil {
 		return nil, err
 	}
-	seed, err := c.EffectiveSeed()
+	opt, err := flood.ProtocolOptionsFromSpec(c)
 	if err != nil {
 		return nil, err
 	}
-	n := c.Model.N
-
-	type trial struct {
-		src       int
-		rounds    int
-		completed bool
-		messages  int64
-		traj      []int
+	if sink != nil {
+		opt.OnRound = func(trial, round, informed int) {
+			sink(Event{Type: "round", Trial: trial, Round: round, Informed: informed})
+		}
+		opt.OnTrialDone = func(trial int, t flood.ProtocolTrial) {
+			sink(Event{Type: "trial", Trial: trial, Rounds: t.Result.Rounds, Completed: t.Result.Completed})
+		}
 	}
-	trials, err := sweep.RepeatCtx(ctx, c.Trials, seed, c.Workers, func(rep int, r *rng.RNG) trial {
-		d := factory()
-		worst := trial{}
-		for i := 0; i < c.Sources; i++ {
-			src := 0
-			if i > 0 {
-				src = r.Intn(n)
-			}
-			d.Reset(r.Split())
-			res := proto.Run(d, src, c.MaxRounds, r)
-			t := trial{src: src, rounds: res.Rounds, completed: res.Completed, messages: res.Messages, traj: res.Trajectory}
-			if i == 0 || worseTrial(t.rounds, t.completed, worst.rounds, worst.completed) {
-				worst = t
-			}
-		}
-		if sink != nil && ctx.Err() == nil {
-			sink(Event{Type: "trial", Trial: rep, Rounds: worst.rounds, Completed: worst.completed})
-		}
-		return worst
-	})
+	camp, err := flood.RunProtocolContext(ctx, factory, opt)
 	if err != nil {
 		return nil, err
 	}
 
-	res := &Result{Hash: hash, Spec: publicSpec(c), Model: desc, Protocol: proto.Name()}
-	var rounds []float64
-	for _, t := range trials {
+	res := &Result{
+		Hash:             hash,
+		Spec:             publicSpec(c),
+		Model:            desc,
+		Protocol:         proto.Name(),
+		CompletedTrials:  len(camp.Rounds),
+		IncompleteTrials: camp.Incomplete,
+		Rounds:           camp.Summary,
+	}
+	for _, t := range camp.Trials {
 		res.Trials = append(res.Trials, TrialResult{
-			Source:       t.src,
-			Rounds:       t.rounds,
-			Completed:    t.completed,
-			RoundsToHalf: roundsToHalf(t.traj, n),
-			Messages:     t.messages,
+			Source:       t.Result.Source,
+			Rounds:       t.Result.Rounds,
+			Completed:    t.Result.Completed,
+			RoundsToHalf: t.RoundsToHalf,
+			Messages:     t.Result.Messages,
 		})
-		if t.completed {
-			rounds = append(rounds, float64(t.rounds))
-			res.CompletedTrials++
-		} else {
-			res.IncompleteTrials++
-		}
 	}
-	if len(rounds) > 0 {
-		res.Rounds = stats.Summarize(rounds)
-	}
-	if len(trials) > 0 {
-		res.Trajectory = trials[0].traj
+	if len(camp.Trials) > 0 {
+		res.Trajectory = camp.Trials[0].Result.Trajectory
 	}
 	return res, nil
-}
-
-// worseTrial mirrors core's flooding-time ordering: incomplete beats
-// complete, then more rounds beats fewer.
-func worseTrial(aRounds int, aCompleted bool, bRounds int, bCompleted bool) bool {
-	if aCompleted != bCompleted {
-		return !aCompleted
-	}
-	return aRounds > bRounds
-}
-
-// roundsToHalf returns the first index t with traj[t] ≥ n/2, or -1.
-func roundsToHalf(traj []int, n int) int {
-	for t, m := range traj {
-		if 2*m >= n {
-			return t
-		}
-	}
-	return -1
 }
 
 // runExperiment executes a paper-reproduction experiment as a job. The

@@ -137,3 +137,64 @@ func TestResultBytesIgnoreWorkers(t *testing.T) {
 		t.Fatalf("worker count leaked into result bytes:\n%s\n%s", b1, b2)
 	}
 }
+
+func TestResultBytesIgnoreProtocolEngine(t *testing.T) {
+	// ProtocolEngine is excluded from the content hash, so the kernel
+	// and reference engines must produce byte-identical results for one
+	// spec — the invariant that makes the hint safe to exclude.
+	base := spec.Spec{
+		Model:    spec.Model{Name: "geometric", N: 256},
+		Protocol: spec.Protocol{Name: "push-pull"},
+		Trials:   2,
+		Sources:  2,
+	}
+	ref := base
+	ref.ProtocolEngine = "reference"
+	ker := base
+	ker.ProtocolEngine = "kernel"
+	ker.Parallelism = 4
+	exec := &Executor{}
+	r1, err := exec.Execute(context.Background(), ref, nil)
+	if err != nil {
+		t.Fatalf("Execute reference: %v", err)
+	}
+	r2, err := exec.Execute(context.Background(), ker, nil)
+	if err != nil {
+		t.Fatalf("Execute kernel: %v", err)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Fatalf("engine choice leaked into result bytes:\n%s\n%s", b1, b2)
+	}
+	h1, _ := ref.Hash()
+	h2, _ := ker.Hash()
+	if h1 != h2 {
+		t.Fatalf("engine choice changed the content hash: %s vs %s", h1, h2)
+	}
+}
+
+func TestExecutorProtocolRoundEvents(t *testing.T) {
+	// The kernel engine streams per-round progress for non-flooding
+	// protocols — previously only trial events existed on this path.
+	s := spec.Spec{
+		Model:    spec.Model{Name: "edge", N: 128},
+		Protocol: spec.Protocol{Name: "push"},
+		Trials:   1,
+	}
+	var mu sync.Mutex
+	rounds := 0
+	exec := &Executor{}
+	if _, err := exec.Execute(context.Background(), s, func(e Event) {
+		if e.Type == "round" {
+			mu.Lock()
+			rounds++
+			mu.Unlock()
+		}
+	}); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if rounds == 0 {
+		t.Fatal("no round events from the protocol path")
+	}
+}

@@ -422,6 +422,20 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// execute runs the job's spec through the runner, converting a panic —
+// a spec whose run trips a model invariant or a protocol precondition —
+// into an ordinary error so one poisoned job can never take down the
+// worker (and with it the whole server). The panic message lands in
+// the job's event history via the failed status.
+func (s *Scheduler) execute(j *Job) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("panic while executing spec: %v", p)
+		}
+	}()
+	return s.runner.Execute(j.ctx, j.Spec, j.record)
+}
+
 // runJob executes one job end to end: run the spec, marshal the
 // result, populate the cache, finish the job, release the
 // single-flight slot.
@@ -436,7 +450,7 @@ func (s *Scheduler) runJob(j *Job) {
 	j.status = StatusRunning
 	j.mu.Unlock()
 
-	res, err := s.runner.Execute(j.ctx, j.Spec, j.record)
+	res, err := s.execute(j)
 	var status JobStatus
 	var data []byte
 	var errMsg string

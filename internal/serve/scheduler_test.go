@@ -3,11 +3,14 @@ package serve
 import (
 	"bytes"
 	"context"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"meg/internal/rng"
 	"meg/internal/spec"
+	"meg/internal/sweep"
 )
 
 // testSpec returns a small, fast campaign spec.
@@ -280,4 +283,101 @@ func TestJobProgressAndEvents(t *testing.T) {
 	if _, ok := <-live; ok {
 		t.Fatalf("live channel of a finished job should be closed")
 	}
+}
+
+// panicRunner fails by panicking — the shape of a spec whose run trips
+// a model invariant or protocol precondition deep inside the engines.
+type panicRunner struct{ inner Executor }
+
+func (p *panicRunner) Execute(ctx context.Context, s spec.Spec, sink func(Event)) (*Result, error) {
+	if s.Model.N == 64 {
+		panic("model invariant violated")
+	}
+	return p.inner.Execute(ctx, s, sink)
+}
+
+func TestWorkerSurvivesPanickingJob(t *testing.T) {
+	// Regression: before the worker recover, one panicking spec killed
+	// the whole server. The job must fail with the panic message in its
+	// event history, and the same worker must keep serving jobs.
+	runner := &panicRunner{}
+	cache, _ := NewCache(0, "")
+	sched := NewScheduler(1, 16, runner, cache)
+	defer sched.Close()
+
+	bad, _, err := sched.Submit(testSpec(64))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, bad)
+	if bad.Status() != StatusFailed {
+		t.Fatalf("status = %s, want failed", bad.Status())
+	}
+	if msg := bad.Err(); !strings.Contains(msg, "model invariant violated") {
+		t.Fatalf("failure message %q does not carry the panic", msg)
+	}
+	replay, _, unsub := bad.Subscribe()
+	defer unsub()
+	found := false
+	for _, e := range replay {
+		if e.Type == "error" && strings.Contains(e.Message, "model invariant violated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("event history lacks the panic message: %+v", replay)
+	}
+
+	// The single worker survived: a healthy job still completes.
+	good, _, err := sched.Submit(testSpec(128))
+	if err != nil {
+		t.Fatalf("Submit good: %v", err)
+	}
+	waitDone(t, good)
+	if good.Status() != StatusDone {
+		t.Fatalf("post-panic job status = %s, err = %q", good.Status(), good.Err())
+	}
+	// The failed hash is free for resubmission (not wedged in the
+	// single-flight index).
+	again, outcome, err := sched.Submit(testSpec(64))
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if outcome == OutcomeCached || again.ID == bad.ID {
+		t.Fatalf("panicked job wedged its hash: outcome=%s id=%s", outcome, again.ID)
+	}
+	waitDone(t, again)
+}
+
+func TestWorkerSurvivesSweepWorkerPanic(t *testing.T) {
+	// End to end through the real Executor: a panic raised inside the
+	// parallel trial sweep (on a sweep worker goroutine) must surface as
+	// a failed job, not a process crash.
+	runner := &sweepPanicRunner{}
+	cache, _ := NewCache(0, "")
+	sched := NewScheduler(1, 4, runner, cache)
+	defer sched.Close()
+	j, _, err := sched.Submit(testSpec(64))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, j)
+	if j.Status() != StatusFailed || !strings.Contains(j.Err(), "trial 1 poisoned") {
+		t.Fatalf("status = %s err = %q, want failed with sweep panic", j.Status(), j.Err())
+	}
+}
+
+// sweepPanicRunner routes execution through sweep.RepeatCtx with
+// several workers and panics inside one job, exercising the harness's
+// panic propagation under the scheduler's recover.
+type sweepPanicRunner struct{}
+
+func (sweepPanicRunner) Execute(ctx context.Context, s spec.Spec, sink func(Event)) (*Result, error) {
+	_, err := sweep.RepeatCtx(ctx, 8, 1, 4, func(rep int, r *rng.RNG) int {
+		if rep == 1 {
+			panic("trial 1 poisoned")
+		}
+		return rep
+	})
+	return &Result{}, err
 }

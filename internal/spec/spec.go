@@ -171,6 +171,15 @@ type Spec struct {
 	// hint: results are byte-identical for every value, so it is
 	// excluded from the content hash and stripped from cached results.
 	Parallelism int `json:"parallelism,omitempty"`
+	// ProtocolEngine selects the implementation that runs a non-flooding
+	// protocol: "kernel" (the bit-parallel sharded gossip engine, the
+	// default) or "reference" (the per-node oracle in internal/protocol).
+	// The engines are byte-identical on the same seeds, so like Workers
+	// and Parallelism this is an execution hint excluded from the
+	// content hash and stripped from cached results. Zeroed for the
+	// flooding protocol (which it cannot affect); preserved for
+	// experiment specs, whose protocol experiments honor it.
+	ProtocolEngine string `json:"protocolEngine,omitempty"`
 }
 
 // Parse strictly decodes and canonicalizes a spec: unknown fields are
@@ -229,6 +238,11 @@ func (s Spec) Canonical() (Spec, error) {
 	}
 	if s.Parallelism < -1 {
 		return Spec{}, fmt.Errorf("spec: parallelism %d must be -1 (all CPUs), 0/1 (serial), or a worker count", s.Parallelism)
+	}
+	switch s.ProtocolEngine {
+	case "", "kernel", "reference":
+	default:
+		return Spec{}, fmt.Errorf("spec: unknown protocolEngine %q (want kernel|reference)", s.ProtocolEngine)
 	}
 
 	if s.Experiment != "" {
@@ -312,6 +326,9 @@ func (s Spec) Canonical() (Spec, error) {
 	}
 
 	if p.Name == "flooding" {
+		// Flooding runs on the flooding engine; the gossip-engine
+		// selection hint does not apply.
+		s.ProtocolEngine = ""
 		e := &s.Engine
 		if e.Kernel == "" {
 			e.Kernel = "auto"
@@ -348,21 +365,36 @@ func (s Spec) Canonical() (Spec, error) {
 	return s, nil
 }
 
+// protoAlgoRevision versions the realization semantics of the
+// non-flooding protocols. The content hash promises "same hash, same
+// bytes", so any change that makes the same (spec, seed) legitimately
+// produce different results — such as the move to (node, round)-keyed
+// decision streams that enabled the sharded gossip engine — must bump
+// this revision, or a pre-existing on-disk cache would serve stale
+// bytes for the new algorithm. It is folded into the hash for protocol
+// campaigns AND for experiment specs (experiments like E16 run the
+// protocol family internally); only flooding campaigns — whose
+// realizations did not change — keep their original hashes.
+const protoAlgoRevision = 2
+
 // hashView is the hashed subset of a canonical spec: everything except
-// execution-only hints (Workers, Parallelism). Field order is fixed by
-// this struct, so the marshaled form is canonical.
+// execution-only hints (Workers, Parallelism, ProtocolEngine). Field
+// order is fixed by this struct, so the marshaled form is canonical.
 type hashView struct {
 	SchemaVersion int      `json:"version"`
 	Model         Model    `json:"model"`
 	Protocol      Protocol `json:"protocol"`
-	Engine        Engine   `json:"engine"`
-	Trials        int      `json:"trials"`
-	Sources       int      `json:"sources"`
-	MaxRounds     int      `json:"maxRounds"`
-	Seed          uint64   `json:"seed"`
-	SeedPolicy    string   `json:"seedPolicy"`
-	Experiment    string   `json:"experiment,omitempty"`
-	Scale         string   `json:"scale,omitempty"`
+	// ProtoAlgo carries protoAlgoRevision for non-flooding protocol
+	// campaigns and experiment specs (0, omitted, for flooding).
+	ProtoAlgo  int    `json:"protoAlgo,omitempty"`
+	Engine     Engine `json:"engine"`
+	Trials     int    `json:"trials"`
+	Sources    int    `json:"sources"`
+	MaxRounds  int    `json:"maxRounds"`
+	Seed       uint64 `json:"seed"`
+	SeedPolicy string `json:"seedPolicy"`
+	Experiment string `json:"experiment,omitempty"`
+	Scale      string `json:"scale,omitempty"`
 }
 
 // CanonicalJSON returns the canonical spec's hashed form as JSON — the
@@ -372,7 +404,7 @@ func (s Spec) CanonicalJSON() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(hashView{
+	v := hashView{
 		SchemaVersion: c.SchemaVersion,
 		Model:         c.Model,
 		Protocol:      c.Protocol,
@@ -384,7 +416,11 @@ func (s Spec) CanonicalJSON() ([]byte, error) {
 		SeedPolicy:    c.SeedPolicy,
 		Experiment:    c.Experiment,
 		Scale:         c.Scale,
-	})
+	}
+	if c.Experiment != "" || c.Protocol.Name != "flooding" {
+		v.ProtoAlgo = protoAlgoRevision
+	}
+	return json.Marshal(v)
 }
 
 // Hash returns the spec's content address: the hex SHA-256 of its

@@ -266,3 +266,94 @@ func TestRFracZeroIsFrozenWalkNotDefault(t *testing.T) {
 		t.Fatalf("frozen-walk factory: %v", err)
 	}
 }
+
+func TestProtocolEngineIsExecutionHint(t *testing.T) {
+	base := Spec{
+		Model:    Model{Name: "edge", N: 256},
+		Protocol: Protocol{Name: "push"},
+	}
+	ref := base
+	ref.ProtocolEngine = "reference"
+	h1, err := base.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	h2, err := ref.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	if h1 != h2 {
+		t.Fatalf("protocolEngine perturbed the content hash: %s vs %s", h1, h2)
+	}
+	c, err := ref.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if c.ProtocolEngine != "reference" {
+		t.Fatalf("canonicalization dropped protocolEngine: %q", c.ProtocolEngine)
+	}
+}
+
+func TestProtocolEngineValidation(t *testing.T) {
+	s := Spec{
+		Model:          Model{Name: "edge", N: 256},
+		Protocol:       Protocol{Name: "push"},
+		ProtocolEngine: "warp",
+	}
+	if _, err := s.Canonical(); err == nil {
+		t.Fatal("bogus protocolEngine accepted")
+	}
+}
+
+func TestProtocolEngineZeroedWhereMeaningless(t *testing.T) {
+	flood := Spec{Model: Model{Name: "edge", N: 256}, ProtocolEngine: "reference"}
+	c, err := flood.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if c.ProtocolEngine != "" {
+		t.Fatalf("flooding spec kept protocolEngine %q", c.ProtocolEngine)
+	}
+	// Experiment specs keep it: like Workers/Parallelism it is a
+	// preserved execution hint the experiment harness can honor.
+	exp := Spec{Experiment: "E4", ProtocolEngine: "reference"}
+	c, err = exp.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if c.ProtocolEngine != "reference" {
+		t.Fatalf("experiment spec lost protocolEngine: %q", c.ProtocolEngine)
+	}
+}
+
+func TestProtocolHashCarriesAlgoRevision(t *testing.T) {
+	// Non-flooding protocol realizations are versioned into the hash so
+	// algorithm changes can invalidate stale cached results; only
+	// flooding campaign hashes stay on the bare spec.
+	push := Spec{Model: Model{Name: "edge", N: 256}, Protocol: Protocol{Name: "push"}}
+	b, err := push.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	if !strings.Contains(string(b), `"protoAlgo":`) {
+		t.Fatalf("protocol hash view lacks protoAlgo: %s", b)
+	}
+	flood := Spec{Model: Model{Name: "edge", N: 256}}
+	b, err = flood.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	if strings.Contains(string(b), `"protoAlgo":`) {
+		t.Fatalf("flooding hash view carries protoAlgo: %s", b)
+	}
+	// Experiments run the protocol family internally (E16), so their
+	// hashes carry the revision too.
+	exp := Spec{Experiment: "E16"}
+	b, err = exp.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	if !strings.Contains(string(b), `"protoAlgo":`) {
+		t.Fatalf("experiment hash view lacks protoAlgo: %s", b)
+	}
+}

@@ -7,14 +7,24 @@ package sweep
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
+	"meg/internal/par"
 	"meg/internal/rng"
 )
 
 // DefaultWorkers returns the worker count used when a caller passes
 // workers <= 0: the number of usable CPUs.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// WorkerPanic is the value a parallel sweep re-panics with on the
+// calling goroutine when a job panicked on a worker goroutine — the
+// same capture par.Do applies one level down, so a panic anywhere in
+// the parallel machinery reaches the caller with the worker's stack
+// attached.
+type WorkerPanic = par.WorkerPanic
 
 // Map applies fn to every item on up to workers goroutines and returns
 // the results in input order. fn receives the item index; it must not
@@ -52,6 +62,14 @@ func MapCtx[I, O any](ctx context.Context, items []I, workers int, fn func(idx i
 		}
 		return out, ctx.Err()
 	}
+	// A panic inside fn on a worker goroutine would crash the whole
+	// process before any caller-side recover could run; capture the
+	// first one (with the worker's stack — the re-raise below happens on
+	// the calling goroutine, whose stack says nothing about the failure
+	// site), stop dispatching, and re-raise it as a WorkerPanic — the
+	// closest parallel analogue of the serial path's natural unwinding.
+	var panicked atomic.Bool
+	var panicVal WorkerPanic
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	wg.Add(workers)
@@ -59,12 +77,22 @@ func MapCtx[I, O any](ctx context.Context, items []I, workers int, fn func(idx i
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = fn(i, items[i])
+				func() {
+					defer func() {
+						if p := recover(); p != nil && panicked.CompareAndSwap(false, true) {
+							panicVal = WorkerPanic{Value: p, Stack: debug.Stack()}
+						}
+					}()
+					out[i] = fn(i, items[i])
+				}()
 			}
 		}()
 	}
 dispatch:
 	for i := range items {
+		if panicked.Load() {
+			break
+		}
 		select {
 		case jobs <- i:
 		case <-done:
@@ -73,6 +101,9 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
 	return out, ctx.Err()
 }
 

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -192,5 +193,47 @@ func TestRepeatCtxMatchesRepeat(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("RepeatCtx diverged from Repeat at %d", i)
 		}
+	}
+}
+
+func TestMapPropagatesWorkerPanic(t *testing.T) {
+	// A panic inside a parallel job must surface on the calling
+	// goroutine (where callers can recover), not crash the process.
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				switch v := p.(type) {
+				case string:
+					// Serial path: the panic unwinds naturally.
+					if workers != 1 || v != "boom" {
+						t.Fatalf("workers=%d: recovered %q", workers, v)
+					}
+				case WorkerPanic:
+					// Parallel path: value plus the worker's stack.
+					if workers == 1 || v.Value != "boom" {
+						t.Fatalf("workers=%d: recovered %+v", workers, v.Value)
+					}
+					if !strings.Contains(string(v.Stack), "sweep") {
+						t.Fatalf("worker stack missing: %s", v.Stack)
+					}
+				default:
+					t.Fatalf("workers=%d: recovered %T %v", workers, p, p)
+				}
+			}()
+			Map(items, workers, func(idx int, item int) int {
+				if item == 13 {
+					panic("boom")
+				}
+				return item
+			})
+		}()
 	}
 }

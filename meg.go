@@ -175,13 +175,49 @@ func NewMobilityDynamics(m Mobility, radius float64) Dynamics {
 func Static(g *Graph) Dynamics { return core.NewStatic(g) }
 
 // Protocol is a broadcast protocol runnable on any Dynamics; the
-// protocol package provides Flooding, Probabilistic, PushGossip and
-// PushPull — the family for which flooding is the latency baseline.
+// protocol package provides Flooding, Probabilistic, PushGossip,
+// PushPull and LossyFlooding — the family for which flooding is the
+// latency baseline. These are the simple per-node reference
+// implementations; Gossip runs the same protocols on the bit-parallel
+// sharded engine with byte-identical results.
 type Protocol = protocol.Protocol
 
 // ProtocolResult is the outcome of a protocol run, including message
 // accounting.
 type ProtocolResult = protocol.Result
+
+// GossipProtocol selects a protocol kernel of the gossip engine.
+type GossipProtocol = core.GossipProtocol
+
+// Gossip engine protocol kernels: push rumor spreading, push–pull,
+// probabilistic (Gnutella-style) flooding, and lossy flooding.
+const (
+	GossipPush       = core.GossipPush
+	GossipPushPull   = core.GossipPushPull
+	GossipProbFlood  = core.GossipProbFlood
+	GossipLossyFlood = core.GossipLossyFlood
+)
+
+// GossipOptions tunes a Gossip run: the protocol parameters (Beta,
+// Loss), the sharded engine's Parallelism, and cancellation/progress
+// hooks. Results are byte-identical for every Parallelism value.
+type GossipOptions = core.GossipOptions
+
+// GossipResult is the outcome of a Gossip run: the reference
+// ProtocolResult fields plus the final informed set and per-node
+// arrival times.
+type GossipResult = core.GossipResult
+
+// Gossip runs the selected protocol on the bit-parallel sharded gossip
+// engine — byte-identical to the reference Protocol implementations on
+// the same seeds at every worker count; see core.Gossip.
+func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *RNG, opt GossipOptions) GossipResult {
+	return core.Gossip(d, proto, source, maxRounds, r, opt)
+}
+
+// ParseGossip converts a protocol name (push|push-pull|probabilistic|
+// lossy) into a GossipProtocol.
+func ParseGossip(name string) (GossipProtocol, error) { return core.ParseGossip(name) }
 
 // WalkResult is the outcome of a random-walk run (hitting or covering).
 type WalkResult = walk.Result
