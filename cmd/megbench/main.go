@@ -22,6 +22,12 @@
 //	-par N                       intra-trial sharded-engine workers
 //	                             (0/1 = serial, -1 = all CPUs); results
 //	                             are identical for every value
+//	-snapshot full|delta         per-round snapshot path (delta folds the
+//	                             models' edge churn into an incrementally
+//	                             maintained snapshot; identical results)
+//	-compare DIR                 with -suite: diff against the newest
+//	                             BENCH file in DIR (regression table,
+//	                             warns on >20% wall regressions)
 //	-kernel auto|push|pull       flooding kernel (default auto). Kernels
 //	                             compute identical results per flooding
 //	                             call; note that pinning one also forces
@@ -55,6 +61,8 @@ func main() {
 	kernelFlag := flag.String("kernel", "auto", "flooding kernel: auto|push|pull (identical results per flooding call; pinning one also disables source batching in E4/E8)")
 	parallelism := flag.Int("par", 0, "intra-trial worker count of the sharded engine (0/1 = serial, -1 = all CPUs); results are identical for every value")
 	protoEngine := flag.String("proto-engine", "", "gossip engine for protocol experiments: kernel|reference (default kernel; results are identical)")
+	snapshotFlag := flag.String("snapshot", "", "per-round snapshot path for experiments: full|delta (results are identical)")
+	compareDir := flag.String("compare", "", "with -suite: diff the run against the newest bench/history BENCH file in this directory and print a regression table")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
 	jsonOut := flag.Bool("json", false, "emit the reports (or the BENCH file with -suite) as JSON on stdout instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -63,7 +71,7 @@ func main() {
 	flag.Parse()
 
 	if *suite {
-		runSuite(*outDir, *parallelism, *jsonOut, flag.Args())
+		runSuite(*outDir, *parallelism, *jsonOut, *compareDir, flag.Args())
 		return
 	}
 
@@ -90,7 +98,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "megbench: unknown -proto-engine %q (want kernel|reference)\n", *protoEngine)
 		os.Exit(2)
 	}
-	params := experiments.Params{Scale: scale, Seed: *seed, Workers: *workers, Kernel: kernel, Parallelism: *parallelism, ProtocolEngine: *protoEngine}
+	snapshot, err := core.ParseSnapshotMode(*snapshotFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	params := experiments.Params{Scale: scale, Seed: *seed, Workers: *workers, Kernel: kernel, Parallelism: *parallelism, ProtocolEngine: *protoEngine, Snapshot: snapshot}
 
 	var selected []experiments.Experiment
 	if flag.NArg() == 0 {

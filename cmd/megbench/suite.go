@@ -13,8 +13,11 @@ import (
 // BENCH_<git-sha>.json into outDir. The process exits non-zero when the
 // sharded engine's results diverge from the serial engine's on the same
 // seeds — the file is still written first, so CI can upload the
-// evidence alongside the failure.
-func runSuite(outDir string, parallelism int, jsonOut bool, filters []string) {
+// evidence alongside the failure. With compareDir set, the run is also
+// diffed against the newest BENCH file there (the bench/history
+// trajectory) and a regression table printed on stdout — warnings
+// only, never a failure, since runner speed drifts.
+func runSuite(outDir string, parallelism int, jsonOut bool, compareDir string, filters []string) {
 	f, runErr := bench.Run(bench.Options{
 		Parallelism: parallelism,
 		Filter:      filters,
@@ -49,7 +52,27 @@ func runSuite(outDir string, parallelism int, jsonOut bool, filters []string) {
 			if !r.Identical {
 				status = "DIVERGED"
 			}
-			fmt.Printf("%-18s n=%-7d speedup=%.2fx  %s\n", r.Name, r.N, r.SpeedupVsSerial, status)
+			fmt.Printf("%-24s n=%-7d speedup=%.2fx  %s\n", r.Name, r.N, r.SpeedupVsSerial, status)
+		}
+	}
+	if compareDir != "" {
+		base, err := bench.LoadLatest(compareDir)
+		if err != nil {
+			// A missing trajectory is normal on first run — say so and
+			// move on; the comparison is advisory by design.
+			fmt.Fprintf(os.Stderr, "megbench: no comparison baseline: %v\n", err)
+		} else {
+			// With -json, stdout is reserved for the BENCH document;
+			// the human-facing comparison moves to stderr (workflow
+			// annotations are interpreted on either stream).
+			out := os.Stdout
+			if jsonOut {
+				out = os.Stderr
+			}
+			fmt.Fprintln(out)
+			cmp := bench.Compare(base, f)
+			cmp.WriteMarkdown(out)
+			cmp.WriteWarnings(out)
 		}
 	}
 	if runErr != nil {

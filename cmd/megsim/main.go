@@ -45,6 +45,7 @@ func main() {
 	protoEngine := flag.String("engine", "", "protocol engine for non-flooding protocols: kernel|reference (default kernel; results are identical)")
 	batch := flag.Bool("batch", false, "batch each trial's sources bit-parallel over one realization")
 	parallelism := flag.Int("par", 0, "intra-trial worker count of the sharded engine (0/1 = serial, -1 = all CPUs); results are identical for every value")
+	snapshot := flag.String("snapshot", "", "per-round snapshot path: full|delta (delta maintains snapshots incrementally from the model's edge churn; results are identical)")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	trials := flag.Int("trials", 1, "independent trials")
 	sources := flag.Int("sources", 1, "sources per trial (flooding time = max)")
@@ -73,6 +74,10 @@ func main() {
 			// Also an execution hint: the engines are byte-identical.
 			sp.ProtocolEngine = *protoEngine
 		}
+		if *snapshot != "" {
+			// Also an execution hint: the paths are byte-identical.
+			sp.Snapshot = *snapshot
+		}
 	} else {
 		var err error
 		sp, err = spec.Spec{
@@ -88,6 +93,7 @@ func main() {
 			Seed:           *seed,
 			Parallelism:    *parallelism,
 			ProtocolEngine: *protoEngine,
+			Snapshot:       *snapshot,
 		}.Canonical()
 		if err != nil {
 			fatal(err)

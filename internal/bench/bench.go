@@ -40,6 +40,12 @@ type Scenario struct {
 	// Spec is the canonical workload. Seed/SeedPolicy are fixed so the
 	// serial and sharded runs (and every CI run) see the same draws.
 	Spec spec.Spec `json:"spec"`
+	// DeltaVsFull marks a snapshot-path scenario: the serial variant
+	// pins the full per-round rebuild, the sharded variant the
+	// incremental delta path — so the speedup column records the delta
+	// engine's gain and the checksum gate doubles as the
+	// delta-vs-full equivalence check.
+	DeltaVsFull bool `json:"deltaVsFull,omitempty"`
 }
 
 // Suite returns the fixed scenario list: geometric flooding at three
@@ -73,6 +79,17 @@ func Suite() []Scenario {
 		base.Protocol = p
 		return base
 	}
+	lowchurn := spec.Spec{
+		Model:     spec.Model{Name: "edge", N: 65536, PhatMult: 0.5, Q: 0.002},
+		Trials:    1,
+		MaxRounds: 400,
+		Seed:      7,
+	}
+	smallrho := spec.Spec{
+		Model:  spec.Model{Name: "geometric", N: 65536, RFrac: 0.2, Jump: 0.01},
+		Trials: 1,
+		Seed:   7,
+	}
 	return []Scenario{
 		{Name: "geom-4k", Note: "geometric-MEG n=4096, single source", Spec: geom(4096)},
 		{Name: "geom-64k", Note: "geometric-MEG n=65536, single source", Spec: geom(65536)},
@@ -83,6 +100,8 @@ func Suite() []Scenario {
 		{Name: "proto-push-geom-16k", Note: "push gossip on geometric-MEG n=16384: reference vs sharded kernel", Spec: proto(geom(16384), spec.Protocol{Name: "push"})},
 		{Name: "proto-pushpull-edge-16k", Note: "push-pull gossip on edge-MEG n=16384: reference vs sharded kernel", Spec: proto(edge(16384, 4), spec.Protocol{Name: "push-pull"})},
 		{Name: "proto-lossy-geom-16k", Note: "lossy flooding (f=0.2) on geometric-MEG n=16384: reference vs sharded kernel", Spec: proto(geom(16384), spec.Protocol{Name: "lossy", Loss: 0.2})},
+		{Name: "delta-edge-64k-lowchurn", Note: "edge-MEG n=65536, p̂=0.5·log n/n, q=0.002 — sub-threshold low churn over a fixed 400-round horizon: full rebuild vs incremental delta", Spec: lowchurn, DeltaVsFull: true},
+		{Name: "delta-geom-64k-smallrho", Note: "lazy geometric-MEG n=65536, r=0.2R, jump=0.01 — ~1% of nodes move per round: full rebuild vs incremental delta", Spec: smallrho, DeltaVsFull: true},
 	}
 }
 
@@ -94,6 +113,10 @@ type Variant struct {
 	// "reference" (serial baseline) or "kernel" (sharded run). Empty for
 	// flooding scenarios.
 	Engine string `json:"engine,omitempty"`
+	// Snapshot identifies the snapshot path for delta scenarios:
+	// "full" (serial baseline) or "delta" (sharded run). Empty
+	// elsewhere.
+	Snapshot string `json:"snapshot,omitempty"`
 	// Parallelism is the intra-trial worker count used.
 	Parallelism int `json:"parallelism"`
 	// Rounds is the total number of evaluated flooding rounds.
@@ -199,7 +222,7 @@ func RunScenarios(scenarios []Scenario, opts Options) (*File, error) {
 			variant string
 			par     int
 		}{{"serial", 1}, {"sharded", workers}} {
-			v, err := runVariant(c, pv.variant, pv.par)
+			v, err := runVariant(c, pv.variant, pv.par, sc.DeltaVsFull)
 			if err != nil {
 				return nil, fmt.Errorf("bench: scenario %s (%s): %w", sc.Name, pv.variant, err)
 			}
@@ -230,11 +253,21 @@ func RunScenarios(scenarios []Scenario, opts Options) (*File, error) {
 // Flooding scenarios time the flooding engine serially vs sharded; for
 // gossip-family protocol scenarios the serial baseline runs the
 // internal/protocol reference implementation and the sharded run the
-// bitset kernel engine — byte-identical by contract, so the shared
-// checksum gate applies unchanged.
-func runVariant(c spec.Spec, variant string, parallelism int) (Variant, error) {
+// bitset kernel engine; for delta scenarios the serial baseline pins
+// the full per-round snapshot rebuild and the sharded run the
+// incremental delta path — byte-identical by contract in every case,
+// so the shared checksum gate applies unchanged.
+func runVariant(c spec.Spec, variant string, parallelism int, deltaVsFull bool) (Variant, error) {
 	c.Parallelism = parallelism
 	c.Workers = 1 // isolate intra-trial parallelism from trial fan-out
+	snapshot := ""
+	if deltaVsFull {
+		snapshot = "delta"
+		if variant == "serial" {
+			snapshot = "full"
+		}
+		c.Snapshot = snapshot
+	}
 	if c.Protocol.Name != "" && c.Protocol.Name != "flooding" {
 		return runProtocolVariant(c, variant, parallelism)
 	}
@@ -249,6 +282,7 @@ func runVariant(c spec.Spec, variant string, parallelism int) (Variant, error) {
 	var camp flood.Campaign
 	v := measure(func() { camp = flood.Run(factory, opt) })
 	v.Variant = variant
+	v.Snapshot = snapshot
 	v.Parallelism = parallelism
 	v.Completed = camp.Incomplete == 0
 	v.Checksum = checksum(camp)

@@ -137,6 +137,128 @@ func TestRunProtocolScenario(t *testing.T) {
 	}
 }
 
+func TestRunDeltaScenario(t *testing.T) {
+	// A delta scenario times the full-rebuild path serially against the
+	// incremental snapshot path — identical checksums, snapshot labels
+	// recorded on the variants.
+	scenarios := []Scenario{{
+		Name: "tiny-delta",
+		Note: "t",
+		Spec: spec.Spec{
+			Model:  spec.Model{Name: "edge", N: 512, PhatMult: 2, Q: 0.05},
+			Trials: 2,
+			Seed:   7,
+		},
+		DeltaVsFull: true,
+	}}
+	f, err := RunScenarios(scenarios, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("RunScenarios: %v", err)
+	}
+	r := f.Results[0]
+	if !r.Identical {
+		t.Fatalf("full and delta snapshot paths diverged: %+v", r.Variants)
+	}
+	if r.Variants[0].Snapshot != "full" || r.Variants[1].Snapshot != "delta" {
+		t.Fatalf("snapshot labels wrong: %q/%q", r.Variants[0].Snapshot, r.Variants[1].Snapshot)
+	}
+	for _, v := range r.Variants {
+		if v.Rounds <= 0 || !v.Completed || v.WallNS <= 0 {
+			t.Fatalf("%s: empty measurement %+v", v.Variant, v)
+		}
+	}
+}
+
+func TestSuiteCoversDeltaScenarios(t *testing.T) {
+	// The fixed suite must carry the low-churn delta scenarios so the
+	// trajectory records the incremental path's gain and CI gates its
+	// equivalence with the full rebuild.
+	deltas := 0
+	for _, sc := range Suite() {
+		if sc.DeltaVsFull {
+			deltas++
+		}
+	}
+	if deltas < 2 {
+		t.Fatalf("suite has %d delta scenarios, want ≥ 2", deltas)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	run := func(names ...string) *File {
+		f := &File{SchemaVersion: SchemaVersion, GitSHA: "abc", GeneratedAt: "2026-07-26T00:00:00Z"}
+		for i, name := range names {
+			f.Results = append(f.Results, Result{
+				Name: name,
+				Variants: []Variant{
+					{Variant: "serial", WallNS: 1000, NSPerRound: 10},
+					{Variant: "sharded", WallNS: int64(100 * (i + 1)), NSPerRound: float64(i + 1)},
+				},
+				SpeedupVsSerial: 2,
+			})
+		}
+		return f
+	}
+	base := run("a", "b", "gone")
+	cur := run("a", "b", "fresh")
+	// Regress scenario b by 50%.
+	cur.Results[1].Variants[1].WallNS = 300
+	c := Compare(base, cur)
+	if got := c.Regressions(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("regressions = %v, want [b]", got)
+	}
+	byName := map[string]ScenarioDiff{}
+	for _, d := range c.Diffs {
+		byName[d.Name] = d
+	}
+	if d := byName["a"]; d.WallPct != 0 || d.Regressed {
+		t.Fatalf("scenario a diff %+v", d)
+	}
+	if d := byName["b"]; d.WallPct != 50 || !d.Regressed {
+		t.Fatalf("scenario b diff %+v", d)
+	}
+	if !byName["fresh"].OnlyInCurrent || !byName["gone"].OnlyInBase {
+		t.Fatalf("composition diffs wrong: %+v", c.Diffs)
+	}
+}
+
+func TestCompareSurvivesEmptyVariants(t *testing.T) {
+	// A truncated trajectory entry (schema-valid JSON, no variants)
+	// must degrade to an incomparable row — the comparison is advisory
+	// and may never crash the bench job.
+	base := &File{SchemaVersion: SchemaVersion, GitSHA: "b", Results: []Result{{Name: "a"}}}
+	cur := &File{SchemaVersion: SchemaVersion, GitSHA: "c", Results: []Result{{
+		Name:     "a",
+		Variants: []Variant{{Variant: "serial", WallNS: 1}, {Variant: "sharded", WallNS: 1}},
+	}}}
+	c := Compare(base, cur)
+	if len(c.Diffs) != 1 || !c.Diffs[0].OnlyInCurrent || c.Diffs[0].Regressed {
+		t.Fatalf("empty-variant baseline diffed as %+v", c.Diffs)
+	}
+}
+
+func TestLoadLatestPicksNewestGeneratedAt(t *testing.T) {
+	dir := t.TempDir()
+	old := &File{SchemaVersion: SchemaVersion, GitSHA: "old1", GeneratedAt: "2026-01-01T00:00:00Z"}
+	newer := &File{SchemaVersion: SchemaVersion, GitSHA: "new1", GeneratedAt: "2026-06-01T00:00:00Z"}
+	if err := old.Write(filepath.Join(dir, FileName("old1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := newer.Write(filepath.Join(dir, FileName("new1"))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if got.GitSHA != "new1" {
+		t.Fatalf("LoadLatest picked %s, want new1", got.GitSHA)
+	}
+	if _, err := LoadLatest(t.TempDir()); err == nil {
+		t.Fatal("LoadLatest on empty dir should error")
+	}
+}
+
 func TestSuiteCoversProtocols(t *testing.T) {
 	// The fixed suite must carry gossip scenarios so the trajectory
 	// records protocol speedups and CI gates their divergence.

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// wallRegressionPct is the wall-clock regression (in percent, sharded
+// variant) past which a scenario is flagged. Comparisons warn — they
+// never fail a build — because CI runner speed varies run to run.
+const wallRegressionPct = 20
+
+// Load reads one BENCH file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema version %d (want %d)", path, f.SchemaVersion, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// LoadLatest returns the newest BENCH_*.json in dir, judged by the
+// files' own generatedAt stamps (RFC 3339, so lexicographic order is
+// chronological) — file mtimes are useless after a CI checkout.
+func LoadLatest(dir string) (*File, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var latest *File
+	for _, p := range paths {
+		f, err := Load(p)
+		if err != nil {
+			// A malformed trajectory entry shouldn't hide the rest.
+			continue
+		}
+		if latest == nil || f.GeneratedAt > latest.GeneratedAt {
+			latest = f
+		}
+	}
+	if latest == nil {
+		return nil, fmt.Errorf("bench: no readable BENCH_*.json in %s", dir)
+	}
+	return latest, nil
+}
+
+// ScenarioDiff is one scenario's baseline-vs-current comparison. Wall
+// and ns/round figures come from each run's sharded variant (the
+// configuration CI actually ships); the speedup column is the file's
+// recorded serial/sharded ratio.
+type ScenarioDiff struct {
+	Name string
+	// OnlyInBase/OnlyInCurrent flag scenarios the other run lacks
+	// (suite composition changed).
+	OnlyInBase    bool
+	OnlyInCurrent bool
+
+	BaseWallNS, CurWallNS         int64
+	WallPct                       float64 // (cur-base)/base · 100
+	BaseNSPerRound, CurNSPerRound float64
+	NSPerRoundPct                 float64
+	BaseSpeedup, CurSpeedup       float64
+	// Regressed reports a wall regression beyond wallRegressionPct.
+	Regressed bool
+}
+
+// Comparison is the scenario-by-scenario diff of two BENCH files.
+type Comparison struct {
+	BaseSHA, CurSHA             string
+	BaseGenerated, CurGenerated string
+	Diffs                       []ScenarioDiff
+}
+
+// shardedVariant returns a result's last variant — the sharded run —
+// and whether the result carries any variants at all (a truncated
+// trajectory entry must degrade to "incomparable", never crash the
+// advisory comparison).
+func shardedVariant(r Result) (Variant, bool) {
+	if len(r.Variants) == 0 {
+		return Variant{}, false
+	}
+	return r.Variants[len(r.Variants)-1], true
+}
+
+// Compare diffs the current suite run against a baseline, matching
+// scenarios by name. Scenarios present on only one side are reported
+// as such rather than dropped, so suite composition changes stay
+// visible in the trajectory.
+func Compare(base, cur *File) Comparison {
+	c := Comparison{
+		BaseSHA: base.GitSHA, CurSHA: cur.GitSHA,
+		BaseGenerated: base.GeneratedAt, CurGenerated: cur.GeneratedAt,
+	}
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		seen[r.Name] = true
+		b, ok := baseByName[r.Name]
+		if !ok {
+			c.Diffs = append(c.Diffs, ScenarioDiff{Name: r.Name, OnlyInCurrent: true})
+			continue
+		}
+		bv, bok := shardedVariant(b)
+		cv, cok := shardedVariant(r)
+		if !bok || !cok {
+			// One side has no measurements: surface the scenario as
+			// present-only-where-measured instead of comparing.
+			c.Diffs = append(c.Diffs, ScenarioDiff{Name: r.Name, OnlyInCurrent: !bok, OnlyInBase: !cok})
+			continue
+		}
+		d := ScenarioDiff{
+			Name:       r.Name,
+			BaseWallNS: bv.WallNS, CurWallNS: cv.WallNS,
+			BaseNSPerRound: bv.NSPerRound, CurNSPerRound: cv.NSPerRound,
+			BaseSpeedup: b.SpeedupVsSerial, CurSpeedup: r.SpeedupVsSerial,
+		}
+		if bv.WallNS > 0 {
+			d.WallPct = 100 * float64(cv.WallNS-bv.WallNS) / float64(bv.WallNS)
+		}
+		if bv.NSPerRound > 0 {
+			d.NSPerRoundPct = 100 * (cv.NSPerRound - bv.NSPerRound) / bv.NSPerRound
+		}
+		d.Regressed = d.WallPct > wallRegressionPct
+		c.Diffs = append(c.Diffs, d)
+	}
+	var missing []string
+	for name := range baseByName {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		c.Diffs = append(c.Diffs, ScenarioDiff{Name: name, OnlyInBase: true})
+	}
+	return c
+}
+
+// Regressions returns the names of scenarios whose wall time regressed
+// beyond the threshold.
+func (c Comparison) Regressions() []string {
+	var out []string
+	for _, d := range c.Diffs {
+		if d.Regressed {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// WriteMarkdown renders the comparison as a GitHub-flavored markdown
+// table — the payload the CI bench job appends to its job summary.
+// Regression annotations are a separate stream (WriteWarnings), so the
+// summary never carries literal `::warning::` text.
+func (c Comparison) WriteMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### Bench comparison: %s vs baseline %s (%s)\n\n", c.CurSHA, c.BaseSHA, c.BaseGenerated)
+	fmt.Fprintf(w, "| scenario | wall | Δwall | ns/round | Δns/round | speedup |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|\n")
+	for _, d := range c.Diffs {
+		switch {
+		case d.OnlyInCurrent:
+			fmt.Fprintf(w, "| %s | — | new scenario | — | — | — |\n", d.Name)
+		case d.OnlyInBase:
+			fmt.Fprintf(w, "| %s | — | removed | — | — | — |\n", d.Name)
+		default:
+			flag := ""
+			if d.Regressed {
+				flag = " ⚠"
+			}
+			fmt.Fprintf(w, "| %s | %.1f ms | %+.1f%%%s | %.0f | %+.1f%% | %.2fx → %.2fx |\n",
+				d.Name, float64(d.CurWallNS)/1e6, d.WallPct, flag,
+				d.CurNSPerRound, d.NSPerRoundPct, d.BaseSpeedup, d.CurSpeedup)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteWarnings emits one `::warning::` workflow-command line per
+// regression — interpreted as an annotation by GitHub Actions, a plain
+// informative line elsewhere; never an error either way.
+func (c Comparison) WriteWarnings(w io.Writer) {
+	for _, d := range c.Diffs {
+		if d.Regressed {
+			fmt.Fprintf(w, "::warning title=bench regression::%s wall %+.1f%% vs %s (%.1f ms → %.1f ms)\n",
+				d.Name, d.WallPct, c.BaseSHA, float64(d.BaseWallNS)/1e6, float64(d.CurWallNS)/1e6)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package celldelta implements the moved-node edge-churn classifier
+// the cell-list models (geommeg's lattice walk, mobility's continuous
+// processes) share: given the cell structures describing node
+// positions before and after one step and the list of nodes that
+// actually moved, it returns the snapshot delta — every pair with at
+// least one moved endpoint whose adjacency flipped — as sorted packed
+// edge lists. Keeping the classifier in one place keeps the two
+// models' ownership rule, candidate dedup, and merge semantics from
+// ever diverging.
+package celldelta
+
+import (
+	"slices"
+
+	"meg/internal/graph"
+	"meg/internal/par"
+)
+
+// Grid is one side (old or new) of a transition: the cell-list
+// structure over the positions at that time, plus the adjacency
+// predicate under those positions. Within a cell, Order must list
+// nodes ascending (the counting-sort order both models produce).
+type Grid struct {
+	NodeCell []int32
+	Starts   []int32
+	Order    []int32
+	// Adjacent reports whether u and v are within transmission radius
+	// under this side's positions.
+	Adjacent func(u, v int) bool
+}
+
+// Config describes one transition to classify.
+type Config struct {
+	// N is the node count, CellsPer the cells per axis, Torus whether
+	// the 3×3 scan wraps.
+	N        int
+	CellsPer int
+	Torus    bool
+	// Brute disables the cell structures (models too small for a 3×3
+	// scan): every moved node examines every other node.
+	Brute bool
+	// Moved lists the nodes whose position changed, ascending.
+	Moved []int32
+	// MovedMark is scratch of length N, all false on entry; Classify
+	// sets it for Moved during the scan and clears it before returning.
+	MovedMark []bool
+	// Old and New describe the pre- and post-step sides. Both grids
+	// are ignored under Brute.
+	Old, New Grid
+}
+
+// Classifier owns the reusable per-worker scratch. The zero value is
+// ready; one Classifier serves one model instance (calls must not
+// overlap).
+type Classifier struct {
+	bufs   []classifyBuf
+	births []uint64
+	deaths []uint64
+}
+
+// classifyBuf is one worker's scratch: the block's birth/death keys
+// plus a generation-stamped candidate-dedup array.
+type classifyBuf struct {
+	births []uint64
+	deaths []uint64
+	seen   []uint32
+	gen    uint32
+}
+
+// Classify returns the transition's delta. Each moved node scans its
+// old 3×3 neighborhood in the old grid and its new one in the new grid
+// (a pair with both endpoints moved is owned by the smaller), in
+// parallel over blocks of the moved list; per-block key lists are
+// concatenated and sorted, so the delta is identical for every worker
+// count. The returned slices are valid until the next Classify call.
+func (c *Classifier) Classify(cfg Config, workers int) graph.Delta {
+	moved := cfg.Moved
+	for _, u := range moved {
+		cfg.MovedMark[u] = true
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(moved) {
+		workers = len(moved)
+	}
+	if len(c.bufs) < workers {
+		c.bufs = append(c.bufs, make([]classifyBuf, workers-len(c.bufs))...)
+	}
+	par.ForBlocks(workers, len(moved), func(blk, lo, hi int) {
+		db := &c.bufs[blk]
+		db.births = db.births[:0]
+		db.deaths = db.deaths[:0]
+		if db.seen == nil {
+			db.seen = make([]uint32, cfg.N)
+		}
+		for i := lo; i < hi; i++ {
+			u := int(moved[i])
+			db.gen++
+			if db.gen == 0 {
+				for j := range db.seen {
+					db.seen[j] = 0
+				}
+				db.gen = 1
+			}
+			if cfg.Brute {
+				for v := 0; v < cfg.N; v++ {
+					db.examine(&cfg, u, v)
+				}
+			} else {
+				db.scanCells(&cfg, &cfg.Old, int(cfg.Old.NodeCell[u]), u)
+				db.scanCells(&cfg, &cfg.New, int(cfg.New.NodeCell[u]), u)
+			}
+		}
+	})
+	c.births = c.births[:0]
+	c.deaths = c.deaths[:0]
+	for blk := 0; blk < workers; blk++ {
+		c.births = append(c.births, c.bufs[blk].births...)
+		c.deaths = append(c.deaths, c.bufs[blk].deaths...)
+	}
+	slices.Sort(c.births)
+	slices.Sort(c.deaths)
+	for _, u := range moved {
+		cfg.MovedMark[u] = false
+	}
+	return graph.Delta{Births: c.births, Deaths: c.deaths}
+}
+
+// examine classifies the candidate pair {u, v} under the worker's
+// current dedup generation, appending a key when the pair's adjacency
+// flipped between the two sides.
+func (db *classifyBuf) examine(cfg *Config, u, v int) {
+	if v == u || db.seen[v] == db.gen {
+		return
+	}
+	db.seen[v] = db.gen
+	if cfg.MovedMark[v] && v < u {
+		return // pair owned by the smaller moved endpoint
+	}
+	aOld := cfg.Old.Adjacent(u, v)
+	aNew := cfg.New.Adjacent(u, v)
+	if aOld == aNew {
+		return
+	}
+	key := graph.PackEdge(u, v)
+	if aNew {
+		db.births = append(db.births, key)
+	} else {
+		db.deaths = append(db.deaths, key)
+	}
+}
+
+// scanCells examines every node in the 3×3 cell block around cell cu
+// of the given grid as a candidate partner of moved node u.
+func (db *classifyBuf) scanCells(cfg *Config, g *Grid, cu, u int) {
+	k := cfg.CellsPer
+	cx, cy := cu%k, cu/k
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, y := cx+dx, cy+dy
+			if cfg.Torus {
+				x, y = (x+k)%k, (y+k)%k
+			} else if x < 0 || x >= k || y < 0 || y >= k {
+				continue
+			}
+			cell := y*k + x
+			for i := g.Starts[cell]; i < g.Starts[cell+1]; i++ {
+				db.examine(cfg, u, int(g.Order[i]))
+			}
+		}
+	}
+}

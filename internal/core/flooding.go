@@ -167,6 +167,13 @@ type FloodOptions struct {
 	// dynamics implements Parallelizable it is handed the same worker
 	// count for its snapshot builds.
 	Parallelism int
+	// Snapshot selects the per-round snapshot path: SnapshotFull (the
+	// default) rebuilds via Dynamics.Graph every round, SnapshotDelta
+	// maintains the snapshot incrementally from DeltaDynamics.StepDelta,
+	// rebuilding only the rows each round's churn touches. Dynamics
+	// without delta support fall back to the full path transparently;
+	// results are byte-identical either way.
+	Snapshot SnapshotMode
 	// Stop, if non-nil, is polled once per round; when it returns true
 	// the run aborts immediately with Completed == false and Rounds set
 	// to the cap (indistinguishable from hitting the cap, which is the
@@ -234,6 +241,7 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 		}
 	}
 	workers := engineWorkers(opt.Parallelism, d)
+	snap := newSnapshotter(d, opt.Snapshot, workers)
 	var eng *shardEngine
 	if workers > 1 {
 		eng = newShardEngine(n, workers)
@@ -254,7 +262,7 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 		if opt.Stop != nil && opt.Stop() {
 			break
 		}
-		g := d.Graph()
+		g := snap.graph()
 		pull := false
 		switch opt.Kernel {
 		case KernelPull:
@@ -293,7 +301,7 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 		}
 		senders = append(senders, newly...)
 		res.Trajectory = append(res.Trajectory, len(senders))
-		d.Step()
+		snap.step()
 		if opt.Progress != nil {
 			opt.Progress(t+1, len(senders))
 		}

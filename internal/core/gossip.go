@@ -82,6 +82,10 @@ type GossipOptions struct {
 	// same seeds. A Parallelizable dynamics receives the same worker
 	// count for its snapshot builds.
 	Parallelism int
+	// Snapshot selects the per-round snapshot path (full rebuild vs
+	// incremental delta maintenance), with transparent fallback for
+	// dynamics without delta support; see FloodOptions.Snapshot.
+	Snapshot SnapshotMode
 	// Stop, if non-nil, is polled once per round; when it returns true
 	// the run aborts with Completed == false and Rounds set to the cap,
 	// matching FloodOptions.Stop semantics.
@@ -182,6 +186,7 @@ func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *rng.RNG,
 	}
 
 	workers := engineWorkers(opt.Parallelism, d)
+	snap := newSnapshotter(d, opt.Snapshot, workers)
 	var eng *gossipEngine
 	if workers > 1 {
 		eng = newGossipEngine(n, workers)
@@ -208,7 +213,7 @@ func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *rng.RNG,
 		if opt.Stop != nil && opt.Stop() {
 			break
 		}
-		g := d.Graph()
+		g := snap.graph()
 		newly = newly[:0]
 		switch proto {
 		case GossipPush:
@@ -268,7 +273,7 @@ func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *rng.RNG,
 		if t+1 == maxRounds {
 			break
 		}
-		d.Step()
+		snap.step()
 	}
 	res.Rounds = maxRounds
 	return res

@@ -43,6 +43,10 @@ type MultiOptions struct {
 	// all CPUs. A Parallelizable dynamics receives the same worker
 	// count for its snapshot builds.
 	Parallelism int
+	// Snapshot selects the per-round snapshot path (full rebuild vs
+	// incremental delta maintenance), with transparent fallback for
+	// dynamics without delta support; see FloodOptions.Snapshot.
+	Snapshot SnapshotMode
 	// Stop, if non-nil, is polled once per round; when it returns true
 	// the batch aborts with every unfinished flood left incomplete
 	// (Rounds set to the cap), matching FloodOptions.Stop semantics.
@@ -99,12 +103,13 @@ func FloodMultiOpt(d Dynamics, sources []int, maxRounds int, opt MultiOptions) [
 	}
 
 	workers := engineWorkers(opt.Parallelism, d)
+	snap := newSnapshotter(d, opt.Snapshot, workers)
 	remaining := len(groups)
 	for t := 0; t < maxRounds && remaining > 0; t++ {
 		if opt.Stop != nil && opt.Stop() {
 			break
 		}
-		g := d.Graph()
+		g := snap.graph()
 		for _, grp := range groups {
 			if grp.done {
 				continue
@@ -118,7 +123,7 @@ func FloodMultiOpt(d Dynamics, sources []int, maxRounds int, opt MultiOptions) [
 				remaining--
 			}
 		}
-		d.Step()
+		snap.step()
 		if opt.Progress != nil {
 			most := 0
 			for _, grp := range groups {

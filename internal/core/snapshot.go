@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"meg/internal/graph"
+)
+
+// DeltaDynamics is optionally implemented by Dynamics that can report
+// each step's edge churn directly: StepDelta advances the chain exactly
+// like Step but additionally returns the births and deaths G_t → G_{t+1}
+// as packed edge lists. In the low-churn regimes the paper centers —
+// edge-MEGs with small p and q, geometric walks with small move radius —
+// the delta is a vanishing fraction of the snapshot, and the engines
+// fold it into a graph.Mutable instead of paying a full O(n + m)
+// rebuild per round.
+//
+// Contract: the realization (the snapshot sequence) must be identical
+// whether the chain is advanced by Step or StepDelta, the returned
+// delta must satisfy graph.Delta's ordering/disjointness rules, and the
+// snapshot returned by Graph must carry sorted adjacency rows (the
+// canonical order graph.Mutable maintains), so the incremental view is
+// byte-identical to the full rebuild — which is what lets the snapshot
+// engine choice stay an execution hint outside spec content hashes.
+// The returned delta's slices are valid only until the next
+// Step/StepDelta/Reset call.
+type DeltaDynamics interface {
+	Dynamics
+	// StepDelta advances the chain one time unit (like Step) and
+	// returns the edge delta of the transition.
+	StepDelta() graph.Delta
+}
+
+// SnapshotMode selects how the engines materialize per-round snapshots.
+type SnapshotMode int
+
+const (
+	// SnapshotFull calls Dynamics.Graph every round — the classic
+	// O(n + m) rebuild path, and the default.
+	SnapshotFull SnapshotMode = iota
+	// SnapshotDelta maintains the snapshot incrementally from
+	// DeltaDynamics.StepDelta via graph.Mutable, rebuilding only the
+	// adjacency rows each round's churn touches. Dynamics that do not
+	// implement DeltaDynamics fall back to the full path transparently.
+	// Results are byte-identical either way, so the mode is an
+	// execution hint (like Parallelism), never a semantic.
+	SnapshotDelta
+)
+
+// String returns the mode's flag spelling.
+func (m SnapshotMode) String() string {
+	switch m {
+	case SnapshotFull:
+		return "full"
+	case SnapshotDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("SnapshotMode(%d)", int(m))
+	}
+}
+
+// ParseSnapshotMode converts a flag value into a SnapshotMode.
+func ParseSnapshotMode(s string) (SnapshotMode, error) {
+	switch strings.ToLower(s) {
+	case "", "full":
+		return SnapshotFull, nil
+	case "delta", "incremental":
+		return SnapshotDelta, nil
+	default:
+		return SnapshotFull, fmt.Errorf("core: unknown snapshot mode %q (want full|delta)", s)
+	}
+}
+
+// snapshotter is the engines' one snapshot access path: graph() returns
+// the current G_t and step() advances the chain, routing through the
+// incremental Mutable when delta mode is requested and the dynamics
+// supports it, and through plain Graph/Step otherwise. The probe
+// happens once here, so every engine gets the transparent fallback for
+// free.
+type snapshotter struct {
+	d       Dynamics
+	dd      DeltaDynamics // non-nil only when the delta path is active
+	mut     *graph.Mutable
+	workers int
+}
+
+func newSnapshotter(d Dynamics, mode SnapshotMode, workers int) *snapshotter {
+	s := &snapshotter{d: d, workers: workers}
+	if mode == SnapshotDelta {
+		if dd, ok := d.(DeltaDynamics); ok {
+			s.dd = dd
+		}
+	}
+	return s
+}
+
+// graph returns the current snapshot G_t. On the delta path the first
+// call materializes the dynamics' snapshot once into a Mutable; later
+// rounds reuse the incrementally maintained view.
+func (s *snapshotter) graph() *graph.Graph {
+	if s.dd == nil {
+		return s.d.Graph()
+	}
+	if s.mut == nil {
+		s.mut = graph.NewMutable(s.d.Graph())
+	}
+	return s.mut.Graph()
+}
+
+// step advances the chain G_t → G_{t+1}, folding the delta into the
+// maintained view on the delta path.
+func (s *snapshotter) step() {
+	if s.dd == nil {
+		s.d.Step()
+		return
+	}
+	delta := s.dd.StepDelta()
+	if s.mut != nil {
+		s.mut.ApplyDelta(delta, s.workers)
+	}
+}

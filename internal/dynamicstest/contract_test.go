@@ -1,0 +1,54 @@
+package dynamicstest
+
+import (
+	"testing"
+
+	"meg/internal/core"
+	"meg/internal/spec"
+)
+
+// TestGraphContractAllModels runs the aliasing/delta conformance check
+// for every model the spec factory knows, at a size small enough to
+// exercise many steps, plus the lazy lattice variants whose low-churn
+// rounds are the incremental path's home turf.
+func TestGraphContractAllModels(t *testing.T) {
+	cases := []struct {
+		name string
+		m    spec.Model
+	}{
+		{"geometric", spec.Model{Name: "geometric", N: 300, RFrac: 0.5}},
+		{"geometric-lazy", spec.Model{Name: "geometric", N: 300, RFrac: 0.5, Jump: 0.1}},
+		{"torus", spec.Model{Name: "torus", N: 300, RFrac: 0.5}},
+		{"torus-lazy", spec.Model{Name: "torus", N: 300, RFrac: 0.3, Jump: 0.05}},
+		{"edge", spec.Model{Name: "edge", N: 300}},
+		{"edge-lowchurn", spec.Model{Name: "edge", N: 300, PhatMult: 2, Q: 0.02}},
+		{"waypoint", spec.Model{Name: "waypoint", N: 250, RFrac: 0.5}},
+		{"billiard", spec.Model{Name: "billiard", N: 250, RFrac: 0.5}},
+		{"walkers", spec.Model{Name: "walkers", N: 250, RFrac: 0.5}},
+		{"iiddisk", spec.Model{Name: "iiddisk", N: 250, RFrac: 0.5}},
+	}
+	for _, tc := range cases {
+		s := spec.Spec{Model: tc.m}
+		factory, _, err := s.NewFactory()
+		if err != nil {
+			t.Fatalf("%s: NewFactory: %v", tc.name, err)
+		}
+		CheckGraphContract(t, tc.name, factory, 97, 12)
+	}
+}
+
+// TestAllFactoryModelsAreDeltaCapable pins the capability matrix: every
+// model the spec factory builds must speak the incremental protocol, so
+// the snapshot=delta execution hint is never a silent no-op.
+func TestAllFactoryModelsAreDeltaCapable(t *testing.T) {
+	for _, name := range []string{"geometric", "torus", "edge", "waypoint", "billiard", "walkers", "iiddisk"} {
+		s := spec.Spec{Model: spec.Model{Name: name, N: 128, RFrac: 0.5}}
+		factory, _, err := s.NewFactory()
+		if err != nil {
+			t.Fatalf("%s: NewFactory: %v", name, err)
+		}
+		if _, ok := factory().(core.DeltaDynamics); !ok {
+			t.Errorf("%s: does not implement core.DeltaDynamics", name)
+		}
+	}
+}

@@ -130,6 +130,9 @@ type Model struct {
 	starts []int
 	// sweep holds the parallel snapshot decode's per-block buffers.
 	sweep graph.BlockSweep
+	// deltaBirths/deltaDeaths are StepDelta's concatenation buffers.
+	deltaBirths []uint64
+	deltaDeaths []uint64
 }
 
 // edgeShard owns the contiguous pair-index range [lo, hi) together with
@@ -142,6 +145,15 @@ type edgeShard struct {
 	births    []uint64
 	survivors []uint64
 	merged    []uint64
+
+	// deaths and birthsEff record the shard's realized delta — the
+	// edges that flipped present→absent and absent→present this step.
+	// step computes both as byproducts of the resample (the death skip
+	// already visits every dying edge, the merge already decides which
+	// birth candidates are effective), so StepDelta costs no extra
+	// passes over the edge list.
+	deaths    []uint64
+	birthsEff []uint64
 }
 
 // shardTargetPairs sizes the pair-space shards: big enough that the
@@ -335,6 +347,24 @@ func (m *Model) Step() {
 	m.dirty = true
 }
 
+// StepDelta implements core.DeltaDynamics: it advances the chain with
+// the exact same resampling (and RNG draws) as Step and returns the
+// realized edge churn. The sharded step already computes each shard's
+// deaths and effective births before merging, so the delta is just the
+// per-shard lists concatenated in shard order — ascending, because
+// shard key ranges are contiguous. The edge-MEG pair keys are packed in
+// graph.PackEdge layout, so no re-encoding happens.
+func (m *Model) StepDelta() graph.Delta {
+	m.Step()
+	m.deltaBirths = m.deltaBirths[:0]
+	m.deltaDeaths = m.deltaDeaths[:0]
+	for i := range m.shards {
+		m.deltaBirths = append(m.deltaBirths, m.shards[i].birthsEff...)
+		m.deltaDeaths = append(m.deltaDeaths, m.shards[i].deaths...)
+	}
+	return graph.Delta{Births: m.deltaBirths, Deaths: m.deltaDeaths}
+}
+
 // step advances one shard: births against the shard's index range,
 // deaths over its current edge slice, and the synchronous merge — the
 // same three phases the pre-sharded Step ran globally.
@@ -358,15 +388,17 @@ func (sh *edgeShard) step(n int, p, q float64, edges []uint64) {
 
 	// Deaths: mark current edges that flip to absent.
 	sh.survivors = sh.survivors[:0]
+	sh.deaths = sh.deaths[:0]
 	if q <= 0 {
 		sh.survivors = append(sh.survivors, edges...)
 	} else if q >= 1 {
-		// all die
+		sh.deaths = append(sh.deaths, edges...)
 	} else {
 		next := -1 + sh.r.Geometric(q) + 1 // first death position
 		for i, e := range edges {
 			if int64(i) == next {
 				next += sh.r.Geometric(q) + 1
+				sh.deaths = append(sh.deaths, e)
 				continue
 			}
 			sh.survivors = append(sh.survivors, e)
@@ -376,14 +408,14 @@ func (sh *edgeShard) step(n int, p, q float64, edges []uint64) {
 	// Merge survivors with effective births (those not colliding with a
 	// time-t edge). Both lists are ascending; collisions are detected
 	// against the original edge slice during the merge.
-	sh.merged = mergeStep(sh.merged[:0], sh.survivors, sh.births, edges)
+	sh.merged, sh.birthsEff = mergeStep(sh.merged[:0], sh.birthsEff[:0], sh.survivors, sh.births, edges)
 }
 
 // mergeStep merges survivors and births into dst, dropping any birth
 // whose pair was present in original (its chain was in state 1, so the
-// birth trial does not apply). All inputs are ascending; the result is
-// ascending.
-func mergeStep(dst, survivors, births, original []uint64) []uint64 {
+// birth trial does not apply) and recording the births that took effect
+// in eff. All inputs are ascending; both results are ascending.
+func mergeStep(dst, eff, survivors, births, original []uint64) ([]uint64, []uint64) {
 	oi := 0
 	si := 0
 	for _, b := range births {
@@ -400,9 +432,10 @@ func mergeStep(dst, survivors, births, original []uint64) []uint64 {
 			si++
 		}
 		dst = append(dst, b)
+		eff = append(eff, b)
 	}
 	dst = append(dst, survivors[si:]...)
-	return dst
+	return dst, eff
 }
 
 // Graph implements core.Dynamics; it materializes the current snapshot

@@ -155,7 +155,7 @@ func runProto(p Params, d core.Dynamics, name string, beta, loss float64, src, m
 		panic(err)
 	}
 	res := core.Gossip(d, gp, src, maxRounds, r, core.GossipOptions{
-		Beta: beta, Loss: loss, Parallelism: p.Parallelism,
+		Beta: beta, Loss: loss, Parallelism: p.Parallelism, Snapshot: p.Snapshot,
 	})
 	return protocol.Result{
 		Rounds:     res.Rounds,

@@ -81,12 +81,17 @@ type Params struct {
 	// per-node oracle in internal/protocol). The engines are
 	// byte-identical, so like Kernel this only changes speed.
 	ProtocolEngine string
+	// Snapshot selects the engines' per-round snapshot path (full
+	// rebuild vs incremental delta maintenance) for every flooding and
+	// gossip call an experiment makes. Like Kernel it is
+	// result-equivalent: it only changes speed.
+	Snapshot core.SnapshotMode
 }
 
 // FloodOptions returns the flooding engine options experiments thread
 // into their core.FloodOpt and flood.Run calls.
 func (p Params) FloodOptions() core.FloodOptions {
-	return core.FloodOptions{Kernel: p.Kernel, Parallelism: p.Parallelism}
+	return core.FloodOptions{Kernel: p.Kernel, Parallelism: p.Parallelism, Snapshot: p.Snapshot}
 }
 
 // ParamsFromSpec is the spec-driven constructor: it maps an experiment
@@ -108,7 +113,11 @@ func ParamsFromSpec(s spec.Spec) (Params, error) {
 	if err != nil {
 		return Params{}, err
 	}
-	return Params{Scale: scale, Seed: seed, Workers: c.Workers, Parallelism: c.Parallelism, ProtocolEngine: c.ProtocolEngine}, nil
+	snapshot, err := core.ParseSnapshotMode(c.Snapshot)
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{Scale: scale, Seed: seed, Workers: c.Workers, Parallelism: c.Parallelism, ProtocolEngine: c.ProtocolEngine, Snapshot: snapshot}, nil
 }
 
 // Check is one machine-verifiable shape assertion derived from a

@@ -1,0 +1,106 @@
+package flood
+
+import (
+	"testing"
+
+	"meg/internal/spec"
+)
+
+// runWithSnapshot executes a flooding campaign with the given snapshot
+// path and intra-trial parallelism.
+func runWithSnapshot(t *testing.T, s spec.Spec, snapshot string, parallelism int, batch bool) Campaign {
+	t.Helper()
+	s.Snapshot = snapshot
+	return runWithParallelism(t, s, parallelism, batch)
+}
+
+// TestSnapshotDeltaIdenticalAcrossAllModels is the equivalence gate of
+// the incremental snapshot path: on every delta-capable model (all
+// seven), a flooding campaign run with snapshot=delta must be
+// byte-identical — trajectories and per-node arrival arrays included —
+// to the full-rebuild campaign, at Parallelism 1 and 8 alike. This is
+// the contract that keeps the snapshot knob an execution hint outside
+// the spec content hash.
+func TestSnapshotDeltaIdenticalAcrossAllModels(t *testing.T) {
+	for _, s := range allModelSpecs(t) {
+		name := s.Model.Name
+		full := runWithSnapshot(t, s, "full", 1, false)
+		for _, par := range []int{1, 8} {
+			delta := runWithSnapshot(t, s, "delta", par, false)
+			campaignsEqual(t, name+"/delta-vs-full", full, delta)
+		}
+		if full.Incomplete == len(full.Trials) {
+			t.Errorf("%s: every trial incomplete (vacuous comparison)", name)
+		}
+	}
+}
+
+// TestSnapshotDeltaIdenticalLowChurn covers the regimes the delta path
+// is actually for — lazy lattice walks and low-churn edge chains —
+// where most rounds rebuild only a sliver of the snapshot.
+func TestSnapshotDeltaIdenticalLowChurn(t *testing.T) {
+	cases := []spec.Model{
+		{Name: "geometric", N: 600, RFrac: 0.5, Jump: 0.05},
+		{Name: "torus", N: 600, RFrac: 0.3, Jump: 0.1},
+		{Name: "edge", N: 600, PhatMult: 2, Q: 0.02},
+	}
+	for _, m := range cases {
+		s := spec.Spec{Model: m, Trials: 2, Sources: 3, Seed: 29}
+		if _, err := s.Canonical(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		full := runWithSnapshot(t, s, "full", 8, false)
+		delta := runWithSnapshot(t, s, "delta", 8, false)
+		campaignsEqual(t, m.Name+"/lowchurn", full, delta)
+	}
+}
+
+// TestSnapshotDeltaIdenticalBatchedMulti covers the bit-parallel
+// FloodMulti path under the delta snapshot engine.
+func TestSnapshotDeltaIdenticalBatchedMulti(t *testing.T) {
+	for _, s := range allModelSpecs(t) {
+		s.Sources = 70 // spans two 64-wide groups
+		full := runWithSnapshot(t, s, "full", 1, true)
+		delta := runWithSnapshot(t, s, "delta", 8, true)
+		campaignsEqual(t, s.Model.Name+"/batched-delta", full, delta)
+	}
+}
+
+// TestSnapshotDeltaIdenticalProtocols closes the matrix over the
+// gossip family: on every (model, protocol) pair the kernel engine
+// run with snapshot=delta must reproduce the full-rebuild campaign at
+// Parallelism 1 and 8. Together with the reference-vs-kernel
+// equivalence gate this pins delta × {all four protocols} × {P1, P8}
+// to the oracle.
+func TestSnapshotDeltaIdenticalProtocols(t *testing.T) {
+	for _, s := range protocolSpecs(t) {
+		label := s.Model.Name + "/" + s.Protocol.Name
+		full := runProtocolWith(t, s, EngineKernel, 1)
+		for _, par := range []int{1, 8} {
+			sd := s
+			sd.Snapshot = "delta"
+			delta := runProtocolWith(t, sd, EngineKernel, par)
+			protocolCampaignsEqual(t, label+"/delta-vs-full", full, delta)
+		}
+	}
+}
+
+// TestSnapshotHintDoesNotChangeHash pins the execution-hint contract:
+// snapshot, like parallelism, must not perturb the spec content hash.
+func TestSnapshotHintDoesNotChangeHash(t *testing.T) {
+	a := spec.Spec{Model: spec.Model{Name: "geometric", N: 512, RFrac: 0.5}}
+	b := a
+	b.Snapshot = "delta"
+	b.Parallelism = 8
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("snapshot hint changed the content hash: %s vs %s", ha, hb)
+	}
+}

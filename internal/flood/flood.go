@@ -32,6 +32,10 @@ func OptionsFromSpec(s spec.Spec) (Options, error) {
 	if err != nil {
 		return Options{}, err
 	}
+	snapshot, err := core.ParseSnapshotMode(c.Snapshot)
+	if err != nil {
+		return Options{}, err
+	}
 	return Options{
 		Trials:          c.Trials,
 		SourcesPerTrial: c.Sources,
@@ -42,6 +46,7 @@ func OptionsFromSpec(s spec.Spec) (Options, error) {
 		Kernel:          kernel,
 		PullThreshold:   c.Engine.PullThreshold,
 		BatchSources:    c.Engine.BatchSources,
+		Snapshot:        snapshot,
 	}, nil
 }
 
@@ -81,6 +86,11 @@ type Options struct {
 	// auto kernel switches push→pull; ≤ 0 derives it from the model's
 	// expected degree (see core.FloodOptions).
 	PullThreshold float64
+	// Snapshot selects the engines' per-round snapshot path: full
+	// rebuild (the default) or incremental delta maintenance for
+	// delta-capable models (core.FloodOptions.Snapshot). Results are
+	// byte-identical either way; delta wins in low-churn regimes.
+	Snapshot core.SnapshotMode
 	// BatchSources runs each trial's sources over ONE shared
 	// realization via core.FloodMulti (bit-parallel, up to 64 sources
 	// per word) instead of resetting the dynamics per source. Roughly
@@ -110,7 +120,7 @@ func (o Options) batched() bool {
 }
 
 func (o Options) floodOptions() core.FloodOptions {
-	return core.FloodOptions{Kernel: o.Kernel, PullThreshold: o.PullThreshold, Parallelism: o.Parallelism}
+	return core.FloodOptions{Kernel: o.Kernel, PullThreshold: o.PullThreshold, Parallelism: o.Parallelism, Snapshot: o.Snapshot}
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -190,7 +200,7 @@ func RunContext(ctx context.Context, factory Factory, opt Options) (Campaign, er
 		if opt.batched() {
 			d.Reset(r.Split())
 			res = core.WorstResult(core.FloodMultiOpt(d, sources, opt.MaxRounds,
-				core.MultiOptions{Parallelism: opt.Parallelism, Stop: stop, Progress: progress}))
+				core.MultiOptions{Parallelism: opt.Parallelism, Snapshot: opt.Snapshot, Stop: stop, Progress: progress}))
 		} else {
 			fo := opt.floodOptions()
 			fo.Stop = stop

@@ -55,6 +55,12 @@ type ProtocolOptions struct {
 	// for every value; the reference engine ignores it for the protocol
 	// rounds but still hands it to the models.
 	Parallelism int
+	// Snapshot selects the kernel engine's per-round snapshot path
+	// (core.GossipOptions.Snapshot); byte-identical either way. The
+	// reference engine always runs the full path — it drives the model
+	// directly — which is exactly what the kernel-delta-vs-reference
+	// equivalence tests lean on.
+	Snapshot core.SnapshotMode
 	// OnRound, if non-nil, receives per-round progress (kernel engine
 	// only; the reference implementations have no round hooks). Called
 	// concurrently from trial workers.
@@ -79,6 +85,10 @@ func ProtocolOptionsFromSpec(s spec.Spec) (ProtocolOptions, error) {
 	if err != nil {
 		return ProtocolOptions{}, err
 	}
+	snapshot, err := core.ParseSnapshotMode(c.Snapshot)
+	if err != nil {
+		return ProtocolOptions{}, err
+	}
 	return ProtocolOptions{
 		Protocol:        c.Protocol.Name,
 		Beta:            c.Protocol.Beta,
@@ -90,6 +100,7 @@ func ProtocolOptionsFromSpec(s spec.Spec) (ProtocolOptions, error) {
 		Seed:            seed,
 		Workers:         c.Workers,
 		Parallelism:     c.Parallelism,
+		Snapshot:        snapshot,
 	}, nil
 }
 
@@ -188,6 +199,7 @@ func RunProtocolContext(ctx context.Context, factory Factory, opt ProtocolOption
 				res = core.Gossip(d, gp, src, opt.MaxRounds, r, core.GossipOptions{
 					Beta: opt.Beta, Loss: opt.Loss,
 					Parallelism: opt.Parallelism,
+					Snapshot:    opt.Snapshot,
 					Stop:        stop, Progress: progress,
 				})
 			}

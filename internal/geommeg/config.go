@@ -71,6 +71,15 @@ type Config struct {
 	// √(N/Density) (Observation 3.3). Zero selects the paper's default
 	// density 1, i.e. side √n.
 	Density float64
+	// Jump is the per-step activation probability of the lazy walk:
+	// each round every node independently performs its move-ball jump
+	// with probability Jump and holds its position otherwise. Zero
+	// selects the default 1 — the paper's walk, every node jumps every
+	// round. Values below 1 give the lazy variant: the stationary
+	// distribution is unchanged (the lazy kernel (1−Jump)·I + Jump·P
+	// has the same fixed point as P), and small Jump is the low-churn
+	// regime where the incremental snapshot path pays off.
+	Jump float64
 	// Torus, when set, wraps the lattice toroidally: distances, moves
 	// and cells all wrap, |Γ| is constant, and π is exactly uniform.
 	Torus bool
@@ -87,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Density == 0 {
 		c.Density = 1
+	}
+	if c.Jump == 0 {
+		c.Jump = 1
 	}
 	return c
 }
@@ -117,6 +129,9 @@ func (c Config) Validate() error {
 	}
 	if c.Density <= 0 {
 		return fmt.Errorf("geommeg: density δ=%g must be positive", c.Density)
+	}
+	if c.Jump <= 0 || c.Jump > 1 {
+		return fmt.Errorf("geommeg: jump probability %g outside (0, 1]", c.Jump)
 	}
 	if c.Side() < c.Eps {
 		return fmt.Errorf("geommeg: square side %g below resolution ε=%g", c.Side(), c.Eps)

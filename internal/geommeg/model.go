@@ -2,8 +2,10 @@ package geommeg
 
 import (
 	"math"
+	"slices"
 	"sort"
 
+	"meg/internal/celldelta"
 	"meg/internal/geom"
 	"meg/internal/graph"
 	"meg/internal/par"
@@ -31,6 +33,7 @@ type Model struct {
 	cellStarts []int32
 	cellOrder  []int32
 	nodeCell   []int32
+	cellsValid bool // cellStarts/cellOrder/nodeCell match current positions
 	builder    *graph.Builder
 	g          *graph.Graph
 	dirty      bool
@@ -41,6 +44,29 @@ type Model struct {
 	parallel int
 	// sweep holds the parallel cell sweep's per-block edge buffers.
 	sweep graph.BlockSweep
+
+	// Counter-based walk state: every per-node decision in round t is
+	// drawn from the stream keyed (base, node, t), so Step realizations
+	// are pure functions of the trial seed — never of iteration order
+	// or worker count.
+	base uint64
+	t    uint64
+
+	// moveBufs holds the parallel walk's per-block moved-node lists;
+	// movedNodes is their concatenation in block order (ascending).
+	moveBufs   [][]int32
+	movedNodes []int32
+
+	// Incremental (StepDelta) machinery, allocated on first use:
+	// time-t positions, the time-t cell structure (double-buffered with
+	// the current one), the moved markers, and the shared moved-node
+	// churn classifier.
+	prevIx, prevIy []int32
+	oldCellStarts  []int32
+	oldCellOrder   []int32
+	oldNodeCell    []int32
+	movedMark      []bool
+	classifier     celldelta.Classifier
 }
 
 // New returns a model for the given configuration. The model is not
@@ -153,7 +179,12 @@ func (m *Model) Reset(r *rng.RNG) {
 	default:
 		panic("geommeg: unknown init mode")
 	}
+	// The walk's counter-stream base is drawn after the positions, so
+	// the initial distribution is untouched by the stream discipline.
+	m.base = r.Uint64()
+	m.t = 0
 	m.dirty = true
+	m.cellsValid = false
 }
 
 // sampleStationaryPos draws one position from π(x) ∝ |Γ(x)| by
@@ -173,41 +204,155 @@ func (m *Model) sampleStationaryPos() (int32, int32) {
 	}
 }
 
-// Step implements core.Dynamics: every node jumps to a position chosen
-// uniformly at random from its move ball Γ(x) (which contains x itself,
-// so staying put is possible). Sampling is by rejection over the
-// bounding box of the ball; acceptance is at least ≈ π/16 even in the
-// corners.
+// Step implements core.Dynamics: with probability Jump each node jumps
+// to a position chosen uniformly at random from its move ball Γ(x)
+// (which contains x itself, so staying put is possible); otherwise it
+// holds. Sampling is by rejection over the bounding box of the ball;
+// acceptance is at least ≈ π/16 even in the corners.
+//
+// Every node's draws come from the counter stream keyed (node, round) —
+// rng.At(base, u, t), with rejection attempts consuming the stream
+// sequentially — so the walk is sharded over the worker pool
+// (core.Parallelizable) and byte-identical for every worker count.
 func (m *Model) Step() {
 	if m.r == nil {
 		panic("geommeg: Step before Reset")
 	}
+	m.advance()
+	if len(m.movedNodes) > 0 {
+		m.dirty = true
+		m.cellsValid = false
+	}
+}
+
+// advance performs one synchronous walk step on the worker pool,
+// recording the nodes whose position actually changed (per contiguous
+// block, concatenated in block order, hence ascending).
+func (m *Model) advance() {
+	m.movedNodes = m.movedNodes[:0]
 	rho := m.lat.rho
+	m.t++
 	if rho == 0 {
 		// Move radius below the resolution: Γ(x) = {x}; positions are
 		// frozen but the snapshot sequence is still well-defined.
 		return
 	}
+	n := m.cfg.N
 	span := 2*rho + 1
-	for i := range m.ix {
-		x, y := int(m.ix[i]), int(m.iy[i])
-		for {
-			dx := m.r.Intn(span) - rho
-			dy := m.r.Intn(span) - rho
-			if !m.lat.inDisk(dx, dy) {
+	jump := m.cfg.Jump
+	workers := m.parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if len(m.moveBufs) < workers {
+		m.moveBufs = append(m.moveBufs, make([][]int32, workers-len(m.moveBufs))...)
+	}
+	t := m.t - 1 // the round being evaluated
+	par.ForBlocks(workers, n, func(blk, lo, hi int) {
+		buf := m.moveBufs[blk][:0]
+		for u := lo; u < hi; u++ {
+			lr := rng.At(m.base, uint64(u), t)
+			if jump < 1 && !lr.Bernoulli(jump) {
 				continue
 			}
-			nx, ny := x+dx, y+dy
-			if m.lat.torus {
-				nx, ny = m.lat.wrap(nx), m.lat.wrap(ny)
-			} else if nx < 0 || nx > m.lat.maxIdx || ny < 0 || ny > m.lat.maxIdx {
-				continue
+			x, y := int(m.ix[u]), int(m.iy[u])
+			for {
+				dx := lr.Intn(span) - rho
+				dy := lr.Intn(span) - rho
+				if !m.lat.inDisk(dx, dy) {
+					continue
+				}
+				nx, ny := x+dx, y+dy
+				if m.lat.torus {
+					nx, ny = m.lat.wrap(nx), m.lat.wrap(ny)
+				} else if nx < 0 || nx > m.lat.maxIdx || ny < 0 || ny > m.lat.maxIdx {
+					continue
+				}
+				if nx != x || ny != y {
+					m.ix[u], m.iy[u] = int32(nx), int32(ny)
+					buf = append(buf, int32(u))
+				}
+				break
 			}
-			m.ix[i], m.iy[i] = int32(nx), int32(ny)
-			break
 		}
+		m.moveBufs[blk] = buf
+	})
+	for blk := 0; blk < workers; blk++ {
+		m.movedNodes = append(m.movedNodes, m.moveBufs[blk]...)
+	}
+}
+
+// StepDelta implements core.DeltaDynamics: it advances the walk with
+// the exact same draws as Step and returns the edge churn computed
+// locally — only the 3×3 cell neighborhoods around each moved node's
+// old and new position are examined, so the cost scales with how many
+// nodes moved (the Jump·n expectation) instead of with n. The time-t
+// cell structure is kept double-buffered for the backward-looking scan.
+func (m *Model) StepDelta() graph.Delta {
+	if m.r == nil {
+		panic("geommeg: StepDelta before Reset")
+	}
+	n := m.cfg.N
+	if m.prevIx == nil {
+		m.prevIx = make([]int32, n)
+		m.prevIy = make([]int32, n)
+		m.movedMark = make([]bool, n)
+	}
+	if !m.bruteForce {
+		if !m.cellsValid {
+			m.buildCells()
+		}
+		m.swapCells()
+	}
+	copy(m.prevIx, m.ix)
+	copy(m.prevIy, m.iy)
+	m.advance()
+	if !m.bruteForce {
+		m.buildCells()
+	}
+	if len(m.movedNodes) == 0 {
+		return graph.Delta{}
 	}
 	m.dirty = true
+	return m.classifier.Classify(celldelta.Config{
+		N:         m.cfg.N,
+		CellsPer:  m.cellsPer,
+		Torus:     m.lat.torus,
+		Brute:     m.bruteForce,
+		Moved:     m.movedNodes,
+		MovedMark: m.movedMark,
+		Old: celldelta.Grid{
+			NodeCell: m.oldNodeCell, Starts: m.oldCellStarts, Order: m.oldCellOrder,
+			Adjacent: func(u, v int) bool {
+				return m.lat.adjacent(m.prevIx[u], m.prevIy[u], m.prevIx[v], m.prevIy[v])
+			},
+		},
+		New: celldelta.Grid{
+			NodeCell: m.nodeCell, Starts: m.cellStarts, Order: m.cellOrder,
+			Adjacent: func(u, v int) bool {
+				return m.lat.adjacent(m.ix[u], m.iy[u], m.ix[v], m.iy[v])
+			},
+		},
+	}, m.parallel)
+}
+
+// swapCells exchanges the current cell structure with the old-structure
+// buffers (allocating them on first use), preserving the time-t view
+// for StepDelta's backward scan.
+func (m *Model) swapCells() {
+	if m.oldCellStarts == nil {
+		k := m.cellsPer
+		m.oldCellStarts = make([]int32, k*k+1)
+		m.oldCellOrder = make([]int32, m.cfg.N)
+		m.oldNodeCell = make([]int32, m.cfg.N)
+	}
+	m.cellStarts, m.oldCellStarts = m.oldCellStarts, m.cellStarts
+	m.cellOrder, m.oldCellOrder = m.oldCellOrder, m.cellOrder
+	m.nodeCell, m.oldNodeCell = m.oldNodeCell, m.nodeCell
+	m.cellsValid = false
 }
 
 // cellIndexOf returns the flat cell index of lattice position (x, y).
@@ -248,6 +393,28 @@ func (m *Model) Graph() *graph.Graph {
 		return m.g
 	}
 
+	if !m.cellsValid {
+		m.buildCells()
+	}
+	starts := m.cellStarts[:m.cellsPer*m.cellsPer+1]
+
+	// Edge sweep: per contiguous node block, each worker emits its
+	// block's (u, v > u) edges into a private buffer in the same order
+	// the serial u-ascending loop would; graph.BlockSweep concatenates
+	// blocks in order, reproducing the serial edge list — and with it
+	// the CSR snapshot — byte-identically for every worker count.
+	m.g = m.sweep.Run(m.builder, m.parallel, n, func(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
+		return m.sweepRange(lo, hi, starts, srcs, dsts)
+	})
+	m.dirty = false
+	return m.g
+}
+
+// buildCells (re)computes the cell list — nodeCell, cellStarts,
+// cellOrder — for the current positions. Within a cell, nodes appear in
+// ascending id (the counting sort visits u ascending).
+func (m *Model) buildCells() {
+	n := m.cfg.N
 	k := m.cellsPer
 	counts := m.cellCounts[:k*k+1]
 	for i := range counts {
@@ -270,25 +437,19 @@ func (m *Model) Graph() *graph.Graph {
 		m.cellOrder[cursor[c]] = int32(u)
 		cursor[c]++
 	}
-
-	// Edge sweep: per contiguous node block, each worker emits its
-	// block's (u, v > u) edges into a private buffer in the same order
-	// the serial u-ascending loop would; graph.BlockSweep concatenates
-	// blocks in order, reproducing the serial edge list — and with it
-	// the CSR snapshot — byte-identically for every worker count.
-	m.g = m.sweep.Run(m.builder, m.parallel, n, func(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
-		return m.sweepRange(lo, hi, starts, srcs, dsts)
-	})
-	m.dirty = false
-	return m.g
+	m.cellsValid = true
 }
 
 // sweepRange scans the 3×3 cell neighborhoods of nodes [lo, hi) and
 // appends every edge (u, v) with u in range and v > u to srcs/dsts, in
-// ascending-u order.
+// ascending-u order with each node's larger neighbors ascending in v —
+// so CSR rows come out fully sorted (the smaller-endpoint prefix of a
+// row is ascending automatically), the canonical order the incremental
+// graph.Mutable path merges against.
 func (m *Model) sweepRange(lo, hi int, starts []int32, srcs, dsts []int32) ([]int32, []int32) {
 	k := m.cellsPer
 	for u := lo; u < hi; u++ {
+		rowStart := len(dsts)
 		cu := int(m.nodeCell[u])
 		cx, cy := cu%k, cu/k
 		for dy := -1; dy <= 1; dy++ {
@@ -312,6 +473,7 @@ func (m *Model) sweepRange(lo, hi int, starts []int32, srcs, dsts []int32) ([]in
 				}
 			}
 		}
+		slices.Sort(dsts[rowStart:])
 	}
 	return srcs, dsts
 }

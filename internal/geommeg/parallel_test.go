@@ -38,3 +38,44 @@ func TestSnapshotParallelismByteIdentical(t *testing.T) {
 		sharded.Step()
 	}
 }
+
+// TestWalkParallelismByteIdentical pins the sharded walk's contract
+// directly on positions: because every node's round decisions come
+// from the counter stream keyed (node, round), P1 and P8 walks — lazy
+// and eager — land every node on the same lattice point, step after
+// step.
+func TestWalkParallelismByteIdentical(t *testing.T) {
+	for _, jump := range []float64{1, 0.2} {
+		cfg := Config{N: 2000, R: 4, MoveRadius: 2, Jump: jump}
+		serial := MustNew(cfg)
+		serial.SetParallelism(1)
+		sharded := MustNew(cfg)
+		sharded.SetParallelism(8)
+		serial.Reset(rng.New(9))
+		sharded.Reset(rng.New(9))
+		for s := 0; s < 8; s++ {
+			serial.Step()
+			sharded.Step()
+			for u := 0; u < cfg.N; u++ {
+				if serial.ix[u] != sharded.ix[u] || serial.iy[u] != sharded.iy[u] {
+					t.Fatalf("jump=%g step %d: node %d at (%d,%d) vs (%d,%d)",
+						jump, s, u, serial.ix[u], serial.iy[u], sharded.ix[u], sharded.iy[u])
+				}
+			}
+		}
+	}
+}
+
+// TestLazyWalkHoldsMostNodes sanity-checks the lazy walk: with a small
+// jump probability, most nodes hold their position each round, and the
+// delta stream reflects only the movers.
+func TestLazyWalkHoldsMostNodes(t *testing.T) {
+	cfg := Config{N: 4000, R: 4, MoveRadius: 2, Jump: 0.05}
+	m := MustNew(cfg)
+	m.Reset(rng.New(4))
+	m.Step()
+	moved := len(m.movedNodes)
+	if moved == 0 || moved > cfg.N/5 {
+		t.Fatalf("jump=0.05 moved %d of %d nodes", moved, cfg.N)
+	}
+}

@@ -1,0 +1,39 @@
+package graph
+
+// PackEdge encodes the undirected edge {u, v} with u < v into a single
+// uint64 key whose natural ordering equals the lexicographic (u, v)
+// ordering. It is the wire format of Delta edge lists; edgemeg's
+// internal pair keys use the same layout, so its deltas need no
+// re-encoding.
+func PackEdge(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(uint32(v))
+}
+
+// UnpackEdge decodes a PackEdge key into (u, v) with u < v.
+func UnpackEdge(key uint64) (u, v int) {
+	return int(key >> 32), int(uint32(key))
+}
+
+// Delta is the edge difference between two consecutive snapshots
+// G_t → G_{t+1} of an evolving graph: the edges born this step and the
+// edges that died. It is the currency of the incremental snapshot path
+// (core.DeltaDynamics → Mutable.ApplyDelta), which rebuilds only the
+// adjacency rows the delta touches instead of the whole CSR.
+//
+// Both lists hold PackEdge keys in ascending order. Births must be
+// absent from G_t and deaths present in it, and the two lists must be
+// disjoint — exactly the semantics of a per-edge birth/death process.
+// The slices are only valid until the producing dynamics' next
+// Step/StepDelta/Reset call; ApplyDelta consumes them immediately.
+type Delta struct {
+	// Births holds the edges present in G_{t+1} but not G_t.
+	Births []uint64
+	// Deaths holds the edges present in G_t but not G_{t+1}.
+	Deaths []uint64
+}
+
+// Empty reports whether the delta changes nothing.
+func (d Delta) Empty() bool { return len(d.Births) == 0 && len(d.Deaths) == 0 }

@@ -16,14 +16,21 @@ import (
 	"meg/internal/par"
 )
 
-// Graph is an immutable undirected graph over the node set [0, n) in CSR
-// form. Both directions of every edge are stored, so Degree and
-// Neighbors are O(1) and O(deg) respectively.
+// Graph is an undirected graph over the node set [0, n) in CSR form.
+// Both directions of every edge are stored, so Degree and Neighbors are
+// O(1) and O(deg) respectively.
+//
+// Two storage layouts share the type: the packed layout Build produces
+// (lens == nil; the neighbor list of u is adj[offs[u]:offs[u+1]]) and
+// the slack layout Mutable maintains (lens non-nil; row u occupies the
+// capacity range adj[offs[u]:offs[u+1]] but only its first lens[u]
+// entries are live). All read methods work on both.
 type Graph struct {
 	n      int
-	offs   []int32 // len n+1; neighbor list of u is adj[offs[u]:offs[u+1]]
+	offs   []int32 // len n+1; row u's storage is adj[offs[u]:offs[u+1]]
 	adj    []int32
-	mCount int // number of undirected edges
+	lens   []int32 // nil for packed CSR; else live row lengths (slack layout)
+	mCount int     // number of undirected edges
 }
 
 // N returns the number of nodes.
@@ -34,13 +41,20 @@ func (g *Graph) M() int { return g.mCount }
 
 // Degree returns the number of neighbors of u.
 func (g *Graph) Degree(u int) int {
+	if g.lens != nil {
+		return int(g.lens[u])
+	}
 	return int(g.offs[u+1] - g.offs[u])
 }
 
 // Neighbors returns the neighbor list of u. The returned slice aliases
 // the graph's internal storage and must not be modified.
 func (g *Graph) Neighbors(u int) []int32 {
-	return g.adj[g.offs[u]:g.offs[u+1]]
+	off := g.offs[u]
+	if g.lens != nil {
+		return g.adj[off : off+g.lens[u]]
+	}
+	return g.adj[off:g.offs[u+1]]
 }
 
 // HasEdge reports whether {u, v} is an edge. It scans u's (or v's,

@@ -1,0 +1,293 @@
+package graph
+
+import (
+	"fmt"
+
+	"meg/internal/par"
+)
+
+// Mutable is an incrementally maintained snapshot: a CSR graph stored
+// with per-row slack so that applying a birth/death Delta rebuilds only
+// the rows the delta touches, in O(churn · degree) instead of the
+// O(n + m) a full Builder pass costs. It is the engine-side half of the
+// incremental snapshot path: a delta-capable dynamics emits Deltas
+// (core.DeltaDynamics) and the engines fold them into a Mutable instead
+// of re-materializing every round.
+//
+// Invariant: every adjacency row is sorted ascending — the canonical
+// row order all delta-capable models produce — so dirty rows rebuild by
+// linear three-way merge and the maintained view stays byte-identical
+// to a from-scratch build of the same edge set.
+//
+// The *Graph returned by Graph is a live view: ApplyDelta updates it in
+// place (same pointer), mirroring the "snapshot valid until the next
+// Step" aliasing contract of the dynamics themselves.
+type Mutable struct {
+	view Graph
+
+	// Per-row delta scatter, epoch-stamped so steady-state rounds touch
+	// only O(churn) state.
+	adds    [][]int32
+	dels    [][]int32
+	touched []uint32
+	epoch   uint32
+	dirty   []int32
+	newLen  []int32
+
+	// Per-worker merge scratch for the in-place rebuild.
+	scratch [][]int32
+
+	// rows, when attached, is kept coherent with the snapshot.
+	rows *DenseRows
+}
+
+// rowSlack returns the storage capacity for a row of the given live
+// length: 25% headroom plus a constant, so low-churn rounds almost
+// never trigger a relayout and memory stays within ~1.3× the packed
+// layout.
+func rowSlack(l int) int { return l + l/4 + 4 }
+
+// NewMutable returns a Mutable initialized to a copy of g. Every row of
+// g must be sorted ascending (the canonical order of all delta-capable
+// models); NewMutable panics otherwise, because the merge-based row
+// rebuild would silently corrupt unsorted rows. g itself is not
+// retained.
+func NewMutable(g *Graph) *Mutable {
+	n := g.N()
+	m := &Mutable{
+		adds:    make([][]int32, n),
+		dels:    make([][]int32, n),
+		touched: make([]uint32, n),
+		newLen:  make([]int32, n),
+	}
+	offs := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		offs[u+1] = offs[u] + int32(rowSlack(g.Degree(u)))
+	}
+	adj := make([]int32, offs[n])
+	lens := make([]int32, n)
+	for u := 0; u < n; u++ {
+		row := g.Neighbors(u)
+		for i := 1; i < len(row); i++ {
+			if row[i] <= row[i-1] {
+				panic(fmt.Sprintf("graph: NewMutable requires sorted adjacency rows (row %d)", u))
+			}
+		}
+		copy(adj[offs[u]:], row)
+		lens[u] = int32(len(row))
+	}
+	m.view = Graph{n: n, offs: offs, adj: adj, lens: lens, mCount: g.M()}
+	return m
+}
+
+// N returns the node count.
+func (m *Mutable) N() int { return m.view.n }
+
+// Graph returns the live snapshot view. The pointer stays valid across
+// ApplyDelta calls — the contents update in place — and must be treated
+// like any dynamics snapshot: stale copies of its rows are invalid
+// after the next ApplyDelta.
+func (m *Mutable) Graph() *Graph { return &m.view }
+
+// SetDenseRows attaches a dense adjacency matrix that ApplyDelta keeps
+// coherent with the snapshot (births set the mirrored bit pair, deaths
+// clear it). The matrix must describe the current snapshot — typically
+// NewDenseRows(m.Graph()) — and must span the same node universe.
+func (m *Mutable) SetDenseRows(r *DenseRows) {
+	if r != nil && r.n != m.view.n {
+		panic("graph: SetDenseRows universe mismatch")
+	}
+	m.rows = r
+}
+
+// ApplyDelta advances the snapshot G_t → G_{t+1}: deaths are removed
+// and births inserted, and only the adjacency rows incident to the
+// delta are rebuilt — in parallel over dirty rows on up to workers
+// goroutines. Because each row's new content is a pure function of its
+// old content and the delta, and rows rebuild into disjoint storage,
+// the resulting snapshot is byte-identical for every worker count.
+//
+// Births and Deaths must be ascending PackEdge lists, disjoint from
+// each other, with births absent from and deaths present in the current
+// snapshot; ApplyDelta panics on any violation rather than corrupting
+// the view.
+func (m *Mutable) ApplyDelta(d Delta, workers int) {
+	if d.Empty() {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	m.epoch++
+	if m.epoch == 0 { // wrapped: stale stamps could alias the new epoch
+		for i := range m.touched {
+			m.touched[i] = 0
+		}
+		m.epoch = 1
+	}
+	m.dirty = m.dirty[:0]
+	m.scatter(d.Births, m.adds, "births")
+	m.scatter(d.Deaths, m.dels, "deaths")
+
+	// Per dirty row the new length is exact arithmetic — births are
+	// absent, deaths present — so capacity fits are known before any
+	// merge runs.
+	relayout := false
+	for _, u := range m.dirty {
+		nl := int(m.view.lens[u]) + len(m.adds[u]) - len(m.dels[u])
+		if nl < 0 {
+			panic(fmt.Sprintf("graph: ApplyDelta removes more edges than row %d holds", u))
+		}
+		m.newLen[u] = int32(nl)
+		if nl > int(m.view.offs[u+1]-m.view.offs[u]) {
+			relayout = true
+		}
+	}
+	if relayout {
+		m.relayout(workers)
+	} else {
+		m.rebuildInPlace(workers)
+	}
+	m.view.mCount += len(d.Births) - len(d.Deaths)
+	if m.rows != nil {
+		m.applyRows(d)
+	}
+}
+
+// scatter distributes one delta list into per-row neighbor lists,
+// recording first-touched rows in m.dirty. Because the list is sorted
+// by (u, v) key, every row's scattered neighbors arrive ascending: for
+// row w the (x, w) entries (x < w, ascending) all precede the (w, v)
+// entries (v > w, ascending).
+func (m *Mutable) scatter(keys []uint64, into [][]int32, kind string) {
+	n := m.view.n
+	var prev uint64
+	for i, k := range keys {
+		if i > 0 && k <= prev {
+			panic("graph: ApplyDelta " + kind + " not strictly ascending")
+		}
+		prev = k
+		u, v := UnpackEdge(k)
+		if u < 0 || v <= u || v >= n {
+			panic(fmt.Sprintf("graph: ApplyDelta %s edge (%d,%d) out of range n=%d", kind, u, v, n))
+		}
+		m.touch(int32(u))
+		m.touch(int32(v))
+		into[u] = append(into[u], int32(v))
+		into[v] = append(into[v], int32(u))
+	}
+}
+
+// touch marks a row dirty for this epoch, resetting its delta lists on
+// first touch.
+func (m *Mutable) touch(u int32) {
+	if m.touched[u] != m.epoch {
+		m.touched[u] = m.epoch
+		m.adds[u] = m.adds[u][:0]
+		m.dels[u] = m.dels[u][:0]
+		m.dirty = append(m.dirty, u)
+	}
+}
+
+// rebuildInPlace merges every dirty row into its existing storage slot
+// (all fit was verified by the caller). Each worker merges into private
+// scratch first because the target range overlaps the old row.
+func (m *Mutable) rebuildInPlace(workers int) {
+	if len(m.scratch) < workers {
+		m.scratch = append(m.scratch, make([][]int32, workers-len(m.scratch))...)
+	}
+	par.ForBlocks(workers, len(m.dirty), func(blk, lo, hi int) {
+		scratch := m.scratch[blk]
+		for i := lo; i < hi; i++ {
+			u := m.dirty[i]
+			off := m.view.offs[u]
+			old := m.view.adj[off : off+m.view.lens[u]]
+			nl := int(m.newLen[u])
+			if cap(scratch) < nl {
+				scratch = make([]int32, nl+nl/2+4)
+			}
+			buf := scratch[:nl]
+			mergeRow(buf, old, m.adds[u], m.dels[u], int(u))
+			copy(m.view.adj[off:], buf)
+			m.view.lens[u] = int32(nl)
+		}
+		m.scratch[blk] = scratch
+	})
+}
+
+// relayout rebuilds the whole slack layout: fresh capacities from the
+// post-delta row lengths, clean rows copied, dirty rows merged directly
+// into their new (disjoint) slots. Amortized by the slack headroom, so
+// steady-state low-churn rounds essentially never pay it.
+func (m *Mutable) relayout(workers int) {
+	n := m.view.n
+	newOffs := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		l := int(m.view.lens[u])
+		if m.touched[u] == m.epoch {
+			l = int(m.newLen[u])
+		}
+		newOffs[u+1] = newOffs[u] + int32(rowSlack(l))
+	}
+	newAdj := make([]int32, newOffs[n])
+	newLens := make([]int32, n)
+	par.ForBlocks(workers, n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			off := m.view.offs[u]
+			old := m.view.adj[off : off+m.view.lens[u]]
+			if m.touched[u] == m.epoch {
+				nl := int(m.newLen[u])
+				mergeRow(newAdj[newOffs[u]:newOffs[u]+int32(nl)], old, m.adds[u], m.dels[u], u)
+				newLens[u] = int32(nl)
+			} else {
+				copy(newAdj[newOffs[u]:], old)
+				newLens[u] = m.view.lens[u]
+			}
+		}
+	})
+	m.view.offs, m.view.adj, m.view.lens = newOffs, newAdj, newLens
+}
+
+// mergeRow writes (old ∪ adds) \ dels into dst. All three inputs are
+// ascending; adds must be disjoint from old and dels a subset of it —
+// violations panic, naming the row.
+func mergeRow(dst, old, adds, dels []int32, row int) {
+	i, j, k, out := 0, 0, 0, 0
+	for i < len(old) || j < len(adds) {
+		if j >= len(adds) || (i < len(old) && old[i] < adds[j]) {
+			v := old[i]
+			i++
+			if k < len(dels) && dels[k] == v {
+				k++
+				continue
+			}
+			dst[out] = v
+			out++
+		} else {
+			if i < len(old) && old[i] == adds[j] {
+				panic(fmt.Sprintf("graph: ApplyDelta birth of an edge already present in row %d", row))
+			}
+			dst[out] = adds[j]
+			j++
+			out++
+		}
+	}
+	if k != len(dels) {
+		panic(fmt.Sprintf("graph: ApplyDelta death of an edge absent from row %d", row))
+	}
+}
+
+// applyRows folds the delta into the attached dense row matrix:
+// O(churn) bit flips, no row rebuilds.
+func (m *Mutable) applyRows(d Delta) {
+	for _, k := range d.Births {
+		u, v := UnpackEdge(k)
+		m.rows.setBit(u, v)
+		m.rows.setBit(v, u)
+	}
+	for _, k := range d.Deaths {
+		u, v := UnpackEdge(k)
+		m.rows.clearBit(u, v)
+		m.rows.clearBit(v, u)
+	}
+}

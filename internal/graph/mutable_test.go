@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"meg/internal/rng"
+)
+
+// buildFromKeys materializes the packed edge set as a Builder-built
+// graph. Keys are added in ascending order, so every CSR row comes out
+// sorted — the canonical row order of the delta-capable models.
+func buildFromKeys(n int, keys []uint64) *Graph {
+	b := NewBuilder(n)
+	for _, k := range keys {
+		u, v := UnpackEdge(k)
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// randomKeys samples each pair independently with probability p.
+func randomKeys(n int, p float64, r *rng.RNG) []uint64 {
+	var keys []uint64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bernoulli(p) {
+				keys = append(keys, PackEdge(u, v))
+			}
+		}
+	}
+	return keys
+}
+
+// randomDelta derives a delta from the current edge set: present edges
+// die with probability die, absent pairs are born with probability
+// born. It returns the delta and the next edge set.
+func randomDelta(n int, keys []uint64, born, die float64, r *rng.RNG) (Delta, []uint64) {
+	present := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		present[k] = true
+	}
+	var d Delta
+	var next []uint64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			k := PackEdge(u, v)
+			if present[k] {
+				if r.Bernoulli(die) {
+					d.Deaths = append(d.Deaths, k)
+				} else {
+					next = append(next, k)
+				}
+			} else if r.Bernoulli(born) {
+				d.Births = append(d.Births, k)
+				next = append(next, k)
+			}
+		}
+	}
+	sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	return d, next
+}
+
+func graphsEqual(t *testing.T, label string, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("%s: size (n=%d,m=%d) vs (n=%d,m=%d)", label, got.N(), got.M(), want.N(), want.M())
+	}
+	for u := 0; u < want.N(); u++ {
+		g, w := got.Neighbors(u), want.Neighbors(u)
+		if len(g) != len(w) {
+			t.Fatalf("%s: row %d length %d vs %d", label, u, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s: row %d entry %d: %d vs %d", label, u, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func TestPackEdgeRoundTripAndOrder(t *testing.T) {
+	u, v := UnpackEdge(PackEdge(7, 3))
+	if u != 3 || v != 7 {
+		t.Fatalf("round trip gave (%d,%d)", u, v)
+	}
+	if PackEdge(1, 2) >= PackEdge(1, 3) || PackEdge(1, 500) >= PackEdge(2, 3) {
+		t.Fatal("key order does not match lexicographic pair order")
+	}
+}
+
+// TestMutableMatchesRebuild walks a random birth/death chain for many
+// rounds, maintaining the snapshot incrementally, and checks it against
+// a from-scratch rebuild of the same edge set every round.
+func TestMutableMatchesRebuild(t *testing.T) {
+	const n = 150
+	r := rng.New(42)
+	keys := randomKeys(n, 0.05, r)
+	m := NewMutable(buildFromKeys(n, keys))
+	for round := 0; round < 25; round++ {
+		var d Delta
+		d, keys = randomDelta(n, keys, 0.01, 0.15, r)
+		m.ApplyDelta(d, 1+round%4)
+		graphsEqual(t, "round", m.Graph(), buildFromKeys(n, keys))
+	}
+}
+
+// TestMutableParallelDeterminism applies the same delta sequence with
+// 1 and 8 workers: the maintained views must be byte-identical, the
+// contract that keeps the snapshot hint outside the content hash.
+func TestMutableParallelDeterminism(t *testing.T) {
+	const n = 200
+	r := rng.New(7)
+	initial := randomKeys(n, 0.04, r)
+	var deltas []Delta
+	keys := initial
+	for round := 0; round < 12; round++ {
+		var d Delta
+		d, keys = randomDelta(n, keys, 0.02, 0.2, r)
+		deltas = append(deltas, d)
+	}
+	a := NewMutable(buildFromKeys(n, initial))
+	b := NewMutable(buildFromKeys(n, initial))
+	for _, d := range deltas {
+		a.ApplyDelta(d, 1)
+		b.ApplyDelta(d, 8)
+	}
+	graphsEqual(t, "p1-vs-p8", b.Graph(), a.Graph())
+}
+
+// TestMutableOverflowRelayout grows one hub row far past its slack so
+// the relayout path runs, then shrinks it again.
+func TestMutableOverflowRelayout(t *testing.T) {
+	const n = 80
+	m := NewMutable(buildFromKeys(n, []uint64{PackEdge(0, 1)}))
+	keys := []uint64{PackEdge(0, 1)}
+	for v := 2; v < n; v++ {
+		d := Delta{Births: []uint64{PackEdge(0, v)}}
+		m.ApplyDelta(d, 2)
+		keys = append(keys, PackEdge(0, v))
+	}
+	graphsEqual(t, "grown", m.Graph(), buildFromKeys(n, keys))
+	var deaths []uint64
+	for v := 2; v < n; v += 2 {
+		deaths = append(deaths, PackEdge(0, v))
+	}
+	m.ApplyDelta(Delta{Deaths: deaths}, 3)
+	var rest []uint64
+	for _, k := range keys {
+		dead := false
+		for _, dk := range deaths {
+			if dk == k {
+				dead = true
+			}
+		}
+		if !dead {
+			rest = append(rest, k)
+		}
+	}
+	graphsEqual(t, "shrunk", m.Graph(), buildFromKeys(n, rest))
+}
+
+// TestMutableDenseRowsCoherent checks that an attached dense matrix
+// tracks the snapshot bit for bit through deltas.
+func TestMutableDenseRowsCoherent(t *testing.T) {
+	const n = 100
+	r := rng.New(11)
+	keys := randomKeys(n, 0.08, r)
+	m := NewMutable(buildFromKeys(n, keys))
+	m.SetDenseRows(NewDenseRows(m.Graph()))
+	for round := 0; round < 10; round++ {
+		var d Delta
+		d, keys = randomDelta(n, keys, 0.02, 0.2, r)
+		m.ApplyDelta(d, 2)
+	}
+	want := NewDenseRows(buildFromKeys(n, keys))
+	for u := 0; u < n; u++ {
+		g, w := m.rows.Row(u), want.Row(u)
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("dense row %d word %d: %x vs %x", u, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func expectPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: no panic", label)
+		}
+	}()
+	fn()
+}
+
+func TestNewMutableRejectsUnsortedRows(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 3)
+	b.AddEdge(0, 1) // row 0 comes out [3, 1]
+	g := b.Build()
+	expectPanic(t, "unsorted", func() { NewMutable(g) })
+}
+
+func TestApplyDeltaRejectsInconsistentDeltas(t *testing.T) {
+	base := []uint64{PackEdge(0, 1), PackEdge(1, 2)}
+	fresh := func() *Mutable { return NewMutable(buildFromKeys(4, base)) }
+	expectPanic(t, "birth of present edge", func() {
+		fresh().ApplyDelta(Delta{Births: []uint64{PackEdge(0, 1)}}, 1)
+	})
+	expectPanic(t, "death of absent edge", func() {
+		fresh().ApplyDelta(Delta{Deaths: []uint64{PackEdge(0, 2)}}, 1)
+	})
+	expectPanic(t, "unsorted births", func() {
+		fresh().ApplyDelta(Delta{Births: []uint64{PackEdge(0, 3), PackEdge(0, 2)}}, 1)
+	})
+}

@@ -1,6 +1,9 @@
 package mobility
 
 import (
+	"slices"
+
+	"meg/internal/celldelta"
 	"meg/internal/geom"
 	"meg/internal/graph"
 	"meg/internal/par"
@@ -15,22 +18,35 @@ type Dynamics struct {
 	mob    Mobility
 	radius float64
 
-	cellsPer int
-	cellSize float64
-	counts   []int32
-	starts   []int32
-	order    []int32
-	nodeCell []int32
-	builder  *graph.Builder
-	g        *graph.Graph
-	dirty    bool
-	brute    bool
+	cellsPer   int
+	cellSize   float64
+	counts     []int32
+	starts     []int32
+	order      []int32
+	nodeCell   []int32
+	cellsValid bool // starts/order/nodeCell match current positions
+	builder    *graph.Builder
+	g          *graph.Graph
+	dirty      bool
+	brute      bool
 
 	// parallel is the snapshot-build worker count
 	// (core.Parallelizable); snapshots are byte-identical for every
 	// value.
 	parallel int
 	sweep    graph.BlockSweep
+
+	// Incremental (StepDelta) machinery, allocated on first use: the
+	// time-t positions, the time-t cell structure (double-buffered with
+	// the current one), moved markers, and the shared moved-node churn
+	// classifier.
+	prev        []geom.Point
+	oldStarts   []int32
+	oldOrder    []int32
+	oldNodeCell []int32
+	moved       []int32
+	movedMark   []bool
+	classifier  celldelta.Classifier
 }
 
 // NewDynamics wraps mob with transmission radius R. It panics if R is
@@ -64,12 +80,17 @@ func (d *Dynamics) Mobility() Mobility { return d.mob }
 
 // SetParallelism implements core.Parallelizable: snapshot construction
 // runs on up to workers goroutines, byte-identically for every worker
-// count. 0 or 1 builds serially; < 0 uses all CPUs.
+// count. 0 or 1 builds serially; < 0 uses all CPUs. Mobility processes
+// that can shard their Move (the counter-stream models) receive the
+// same worker count.
 func (d *Dynamics) SetParallelism(workers int) {
 	if workers == 0 {
 		workers = 1
 	}
 	d.parallel = par.Workers(workers)
+	if pm, ok := d.mob.(parallelMover); ok {
+		pm.SetParallelism(d.parallel)
+	}
 }
 
 // Radius returns the transmission radius R.
@@ -82,18 +103,96 @@ func (d *Dynamics) N() int { return d.mob.N() }
 func (d *Dynamics) Reset(r *rng.RNG) {
 	d.mob.Reset(r)
 	d.dirty = true
+	d.cellsValid = false
 }
 
 // Step implements core.Dynamics.
 func (d *Dynamics) Step() {
 	d.mob.Move()
 	d.dirty = true
+	d.cellsValid = false
+}
+
+// StepDelta implements core.DeltaDynamics: it advances the mobility
+// process exactly like Step and returns the edge churn computed from
+// the nodes whose position actually changed — each scans the 3×3 cell
+// neighborhoods around its old and new position (old structure kept
+// double-buffered), so the cost scales with the movers, not with n.
+// For the always-moving mobility processes that is no saving, but the
+// capability keeps the engine-side delta path uniform across models.
+func (d *Dynamics) StepDelta() graph.Delta {
+	n := d.mob.N()
+	if d.prev == nil {
+		d.prev = make([]geom.Point, n)
+		d.movedMark = make([]bool, n)
+	}
+	if !d.brute {
+		if !d.cellsValid {
+			d.buildCells()
+		}
+		d.swapCells()
+	}
+	for u := 0; u < n; u++ {
+		d.prev[u] = d.mob.Position(u)
+	}
+	d.mob.Move()
+	d.moved = d.moved[:0]
+	for u := 0; u < n; u++ {
+		if d.mob.Position(u) != d.prev[u] {
+			d.moved = append(d.moved, int32(u))
+		}
+	}
+	d.cellsValid = false
+	if !d.brute {
+		d.buildCells()
+	}
+	if len(d.moved) == 0 {
+		return graph.Delta{}
+	}
+	d.dirty = true
+	return d.classifier.Classify(celldelta.Config{
+		N:         n,
+		CellsPer:  d.cellsPer,
+		Torus:     d.mob.Torus(),
+		Brute:     d.brute,
+		Moved:     d.moved,
+		MovedMark: d.movedMark,
+		Old: celldelta.Grid{
+			NodeCell: d.oldNodeCell, Starts: d.oldStarts, Order: d.oldOrder,
+			Adjacent: func(u, v int) bool { return d.adjacentPts(d.prev[u], d.prev[v]) },
+		},
+		New: celldelta.Grid{
+			NodeCell: d.nodeCell, Starts: d.starts, Order: d.order,
+			Adjacent: func(u, v int) bool { return d.adjacentPts(d.mob.Position(u), d.mob.Position(v)) },
+		},
+	}, d.parallel)
+}
+
+// swapCells exchanges the current cell structure with the old-structure
+// buffers (allocated on first use), preserving the time-t view for
+// StepDelta's backward scan.
+func (d *Dynamics) swapCells() {
+	if d.oldStarts == nil {
+		k := d.cellsPer
+		d.oldStarts = make([]int32, k*k+1)
+		d.oldOrder = make([]int32, d.mob.N())
+		d.oldNodeCell = make([]int32, d.mob.N())
+	}
+	d.starts, d.oldStarts = d.oldStarts, d.starts
+	d.order, d.oldOrder = d.oldOrder, d.order
+	d.nodeCell, d.oldNodeCell = d.oldNodeCell, d.nodeCell
+	d.cellsValid = false
 }
 
 // adjacent reports whether nodes u and v are within radius under the
 // region's metric.
 func (d *Dynamics) adjacent(u, v int) bool {
-	pu, pv := d.mob.Position(u), d.mob.Position(v)
+	return d.adjacentPts(d.mob.Position(u), d.mob.Position(v))
+}
+
+// adjacentPts reports whether two positions are within radius under
+// the region's metric.
+func (d *Dynamics) adjacentPts(pu, pv geom.Point) bool {
 	r2 := d.radius * d.radius
 	if d.mob.Torus() {
 		return geom.TorusDist2(pu, pv, d.mob.Side()) <= r2
@@ -141,6 +240,27 @@ func (d *Dynamics) Graph() *graph.Graph {
 		d.dirty = false
 		return d.g
 	}
+	if !d.cellsValid {
+		d.buildCells()
+	}
+	starts := d.starts[:d.cellsPer*d.cellsPer+1]
+	// Edge sweep: per contiguous node block into private buffers,
+	// concatenated in block order — the same order the serial
+	// u-ascending loop emits, so snapshots are byte-identical for every
+	// worker count (graph.BlockSweep; see geommeg.Model.Graph for the
+	// same pattern).
+	d.g = d.sweep.Run(d.builder, d.parallel, n, func(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
+		return d.sweepRange(lo, hi, starts, srcs, dsts)
+	})
+	d.dirty = false
+	return d.g
+}
+
+// buildCells (re)computes the cell list — nodeCell, starts, order —
+// for the current positions. Within a cell, nodes appear in ascending
+// id (the counting sort visits u ascending).
+func (d *Dynamics) buildCells() {
+	n := d.mob.N()
 	k := d.cellsPer
 	counts := d.counts[:k*k+1]
 	for i := range counts {
@@ -163,25 +283,19 @@ func (d *Dynamics) Graph() *graph.Graph {
 		d.order[cursor[c]] = int32(u)
 		cursor[c]++
 	}
-	// Edge sweep: per contiguous node block into private buffers,
-	// concatenated in block order — the same order the serial
-	// u-ascending loop emits, so snapshots are byte-identical for every
-	// worker count (graph.BlockSweep; see geommeg.Model.Graph for the
-	// same pattern).
-	d.g = d.sweep.Run(d.builder, d.parallel, n, func(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
-		return d.sweepRange(lo, hi, starts, srcs, dsts)
-	})
-	d.dirty = false
-	return d.g
+	d.cellsValid = true
 }
 
 // sweepRange scans the 3×3 cell neighborhoods of nodes [lo, hi) and
 // appends every edge (u, v) with u in range and v > u to srcs/dsts, in
-// ascending-u order.
+// ascending-u order with each node's larger neighbors ascending in v —
+// so CSR rows come out fully sorted, the canonical order the
+// incremental graph.Mutable path merges against.
 func (d *Dynamics) sweepRange(lo, hi int, starts []int32, srcs, dsts []int32) ([]int32, []int32) {
 	k := d.cellsPer
 	wrap := d.mob.Torus()
 	for u := lo; u < hi; u++ {
+		rowStart := len(dsts)
 		cu := int(d.nodeCell[u])
 		cx, cy := cu%k, cu/k
 		for dy := -1; dy <= 1; dy++ {
@@ -205,6 +319,7 @@ func (d *Dynamics) sweepRange(lo, hi int, starts []int32, srcs, dsts []int32) ([
 				}
 			}
 		}
+		slices.Sort(dsts[rowStart:])
 	}
 	return srcs, dsts
 }

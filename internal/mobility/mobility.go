@@ -22,8 +22,27 @@ import (
 	"math"
 
 	"meg/internal/geom"
+	"meg/internal/par"
 	"meg/internal/rng"
 )
+
+// parallelMover is optionally implemented by mobility processes whose
+// Move shards over a worker pool. Implementations must keep positions
+// byte-identical for every worker count — the four core models do so
+// by drawing every node's round decisions from the counter stream
+// keyed (node, round) via rng.At, never from a shared sequential
+// generator. The Dynamics adapter forwards its own parallelism knob.
+type parallelMover interface {
+	SetParallelism(workers int)
+}
+
+// moveWorkers normalizes a stored worker knob for par.ForBlocks.
+func moveWorkers(workers int) int {
+	if workers == 0 {
+		return 1
+	}
+	return par.Workers(workers)
+}
 
 // Mobility is a discrete-time node mobility process over the square
 // [0, Side]² (wrapping toroidally when Torus reports true).
@@ -55,6 +74,9 @@ type WaypointTorus struct {
 	r           *rng.RNG
 	pos, target []geom.Point
 	speed       []float64
+	base        uint64
+	t           uint64
+	workers     int
 }
 
 // NewWaypointTorus returns a waypoint model for n nodes on a side×side
@@ -81,39 +103,52 @@ func (w *WaypointTorus) Side() float64 { return w.side }
 // Torus implements Mobility.
 func (w *WaypointTorus) Torus() bool { return true }
 
-// Reset implements Mobility: uniform positions, fresh waypoints.
+// SetParallelism implements parallelMover.
+func (w *WaypointTorus) SetParallelism(workers int) { w.workers = moveWorkers(workers) }
+
+// Reset implements Mobility: uniform positions, fresh waypoints. The
+// counter-stream base for subsequent moves is drawn after the initial
+// state, so the initial distribution is untouched by the discipline.
 func (w *WaypointTorus) Reset(r *rng.RNG) {
 	w.r = r
 	for i := range w.pos {
 		w.pos[i] = geom.Point{X: r.Float64() * w.side, Y: r.Float64() * w.side}
 		w.target[i] = geom.Point{X: r.Float64() * w.side, Y: r.Float64() * w.side}
-		w.speed[i] = w.legSpeed()
+		w.speed[i] = w.legSpeed(r)
 	}
+	w.base = r.Uint64()
+	w.t = 0
 }
 
-func (w *WaypointTorus) legSpeed() float64 {
-	return w.vmin + (w.vmax-w.vmin)*w.r.Float64()
+func (w *WaypointTorus) legSpeed(r *rng.RNG) float64 {
+	return w.vmin + (w.vmax-w.vmin)*r.Float64()
 }
 
-// Move implements Mobility.
+// Move implements Mobility. A node draws from its (node, round) stream
+// only on waypoint arrival, so the walk shards over the worker pool
+// byte-identically for every worker count.
 func (w *WaypointTorus) Move() {
-	for i := range w.pos {
-		p, t := w.pos[i], w.target[i]
-		dx := shortestDelta(t.X-p.X, w.side)
-		dy := shortestDelta(t.Y-p.Y, w.side)
-		d := math.Sqrt(dx*dx + dy*dy)
-		if d <= w.speed[i] {
-			w.pos[i] = t
-			w.target[i] = geom.Point{X: w.r.Float64() * w.side, Y: w.r.Float64() * w.side}
-			w.speed[i] = w.legSpeed()
-			continue
+	par.ForBlocks(moveWorkers(w.workers), len(w.pos), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p, t := w.pos[i], w.target[i]
+			dx := shortestDelta(t.X-p.X, w.side)
+			dy := shortestDelta(t.Y-p.Y, w.side)
+			d := math.Sqrt(dx*dx + dy*dy)
+			if d <= w.speed[i] {
+				lr := rng.At(w.base, uint64(i), w.t)
+				w.pos[i] = t
+				w.target[i] = geom.Point{X: lr.Float64() * w.side, Y: lr.Float64() * w.side}
+				w.speed[i] = w.legSpeed(&lr)
+				continue
+			}
+			scale := w.speed[i] / d
+			w.pos[i] = geom.Point{
+				X: geom.WrapTorus(p.X+dx*scale, w.side),
+				Y: geom.WrapTorus(p.Y+dy*scale, w.side),
+			}
 		}
-		scale := w.speed[i] / d
-		w.pos[i] = geom.Point{
-			X: geom.WrapTorus(p.X+dx*scale, w.side),
-			Y: geom.WrapTorus(p.Y+dy*scale, w.side),
-		}
-	}
+	})
+	w.t++
 }
 
 // Position implements Mobility.
@@ -144,6 +179,9 @@ type Billiard struct {
 	r        *rng.RNG
 	pos      []geom.Point
 	vx, vy   []float64
+	base     uint64
+	t        uint64
+	workers  int
 }
 
 // NewBilliard returns a billiard model with the given constant speed
@@ -169,37 +207,50 @@ func (b *Billiard) Side() float64 { return b.side }
 // Torus implements Mobility.
 func (b *Billiard) Torus() bool { return false }
 
+// SetParallelism implements parallelMover.
+func (b *Billiard) SetParallelism(workers int) { b.workers = moveWorkers(workers) }
+
 // Reset implements Mobility: uniform positions, uniform headings.
 func (b *Billiard) Reset(r *rng.RNG) {
 	b.r = r
 	for i := range b.pos {
 		b.pos[i] = geom.Point{X: r.Float64() * b.side, Y: r.Float64() * b.side}
-		b.setHeading(i)
+		b.setHeading(i, r)
 	}
+	b.base = r.Uint64()
+	b.t = 0
 }
 
-func (b *Billiard) setHeading(i int) {
-	theta := 2 * math.Pi * b.r.Float64()
+func (b *Billiard) setHeading(i int, r *rng.RNG) {
+	theta := 2 * math.Pi * r.Float64()
 	b.vx[i] = b.speed * math.Cos(theta)
 	b.vy[i] = b.speed * math.Sin(theta)
 }
 
-// Move implements Mobility.
+// Move implements Mobility. Each node's turn decision (and heading, on
+// a turn) comes from its (node, round) stream, so the walk shards over
+// the worker pool byte-identically for every worker count.
 func (b *Billiard) Move() {
-	for i := range b.pos {
-		if b.turnProb > 0 && b.r.Bernoulli(b.turnProb) {
-			b.setHeading(i)
+	par.ForBlocks(moveWorkers(b.workers), len(b.pos), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if b.turnProb > 0 {
+				lr := rng.At(b.base, uint64(i), b.t)
+				if lr.Bernoulli(b.turnProb) {
+					b.setHeading(i, &lr)
+				}
+			}
+			x, flipX := geom.Reflect(b.pos[i].X+b.vx[i], b.side)
+			y, flipY := geom.Reflect(b.pos[i].Y+b.vy[i], b.side)
+			if flipX {
+				b.vx[i] = -b.vx[i]
+			}
+			if flipY {
+				b.vy[i] = -b.vy[i]
+			}
+			b.pos[i] = geom.Point{X: x, Y: y}
 		}
-		x, flipX := geom.Reflect(b.pos[i].X+b.vx[i], b.side)
-		y, flipY := geom.Reflect(b.pos[i].Y+b.vy[i], b.side)
-		if flipX {
-			b.vx[i] = -b.vx[i]
-		}
-		if flipY {
-			b.vy[i] = -b.vy[i]
-		}
-		b.pos[i] = geom.Point{X: x, Y: y}
-	}
+	})
+	b.t++
 }
 
 // Position implements Mobility.
@@ -214,6 +265,9 @@ type WalkersTorus struct {
 	moveRadius float64
 	r          *rng.RNG
 	pos        []geom.Point
+	base       uint64
+	t          uint64
+	workers    int
 }
 
 // NewWalkersTorus returns a walkers model with jump radius moveRadius
@@ -234,23 +288,34 @@ func (w *WalkersTorus) Side() float64 { return w.side }
 // Torus implements Mobility.
 func (w *WalkersTorus) Torus() bool { return true }
 
+// SetParallelism implements parallelMover.
+func (w *WalkersTorus) SetParallelism(workers int) { w.workers = moveWorkers(workers) }
+
 // Reset implements Mobility: uniform positions.
 func (w *WalkersTorus) Reset(r *rng.RNG) {
 	w.r = r
 	for i := range w.pos {
 		w.pos[i] = geom.Point{X: r.Float64() * w.side, Y: r.Float64() * w.side}
 	}
+	w.base = r.Uint64()
+	w.t = 0
 }
 
-// Move implements Mobility.
+// Move implements Mobility. Each node's jump comes from its
+// (node, round) stream, so the walk shards over the worker pool
+// byte-identically for every worker count.
 func (w *WalkersTorus) Move() {
-	for i := range w.pos {
-		dx, dy := uniformDisk(w.r, w.moveRadius)
-		w.pos[i] = geom.Point{
-			X: geom.WrapTorus(w.pos[i].X+dx, w.side),
-			Y: geom.WrapTorus(w.pos[i].Y+dy, w.side),
+	par.ForBlocks(moveWorkers(w.workers), len(w.pos), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lr := rng.At(w.base, uint64(i), w.t)
+			dx, dy := uniformDisk(&lr, w.moveRadius)
+			w.pos[i] = geom.Point{
+				X: geom.WrapTorus(w.pos[i].X+dx, w.side),
+				Y: geom.WrapTorus(w.pos[i].Y+dy, w.side),
+			}
 		}
-	}
+	})
+	w.t++
 }
 
 // Position implements Mobility.
@@ -263,11 +328,14 @@ func (w *WalkersTorus) Position(u int) geom.Point { return w.pos[u] }
 // correlation). Homes are uniform in the square; positions are clamped
 // to the square.
 type RestrictedDisk struct {
-	side float64
-	roam float64
-	r    *rng.RNG
-	home []geom.Point
-	pos  []geom.Point
+	side    float64
+	roam    float64
+	r       *rng.RNG
+	home    []geom.Point
+	pos     []geom.Point
+	base    uint64
+	t       uint64
+	workers int
 }
 
 // NewRestrictedDisk returns a restricted-disk model with roaming radius
@@ -292,24 +360,35 @@ func (m *RestrictedDisk) Side() float64 { return m.side }
 // Torus implements Mobility.
 func (m *RestrictedDisk) Torus() bool { return false }
 
+// SetParallelism implements parallelMover.
+func (m *RestrictedDisk) SetParallelism(workers int) { m.workers = moveWorkers(workers) }
+
 // Reset implements Mobility: uniform homes, then one position draw.
 func (m *RestrictedDisk) Reset(r *rng.RNG) {
 	m.r = r
 	for i := range m.home {
 		m.home[i] = geom.Point{X: r.Float64() * m.side, Y: r.Float64() * m.side}
 	}
+	m.base = r.Uint64()
+	m.t = 0
 	m.Move()
 }
 
-// Move implements Mobility.
+// Move implements Mobility. Each node's resample comes from its
+// (node, round) stream, so the walk shards over the worker pool
+// byte-identically for every worker count.
 func (m *RestrictedDisk) Move() {
-	for i := range m.pos {
-		dx, dy := uniformDisk(m.r, m.roam)
-		m.pos[i] = geom.Point{
-			X: geom.Clamp(m.home[i].X+dx, 0, m.side),
-			Y: geom.Clamp(m.home[i].Y+dy, 0, m.side),
+	par.ForBlocks(moveWorkers(m.workers), len(m.pos), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lr := rng.At(m.base, uint64(i), m.t)
+			dx, dy := uniformDisk(&lr, m.roam)
+			m.pos[i] = geom.Point{
+				X: geom.Clamp(m.home[i].X+dx, 0, m.side),
+				Y: geom.Clamp(m.home[i].Y+dy, 0, m.side),
+			}
 		}
-	}
+	})
+	m.t++
 }
 
 // Position implements Mobility.

@@ -1,0 +1,42 @@
+package mobility
+
+import (
+	"testing"
+
+	"meg/internal/rng"
+)
+
+// TestMoveParallelismByteIdentical pins the sharded Move contract of
+// the counter-stream mobility models, mirroring the flooding engine's
+// P1-vs-P8 determinism gate: because every node's round decisions come
+// from the stream keyed (node, round), worker count never changes a
+// single position.
+func TestMoveParallelismByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Mobility
+	}{
+		{"waypoint", func() Mobility { return NewWaypointTorus(1500, 40, 0.5, 2) }},
+		{"billiard", func() Mobility { return NewBilliard(1500, 40, 1.5, 0.3) }},
+		{"walkers", func() Mobility { return NewWalkersTorus(1500, 40, 2) }},
+		{"iiddisk", func() Mobility { return NewRestrictedDisk(1500, 40, 3) }},
+	}
+	for _, tc := range cases {
+		serial := tc.mk()
+		sharded := tc.mk()
+		serial.(parallelMover).SetParallelism(1)
+		sharded.(parallelMover).SetParallelism(8)
+		serial.Reset(rng.New(21))
+		sharded.Reset(rng.New(21))
+		for s := 0; s < 10; s++ {
+			serial.Move()
+			sharded.Move()
+			for u := 0; u < serial.N(); u++ {
+				if serial.Position(u) != sharded.Position(u) {
+					t.Fatalf("%s step %d: node %d at %v vs %v",
+						tc.name, s, u, serial.Position(u), sharded.Position(u))
+				}
+			}
+		}
+	}
+}

@@ -108,14 +108,15 @@ func (e *Executor) Execute(ctx context.Context, s spec.Spec, sink func(Event)) (
 }
 
 // publicSpec strips execution-only hints from the spec embedded in a
-// Result: Workers, Parallelism and ProtocolEngine are excluded from the
-// content hash, so they must not leak into the cached bytes either —
-// otherwise the same hash would serve different bytes depending on
-// which submitter simulated first.
+// Result: Workers, Parallelism, ProtocolEngine and Snapshot are
+// excluded from the content hash, so they must not leak into the
+// cached bytes either — otherwise the same hash would serve different
+// bytes depending on which submitter simulated first.
 func publicSpec(c spec.Spec) spec.Spec {
 	c.Workers = 0
 	c.Parallelism = 0
 	c.ProtocolEngine = ""
+	c.Snapshot = ""
 	return c
 }
 

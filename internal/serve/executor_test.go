@@ -174,6 +174,42 @@ func TestResultBytesIgnoreProtocolEngine(t *testing.T) {
 	}
 }
 
+func TestResultBytesIgnoreSnapshotPath(t *testing.T) {
+	// Snapshot is excluded from the content hash, so the full-rebuild
+	// and incremental-delta paths must produce byte-identical cached
+	// results for one spec — the invariant that makes the hint safe to
+	// exclude.
+	base := spec.Spec{
+		Model:   spec.Model{Name: "edge", N: 256, PhatMult: 2, Q: 0.05},
+		Trials:  2,
+		Sources: 2,
+	}
+	full := base
+	full.Snapshot = "full"
+	delta := base
+	delta.Snapshot = "delta"
+	delta.Parallelism = 4
+	exec := &Executor{}
+	r1, err := exec.Execute(context.Background(), full, nil)
+	if err != nil {
+		t.Fatalf("Execute full: %v", err)
+	}
+	r2, err := exec.Execute(context.Background(), delta, nil)
+	if err != nil {
+		t.Fatalf("Execute delta: %v", err)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Fatalf("snapshot path leaked into result bytes:\n%s\n%s", b1, b2)
+	}
+	h1, _ := full.Hash()
+	h2, _ := delta.Hash()
+	if h1 != h2 {
+		t.Fatalf("snapshot path changed the content hash: %s vs %s", h1, h2)
+	}
+}
+
 func TestExecutorProtocolRoundEvents(t *testing.T) {
 	// The kernel engine streams per-round progress for non-flooding
 	// protocols — previously only trial events existed on this path.

@@ -51,14 +51,14 @@ func (s Spec) NewFactory() (func() core.Dynamics, string, error) {
 
 	switch m.Name {
 	case "geometric":
-		cfg := geommeg.Config{N: n, R: radius, MoveRadius: moveR, Density: m.Density}
+		cfg := geommeg.Config{N: n, R: radius, MoveRadius: moveR, Density: m.Density, Jump: m.Jump}
 		if err := cfg.Validate(); err != nil {
 			return nil, "", err
 		}
 		return wrap(func() core.Dynamics { return geommeg.MustNew(cfg) },
 			fmt.Sprintf("geometric-MEG n=%d R=%.2f r=%.2f δ=%.2f", n, radius, moveR, m.Density), nil)
 	case "torus":
-		cfg := geommeg.Config{N: n, R: radius, MoveRadius: moveR, Density: m.Density, Torus: true}
+		cfg := geommeg.Config{N: n, R: radius, MoveRadius: moveR, Density: m.Density, Jump: m.Jump, Torus: true}
 		if err := cfg.Validate(); err != nil {
 			return nil, "", err
 		}

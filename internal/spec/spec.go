@@ -49,6 +49,12 @@ type Model struct {
 	RFrac float64 `json:"rfrac"`
 	// Density is the node density δ. Default 1.
 	Density float64 `json:"density,omitempty"`
+	// Jump is the lazy-walk activation probability of the lattice
+	// models (geometric, torus): each round a node jumps with
+	// probability Jump and holds otherwise. Default 1 (the paper's
+	// walk); small values give the low-churn regime the incremental
+	// snapshot path targets. Zeroed for every other model.
+	Jump float64 `json:"jump,omitempty"`
 	// PhatMult sets the edge model's stationary edge probability:
 	// p̂ = PhatMult·log n / n. Default 4.
 	PhatMult float64 `json:"phatmult,omitempty"`
@@ -69,6 +75,7 @@ type modelJSON struct {
 	Mult     float64  `json:"mult,omitempty"`
 	RFrac    *float64 `json:"rfrac"`
 	Density  float64  `json:"density,omitempty"`
+	Jump     float64  `json:"jump,omitempty"`
 	PhatMult float64  `json:"phatmult,omitempty"`
 	Q        float64  `json:"q,omitempty"`
 	Empty    bool     `json:"empty,omitempty"`
@@ -86,7 +93,7 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	}
 	*m = Model{
 		Name: j.Name, N: j.N,
-		Mult: j.Mult, RFrac: 0.5, Density: j.Density,
+		Mult: j.Mult, RFrac: 0.5, Density: j.Density, Jump: j.Jump,
 		PhatMult: j.PhatMult, Q: j.Q, Empty: j.Empty,
 	}
 	if j.RFrac != nil {
@@ -180,6 +187,21 @@ type Spec struct {
 	// flooding protocol (which it cannot affect); preserved for
 	// experiment specs, whose protocol experiments honor it.
 	ProtocolEngine string `json:"protocolEngine,omitempty"`
+	// Snapshot selects the engines' per-round snapshot path: "full"
+	// (or empty — rebuild every round) or "delta" (incremental
+	// maintenance from the model's edge churn, with transparent
+	// fallback for models without delta support). The paths are
+	// byte-identical, so like Workers and Parallelism this is an
+	// execution hint excluded from the content hash and stripped from
+	// cached results.
+	Snapshot string `json:"snapshot,omitempty"`
+	// ProtoAlgo and ModelAlgo appear in the hashed canonical form
+	// (CanonicalJSON) to version realization semantics. They are
+	// accepted on input only so canonical JSON re-parses; their values
+	// are never trusted — canonicalization zeroes them and the hash
+	// recomputes them from the current revisions.
+	ProtoAlgo int `json:"protoAlgo,omitempty"`
+	ModelAlgo int `json:"modelAlgo,omitempty"`
 }
 
 // Parse strictly decodes and canonicalizes a spec: unknown fields are
@@ -244,6 +266,11 @@ func (s Spec) Canonical() (Spec, error) {
 	default:
 		return Spec{}, fmt.Errorf("spec: unknown protocolEngine %q (want kernel|reference)", s.ProtocolEngine)
 	}
+	if _, err := core.ParseSnapshotMode(s.Snapshot); err != nil {
+		return Spec{}, fmt.Errorf("spec: %w", err)
+	}
+	// Revision markers are outputs of hashing, never inputs.
+	s.ProtoAlgo, s.ModelAlgo = 0, 0
 
 	if s.Experiment != "" {
 		// Experiment jobs carry only (experiment, scale, seed): the
@@ -288,6 +315,18 @@ func (s Spec) Canonical() (Spec, error) {
 		if m.RFrac == 0 && m.Name != "geometric" && m.Name != "torus" {
 			return Spec{}, fmt.Errorf("spec: model %q needs rfrac > 0 (only geometric|torus support a frozen walk)", m.Name)
 		}
+		// The lazy walk is a lattice-model knob; the mobility models
+		// have no hold step, so the field is unconsumed there.
+		if m.Name == "geometric" || m.Name == "torus" {
+			if m.Jump == 0 {
+				m.Jump = 1
+			}
+			if m.Jump < 0 || m.Jump > 1 {
+				return Spec{}, fmt.Errorf("spec: jump probability %g outside (0, 1]", m.Jump)
+			}
+		} else {
+			m.Jump = 0
+		}
 		m.PhatMult, m.Q, m.Empty = 0, 0, false
 	case m.Name == "edge":
 		if m.PhatMult == 0 {
@@ -299,7 +338,7 @@ func (s Spec) Canonical() (Spec, error) {
 		if m.PhatMult <= 0 || m.Q <= 0 || m.Q > 1 {
 			return Spec{}, fmt.Errorf("spec: edge model needs phatmult > 0 and q in (0, 1]")
 		}
-		m.Mult, m.RFrac, m.Density = 0, 0, 0
+		m.Mult, m.RFrac, m.Density, m.Jump = 0, 0, 0, 0
 	default:
 		return Spec{}, fmt.Errorf("spec: unknown model %q (want geometric|torus|edge|waypoint|billiard|walkers|iiddisk)", m.Name)
 	}
@@ -377,16 +416,32 @@ func (s Spec) Canonical() (Spec, error) {
 // realizations did not change — keep their original hashes.
 const protoAlgoRevision = 2
 
+// modelAlgoRevision versions the realization semantics of the
+// geometric-family models, exactly as protoAlgoRevision does for the
+// protocols: the move to counter-based per-node walk streams (which
+// enabled the sharded Step) and the canonical sorted adjacency rows
+// (which enabled the incremental snapshot path) legitimately changed
+// the realizations every geometric-family (spec, seed) produces, so
+// the revision is folded into their hashes — and into experiment
+// hashes, since experiments run these models internally — to keep
+// pre-existing caches from serving stale bytes. Edge-MEG campaigns are
+// untouched: their resampling, draws, and row order did not change.
+const modelAlgoRevision = 2
+
 // hashView is the hashed subset of a canonical spec: everything except
-// execution-only hints (Workers, Parallelism, ProtocolEngine). Field
-// order is fixed by this struct, so the marshaled form is canonical.
+// execution-only hints (Workers, Parallelism, ProtocolEngine,
+// Snapshot). Field order is fixed by this struct, so the marshaled
+// form is canonical.
 type hashView struct {
 	SchemaVersion int      `json:"version"`
 	Model         Model    `json:"model"`
 	Protocol      Protocol `json:"protocol"`
 	// ProtoAlgo carries protoAlgoRevision for non-flooding protocol
 	// campaigns and experiment specs (0, omitted, for flooding).
-	ProtoAlgo  int    `json:"protoAlgo,omitempty"`
+	ProtoAlgo int `json:"protoAlgo,omitempty"`
+	// ModelAlgo carries modelAlgoRevision for geometric-family model
+	// campaigns and experiment specs (0, omitted, for the edge model).
+	ModelAlgo  int    `json:"modelAlgo,omitempty"`
 	Engine     Engine `json:"engine"`
 	Trials     int    `json:"trials"`
 	Sources    int    `json:"sources"`
@@ -419,6 +474,9 @@ func (s Spec) CanonicalJSON() ([]byte, error) {
 	}
 	if c.Experiment != "" || c.Protocol.Name != "flooding" {
 		v.ProtoAlgo = protoAlgoRevision
+	}
+	if c.Experiment != "" || geometricFamily(c.Model.Name) {
+		v.ModelAlgo = modelAlgoRevision
 	}
 	return json.Marshal(v)
 }

@@ -98,6 +98,28 @@ type MultiOptions = core.MultiOptions
 // its own Parallelism automatically, so most callers never touch this.
 type Parallelizable = core.Parallelizable
 
+// DeltaDynamics is implemented by dynamics that can report each step's
+// edge churn directly (all models in this repository); with
+// FloodOptions.Snapshot = SnapshotDelta the engines then maintain the
+// snapshot incrementally — rebuilding only the adjacency rows the
+// churn touches — instead of re-materializing O(n + m) per round.
+// Results are byte-identical to the full path.
+type DeltaDynamics = core.DeltaDynamics
+
+// Delta is the edge difference between consecutive snapshots: births
+// and deaths as packed, ascending edge-key lists (graph.PackEdge).
+type Delta = graph.Delta
+
+// SnapshotMode selects the engines' per-round snapshot path.
+type SnapshotMode = core.SnapshotMode
+
+// Snapshot modes: full rebuild per round, or incremental maintenance
+// from the model's edge churn (low-churn regimes' fast path).
+const (
+	SnapshotFull  = core.SnapshotFull
+	SnapshotDelta = core.SnapshotDelta
+)
+
 // Flood runs the flooding process on d from the given source with a
 // round cap; see core.Flood for exact semantics.
 func Flood(d Dynamics, source, maxRounds int) FloodResult {
