@@ -154,20 +154,9 @@ func (db *classifyBuf) examine(cfg *Config, u, v int) {
 // scanCells examines every node in the 3×3 cell block around cell cu
 // of the given grid as a candidate partner of moved node u.
 func (db *classifyBuf) scanCells(cfg *Config, g *Grid, cu, u int) {
-	k := cfg.CellsPer
-	cx, cy := cu%k, cu/k
-	for dy := -1; dy <= 1; dy++ {
-		for dx := -1; dx <= 1; dx++ {
-			x, y := cx+dx, cy+dy
-			if cfg.Torus {
-				x, y = (x+k)%k, (y+k)%k
-			} else if x < 0 || x >= k || y < 0 || y >= k {
-				continue
-			}
-			cell := y*k + x
-			for i := g.Starts[cell]; i < g.Starts[cell+1]; i++ {
-				db.examine(cfg, u, int(g.Order[i]))
-			}
+	ForBlockCells(cfg.CellsPer, cfg.Torus, cu, func(cell int) {
+		for i := g.Starts[cell]; i < g.Starts[cell+1]; i++ {
+			db.examine(cfg, u, int(g.Order[i]))
 		}
-	}
+	})
 }

@@ -2,7 +2,6 @@ package geommeg
 
 import (
 	"math"
-	"slices"
 	"sort"
 
 	"meg/internal/celldelta"
@@ -51,6 +50,12 @@ type Model struct {
 	// or worker count.
 	base uint64
 	t    uint64
+
+	// blocks holds, per cell, the merged ascending node list of its
+	// 3×3 block — rebuilt once per snapshot so the edge sweep can
+	// binary-search to each node's v > u suffix and emit sorted rows
+	// with no per-node sort.
+	blocks celldelta.Blocks
 
 	// moveBufs holds the parallel walk's per-block moved-node lists;
 	// movedNodes is their concatenation in block order (ascending).
@@ -396,7 +401,7 @@ func (m *Model) Graph() *graph.Graph {
 	if !m.cellsValid {
 		m.buildCells()
 	}
-	starts := m.cellStarts[:m.cellsPer*m.cellsPer+1]
+	m.blocks.Build(m.cellsPer, m.lat.torus, m.cellStarts, m.cellOrder, m.parallel)
 
 	// Edge sweep: per contiguous node block, each worker emits its
 	// block's (u, v > u) edges into a private buffer in the same order
@@ -404,7 +409,7 @@ func (m *Model) Graph() *graph.Graph {
 	// blocks in order, reproducing the serial edge list — and with it
 	// the CSR snapshot — byte-identically for every worker count.
 	m.g = m.sweep.Run(m.builder, m.parallel, n, func(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
-		return m.sweepRange(lo, hi, starts, srcs, dsts)
+		return m.sweepRange(lo, hi, srcs, dsts)
 	})
 	m.dirty = false
 	return m.g
@@ -440,40 +445,20 @@ func (m *Model) buildCells() {
 	m.cellsValid = true
 }
 
-// sweepRange scans the 3×3 cell neighborhoods of nodes [lo, hi) and
-// appends every edge (u, v) with u in range and v > u to srcs/dsts, in
-// ascending-u order with each node's larger neighbors ascending in v —
-// so CSR rows come out fully sorted (the smaller-endpoint prefix of a
-// row is ascending automatically), the canonical order the incremental
-// graph.Mutable path merges against.
-func (m *Model) sweepRange(lo, hi int, starts []int32, srcs, dsts []int32) ([]int32, []int32) {
-	k := m.cellsPer
+// sweepRange scans nodes [lo, hi): each node u walks the ascending
+// v > u suffix of its cell's merged 3×3 candidate list, so edges come
+// out in ascending-u order with fully sorted rows — the canonical
+// order the incremental graph.Mutable path merges against (the
+// smaller-endpoint prefix of a CSR row is ascending automatically) —
+// with no per-node filtering or sorting.
+func (m *Model) sweepRange(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
 	for u := lo; u < hi; u++ {
-		rowStart := len(dsts)
-		cu := int(m.nodeCell[u])
-		cx, cy := cu%k, cu/k
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				nx, ny := cx+dx, cy+dy
-				if m.lat.torus {
-					nx, ny = (nx+k)%k, (ny+k)%k
-				} else if nx < 0 || nx >= k || ny < 0 || ny >= k {
-					continue
-				}
-				c := ny*k + nx
-				for i := starts[c]; i < starts[c+1]; i++ {
-					v := int(m.cellOrder[i])
-					if v <= u {
-						continue
-					}
-					if m.lat.adjacent(m.ix[u], m.iy[u], m.ix[v], m.iy[v]) {
-						srcs = append(srcs, int32(u))
-						dsts = append(dsts, int32(v))
-					}
-				}
+		for _, v := range m.blocks.After(m.nodeCell[u], u) {
+			if m.lat.adjacent(m.ix[u], m.iy[u], m.ix[v], m.iy[v]) {
+				srcs = append(srcs, int32(u))
+				dsts = append(dsts, int32(v))
 			}
 		}
-		slices.Sort(dsts[rowStart:])
 	}
 	return srcs, dsts
 }

@@ -1,8 +1,6 @@
 package mobility
 
 import (
-	"slices"
-
 	"meg/internal/celldelta"
 	"meg/internal/geom"
 	"meg/internal/graph"
@@ -35,6 +33,12 @@ type Dynamics struct {
 	// value.
 	parallel int
 	sweep    graph.BlockSweep
+
+	// blocks holds, per cell, the merged ascending node list of its
+	// 3×3 block — rebuilt once per snapshot so the edge sweep can
+	// binary-search to each node's v > u suffix and emit sorted rows
+	// with no per-node sort.
+	blocks celldelta.Blocks
 
 	// Incremental (StepDelta) machinery, allocated on first use: the
 	// time-t positions, the time-t cell structure (double-buffered with
@@ -243,14 +247,14 @@ func (d *Dynamics) Graph() *graph.Graph {
 	if !d.cellsValid {
 		d.buildCells()
 	}
-	starts := d.starts[:d.cellsPer*d.cellsPer+1]
+	d.blocks.Build(d.cellsPer, d.mob.Torus(), d.starts, d.order, d.parallel)
 	// Edge sweep: per contiguous node block into private buffers,
 	// concatenated in block order — the same order the serial
 	// u-ascending loop emits, so snapshots are byte-identical for every
 	// worker count (graph.BlockSweep; see geommeg.Model.Graph for the
 	// same pattern).
 	d.g = d.sweep.Run(d.builder, d.parallel, n, func(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
-		return d.sweepRange(lo, hi, starts, srcs, dsts)
+		return d.sweepRange(lo, hi, srcs, dsts)
 	})
 	d.dirty = false
 	return d.g
@@ -286,40 +290,19 @@ func (d *Dynamics) buildCells() {
 	d.cellsValid = true
 }
 
-// sweepRange scans the 3×3 cell neighborhoods of nodes [lo, hi) and
-// appends every edge (u, v) with u in range and v > u to srcs/dsts, in
-// ascending-u order with each node's larger neighbors ascending in v —
-// so CSR rows come out fully sorted, the canonical order the
-// incremental graph.Mutable path merges against.
-func (d *Dynamics) sweepRange(lo, hi int, starts []int32, srcs, dsts []int32) ([]int32, []int32) {
-	k := d.cellsPer
-	wrap := d.mob.Torus()
+// sweepRange scans nodes [lo, hi): each node u walks the ascending
+// v > u suffix of its cell's merged 3×3 candidate list, so edges come
+// out in ascending-u order with fully sorted rows — the canonical
+// order the incremental graph.Mutable path merges against — with no
+// per-node filtering or sorting.
+func (d *Dynamics) sweepRange(lo, hi int, srcs, dsts []int32) ([]int32, []int32) {
 	for u := lo; u < hi; u++ {
-		rowStart := len(dsts)
-		cu := int(d.nodeCell[u])
-		cx, cy := cu%k, cu/k
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				nx, ny := cx+dx, cy+dy
-				if wrap {
-					nx, ny = (nx+k)%k, (ny+k)%k
-				} else if nx < 0 || nx >= k || ny < 0 || ny >= k {
-					continue
-				}
-				c := ny*k + nx
-				for i := starts[c]; i < starts[c+1]; i++ {
-					v := int(d.order[i])
-					if v <= u {
-						continue
-					}
-					if d.adjacent(u, v) {
-						srcs = append(srcs, int32(u))
-						dsts = append(dsts, int32(v))
-					}
-				}
+		for _, v := range d.blocks.After(d.nodeCell[u], u) {
+			if d.adjacent(u, int(v)) {
+				srcs = append(srcs, int32(u))
+				dsts = append(dsts, int32(v))
 			}
 		}
-		slices.Sort(dsts[rowStart:])
 	}
 	return srcs, dsts
 }

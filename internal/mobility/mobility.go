@@ -71,7 +71,6 @@ type Mobility interface {
 type WaypointTorus struct {
 	side        float64
 	vmin, vmax  float64
-	r           *rng.RNG
 	pos, target []geom.Point
 	speed       []float64
 	base        uint64
@@ -110,7 +109,6 @@ func (w *WaypointTorus) SetParallelism(workers int) { w.workers = moveWorkers(wo
 // counter-stream base for subsequent moves is drawn after the initial
 // state, so the initial distribution is untouched by the discipline.
 func (w *WaypointTorus) Reset(r *rng.RNG) {
-	w.r = r
 	for i := range w.pos {
 		w.pos[i] = geom.Point{X: r.Float64() * w.side, Y: r.Float64() * w.side}
 		w.target[i] = geom.Point{X: r.Float64() * w.side, Y: r.Float64() * w.side}
@@ -176,7 +174,6 @@ type Billiard struct {
 	side     float64
 	speed    float64
 	turnProb float64
-	r        *rng.RNG
 	pos      []geom.Point
 	vx, vy   []float64
 	base     uint64
@@ -212,7 +209,6 @@ func (b *Billiard) SetParallelism(workers int) { b.workers = moveWorkers(workers
 
 // Reset implements Mobility: uniform positions, uniform headings.
 func (b *Billiard) Reset(r *rng.RNG) {
-	b.r = r
 	for i := range b.pos {
 		b.pos[i] = geom.Point{X: r.Float64() * b.side, Y: r.Float64() * b.side}
 		b.setHeading(i, r)
@@ -263,7 +259,6 @@ func (b *Billiard) Position(u int) geom.Point { return b.pos[u] }
 type WalkersTorus struct {
 	side       float64
 	moveRadius float64
-	r          *rng.RNG
 	pos        []geom.Point
 	base       uint64
 	t          uint64
@@ -293,7 +288,6 @@ func (w *WalkersTorus) SetParallelism(workers int) { w.workers = moveWorkers(wor
 
 // Reset implements Mobility: uniform positions.
 func (w *WalkersTorus) Reset(r *rng.RNG) {
-	w.r = r
 	for i := range w.pos {
 		w.pos[i] = geom.Point{X: r.Float64() * w.side, Y: r.Float64() * w.side}
 	}
@@ -330,7 +324,6 @@ func (w *WalkersTorus) Position(u int) geom.Point { return w.pos[u] }
 type RestrictedDisk struct {
 	side    float64
 	roam    float64
-	r       *rng.RNG
 	home    []geom.Point
 	pos     []geom.Point
 	base    uint64
@@ -365,7 +358,6 @@ func (m *RestrictedDisk) SetParallelism(workers int) { m.workers = moveWorkers(w
 
 // Reset implements Mobility: uniform homes, then one position draw.
 func (m *RestrictedDisk) Reset(r *rng.RNG) {
-	m.r = r
 	for i := range m.home {
 		m.home[i] = geom.Point{X: r.Float64() * m.side, Y: r.Float64() * m.side}
 	}
