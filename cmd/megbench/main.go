@@ -28,6 +28,9 @@
 //	-compare DIR                 with -suite: diff against the newest
 //	                             BENCH file in DIR (regression table,
 //	                             warns on >20% wall regressions)
+//	-history DIR                 print a per-scenario trend table across
+//	                             every BENCH file in DIR and exit (runs
+//	                             nothing; -compare diffs only the newest)
 //	-kernel auto|push|pull       flooding kernel (default auto). Kernels
 //	                             compute identical results per flooding
 //	                             call; note that pinning one also forces
@@ -63,12 +66,18 @@ func main() {
 	protoEngine := flag.String("proto-engine", "", "gossip engine for protocol experiments: kernel|reference (default kernel; results are identical)")
 	snapshotFlag := flag.String("snapshot", "", "per-round snapshot path for experiments: full|delta (results are identical)")
 	compareDir := flag.String("compare", "", "with -suite: diff the run against the newest bench/history BENCH file in this directory and print a regression table")
+	historyDir := flag.String("history", "", "print a per-scenario trend table across every BENCH file in this directory and exit (no experiments run)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
 	jsonOut := flag.Bool("json", false, "emit the reports (or the BENCH file with -suite) as JSON on stdout instead of text")
 	list := flag.Bool("list", false, "list experiments and exit")
 	suite := flag.Bool("suite", false, "run the benchmark trajectory suite and write BENCH_<git-sha>.json")
 	outDir := flag.String("out", ".", "directory for the BENCH_<git-sha>.json artifact (with -suite)")
 	flag.Parse()
+
+	if *historyDir != "" {
+		runHistory(*historyDir)
+		return
+	}
 
 	if *suite {
 		runSuite(*outDir, *parallelism, *jsonOut, *compareDir, flag.Args())

@@ -80,3 +80,16 @@ func runSuite(outDir string, parallelism int, jsonOut bool, compareDir string, f
 		os.Exit(1)
 	}
 }
+
+// runHistory prints the whole trajectory in dir as per-scenario trend
+// tables — where -compare diffs only the newest entry, -history shows
+// how each scenario's wall time and speedup moved across every recorded
+// run. Standalone: no experiments execute.
+func runHistory(dir string) {
+	files, err := bench.LoadAll(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "megbench: %v\n", err)
+		os.Exit(1)
+	}
+	bench.BuildHistory(files).WriteMarkdown(os.Stdout)
+}

@@ -1,0 +1,166 @@
+// Command meglint runs the determinism-discipline analyzers over this
+// module and exits non-zero on any finding. It is the static
+// counterpart of the P1≡P8 equivalence tests and the bench checksum
+// gates: the dynamic gates prove a finished run was deterministic,
+// meglint rejects the known nondeterminism bug classes before a trial
+// ever executes.
+//
+// Usage:
+//
+//	meglint [-list] [-only names] [packages]
+//
+// Packages are ./... (the default, and the only pattern), the module
+// root directory, or individual package directories. Analyzers (see
+// internal/lint): mapiter, rngdiscipline, wallclock, rawgo, hashhints.
+//
+// Exit status: 0 clean, 1 findings (or type errors — analysis over a
+// broken package is untrustworthy), 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"meg/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+		os.Exit(2)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var pkgs []*lint.Package
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, arg := range args {
+		switch arg {
+		case "./...", "...", loader.ModulePath + "/...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			pkg, err := loadArg(loader, arg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+				os.Exit(2)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	failed := false
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			failed = true
+			fmt.Fprintf(os.Stderr, "meglint: %s: type error: %v\n", p.Path, terr)
+		}
+	}
+
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 || failed {
+		fmt.Fprintf(os.Stderr, "meglint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves -only against the registry.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// moduleRoot finds the enclosing module by walking up from the working
+// directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s (run meglint inside the module)", dir)
+		}
+		dir = parent
+	}
+}
+
+// loadArg loads one explicitly named package: a directory path or an
+// import path within the module.
+func loadArg(loader *lint.Loader, arg string) (*lint.Package, error) {
+	if strings.HasPrefix(arg, loader.ModulePath) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(arg, loader.ModulePath), "/")
+		dir := filepath.Join(loader.ModuleRoot, filepath.FromSlash(rel))
+		return loader.Load(arg, dir)
+	}
+	abs, err := filepath.Abs(arg)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(loader.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("package %s is outside module %s", arg, loader.ModulePath)
+	}
+	path := loader.ModulePath
+	if rel != "." {
+		path = loader.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return loader.Load(path, abs)
+}

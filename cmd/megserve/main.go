@@ -55,6 +55,7 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
+	//meg:allow-go signal watcher for graceful shutdown; never touches simulation state
 	go func() {
 		<-stop
 		fmt.Fprintln(os.Stderr, "megserve: shutting down")

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// LoadAll reads every readable BENCH_*.json in dir, oldest first by the
+// files' own generatedAt stamps (RFC 3339, so lexicographic order is
+// chronological; ties break on git SHA for a stable table). Malformed
+// entries are skipped for the same reason LoadLatest skips them: one
+// corrupt trajectory file shouldn't hide the rest of the history.
+func LoadAll(dir string) ([]*File, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var files []*File
+	for _, p := range paths {
+		f, err := Load(p)
+		if err != nil {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("bench: no readable BENCH_*.json in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].GeneratedAt != files[j].GeneratedAt {
+			return files[i].GeneratedAt < files[j].GeneratedAt
+		}
+		return files[i].GitSHA < files[j].GitSHA
+	})
+	return files, nil
+}
+
+// TrendPoint is one scenario's measurement in one trajectory entry.
+// Wall and ns/round come from the run's sharded variant, matching the
+// comparison table's convention.
+type TrendPoint struct {
+	GitSHA      string
+	GeneratedAt string
+	WallNS      int64
+	NSPerRound  float64
+	Speedup     float64
+	// WallPct is the wall change versus the previous entry that
+	// measured this scenario; HasPrev is false on the first one.
+	WallPct float64
+	HasPrev bool
+}
+
+// ScenarioTrend is one scenario's measurements across the trajectory,
+// oldest first.
+type ScenarioTrend struct {
+	Name   string
+	N      int
+	Points []TrendPoint
+}
+
+// History is the per-scenario view of a chronological run of BENCH
+// files — the whole trajectory, where Compare diffs exactly two
+// entries.
+type History struct {
+	Entries int
+	Trends  []ScenarioTrend
+}
+
+// BuildHistory pivots a chronological file list (as LoadAll returns)
+// into per-scenario trends. Scenarios appear in the newest entry's
+// suite order; scenarios only present in older entries (since removed
+// from the suite) follow, sorted by name, so suite composition changes
+// stay visible.
+func BuildHistory(files []*File) History {
+	h := History{Entries: len(files)}
+	if len(files) == 0 {
+		return h
+	}
+	index := make(map[string]int)
+	for _, r := range files[len(files)-1].Results {
+		if _, ok := index[r.Name]; ok {
+			continue
+		}
+		index[r.Name] = len(h.Trends)
+		h.Trends = append(h.Trends, ScenarioTrend{Name: r.Name, N: r.N})
+	}
+	var removed []string
+	for _, f := range files {
+		for _, r := range f.Results {
+			if _, ok := index[r.Name]; !ok {
+				index[r.Name] = len(h.Trends)
+				h.Trends = append(h.Trends, ScenarioTrend{Name: r.Name, N: r.N})
+				removed = append(removed, r.Name)
+			}
+		}
+	}
+	sort.Strings(removed)
+	// Re-sort only the removed tail; the newest entry's order leads.
+	live := len(h.Trends) - len(removed)
+	sort.Slice(h.Trends[live:], func(i, j int) bool {
+		return h.Trends[live+i].Name < h.Trends[live+j].Name
+	})
+	for i := range h.Trends {
+		index[h.Trends[i].Name] = i
+	}
+	for _, f := range files {
+		for _, r := range f.Results {
+			v, ok := shardedVariant(r)
+			if !ok {
+				continue
+			}
+			t := &h.Trends[index[r.Name]]
+			p := TrendPoint{
+				GitSHA:      f.GitSHA,
+				GeneratedAt: f.GeneratedAt,
+				WallNS:      v.WallNS,
+				NSPerRound:  v.NSPerRound,
+				Speedup:     r.SpeedupVsSerial,
+			}
+			if len(t.Points) > 0 {
+				if prev := t.Points[len(t.Points)-1]; prev.WallNS > 0 {
+					p.WallPct = 100 * float64(p.WallNS-prev.WallNS) / float64(prev.WallNS)
+					p.HasPrev = true
+				}
+			}
+			t.N = r.N
+			t.Points = append(t.Points, p)
+		}
+	}
+	return h
+}
+
+// WriteMarkdown renders the trajectory as one GitHub-flavored markdown
+// table per scenario, oldest entry first, matching WriteMarkdown on
+// Comparison so the two read side by side in a CI summary.
+func (h History) WriteMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### Bench history: %d entries\n\n", h.Entries)
+	for _, t := range h.Trends {
+		fmt.Fprintf(w, "#### %s (n=%d)\n\n", t.Name, t.N)
+		if len(t.Points) == 0 {
+			fmt.Fprintf(w, "no measurements\n\n")
+			continue
+		}
+		fmt.Fprintf(w, "| sha | generated | wall | Δwall | ns/round | speedup |\n")
+		fmt.Fprintf(w, "|---|---|---:|---:|---:|---:|\n")
+		for _, p := range t.Points {
+			delta := "—"
+			if p.HasPrev {
+				delta = fmt.Sprintf("%+.1f%%", p.WallPct)
+			}
+			fmt.Fprintf(w, "| %s | %s | %.1f ms | %s | %.0f | %.2fx |\n",
+				short(p.GitSHA), p.GeneratedAt, float64(p.WallNS)/1e6, delta, p.NSPerRound, p.Speedup)
+		}
+		fmt.Fprintln(w)
+	}
+}

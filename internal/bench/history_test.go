@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// histFile builds a minimal trajectory entry. wall maps scenario name
+// to sharded wall ns; every result carries a serial and a sharded
+// variant so shardedVariant picks the latter.
+func histFile(sha, generated string, wall map[string]int64, order []string) *File {
+	f := &File{SchemaVersion: SchemaVersion, GitSHA: sha, GeneratedAt: generated}
+	for _, name := range order {
+		ns := wall[name]
+		f.Results = append(f.Results, Result{
+			Name: name, N: 1024, SpeedupVsSerial: 2,
+			Variants: []Variant{
+				{Variant: "serial", WallNS: 2 * ns, NSPerRound: 200},
+				{Variant: "sharded", WallNS: ns, NSPerRound: 100},
+			},
+		})
+	}
+	return f
+}
+
+func TestLoadAllSortsByGeneratedAt(t *testing.T) {
+	dir := t.TempDir()
+	// File names deliberately sort opposite to generatedAt.
+	entries := []*File{
+		histFile("zzz", "2026-01-03T00:00:00Z", map[string]int64{"a": 3e6}, []string{"a"}),
+		histFile("mmm", "2026-01-02T00:00:00Z", map[string]int64{"a": 2e6}, []string{"a"}),
+		histFile("aaa", "2026-01-04T00:00:00Z", map[string]int64{"a": 4e6}, []string{"a"}),
+	}
+	for _, f := range entries {
+		if err := f.Write(filepath.Join(dir, FileName(f.GitSHA))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A malformed entry must be skipped, not fail the load.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, err := LoadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shas []string
+	for _, f := range files {
+		shas = append(shas, f.GitSHA)
+	}
+	if want := []string{"mmm", "zzz", "aaa"}; strings.Join(shas, ",") != strings.Join(want, ",") {
+		t.Fatalf("LoadAll order = %v, want %v", shas, want)
+	}
+}
+
+func TestLoadAllEmptyDir(t *testing.T) {
+	if _, err := LoadAll(t.TempDir()); err == nil {
+		t.Fatal("LoadAll on an empty dir must error")
+	}
+}
+
+func TestBuildHistoryTrends(t *testing.T) {
+	files := []*File{
+		histFile("s1", "2026-01-01T00:00:00Z", map[string]int64{"flood": 10e6, "old-only": 5e6}, []string{"flood", "old-only"}),
+		histFile("s2", "2026-01-02T00:00:00Z", map[string]int64{"flood": 12e6}, []string{"flood"}),
+		histFile("s3", "2026-01-03T00:00:00Z", map[string]int64{"flood": 9e6, "proto": 4e6}, []string{"flood", "proto"}),
+	}
+	h := BuildHistory(files)
+	if h.Entries != 3 {
+		t.Fatalf("Entries = %d, want 3", h.Entries)
+	}
+	// Newest entry's order first, removed scenarios appended.
+	var names []string
+	for _, tr := range h.Trends {
+		names = append(names, tr.Name)
+	}
+	if want := "flood,proto,old-only"; strings.Join(names, ",") != want {
+		t.Fatalf("trend order = %v, want %s", names, want)
+	}
+
+	flood := h.Trends[0]
+	if len(flood.Points) != 3 {
+		t.Fatalf("flood has %d points, want 3", len(flood.Points))
+	}
+	if flood.Points[0].HasPrev {
+		t.Error("first point must have no Δ")
+	}
+	if !flood.Points[1].HasPrev || flood.Points[1].WallPct != 20 {
+		t.Errorf("second point Δwall = %v (hasPrev=%v), want +20%%", flood.Points[1].WallPct, flood.Points[1].HasPrev)
+	}
+	if !flood.Points[2].HasPrev || flood.Points[2].WallPct != -25 {
+		t.Errorf("third point Δwall = %v, want -25%%", flood.Points[2].WallPct)
+	}
+	if flood.Points[2].GitSHA != "s3" || flood.Points[2].Speedup != 2 {
+		t.Errorf("third point = %+v, want sha s3 speedup 2", flood.Points[2])
+	}
+	if got := h.Trends[2]; got.Name != "old-only" || len(got.Points) != 1 {
+		t.Fatalf("old-only trend = %+v, want a single point", got)
+	}
+}
+
+func TestBuildHistorySkipsVariantlessResults(t *testing.T) {
+	f1 := histFile("s1", "2026-01-01T00:00:00Z", map[string]int64{"flood": 10e6}, []string{"flood"})
+	f2 := histFile("s2", "2026-01-02T00:00:00Z", map[string]int64{"flood": 11e6}, []string{"flood"})
+	f2.Results[0].Variants = nil // truncated entry
+	h := BuildHistory([]*File{f1, f2})
+	if len(h.Trends) != 1 || len(h.Trends[0].Points) != 1 {
+		t.Fatalf("variantless result must contribute no point: %+v", h.Trends)
+	}
+}
+
+func TestHistoryWriteMarkdown(t *testing.T) {
+	files := []*File{
+		histFile("aaaaaaaaaaaabbbb", "2026-01-01T00:00:00Z", map[string]int64{"flood": 10e6}, []string{"flood"}),
+		histFile("cccccccccccc", "2026-01-02T00:00:00Z", map[string]int64{"flood": 15e6}, []string{"flood"}),
+	}
+	var sb strings.Builder
+	BuildHistory(files).WriteMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"### Bench history: 2 entries",
+		"#### flood (n=1024)",
+		"| aaaaaaaaaaaa | 2026-01-01T00:00:00Z | 10.0 ms | — |",
+		"| cccccccccccc | 2026-01-02T00:00:00Z | 15.0 ms | +50.0% |",
+		"| 2.00x |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

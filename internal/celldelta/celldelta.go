@@ -75,6 +75,13 @@ type classifyBuf struct {
 // count. The returned slices are valid until the next Classify call.
 func (c *Classifier) Classify(cfg Config, workers int) graph.Delta {
 	moved := cfg.Moved
+	if len(moved) == 0 {
+		// Nothing moved, nothing flipped. The callers guard this case
+		// themselves, but the classifier's contract should not depend
+		// on it (the worker clamp below would otherwise leave the
+		// scratch pool empty while ForBlocks still runs one block).
+		return graph.Delta{}
+	}
 	for _, u := range moved {
 		cfg.MovedMark[u] = true
 	}

@@ -1,0 +1,268 @@
+package celldelta
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"meg/internal/graph"
+	"meg/internal/rng"
+)
+
+// testWorld is one side of a transition for testing: positions in the
+// unit square plus the derived cell-list structures, mirroring the
+// counting-sort layout geommeg and mobility produce.
+type testWorld struct {
+	pos      [][2]float64
+	cellsPer int
+	torus    bool
+	radius   float64
+	grid     Grid
+}
+
+func newWorld(pos [][2]float64, cellsPer int, torus bool, radius float64) *testWorld {
+	w := &testWorld{pos: pos, cellsPer: cellsPer, torus: torus, radius: radius}
+	n := len(pos)
+	nodeCell := make([]int32, n)
+	counts := make([]int32, cellsPer*cellsPer+1)
+	for u, p := range pos {
+		cx := int(p[0] * float64(cellsPer))
+		cy := int(p[1] * float64(cellsPer))
+		if cx >= cellsPer {
+			cx = cellsPer - 1
+		}
+		if cy >= cellsPer {
+			cy = cellsPer - 1
+		}
+		nodeCell[u] = int32(cy*cellsPer + cx)
+		counts[nodeCell[u]+1]++
+	}
+	for c := 1; c < len(counts); c++ {
+		counts[c] += counts[c-1]
+	}
+	starts := slices.Clone(counts)
+	order := make([]int32, n)
+	// Ascending u fills each cell's segment in ascending node order —
+	// the layout the classifier's contract requires.
+	fill := slices.Clone(starts)
+	for u := 0; u < n; u++ {
+		c := nodeCell[u]
+		order[fill[c]] = int32(u)
+		fill[c]++
+	}
+	w.grid = Grid{NodeCell: nodeCell, Starts: starts, Order: order, Adjacent: w.adjacent}
+	return w
+}
+
+func (w *testWorld) adjacent(u, v int) bool {
+	dx := math.Abs(w.pos[u][0] - w.pos[v][0])
+	dy := math.Abs(w.pos[u][1] - w.pos[v][1])
+	if w.torus {
+		if dx > 0.5 {
+			dx = 1 - dx
+		}
+		if dy > 0.5 {
+			dy = 1 - dy
+		}
+	}
+	return dx*dx+dy*dy <= w.radius*w.radius
+}
+
+// bruteDelta recomputes the expected delta by scanning every pair with
+// at least one moved endpoint — the oracle Classify must match.
+func bruteDelta(old, new *testWorld, moved []int32) graph.Delta {
+	isMoved := make([]bool, len(old.pos))
+	for _, u := range moved {
+		isMoved[u] = true
+	}
+	var d graph.Delta
+	for u := 0; u < len(old.pos); u++ {
+		for v := u + 1; v < len(old.pos); v++ {
+			if !isMoved[u] && !isMoved[v] {
+				continue
+			}
+			aOld := old.adjacent(u, v)
+			aNew := new.adjacent(u, v)
+			if aOld == aNew {
+				continue
+			}
+			key := graph.PackEdge(u, v)
+			if aNew {
+				d.Births = append(d.Births, key)
+			} else {
+				d.Deaths = append(d.Deaths, key)
+			}
+		}
+	}
+	slices.Sort(d.Births)
+	slices.Sort(d.Deaths)
+	return d
+}
+
+// randWorlds builds an old/new world pair where a random subset of
+// nodes jumps to fresh uniform positions. The cell radius keeps
+// adjacency within one cell size, so the 3×3 scan is complete.
+func randWorlds(t *testing.T, r *rng.RNG, n, cellsPer int, torus bool) (old, new *testWorld, moved []int32) {
+	t.Helper()
+	radius := 0.9 / float64(cellsPer)
+	oldPos := make([][2]float64, n)
+	for i := range oldPos {
+		oldPos[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	newPos := slices.Clone(oldPos)
+	for i := range newPos {
+		if r.Bernoulli(0.3) {
+			newPos[i] = [2]float64{r.Float64(), r.Float64()}
+			moved = append(moved, int32(i))
+		}
+	}
+	return newWorld(oldPos, cellsPer, torus, radius), newWorld(newPos, cellsPer, torus, radius), moved
+}
+
+func classifyConfig(old, new *testWorld, moved []int32, brute bool) Config {
+	return Config{
+		N:         len(old.pos),
+		CellsPer:  old.cellsPer,
+		Torus:     old.torus,
+		Brute:     brute,
+		Moved:     moved,
+		MovedMark: make([]bool, len(old.pos)),
+		Old:       old.grid,
+		New:       new.grid,
+	}
+}
+
+func deltasEqual(a, b graph.Delta) bool {
+	return slices.Equal(a.Births, b.Births) && slices.Equal(a.Deaths, b.Deaths)
+}
+
+func TestClassifyMatchesBruteForceScan(t *testing.T) {
+	for _, torus := range []bool{false, true} {
+		r := rng.New(7)
+		for trial := 0; trial < 20; trial++ {
+			old, new, moved := randWorlds(t, r, 150, 5, torus)
+			var c Classifier
+			got := c.Classify(classifyConfig(old, new, moved, false), 1)
+			want := bruteDelta(old, new, moved)
+			if !deltasEqual(got, want) {
+				t.Fatalf("torus=%v trial %d: cell delta %d births/%d deaths, brute %d/%d",
+					torus, trial, len(got.Births), len(got.Deaths), len(want.Births), len(want.Deaths))
+			}
+			// Every birth must be adjacent only after, every death
+			// only before, and every key must involve a moved node.
+			isMoved := make(map[int32]bool)
+			for _, u := range moved {
+				isMoved[u] = true
+			}
+			for _, key := range got.Births {
+				u, v := graph.UnpackEdge(key)
+				if old.adjacent(u, v) || !new.adjacent(u, v) {
+					t.Fatalf("birth (%d,%d) not a birth", u, v)
+				}
+				if !isMoved[int32(u)] && !isMoved[int32(v)] {
+					t.Fatalf("birth (%d,%d) has no moved endpoint", u, v)
+				}
+			}
+			for _, key := range got.Deaths {
+				u, v := graph.UnpackEdge(key)
+				if !old.adjacent(u, v) || new.adjacent(u, v) {
+					t.Fatalf("death (%d,%d) not a death", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestClassifyBruteModeMatchesCellMode(t *testing.T) {
+	r := rng.New(11)
+	old, new, moved := randWorlds(t, r, 120, 4, true)
+	var cCell, cBrute Classifier
+	cell := cCell.Classify(classifyConfig(old, new, moved, false), 2)
+	brute := cBrute.Classify(classifyConfig(old, new, moved, true), 2)
+	if !deltasEqual(cell, brute) {
+		t.Fatalf("cell scan and brute scan disagree: %d/%d vs %d/%d births/deaths",
+			len(cell.Births), len(cell.Deaths), len(brute.Births), len(brute.Deaths))
+	}
+	if len(cell.Births)+len(cell.Deaths) == 0 {
+		t.Fatal("degenerate test: no churn classified")
+	}
+}
+
+func TestClassifyWorkerCountInvariance(t *testing.T) {
+	r := rng.New(3)
+	old, new, moved := randWorlds(t, r, 200, 6, false)
+	var base Classifier
+	want := base.Classify(classifyConfig(old, new, moved, false), 1)
+	wantB, wantD := slices.Clone(want.Births), slices.Clone(want.Deaths)
+	for _, workers := range []int{2, 3, 7, 16, 1000} {
+		var c Classifier
+		got := c.Classify(classifyConfig(old, new, moved, false), workers)
+		if !slices.Equal(got.Births, wantB) || !slices.Equal(got.Deaths, wantD) {
+			t.Fatalf("workers=%d: delta differs from serial classification", workers)
+		}
+	}
+}
+
+func TestClassifyEmptyMovedList(t *testing.T) {
+	r := rng.New(5)
+	old, _, _ := randWorlds(t, r, 50, 4, true)
+	var c Classifier
+	got := c.Classify(classifyConfig(old, old, nil, false), 4)
+	if len(got.Births) != 0 || len(got.Deaths) != 0 {
+		t.Fatalf("no moved nodes must yield an empty delta, got %d/%d", len(got.Births), len(got.Deaths))
+	}
+}
+
+func TestClassifyEmptyCells(t *testing.T) {
+	// All nodes packed into one corner cell leaves the rest of the
+	// grid empty; the 3×3 scans must cope with empty segments.
+	n := 20
+	pos := make([][2]float64, n)
+	for i := range pos {
+		pos[i] = [2]float64{0.01 + float64(i)*0.001, 0.01}
+	}
+	old := newWorld(pos, 8, false, 0.9/8)
+	newPos := slices.Clone(pos)
+	newPos[3] = [2]float64{0.95, 0.95} // far corner, leaves everyone's radius
+	new := newWorld(newPos, 8, false, 0.9/8)
+	moved := []int32{3}
+	var c Classifier
+	got := c.Classify(classifyConfig(old, new, moved, false), 2)
+	want := bruteDelta(old, new, moved)
+	if !deltasEqual(got, want) {
+		t.Fatalf("corner-case delta mismatch: got %d/%d, want %d/%d",
+			len(got.Births), len(got.Deaths), len(want.Births), len(want.Deaths))
+	}
+	if len(want.Deaths) == 0 {
+		t.Fatal("degenerate test: moving node 3 away should kill edges")
+	}
+}
+
+func TestClassifyClearsMovedMark(t *testing.T) {
+	r := rng.New(9)
+	old, new, moved := randWorlds(t, r, 80, 4, false)
+	cfg := classifyConfig(old, new, moved, false)
+	var c Classifier
+	c.Classify(cfg, 3)
+	for i, m := range cfg.MovedMark {
+		if m {
+			t.Fatalf("MovedMark[%d] left set after Classify", i)
+		}
+	}
+}
+
+func TestClassifyReusesClassifierAcrossCalls(t *testing.T) {
+	// The returned slices alias classifier scratch; a second Classify
+	// on different input must produce that input's delta, not remnants
+	// of the first.
+	r := rng.New(13)
+	var c Classifier
+	for trial := 0; trial < 5; trial++ {
+		old, new, moved := randWorlds(t, r, 100, 5, trial%2 == 0)
+		got := c.Classify(classifyConfig(old, new, moved, false), 1+trial)
+		want := bruteDelta(old, new, moved)
+		if !deltasEqual(got, want) {
+			t.Fatalf("trial %d: reused classifier diverges from brute force", trial)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// HashHints cross-checks the spec schema against its content-hash
+// view.
+//
+// internal/spec promises "same hash, same bytes": the content address
+// under which results are cached covers exactly the fields that
+// change what a run computes, and none of the fields that only change
+// how it executes. Two drift bugs have historically threatened that
+// promise (the protoAlgo/modelAlgo revisions of PRs 4–5 were the
+// cleanup):
+//
+//   - an execution hint leaking into the hash view, so the same
+//     computation run with different parallelism misses its own cache
+//     entry (or worse, a hint-stripped cached result is served under a
+//     hash that promised the hint);
+//   - a hashed field with no counterpart in the Spec schema, so the
+//     canonical JSON — which Parse decodes with unknown fields
+//     rejected — no longer re-parses;
+//   - a new semantic Spec field that never gets added to the hash
+//     view, so specs differing in it silently collide on one cache
+//     entry.
+//
+// The analyzer reads the package that declares both `Spec` and
+// `hashView` and enforces all three: a Spec field whose doc comment
+// declares it an "execution hint" must be absent from hashView, every
+// hashView field must map (by JSON name) onto a Spec field, and every
+// other Spec field must appear in hashView. The doc-comment phrase is
+// the contract: documenting a field as an execution hint is what
+// excludes it, and this analyzer is what keeps the documentation and
+// the code telling the same story.
+var HashHints = &Analyzer{
+	Name: "hashhints",
+	Doc:  "cross-check spec.Spec against spec.hashView: hints excluded from the hash, hashed fields re-parseable, semantic fields hashed",
+	Run:  runHashHints,
+}
+
+// hintPhrase in a field's doc comment marks it as an execution-only
+// hint, excluded from the content hash.
+const hintPhrase = "execution hint"
+
+// specField is one parsed struct field.
+type specField struct {
+	name     string // Go field name
+	jsonName string // effective JSON key ("" if json:"-")
+	hint     bool   // doc comment declares it an execution hint
+	pos      ast.Node
+}
+
+func runHashHints(pass *Pass) error {
+	specStruct := findStruct(pass.Files, "Spec")
+	viewStruct := findStruct(pass.Files, "hashView")
+	if specStruct == nil || viewStruct == nil {
+		return nil
+	}
+	specFields := parseFields(specStruct)
+	viewFields := parseFields(viewStruct)
+
+	specByJSON := map[string]specField{}
+	for _, f := range specFields {
+		if f.jsonName != "" {
+			specByJSON[f.jsonName] = f
+		}
+	}
+	viewByJSON := map[string]specField{}
+	for _, f := range viewFields {
+		if f.jsonName != "" {
+			viewByJSON[f.jsonName] = f
+		}
+	}
+
+	for _, vf := range viewFields {
+		if vf.jsonName == "" {
+			continue
+		}
+		sf, inSpec := specByJSON[vf.jsonName]
+		if !inSpec {
+			pass.Reportf(vf.pos.Pos(),
+				"hashView field %s (json %q) has no Spec counterpart: the canonical JSON would not survive re-parse (Parse rejects unknown fields)",
+				vf.name, vf.jsonName)
+			continue
+		}
+		if sf.hint {
+			pass.Reportf(vf.pos.Pos(),
+				"hashView includes %s (json %q), which Spec documents as an execution hint: hints must be excluded from the content-hash input or identical computations stop sharing a cache entry",
+				vf.name, vf.jsonName)
+		}
+	}
+	for _, sf := range specFields {
+		if sf.jsonName == "" || sf.hint {
+			continue
+		}
+		if _, hashed := viewByJSON[sf.jsonName]; !hashed {
+			pass.Reportf(sf.pos.Pos(),
+				"Spec field %s (json %q) is neither documented as an execution hint nor present in hashView: specs differing in it would collide on one content hash; add it to hashView or document why it is a hint",
+				sf.name, sf.jsonName)
+		}
+	}
+	return nil
+}
+
+// findStruct returns the struct type declared under the given name, or
+// nil.
+func findStruct(files []*ast.File, name string) *ast.StructType {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// parseFields flattens a struct's named fields with their JSON names
+// and hint markers. Embedded fields are skipped (the spec schema has
+// none; flattening their promotion rules is out of scope).
+func parseFields(st *ast.StructType) []specField {
+	var out []specField
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue
+		}
+		doc := ""
+		if field.Doc != nil {
+			doc += field.Doc.Text()
+		}
+		if field.Comment != nil {
+			doc += " " + field.Comment.Text()
+		}
+		// Comments wrap freely, so the phrase may span a line break;
+		// collapse all whitespace before matching.
+		doc = strings.Join(strings.Fields(strings.ToLower(doc)), " ")
+		hint := strings.Contains(doc, hintPhrase)
+		for _, name := range field.Names {
+			out = append(out, specField{
+				name:     name.Name,
+				jsonName: jsonName(name.Name, field.Tag),
+				hint:     hint,
+				pos:      name,
+			})
+		}
+	}
+	return out
+}
+
+// jsonName resolves the JSON key encoding/json would use for a field:
+// the tag's first element, the Go name without a tag, "" for json:"-".
+func jsonName(goName string, tag *ast.BasicLit) string {
+	if tag == nil {
+		return goName
+	}
+	raw, err := strconv.Unquote(tag.Value)
+	if err != nil {
+		return goName
+	}
+	jt, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return goName
+	}
+	name, _, _ := strings.Cut(jt, ",")
+	switch name {
+	case "-":
+		return ""
+	case "":
+		return goName
+	}
+	return name
+}

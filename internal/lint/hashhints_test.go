@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"meg/internal/lint"
+	"meg/internal/lint/linttest"
+)
+
+func TestHashHintsClean(t *testing.T) {
+	// Hints excluded, hashed fields re-parseable, semantic fields
+	// hashed — including an "execution hint" phrase wrapping across a
+	// comment line break.
+	linttest.Run(t, lint.HashHints, "hashspec_clean")
+}
+
+func TestHashHintsDrift(t *testing.T) {
+	// All three drift classes: hint in the hash view, unparseable
+	// hashed field, unhashed semantic field.
+	linttest.Run(t, lint.HashHints, "hashspec_drift")
+}

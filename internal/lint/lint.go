@@ -1,0 +1,248 @@
+// Package lint implements meglint, the static-analysis suite that
+// enforces this repository's determinism discipline at compile time.
+//
+// Every result the simulators produce is promised to be byte-identical
+// for any worker count and any snapshot mode (PRs 3–5). That promise
+// is enforced dynamically by the P1≡P8 equivalence tests and the bench
+// checksum gates — but those fire only after a violation has corrupted
+// a run. The analyzers here catch the known bug classes statically,
+// before a single trial executes:
+//
+//   - mapiter: `range` over a map in a determinism-critical package
+//     (iteration order is randomized by the runtime);
+//   - rngdiscipline: randomness from anywhere but internal/rng, and
+//     rng streams seeded by compile-time constants instead of the
+//     trial seed;
+//   - wallclock: time.Now/time.Since inside simulation packages;
+//   - rawgo: bare `go` statements outside the par fork/join and the
+//     serving layer;
+//   - hashhints: drift between the spec schema and its content-hash
+//     view (execution hints leaking into the hash, hashed fields that
+//     would not survive canonical re-parse).
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer holds a Run function over a Pass — but is implemented on
+// the standard library alone (go/ast, go/parser, go/types), keeping
+// this module dependency-free: meglint builds offline from a plain
+// `go build`, with no pinned external analysis framework to vendor or
+// update.
+//
+// # Directives
+//
+// A finding that is genuinely safe can be suppressed with a
+// justification directive placed on the flagged statement's line or
+// the line directly above it:
+//
+//	//meg:order-insensitive <why the map's iteration order cannot leak>
+//	//meg:allow-go <why this goroutine is outside the fork/join rule>
+//
+// The justification text is mandatory: a bare directive is itself a
+// finding. Directives are deliberately narrow — there is no escape
+// hatch for wallclock, rngdiscipline, or hashhints findings, which
+// have no known-safe form inside the simulation core.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer (Name, Doc, Run) so the
+// suite can migrate onto the upstream framework without rewriting any
+// analyzer, should the module ever take on the dependency.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the meglint
+	// command line.
+	Name string
+	// Doc is the analyzer's one-paragraph documentation.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Reportf. A non-nil error aborts the whole meglint run; mere
+	// findings are diagnostics, not errors.
+	Run func(pass *Pass) error
+}
+
+// A Pass holds one analyzed package plus the reporting sink, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (tests excluded: the
+	// discipline binds shipped simulation code, and golden tests pin
+	// fixed seeds by design).
+	Files []*ast.File
+	// Path is the package's import path; scope classification keys off
+	// it.
+	Path string
+	// Pkg and TypesInfo carry full type information. TypesInfo always
+	// has Types, Uses, and Defs populated.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	directives directiveIndex
+	report     func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directivePrefix introduces a meglint justification comment.
+const directivePrefix = "//meg:"
+
+// A directive is one parsed //meg: comment.
+type directive struct {
+	name   string // e.g. "order-insensitive"
+	reason string // justification text after the name
+	pos    token.Pos
+}
+
+// directiveIndex maps (file, line) to the directives written there.
+type directiveIndex map[string]map[int][]directive
+
+// parseDirectives collects every //meg: comment in the files. Comments
+// that start with the prefix but carry an unknown or empty name are
+// reported immediately — a typoed directive must never silently
+// suppress nothing.
+func parseDirectives(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) directiveIndex {
+	idx := directiveIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				name, reason, _ := strings.Cut(rest, " ")
+				d := directive{name: name, reason: strings.TrimSpace(reason), pos: c.Pos()}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]directive{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				if !knownDirectives[name] {
+					report(Diagnostic{
+						Analyzer: "directives",
+						Pos:      pos,
+						Message:  fmt.Sprintf("unknown meglint directive %q (known: %s)", directivePrefix+name, knownDirectiveList()),
+					})
+				} else if d.reason == "" {
+					report(Diagnostic{
+						Analyzer: "directives",
+						Pos:      pos,
+						Message:  fmt.Sprintf("%s%s needs a justification: say why this site cannot break determinism", directivePrefix, name),
+					})
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// knownDirectives enumerates the accepted directive names.
+var knownDirectives = map[string]bool{
+	"order-insensitive": true, // mapiter: this range's effect is order-independent
+	"allow-go":          true, // rawgo: this goroutine is outside the fork/join rule
+}
+
+func knownDirectiveList() string {
+	names := make([]string, 0, len(knownDirectives))
+	for n := range knownDirectives {
+		names = append(names, directivePrefix+n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Allowed reports whether node carries the named directive: written on
+// the node's starting line (a trailing comment) or on the line
+// directly above it (a lead comment). Directives never apply at a
+// distance — moving code away from its justification re-arms the
+// check.
+func (p *Pass) Allowed(node ast.Node, name string) bool {
+	pos := p.Fset.Position(node.Pos())
+	byLine := p.directives[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.name == name && d.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position. A non-nil error means an analyzer
+// itself failed, not that it found problems.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range pkgs {
+		idx := parseDirectives(pkg.Fset, pkg.Files, report)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Path:       pkg.Path,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				directives: idx,
+				report:     report,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// The directive scan runs once per package but is keyed into every
+	// pass; duplicate directive diagnostics cannot arise. Findings from
+	// different analyzers on one line are all kept.
+	return diags, nil
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, RNGDiscipline, WallClock, RawGo, HashHints}
+}

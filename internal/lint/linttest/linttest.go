@@ -1,0 +1,167 @@
+// Package linttest is the fixture harness for the meglint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library: fixture packages live under testdata/src/<path>,
+// expected findings are written as comments in the fixture source, and
+// Run checks the analyzer's actual diagnostics against them exactly —
+// a missing finding and a surplus finding both fail.
+//
+// Expectations:
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"     (two findings on this line)
+//	//meg:directive // want:-1 "regexp" (finding on the previous line)
+//
+// Each quoted string is a regular expression that must match the
+// message of exactly one diagnostic reported on the comment's line
+// (shifted by the optional :±N offset — needed when the diagnostic
+// lands on a line that is itself a directive comment).
+//
+// Fixture import paths resolve against testdata/src first and the real
+// module second, so a fixture can pose as a determinism-critical
+// package (testdata/src/meg/internal/core) while importing the real
+// meg/internal/rng.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"meg/internal/lint"
+)
+
+// wantRE matches one expectation comment: the keyword, an optional
+// line offset, and one or more quoted regexps (double- or
+// backtick-quoted, the latter sparing regexp escapes).
+var wantRE = regexp.MustCompile("want(:[+-]?\\d+)?((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+// quotedRE extracts the individual quoted regexps.
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one unmet want.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads the fixture package at testdata/src/<path> (testdata
+// relative to the calling test's package directory), applies the
+// analyzer, and reports every mismatch between actual diagnostics and
+// want comments as test errors.
+func Run(t *testing.T, a *lint.Analyzer, path string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moduleRoot := cwd
+	for {
+		if _, err := os.Stat(filepath.Join(moduleRoot, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(moduleRoot)
+		if parent == moduleRoot {
+			t.Fatalf("linttest: no go.mod above %s", cwd)
+		}
+		moduleRoot = parent
+	}
+	loader, err := lint.NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.TestSrc = filepath.Join(cwd, "testdata", "src")
+
+	dir := filepath.Join(loader.TestSrc, filepath.FromSlash(path))
+	pkg, err := loader.Load(path, dir)
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", path, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("linttest: %s: fixture does not type-check: %v", path, terr)
+	}
+
+	wants := collectWants(t, pkg)
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, d := range diags {
+		if matchWant(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants scans every comment of the fixture for expectations.
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					offset := 0
+					if m[1] != "" {
+						n, err := strconv.Atoi(strings.TrimPrefix(m[1], ":"))
+						if err != nil {
+							t.Fatalf("linttest: bad want offset %q", m[1])
+						}
+						offset = n
+					}
+					for _, q := range quotedRE.FindAllStringSubmatch(m[2], -1) {
+						pat := q[1]
+						if q[2] != "" {
+							pat = q[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename,
+							line: pos.Line + offset,
+							re:   re,
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant consumes the first unmet expectation matching the
+// diagnostic, reporting whether one existed.
+func matchWant(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fprint is a debugging helper: it dumps the diagnostics a fixture
+// produces, want-comment-formatted, for bootstrapping new fixtures.
+func Fprint(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects the type checker's complaints. Analysis over
+	// a broken package is untrustworthy, so meglint reports these and
+	// fails instead of running analyzers in the dark; the analyzers
+	// themselves still run (their syntactic checks survive most type
+	// errors).
+	TypeErrors []error
+}
+
+// A Loader parses and type-checks packages of this module from source.
+//
+// Imports resolve in three tiers: a test-source root (analysistest
+// fixtures), the module tree (by import path under the module prefix),
+// and the standard library via go/importer's source-based importer —
+// which type-checks GOROOT source directly, so no pre-compiled export
+// data and no network are ever needed. Loaded packages are cached per
+// Loader; one Loader must not be shared between goroutines.
+type Loader struct {
+	// ModulePath and ModuleRoot identify the module ("meg", its root
+	// directory).
+	ModulePath string
+	ModuleRoot string
+	// TestSrc, when non-empty, is a GOPATH-style src root consulted
+	// before the module tree: TestSrc/<import-path> holds the package
+	// source. The analysistest harness points it at a testdata/src
+	// directory so fixture packages can shadow real ones (a stub
+	// meg/internal/rng, a determinism-critical fake package).
+	TestSrc string
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader for the module rooted at dir (located by
+// its go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: module root: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		ModulePath: modPath,
+		ModuleRoot: root,
+		fset:       fset,
+		std:        std,
+		pkgs:       map[string]*Package{},
+	}, nil
+}
+
+// inProgress marks an import cycle in the package cache.
+var inProgress = &Package{}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module (and test-source)
+// packages load from source through the Loader, everything else
+// delegates to the stdlib source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == inProgress {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return p.Types, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		p, err := l.Load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+// dirFor resolves an import path to a source directory: the test
+// source root first, then the module tree.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if l.TestSrc != "" {
+		dir := filepath.Join(l.TestSrc, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	if path == l.ModulePath {
+		return l.ModuleRoot, true
+	}
+	if rel, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)), true
+	}
+	return "", false
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks the package at dir under the given
+// import path. Test files are excluded — the determinism discipline
+// binds shipped code, and golden tests pin fixed seeds by design.
+func (l *Loader) Load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == inProgress {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = inProgress
+	defer func() {
+		if l.pkgs[path] == inProgress {
+			delete(l.pkgs, path)
+		}
+	}()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns a usable (if incomplete) package even on errors;
+	// the errors ride along in TypeErrors for the caller to judge.
+	tpkg, _ := conf.Check(path, l.fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadAll walks the module tree and loads every package — the meglint
+// equivalent of ./... . Directories named testdata, hidden
+// directories, and fileless directories are skipped, matching the go
+// tool's pattern rules.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(l.ModuleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(p) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, p)
+		if err != nil {
+			return err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(path, p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	})
+	return pkgs, err
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"meg/internal/lint/scope"
+)
+
+// MapIter flags `range` over a map inside determinism-critical
+// packages.
+//
+// The Go runtime randomizes map iteration order on every loop, so any
+// map range whose effect depends on element order — appending to a
+// slice, accumulating floating-point sums, emitting edges — silently
+// varies between runs and between worker layouts, which is exactly
+// the bug class the byte-identical checksum gates exist to catch. The
+// simulation core therefore traverses canonically ordered slices, and
+// this analyzer keeps maps from creeping back in.
+//
+// A range whose effect provably cannot depend on order (a pure
+// membership count, say) may carry a `//meg:order-insensitive
+// <justification>` directive on its line or the line above.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid range over maps in determinism-critical packages (iteration order is randomized)",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	if !scope.Deterministic(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Allowed(rs, "order-insensitive") {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s in determinism-critical package %s: iteration order is randomized; iterate a canonically sorted slice, or annotate //meg:order-insensitive with a justification",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), pass.Path)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"meg/internal/lint"
+	"meg/internal/lint/linttest"
+)
+
+func TestMapIter(t *testing.T) {
+	// Positive cases plus the justified-directive negative case.
+	linttest.Run(t, lint.MapIter, "meg/internal/core")
+}
+
+func TestMapIterOutsideScope(t *testing.T) {
+	// The same map ranges in a non-critical package draw no findings.
+	linttest.Run(t, lint.MapIter, "meg/internal/stats")
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+
+	"meg/internal/lint/scope"
+)
+
+// RawGo flags bare `go` statements outside internal/par and
+// internal/serve.
+//
+// The determinism discipline channels all simulation parallelism
+// through internal/par's fork/join primitives: workers own disjoint
+// index blocks, results land in slots keyed by index (never by
+// completion order), and per-shard outputs merge in canonical order —
+// which is why P1 ≡ P8 holds for every engine. A goroutine launched
+// anywhere else bypasses that structure, and history says it ends in
+// completion-order-dependent merges. The serving layer is exempt (its
+// goroutines never touch simulation state), and a site that genuinely
+// needs a raw goroutine — a signal watcher in a main, a worker pool
+// that provably keys its outputs by index — can carry a
+// `//meg:allow-go <justification>` directive.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc:  "forbid go statements outside internal/par and internal/serve (use the fork/join sharding primitives)",
+	Run:  runRawGo,
+}
+
+func runRawGo(pass *Pass) error {
+	if !scope.InModule(pass.Path) || scope.RawGoAllowed(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if pass.Allowed(gs, "allow-go") {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"raw go statement in %s: simulation parallelism must go through internal/par's fork/join (results keyed by index, canonical merges); if this site is provably outside that rule, annotate //meg:allow-go with a justification",
+				pass.Path)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"meg/internal/lint"
+	"meg/internal/lint/linttest"
+)
+
+func TestRawGo(t *testing.T) {
+	// Bare goroutines flagged; a justified //meg:allow-go allowed; a
+	// reasonless or typoed directive is itself a finding and does not
+	// suppress.
+	linttest.Run(t, lint.RawGo, "meg/internal/mobility")
+}
+
+func TestRawGoAllowedInPar(t *testing.T) {
+	// internal/par owns the fork/join implementation: its goroutines
+	// are the primitive, not a bypass of it.
+	linttest.Run(t, lint.RawGo, "meg/internal/par")
+}

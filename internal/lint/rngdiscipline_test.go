@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"meg/internal/lint"
+	"meg/internal/lint/linttest"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	// Forbidden imports, constant-seeded streams, and the allowed
+	// counter-keyed constructions, all in one critical-package fixture.
+	linttest.Run(t, lint.RNGDiscipline, "meg/internal/protocol")
+}
+
+func TestRNGDisciplineOutsideScope(t *testing.T) {
+	// A non-critical package may import anything; the stats fixture
+	// has no rng wants and must stay clean under this analyzer too.
+	linttest.Run(t, lint.RNGDiscipline, "meg/internal/stats")
+}

@@ -1,0 +1,101 @@
+// Package scope is the single shared classification table behind the
+// meglint analyzers: which packages of this module carry the
+// determinism discipline, which are measurement/serving harnesses, and
+// which binaries sit outside the simulation core entirely. Every
+// analyzer consults this table instead of hard-coding package lists,
+// so adding a new model package to the discipline is a one-line change
+// here — not five scattered edits.
+//
+// The discipline (PRs 3–5) is: simulation results must be
+// byte-identical for every worker count and snapshot mode, because all
+// randomness is drawn from counter-based streams keyed (node, round)
+// and all edge/frontier traversal is canonically ordered. The
+// classification encodes which packages that promise binds.
+package scope
+
+import "strings"
+
+// ModulePath is the import-path prefix of this module.
+const ModulePath = "meg"
+
+// deterministic lists the determinism-critical packages: the
+// simulation core whose outputs feed checksummed, cached,
+// byte-identical results. Map iteration order, non-counter-based
+// randomness, wall-clock reads, and raw goroutines are all forbidden
+// here (see the mapiter, rngdiscipline, wallclock, and rawgo
+// analyzers).
+var deterministic = map[string]bool{
+	ModulePath + "/internal/core":      true,
+	ModulePath + "/internal/graph":     true,
+	ModulePath + "/internal/edgemeg":   true,
+	ModulePath + "/internal/geommeg":   true,
+	ModulePath + "/internal/mobility":  true,
+	ModulePath + "/internal/protocol":  true,
+	ModulePath + "/internal/celldelta": true,
+	ModulePath + "/internal/walk":      true,
+	ModulePath + "/internal/expansion": true,
+}
+
+// wallClockAllowed lists the packages that may legitimately read the
+// wall clock: the serving layer (timeouts, SSE heartbeats) and the
+// bench harness (that is what it measures). Command binaries
+// (cmd/*, examples/*) are additionally allowed by WallClockAllowed
+// itself.
+var wallClockAllowed = map[string]bool{
+	ModulePath + "/internal/serve": true,
+	ModulePath + "/internal/bench": true,
+}
+
+// rawGoAllowed lists the packages that may launch goroutines with a
+// bare `go` statement: internal/par owns the deterministic fork/join
+// sharding primitive every engine is required to use, and
+// internal/serve is the concurrent serving layer (scheduler workers,
+// SSE fan-out) whose goroutines never touch simulation state.
+// Elsewhere a goroutine needs a `//meg:allow-go` justification.
+var rawGoAllowed = map[string]bool{
+	ModulePath + "/internal/par":   true,
+	ModulePath + "/internal/serve": true,
+}
+
+// Deterministic reports whether the package at path carries the full
+// determinism discipline (mapiter and rngdiscipline apply).
+func Deterministic(path string) bool { return deterministic[path] }
+
+// WallClockAllowed reports whether the package at path may call
+// time.Now/time.Since: the serving and bench harnesses, plus any
+// command binary (cmd/*, examples/*) — binaries report durations to
+// humans, they do not produce checksummed results.
+func WallClockAllowed(path string) bool {
+	return wallClockAllowed[path] || Binary(path)
+}
+
+// RawGoAllowed reports whether the package at path may contain bare
+// `go` statements without a justification directive.
+func RawGoAllowed(path string) bool { return rawGoAllowed[path] }
+
+// Binary reports whether path is a command or example binary package.
+func Binary(path string) bool {
+	return strings.HasPrefix(path, ModulePath+"/cmd/") ||
+		strings.HasPrefix(path, ModulePath+"/examples/")
+}
+
+// InModule reports whether path belongs to this module. Analyzers are
+// silent outside it (the loader never feeds them stdlib packages, but
+// the guard keeps the contract explicit).
+func InModule(path string) bool {
+	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+}
+
+// RNGPath is the one blessed randomness package. rngdiscipline forbids
+// every other source of randomness in deterministic packages.
+const RNGPath = ModulePath + "/internal/rng"
+
+// ForbiddenRandImports are the randomness packages that must never be
+// imported by a deterministic package: their generators are either
+// seeded from global state or non-reproducible by construction, and
+// either way they are not keyed (node, round).
+var ForbiddenRandImports = map[string]string{
+	"math/rand":    "global-state PRNG, not counter-keyed",
+	"math/rand/v2": "global-state PRNG, not counter-keyed",
+	"crypto/rand":  "non-reproducible entropy source",
+}

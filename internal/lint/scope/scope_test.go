@@ -1,0 +1,50 @@
+package scope
+
+import "testing"
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		path                            string
+		deterministic, wallClock, rawGo bool
+	}{
+		{"meg/internal/core", true, false, false},
+		{"meg/internal/celldelta", true, false, false},
+		{"meg/internal/expansion", true, false, false},
+		{"meg/internal/serve", false, true, true},
+		{"meg/internal/bench", false, true, false},
+		{"meg/internal/par", false, false, true},
+		{"meg/internal/sweep", false, false, false},
+		{"meg/internal/rng", false, false, false},
+		{"meg/cmd/megbench", false, true, false},
+		{"meg/examples/quickstart", false, true, false},
+		{"meg", false, false, false},
+	}
+	for _, c := range cases {
+		if got := Deterministic(c.path); got != c.deterministic {
+			t.Errorf("Deterministic(%s) = %v, want %v", c.path, got, c.deterministic)
+		}
+		if got := WallClockAllowed(c.path); got != c.wallClock {
+			t.Errorf("WallClockAllowed(%s) = %v, want %v", c.path, got, c.wallClock)
+		}
+		if got := RawGoAllowed(c.path); got != c.rawGo {
+			t.Errorf("RawGoAllowed(%s) = %v, want %v", c.path, got, c.rawGo)
+		}
+	}
+}
+
+func TestInModule(t *testing.T) {
+	for path, want := range map[string]bool{
+		"meg":                 true,
+		"meg/internal/core":   true,
+		"megother":            false,
+		"fmt":                 false,
+		"golang.org/x/tools":  false,
+		"meg/internal/lint":   true,
+		"meg/cmd/meglint":     true,
+		"meg/examples/broken": true,
+	} {
+		if got := InModule(path); got != want {
+			t.Errorf("InModule(%s) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package hashspec is a hashhints fixture with a consistent schema:
+// the hint fields are excluded from the hash view, every hashed field
+// re-parses, and every semantic field is hashed. No findings expected.
+package hashspec
+
+// Spec is the run description.
+type Spec struct {
+	// SchemaVersion must be 1.
+	SchemaVersion int `json:"version"`
+	// Seed is the campaign seed.
+	Seed uint64 `json:"seed"`
+	// Trials is the number of repetitions.
+	Trials int `json:"trials"`
+	// Workers bounds worker parallelism. An execution hint: excluded
+	// from the content hash.
+	Workers int `json:"workers,omitempty"`
+	// Snapshot selects the snapshot path; results are byte-identical
+	// either way, so it is an execution
+	// hint excluded from the content hash (note the phrase wraps).
+	Snapshot string `json:"snapshot,omitempty"`
+	// scratch is unexported internal state, invisible to JSON.
+	scratch []byte `json:"-"`
+}
+
+// hashView is the hashed subset of a canonical spec.
+type hashView struct {
+	SchemaVersion int    `json:"version"`
+	Seed          uint64 `json:"seed"`
+	Trials        int    `json:"trials"`
+}
+
+// use keeps the unexported field referenced.
+func (s *Spec) use() int { return len(s.scratch) + len(hashView{}.String()) }
+
+// String keeps hashView referenced.
+func (hashView) String() string { return "" }

@@ -1,0 +1,32 @@
+// Package hashspec is a hashhints fixture with every drift class the
+// analyzer guards against: a hint leaking into the hash view, a hashed
+// field that cannot re-parse, and a semantic field missing from the
+// hash.
+package hashspec
+
+// Spec is the run description.
+type Spec struct {
+	// SchemaVersion must be 1.
+	SchemaVersion int `json:"version"`
+	// Seed is the campaign seed.
+	Seed uint64 `json:"seed"`
+	// Trials is the number of repetitions. A new semantic field the
+	// author forgot to add to hashView.
+	Trials int `json:"trials"` // want `is neither documented .* nor present in hashView`
+	// Workers bounds worker parallelism. An execution hint: excluded
+	// from the content hash.
+	Workers int `json:"workers,omitempty"`
+}
+
+// hashView is the hashed subset — with two drift bugs.
+type hashView struct {
+	SchemaVersion int    `json:"version"`
+	Seed          uint64 `json:"seed"`
+	// Workers is a hint; hashing it splits the cache by parallelism.
+	Workers int `json:"workers,omitempty"` // want `documents as an execution hint`
+	// Legacy has no Spec counterpart: canonical JSON would not re-parse.
+	Legacy string `json:"legacy,omitempty"` // want `no Spec counterpart`
+}
+
+// String keeps hashView referenced.
+func (hashView) String() string { return "" }

@@ -1,0 +1,13 @@
+// Command demo is a wallclock fixture: command binaries report
+// durations to humans, so clock reads draw no findings.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

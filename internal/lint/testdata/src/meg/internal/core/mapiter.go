@@ -1,0 +1,43 @@
+// Package core is a mapiter fixture posing as the determinism-critical
+// engine package.
+package core
+
+// Collect appends map values in iteration order — the canonical
+// order-dependent effect the analyzer exists to catch.
+func Collect(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want "range over map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Count ranges a map twice: once bare (flagged), once under a
+// justified directive (allowed).
+func Count(m map[string]int, keys []string) int {
+	total := 0
+	for range m { // want "range over map"
+		total++
+	}
+	//meg:order-insensitive pure cardinality count, no order-dependent effect
+	for range m {
+		total++
+	}
+	for _, k := range keys { // slice iteration is ordered: never flagged
+		total += m[k]
+	}
+	return total
+}
+
+// NamedMap exercises the named-map-type case: the underlying type is
+// what matters.
+type NamedMap map[uint64]struct{}
+
+// Keys drains a named map type.
+func Keys(m NamedMap) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m { // want "range over map"
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Package graph is a wallclock fixture posing as the
+// determinism-critical snapshot package.
+package graph
+
+import "time"
+
+// Build reads the wall clock three ways, all forbidden here, and uses
+// time's pure value types, which are fine.
+func Build(rounds int) time.Duration {
+	start := time.Now() // want `time\.Now in simulation package`
+	var d time.Duration // value types carry no clock read: allowed
+	for i := 0; i < rounds; i++ {
+		time.Sleep(time.Microsecond) // want `time\.Sleep in simulation package`
+	}
+	d = time.Since(start) // want `time\.Since in simulation package`
+	return d
+}
+
+// Now is a local function whose name collides with time.Now: calling
+// it is allowed (resolution is by package path, not name).
+func Now() int64 { return 0 }
+
+// Stamp calls the local Now.
+func Stamp() int64 { return Now() }

@@ -1,0 +1,27 @@
+// Package mobility is a rawgo fixture posing as a determinism-critical
+// model package.
+package mobility
+
+import "sync"
+
+// Step launches goroutines four ways: bare (flagged), justified
+// (allowed), under a bare directive with no reason (directive finding,
+// and the goroutine stays flagged), and under a typoed directive
+// (unknown-directive finding, goroutine flagged).
+func Step(n int) {
+	var wg sync.WaitGroup
+	wg.Add(4)
+
+	go wg.Done() // want "raw go statement"
+
+	//meg:allow-go completion-order-free: each goroutine only decrements the waitgroup
+	go wg.Done()
+
+	//meg:allow-go
+	go wg.Done() // want "raw go statement" and want:-1 "needs a justification"
+
+	//meg:alow-go misspelled directive // want "unknown meglint directive"
+	go wg.Done() // want "raw go statement"
+
+	wg.Wait()
+}

@@ -1,0 +1,19 @@
+// Package par is a rawgo fixture posing as the fork/join primitive
+// package itself, where bare goroutines are the implementation: no
+// findings expected.
+package par
+
+import "sync"
+
+// ForBlocks launches one goroutine per block.
+func ForBlocks(workers int, fn func(b int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for b := 0; b < workers; b++ {
+		go func() {
+			defer wg.Done()
+			fn(b)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,10 @@
+// Package serve is a wallclock fixture posing as the serving layer,
+// where wall-clock reads are legitimate: no findings expected.
+package serve
+
+import "time"
+
+// Deadline reads the clock inside an exempt package.
+func Deadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget)
+}

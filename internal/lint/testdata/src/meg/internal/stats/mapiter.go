@@ -1,0 +1,12 @@
+// Package stats is a mapiter fixture posing as a non-critical
+// package: identical map ranges draw no findings here.
+package stats
+
+// Collect ranges a map outside the determinism-critical scope.
+func Collect(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

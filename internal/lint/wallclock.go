@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"meg/internal/lint/scope"
+)
+
+// WallClock flags wall-clock reads — time.Now, time.Since — inside
+// simulation packages.
+//
+// Wall time is the canonical nondeterministic input: a simulation that
+// reads it (for timing-based heuristics, struct timestamps, "how long
+// has this round run" logic) produces results that vary with machine
+// load, which the byte-identical promise forbids. Timing belongs to
+// the harnesses: the bench suite (whose entire job is measuring wall
+// time), the serving layer (timeouts, heartbeats), and the command
+// binaries that report durations to humans — all of which the scope
+// table exempts. There is deliberately no suppression directive:
+// simulation code has no known-safe wall-clock read, so the fix is
+// always to hoist the measurement into the caller.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/time.Since in simulation packages (wall time is a nondeterministic input)",
+	Run:  runWallClock,
+}
+
+// wallClockFuncs are the time package's clock-reading entry points.
+// time.Sleep is included: sleeping does not itself perturb results,
+// but no simulation package has a legitimate reason to stall, and
+// sleeps correlate results with the scheduler.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !scope.InModule(pass.Path) || scope.WallClockAllowed(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in simulation package %s: wall time is a nondeterministic input; measure in the bench/serve harness or a cmd binary instead",
+				fn.Name(), pass.Path)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"meg/internal/lint"
+	"meg/internal/lint/linttest"
+)
+
+func TestWallClock(t *testing.T) {
+	// Clock reads inside a simulation package: Now, Since, Sleep all
+	// flagged; value types and same-name local functions not.
+	linttest.Run(t, lint.WallClock, "meg/internal/graph")
+}
+
+func TestWallClockAllowedInServe(t *testing.T) {
+	linttest.Run(t, lint.WallClock, "meg/internal/serve")
+}
+
+func TestWallClockAllowedInCommands(t *testing.T) {
+	linttest.Run(t, lint.WallClock, "meg/cmd/demo")
+}

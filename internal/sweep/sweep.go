@@ -74,6 +74,7 @@ func MapCtx[I, O any](ctx context.Context, items []I, workers int, fn func(idx i
 	jobs := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//meg:allow-go fork/join worker pool: out[i] is keyed by job index, never by completion order, and MapSeeded derives each job's RNG from its index
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
