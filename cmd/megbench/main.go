@@ -26,8 +26,12 @@
 //	                             models' edge churn into an incrementally
 //	                             maintained snapshot; identical results)
 //	-compare DIR                 with -suite: diff against the newest
-//	                             BENCH file in DIR (regression table,
-//	                             warns on >20% wall regressions)
+//	                             BENCH file in DIR (regression table;
+//	                             thresholds come from each scenario's
+//	                             noise band over the trailing trajectory,
+//	                             falling back to a flat 20%)
+//	-telemetry                   with -suite: record per-variant engine
+//	                             phase breakdowns (observation only)
 //	-history DIR                 print a per-scenario trend table across
 //	                             every BENCH file in DIR and exit (runs
 //	                             nothing; -compare diffs only the newest)
@@ -72,6 +76,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	suite := flag.Bool("suite", false, "run the benchmark trajectory suite and write BENCH_<git-sha>.json")
 	outDir := flag.String("out", ".", "directory for the BENCH_<git-sha>.json artifact (with -suite)")
+	telemetry := flag.Bool("telemetry", false, "with -suite: record per-variant engine-phase breakdowns (observation only; checksums are unchanged)")
 	flag.Parse()
 
 	if *historyDir != "" {
@@ -80,7 +85,7 @@ func main() {
 	}
 
 	if *suite {
-		runSuite(*outDir, *parallelism, *jsonOut, *compareDir, flag.Args())
+		runSuite(*outDir, *parallelism, *jsonOut, *compareDir, *telemetry, flag.Args())
 		return
 	}
 

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"meg/internal/bench"
+	"meg/internal/metrics"
 )
 
 // runSuite executes the benchmark trajectory suite and writes
@@ -16,11 +17,16 @@ import (
 // evidence alongside the failure. With compareDir set, the run is also
 // diffed against the newest BENCH file there (the bench/history
 // trajectory) and a regression table printed on stdout — warnings
-// only, never a failure, since runner speed drifts.
-func runSuite(outDir string, parallelism int, jsonOut bool, compareDir string, filters []string) {
+// only, never a failure, since runner speed drifts. The regression
+// threshold is per-scenario: each scenario's own noise band over the
+// trailing trajectory when there's enough history, the flat 20%
+// default otherwise. With telemetry, every variant carries its
+// engine-phase breakdown (observation only — checksums are unchanged).
+func runSuite(outDir string, parallelism int, jsonOut bool, compareDir string, telemetry bool, filters []string) {
 	f, runErr := bench.Run(bench.Options{
 		Parallelism: parallelism,
 		Filter:      filters,
+		Telemetry:   telemetry,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -53,10 +59,15 @@ func runSuite(outDir string, parallelism int, jsonOut bool, compareDir string, f
 				status = "DIVERGED"
 			}
 			fmt.Printf("%-24s n=%-7d speedup=%.2fx  %s\n", r.Name, r.N, r.SpeedupVsSerial, status)
+			if telemetry {
+				if v, ok := lastTelemetry(r); ok {
+					fmt.Printf("%-24s %s\n", "", phaseBreakdown(v))
+				}
+			}
 		}
 	}
 	if compareDir != "" {
-		base, err := bench.LoadLatest(compareDir)
+		files, err := bench.LoadAll(compareDir)
 		if err != nil {
 			// A missing trajectory is normal on first run — say so and
 			// move on; the comparison is advisory by design.
@@ -70,7 +81,7 @@ func runSuite(outDir string, parallelism int, jsonOut bool, compareDir string, f
 				out = os.Stderr
 			}
 			fmt.Fprintln(out)
-			cmp := bench.Compare(base, f)
+			cmp := bench.CompareHistory(files, f)
 			cmp.WriteMarkdown(out)
 			cmp.WriteWarnings(out)
 		}
@@ -79,6 +90,23 @@ func runSuite(outDir string, parallelism int, jsonOut bool, compareDir string, f
 		fmt.Fprintf(os.Stderr, "megbench: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// lastTelemetry returns the sharded variant's phase breakdown, when
+// the run collected one.
+func lastTelemetry(r bench.Result) (*metrics.PhaseTotals, bool) {
+	if len(r.Variants) == 0 {
+		return nil, false
+	}
+	t := r.Variants[len(r.Variants)-1].Telemetry
+	return t, t != nil && t.Rounds > 0
+}
+
+// phaseBreakdown renders one variant's phase totals as a compact line.
+func phaseBreakdown(t *metrics.PhaseTotals) string {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	return fmt.Sprintf("phases: snapshot=%.1fms kernel=%.1fms (merge=%.1fms) step=%.1fms delta=%.1fms rounds=%d",
+		ms(t.SnapshotNS), ms(t.KernelNS), ms(t.MergeNS), ms(t.StepNS), ms(t.DeltaApplyNS), t.Rounds)
 }
 
 // runHistory prints the whole trajectory in dir as per-scenario trend

@@ -13,7 +13,9 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/events SSE progress stream
 //	GET    /v1/cache/{hash}     cached result by content address
-//	GET    /healthz             liveness + counters
+//	GET    /healthz             liveness + counters (503 while draining)
+//	GET    /metrics             Prometheus text exposition
+//	GET    /debug/pprof/*       runtime profiles (with -pprof)
 //
 // See the README's "Running the service" section for the spec schema
 // and curl examples.
@@ -39,6 +41,7 @@ func main() {
 	queue := flag.Int("queue", 64, "pending job queue capacity")
 	cacheEntries := flag.Int("cache-entries", 256, "in-memory result cache entries (LRU)")
 	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	cache, err := serve.NewCache(*cacheEntries, *cacheDir)
@@ -48,7 +51,13 @@ func main() {
 	}
 	exec := &serve.Executor{}
 	sched := serve.NewScheduler(*jobs, *queue, exec, cache)
-	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(sched).Handler()}
+	sched.Instrument(serve.NewMetrics())
+	exec.Metrics = sched.Metrics()
+	api := serve.NewServer(sched)
+	if *pprofOn {
+		api.EnablePprof()
+	}
+	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 
 	// Graceful shutdown: stop accepting, let in-flight responses end,
 	// cancel running jobs, drain workers.
@@ -59,6 +68,7 @@ func main() {
 	go func() {
 		<-stop
 		fmt.Fprintln(os.Stderr, "megserve: shutting down")
+		sched.BeginDrain() // flips /healthz to 503 before the listener stops
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)

@@ -22,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"meg/internal/geommeg"
+	"meg/internal/metrics"
 	"meg/internal/rng"
 	"meg/internal/serve"
 	"meg/internal/spec"
@@ -51,6 +53,7 @@ func main() {
 	sources := flag.Int("sources", 1, "sources per trial (flooding time = max)")
 	specFile := flag.String("spec", "", "run this spec JSON file instead of building one from the model flags")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (the same payload megserve returns)")
+	telemetry := flag.Bool("telemetry", false, "collect per-round phase timings and dump the aggregated breakdown as JSON on stderr (observation only; the result is byte-identical)")
 	trace := flag.Bool("trace", false, "print the informed-count trajectory of trial 0")
 	dotFile := flag.String("dot", "", "write the initial snapshot of a fresh run as Graphviz DOT to this file")
 	flag.Parse()
@@ -110,9 +113,29 @@ func main() {
 	}
 
 	exec := &serve.Executor{}
-	res, err := exec.Execute(context.Background(), sp, nil)
+	var sink func(serve.Event)
+	var telMu sync.Mutex
+	var totals metrics.PhaseTotals
+	if *telemetry {
+		sink = func(e serve.Event) {
+			if e.Telemetry == nil {
+				return
+			}
+			telMu.Lock()
+			totals.AddRound(*e.Telemetry)
+			telMu.Unlock()
+		}
+	}
+	res, err := exec.Execute(context.Background(), sp, sink)
 	if err != nil {
 		fatal(err)
+	}
+	if *telemetry {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		telMu.Lock()
+		enc.Encode(totals)
+		telMu.Unlock()
 	}
 
 	if *jsonOut {

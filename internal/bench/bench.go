@@ -17,9 +17,12 @@ import (
 	"os/exec"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"meg/internal/core"
 	"meg/internal/flood"
+	"meg/internal/metrics"
 	"meg/internal/par"
 	"meg/internal/spec"
 )
@@ -134,6 +137,11 @@ type Variant struct {
 	// trajectories, arrival arrays). Serial and sharded checksums must
 	// match — the suite fails otherwise.
 	Checksum string `json:"checksum"`
+	// Telemetry is the aggregated engine-phase breakdown of the run,
+	// present only when Options.Telemetry was set. Observation only:
+	// hooks never change the checksum, and the field is additive so
+	// trajectory tooling for older files keeps working.
+	Telemetry *metrics.PhaseTotals `json:"telemetry,omitempty"`
 }
 
 // Result is one scenario's outcome: the serial baseline, the sharded
@@ -175,6 +183,9 @@ type Options struct {
 	// Filter, when non-empty, keeps only scenarios whose name contains
 	// one of the entries.
 	Filter []string
+	// Telemetry attaches phase-timing hooks to every variant and stores
+	// the aggregated breakdown on it (megbench -telemetry).
+	Telemetry bool
 	// Log, if non-nil, receives one progress line per variant.
 	Log func(format string, args ...any)
 }
@@ -222,7 +233,7 @@ func RunScenarios(scenarios []Scenario, opts Options) (*File, error) {
 			variant string
 			par     int
 		}{{"serial", 1}, {"sharded", workers}} {
-			v, err := runVariant(c, pv.variant, pv.par, sc.DeltaVsFull)
+			v, err := runVariant(c, pv.variant, pv.par, sc.DeltaVsFull, opts.Telemetry)
 			if err != nil {
 				return nil, fmt.Errorf("bench: scenario %s (%s): %w", sc.Name, pv.variant, err)
 			}
@@ -257,7 +268,7 @@ func RunScenarios(scenarios []Scenario, opts Options) (*File, error) {
 // the full per-round snapshot rebuild and the sharded run the
 // incremental delta path — byte-identical by contract in every case,
 // so the shared checksum gate applies unchanged.
-func runVariant(c spec.Spec, variant string, parallelism int, deltaVsFull bool) (Variant, error) {
+func runVariant(c spec.Spec, variant string, parallelism int, deltaVsFull, telemetry bool) (Variant, error) {
 	c.Parallelism = parallelism
 	c.Workers = 1 // isolate intra-trial parallelism from trial fan-out
 	snapshot := ""
@@ -269,7 +280,7 @@ func runVariant(c spec.Spec, variant string, parallelism int, deltaVsFull bool) 
 		c.Snapshot = snapshot
 	}
 	if c.Protocol.Name != "" && c.Protocol.Name != "flooding" {
-		return runProtocolVariant(c, variant, parallelism)
+		return runProtocolVariant(c, variant, parallelism, telemetry)
 	}
 	factory, _, err := c.NewFactory()
 	if err != nil {
@@ -279,8 +290,15 @@ func runVariant(c spec.Spec, variant string, parallelism int, deltaVsFull bool) 
 	if err != nil {
 		return Variant{}, err
 	}
+	var collect func() *metrics.PhaseTotals
+	if telemetry {
+		collect = attachTelemetry(func(h func(int) core.PhaseHook) { opt.Hook = h })
+	}
 	var camp flood.Campaign
 	v := measure(func() { camp = flood.Run(factory, opt) })
+	if collect != nil {
+		v.Telemetry = collect()
+	}
 	v.Variant = variant
 	v.Snapshot = snapshot
 	v.Parallelism = parallelism
@@ -291,6 +309,32 @@ func runVariant(c spec.Spec, variant string, parallelism int, deltaVsFull bool) 
 	}
 	v.finishRates()
 	return v, nil
+}
+
+// attachTelemetry installs a per-trial phase-recorder factory through
+// set (which assigns it to the options' Hook field) and returns a
+// closure that merges every trial's totals — called after the campaign,
+// when all trial goroutines have finished. The reference protocol
+// engine has no phase structure, so its variants report zero rounds.
+func attachTelemetry(set func(func(trial int) core.PhaseHook)) func() *metrics.PhaseTotals {
+	var mu sync.Mutex
+	var recs []*metrics.PhaseRecorder
+	set(func(trial int) core.PhaseHook {
+		pr := metrics.NewPhaseRecorder(nil)
+		mu.Lock()
+		recs = append(recs, pr)
+		mu.Unlock()
+		return pr
+	})
+	return func() *metrics.PhaseTotals {
+		var total metrics.PhaseTotals
+		mu.Lock()
+		for _, pr := range recs {
+			total.Merge(pr.Totals())
+		}
+		mu.Unlock()
+		return &total
+	}
 }
 
 // measure times run under a clean heap baseline and returns a Variant
@@ -321,7 +365,7 @@ func (v *Variant) finishRates() {
 
 // runProtocolVariant measures a gossip-family scenario: the serial
 // variant pins the reference engine, the sharded variant the kernel.
-func runProtocolVariant(c spec.Spec, variant string, parallelism int) (Variant, error) {
+func runProtocolVariant(c spec.Spec, variant string, parallelism int, telemetry bool) (Variant, error) {
 	engine := flood.EngineKernel
 	if variant == "serial" {
 		engine = flood.EngineReference
@@ -335,8 +379,15 @@ func runProtocolVariant(c spec.Spec, variant string, parallelism int) (Variant, 
 	if err != nil {
 		return Variant{}, err
 	}
+	var collect func() *metrics.PhaseTotals
+	if telemetry {
+		collect = attachTelemetry(func(h func(int) core.PhaseHook) { opt.Hook = h })
+	}
 	var camp flood.ProtocolCampaign
 	v := measure(func() { camp = flood.RunProtocol(factory, opt) })
+	if collect != nil {
+		v.Telemetry = collect()
+	}
 	v.Variant = variant
 	v.Engine = engine
 	v.Parallelism = parallelism

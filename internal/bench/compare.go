@@ -4,15 +4,33 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 )
 
-// wallRegressionPct is the wall-clock regression (in percent, sharded
-// variant) past which a scenario is flagged. Comparisons warn — they
-// never fail a build — because CI runner speed varies run to run.
+// wallRegressionPct is the flat wall-clock regression threshold (in
+// percent, sharded variant) past which a scenario is flagged when the
+// trajectory is too short to estimate its noise. Comparisons warn —
+// they never fail a build — because CI runner speed varies run to run.
 const wallRegressionPct = 20
+
+// Noise-band estimation: with enough trajectory a scenario's threshold
+// comes from its own run-to-run scatter instead of the flat default —
+// noisy scenarios stop crying wolf, quiet ones catch small regressions.
+const (
+	// noiseWindow is how many trailing entries feed the estimate.
+	noiseWindow = 8
+	// noiseMinEntries is the minimum number of measurements before the
+	// estimate replaces the flat threshold.
+	noiseMinEntries = 3
+	// noiseSigmas scales the relative stddev into a threshold.
+	noiseSigmas = 3.0
+	// noiseFloorPct keeps the threshold from collapsing on eerily
+	// stable scenarios — a sub-floor band would flag measurement jitter.
+	noiseFloorPct = 5.0
+)
 
 // Load reads one BENCH file.
 func Load(path string) (*File, error) {
@@ -71,7 +89,11 @@ type ScenarioDiff struct {
 	BaseNSPerRound, CurNSPerRound float64
 	NSPerRoundPct                 float64
 	BaseSpeedup, CurSpeedup       float64
-	// Regressed reports a wall regression beyond wallRegressionPct.
+	// ThresholdPct is the regression threshold applied to this scenario:
+	// its noise band when the trajectory supports one (CompareHistory),
+	// the flat wallRegressionPct otherwise.
+	ThresholdPct float64
+	// Regressed reports a wall regression beyond ThresholdPct.
 	Regressed bool
 }
 
@@ -134,7 +156,8 @@ func Compare(base, cur *File) Comparison {
 		if bv.NSPerRound > 0 {
 			d.NSPerRoundPct = 100 * (cv.NSPerRound - bv.NSPerRound) / bv.NSPerRound
 		}
-		d.Regressed = d.WallPct > wallRegressionPct
+		d.ThresholdPct = wallRegressionPct
+		d.Regressed = d.WallPct > d.ThresholdPct
 		c.Diffs = append(c.Diffs, d)
 	}
 	var missing []string
@@ -146,6 +169,90 @@ func Compare(base, cur *File) Comparison {
 	sort.Strings(missing)
 	for _, name := range missing {
 		c.Diffs = append(c.Diffs, ScenarioDiff{Name: name, OnlyInBase: true})
+	}
+	return c
+}
+
+// NoiseBand is one scenario's wall-clock scatter over the trailing
+// trajectory window.
+type NoiseBand struct {
+	// Entries is how many measurements fed the estimate.
+	Entries int
+	// MeanWallNS / StddevWallNS describe the window's sharded wall
+	// times.
+	MeanWallNS   float64
+	StddevWallNS float64
+	// ThresholdPct is the derived regression threshold:
+	// max(noiseFloorPct, noiseSigmas · 100 · stddev/mean).
+	ThresholdPct float64
+}
+
+// NoiseBands estimates a per-scenario noise band from a chronological
+// trajectory (as LoadAll returns): the relative stddev of the sharded
+// wall time over the last noiseWindow entries that measured the
+// scenario. Scenarios with fewer than noiseMinEntries measurements are
+// omitted — callers fall back to the flat threshold for those.
+func NoiseBands(files []*File) map[string]NoiseBand {
+	walls := make(map[string][]float64)
+	for _, f := range files {
+		for _, r := range f.Results {
+			v, ok := shardedVariant(r)
+			if !ok || v.WallNS <= 0 {
+				continue
+			}
+			walls[r.Name] = append(walls[r.Name], float64(v.WallNS))
+		}
+	}
+	bands := make(map[string]NoiseBand)
+	for name, w := range walls {
+		if len(w) > noiseWindow {
+			w = w[len(w)-noiseWindow:]
+		}
+		if len(w) < noiseMinEntries {
+			continue
+		}
+		var sum float64
+		for _, x := range w {
+			sum += x
+		}
+		mean := sum / float64(len(w))
+		var sq float64
+		for _, x := range w {
+			sq += (x - mean) * (x - mean)
+		}
+		// Sample stddev: the window is a sample of the scenario's noise
+		// process, not the whole population.
+		stddev := math.Sqrt(sq / float64(len(w)-1))
+		threshold := noiseSigmas * 100 * stddev / mean
+		if threshold < noiseFloorPct {
+			threshold = noiseFloorPct
+		}
+		bands[name] = NoiseBand{
+			Entries:      len(w),
+			MeanWallNS:   mean,
+			StddevWallNS: stddev,
+			ThresholdPct: threshold,
+		}
+	}
+	return bands
+}
+
+// CompareHistory diffs the current run against the newest trajectory
+// entry, like Compare, but flags regressions against each scenario's
+// own noise band when the trajectory is long enough to estimate one.
+// files must be chronological (LoadAll order) and non-empty.
+func CompareHistory(files []*File, cur *File) Comparison {
+	c := Compare(files[len(files)-1], cur)
+	bands := NoiseBands(files)
+	for i := range c.Diffs {
+		d := &c.Diffs[i]
+		if d.OnlyInBase || d.OnlyInCurrent {
+			continue
+		}
+		if band, ok := bands[d.Name]; ok {
+			d.ThresholdPct = band.ThresholdPct
+			d.Regressed = d.WallPct > d.ThresholdPct
+		}
 	}
 	return c
 }
@@ -168,21 +275,21 @@ func (c Comparison) Regressions() []string {
 // summary never carries literal `::warning::` text.
 func (c Comparison) WriteMarkdown(w io.Writer) {
 	fmt.Fprintf(w, "### Bench comparison: %s vs baseline %s (%s)\n\n", c.CurSHA, c.BaseSHA, c.BaseGenerated)
-	fmt.Fprintf(w, "| scenario | wall | Δwall | ns/round | Δns/round | speedup |\n")
-	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|\n")
+	fmt.Fprintf(w, "| scenario | wall | Δwall | threshold | ns/round | Δns/round | speedup |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|---:|\n")
 	for _, d := range c.Diffs {
 		switch {
 		case d.OnlyInCurrent:
-			fmt.Fprintf(w, "| %s | — | new scenario | — | — | — |\n", d.Name)
+			fmt.Fprintf(w, "| %s | — | new scenario | — | — | — | — |\n", d.Name)
 		case d.OnlyInBase:
-			fmt.Fprintf(w, "| %s | — | removed | — | — | — |\n", d.Name)
+			fmt.Fprintf(w, "| %s | — | removed | — | — | — | — |\n", d.Name)
 		default:
 			flag := ""
 			if d.Regressed {
 				flag = " ⚠"
 			}
-			fmt.Fprintf(w, "| %s | %.1f ms | %+.1f%%%s | %.0f | %+.1f%% | %.2fx → %.2fx |\n",
-				d.Name, float64(d.CurWallNS)/1e6, d.WallPct, flag,
+			fmt.Fprintf(w, "| %s | %.1f ms | %+.1f%%%s | >%.1f%% | %.0f | %+.1f%% | %.2fx → %.2fx |\n",
+				d.Name, float64(d.CurWallNS)/1e6, d.WallPct, flag, d.ThresholdPct,
 				d.CurNSPerRound, d.NSPerRoundPct, d.BaseSpeedup, d.CurSpeedup)
 		}
 	}
@@ -195,8 +302,8 @@ func (c Comparison) WriteMarkdown(w io.Writer) {
 func (c Comparison) WriteWarnings(w io.Writer) {
 	for _, d := range c.Diffs {
 		if d.Regressed {
-			fmt.Fprintf(w, "::warning title=bench regression::%s wall %+.1f%% vs %s (%.1f ms → %.1f ms)\n",
-				d.Name, d.WallPct, c.BaseSHA, float64(d.BaseWallNS)/1e6, float64(d.CurWallNS)/1e6)
+			fmt.Fprintf(w, "::warning title=bench regression::%s wall %+.1f%% (threshold %.1f%%) vs %s (%.1f ms → %.1f ms)\n",
+				d.Name, d.WallPct, d.ThresholdPct, c.BaseSHA, float64(d.BaseWallNS)/1e6, float64(d.CurWallNS)/1e6)
 		}
 	}
 }

@@ -184,6 +184,11 @@ type FloodOptions struct {
 	// the round number t+1 and |I_{t+1}|. It runs on the flooding
 	// goroutine; keep it cheap.
 	Progress func(round, informed int)
+	// Hook, if non-nil, observes the run: phase timing spans and
+	// per-round telemetry (see PhaseHook). Hooks are observational only
+	// and every call site is nil-guarded, so results are byte-identical
+	// with or without one and the zero-hook path costs a branch.
+	Hook PhaseHook
 }
 
 // Flood runs the flooding process of Section 2 on d starting from
@@ -241,10 +246,11 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 		}
 	}
 	workers := engineWorkers(opt.Parallelism, d)
-	snap := newSnapshotter(d, opt.Snapshot, workers)
+	snap := newSnapshotter(d, opt.Snapshot, workers, opt.Hook)
 	var eng *shardEngine
 	if workers > 1 {
 		eng = newShardEngine(n, workers)
+		eng.hook = opt.Hook
 	}
 	// For the static baseline the snapshot never changes, so once the
 	// engine pulls it can afford a one-time dense-row export and test
@@ -258,11 +264,15 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 	senders := make([]int32, 1, n)
 	senders[0] = int32(source)
 	newly := make([]int32, 0, 256)
+	h := opt.Hook
 	for t := 0; t < maxRounds; t++ {
 		if opt.Stop != nil && opt.Stop() {
 			break
 		}
 		g := snap.graph()
+		if h != nil {
+			h.BeginPhase(PhaseKernel)
+		}
 		pull := false
 		switch opt.Kernel {
 		case KernelPull:
@@ -299,11 +309,17 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 				}
 			}
 		}
+		if h != nil {
+			h.EndPhase(PhaseKernel)
+		}
 		senders = append(senders, newly...)
 		res.Trajectory = append(res.Trajectory, len(senders))
 		snap.step()
 		if opt.Progress != nil {
 			opt.Progress(t+1, len(senders))
+		}
+		if h != nil {
+			h.RoundDone(RoundStats{Round: t + 1, Informed: len(senders), Newly: len(newly)})
 		}
 		if len(senders) == n {
 			res.Rounds = t + 1

@@ -94,6 +94,11 @@ type GossipOptions struct {
 	// the round number t+1 and the informed count. It runs on the
 	// calling goroutine; keep it cheap.
 	Progress func(round, informed int)
+	// Hook, if non-nil, observes the run: phase timing spans and
+	// per-round telemetry. Observational only; see FloodOptions.Hook.
+	// The chain advances at the end of a round here, so PhaseStep time
+	// is attributed to the round it prepares.
+	Hook PhaseHook
 }
 
 // GossipResult records one protocol run on the gossip engine. It is a
@@ -186,10 +191,11 @@ func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *rng.RNG,
 	}
 
 	workers := engineWorkers(opt.Parallelism, d)
-	snap := newSnapshotter(d, opt.Snapshot, workers)
+	snap := newSnapshotter(d, opt.Snapshot, workers, opt.Hook)
 	var eng *gossipEngine
 	if workers > 1 {
 		eng = newGossipEngine(n, workers)
+		eng.hook = opt.Hook
 	}
 	// senders holds exactly the informed set in discovery order; for
 	// probabilistic flooding, active holds the subset still forwarding
@@ -209,12 +215,16 @@ func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *rng.RNG,
 		frontier = make([]uint64, (n+63)/64)
 	}
 
+	h := opt.Hook
 	for t := 0; ; t++ {
 		if opt.Stop != nil && opt.Stop() {
 			break
 		}
 		g := snap.graph()
 		newly = newly[:0]
+		if h != nil {
+			h.BeginPhase(PhaseKernel)
+		}
 		switch proto {
 		case GossipPush:
 			if eng != nil {
@@ -255,11 +265,17 @@ func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *rng.RNG,
 				}
 			}
 		}
+		if h != nil {
+			h.EndPhase(PhaseKernel)
+		}
 		senders = append(senders, newly...)
 		count += len(newly)
 		res.Trajectory = append(res.Trajectory, count)
 		if opt.Progress != nil {
 			opt.Progress(t+1, count)
+		}
+		if h != nil {
+			h.RoundDone(RoundStats{Round: t + 1, Informed: count, Newly: len(newly)})
 		}
 		if count == n {
 			res.Rounds = t + 1

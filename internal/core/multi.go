@@ -55,6 +55,12 @@ type MultiOptions struct {
 	// the round number t+1 and the largest informed count across the
 	// batch's floods. It runs on the flooding goroutine; keep it cheap.
 	Progress func(round, informed int)
+	// Hook, if non-nil, observes the batch: phase spans per round, and
+	// RoundDone with Informed set to the largest informed count across
+	// the batch's floods (matching Progress) and Newly to the total
+	// nodes informed this round summed over floods. Observational only;
+	// see FloodOptions.Hook.
+	Hook PhaseHook
 }
 
 // FloodMultiOpt is FloodMulti with cancellation and progress hooks.
@@ -103,13 +109,18 @@ func FloodMultiOpt(d Dynamics, sources []int, maxRounds int, opt MultiOptions) [
 	}
 
 	workers := engineWorkers(opt.Parallelism, d)
-	snap := newSnapshotter(d, opt.Snapshot, workers)
+	snap := newSnapshotter(d, opt.Snapshot, workers, opt.Hook)
 	remaining := len(groups)
+	h := opt.Hook
+	prevTotal := len(sources) // every flood starts with its source informed
 	for t := 0; t < maxRounds && remaining > 0; t++ {
 		if opt.Stop != nil && opt.Stop() {
 			break
 		}
 		g := snap.graph()
+		if h != nil {
+			h.BeginPhase(PhaseKernel)
+		}
 		for _, grp := range groups {
 			if grp.done {
 				continue
@@ -123,17 +134,27 @@ func FloodMultiOpt(d Dynamics, sources []int, maxRounds int, opt MultiOptions) [
 				remaining--
 			}
 		}
+		if h != nil {
+			h.EndPhase(PhaseKernel)
+		}
 		snap.step()
-		if opt.Progress != nil {
-			most := 0
+		if opt.Progress != nil || h != nil {
+			most, total := 0, 0
 			for _, grp := range groups {
 				for _, c := range grp.counts {
 					if c > most {
 						most = c
 					}
+					total += c
 				}
 			}
-			opt.Progress(t+1, most)
+			if opt.Progress != nil {
+				opt.Progress(t+1, most)
+			}
+			if h != nil {
+				h.RoundDone(RoundStats{Round: t + 1, Informed: most, Newly: total - prevTotal})
+				prevTotal = total
+			}
 		}
 	}
 	for i := range results {

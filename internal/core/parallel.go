@@ -44,6 +44,7 @@ type shardEngine struct {
 	words     int        // words of the node universe
 	frontiers [][]uint64 // per-worker private frontier bitmaps
 	newly     [][]int32  // per-shard newly-informed lists
+	hook      PhaseHook  // nil unless the run is instrumented
 }
 
 func newShardEngine(n, workers int) *shardEngine {
@@ -111,8 +112,14 @@ func (e *shardEngine) pushRound(g *graph.Graph, senders []int32, informed *bitse
 // given frontiers are ORed together, and the union is applied to the
 // shared informed words and arrival array — each word owned by exactly
 // one shard, discoveries collected per shard and concatenated in shard
-// order, so newly comes out in node order for every worker count.
+// order, so newly comes out in node order for every worker count. The
+// span is reported as PhaseMerge, nested inside the enclosing round's
+// PhaseKernel.
 func (e *shardEngine) mergeFrontiers(frontiers [][]uint64, words []uint64, arrival []int32, t int, newly []int32) []int32 {
+	h := e.hook
+	if h != nil {
+		h.BeginPhase(PhaseMerge)
+	}
 	par.ForBlocks(e.workers, e.words, func(shard, lo, hi int) {
 		out := e.newly[shard][:0]
 		for wi := lo; wi < hi; wi++ {
@@ -138,6 +145,9 @@ func (e *shardEngine) mergeFrontiers(frontiers [][]uint64, words []uint64, arriv
 	})
 	for shard := 0; shard < e.workers; shard++ {
 		newly = append(newly, e.newly[shard]...)
+	}
+	if h != nil {
+		h.EndPhase(PhaseMerge)
 	}
 	return newly
 }
@@ -187,11 +197,20 @@ func (e *shardEngine) pullRound(g *graph.Graph, rows *graph.DenseRows, informed 
 		}
 		e.newly[shard] = out
 	})
+	// The post-join apply is the pull kernel's merge span: shard outputs
+	// folded into the shared informed set in shard order.
+	h := e.hook
+	if h != nil {
+		h.BeginPhase(PhaseMerge)
+	}
 	for shard := 0; shard < e.workers; shard++ {
 		for _, v := range e.newly[shard] {
 			words[v>>6] |= 1 << (uint(v) & 63)
 		}
 		newly = append(newly, e.newly[shard]...)
+	}
+	if h != nil {
+		h.EndPhase(PhaseMerge)
 	}
 	return newly
 }

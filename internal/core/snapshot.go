@@ -83,10 +83,11 @@ type snapshotter struct {
 	dd      DeltaDynamics // non-nil only when the delta path is active
 	mut     *graph.Mutable
 	workers int
+	hook    PhaseHook // nil unless the run is instrumented
 }
 
-func newSnapshotter(d Dynamics, mode SnapshotMode, workers int) *snapshotter {
-	s := &snapshotter{d: d, workers: workers}
+func newSnapshotter(d Dynamics, mode SnapshotMode, workers int, hook PhaseHook) *snapshotter {
+	s := &snapshotter{d: d, workers: workers, hook: hook}
 	if mode == SnapshotDelta {
 		if dd, ok := d.(DeltaDynamics); ok {
 			s.dd = dd
@@ -99,6 +100,18 @@ func newSnapshotter(d Dynamics, mode SnapshotMode, workers int) *snapshotter {
 // call materializes the dynamics' snapshot once into a Mutable; later
 // rounds reuse the incrementally maintained view.
 func (s *snapshotter) graph() *graph.Graph {
+	h := s.hook
+	if h != nil {
+		h.BeginPhase(PhaseSnapshot)
+	}
+	g := s.graphInner()
+	if h != nil {
+		h.EndPhase(PhaseSnapshot)
+	}
+	return g
+}
+
+func (s *snapshotter) graphInner() *graph.Graph {
 	if s.dd == nil {
 		return s.d.Graph()
 	}
@@ -109,14 +122,36 @@ func (s *snapshotter) graph() *graph.Graph {
 }
 
 // step advances the chain G_t → G_{t+1}, folding the delta into the
-// maintained view on the delta path.
+// maintained view on the delta path. The two delta sub-spans are
+// reported separately: StepDelta is the models' churn computation
+// (PhaseStep, like the full path's Step), ApplyDelta the incremental
+// snapshot maintenance (PhaseDeltaApply).
 func (s *snapshotter) step() {
+	h := s.hook
 	if s.dd == nil {
+		if h != nil {
+			h.BeginPhase(PhaseStep)
+		}
 		s.d.Step()
+		if h != nil {
+			h.EndPhase(PhaseStep)
+		}
 		return
 	}
+	if h != nil {
+		h.BeginPhase(PhaseStep)
+	}
 	delta := s.dd.StepDelta()
+	if h != nil {
+		h.EndPhase(PhaseStep)
+	}
 	if s.mut != nil {
+		if h != nil {
+			h.BeginPhase(PhaseDeltaApply)
+		}
 		s.mut.ApplyDelta(delta, s.workers)
+		if h != nil {
+			h.EndPhase(PhaseDeltaApply)
+		}
 	}
 }

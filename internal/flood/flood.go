@@ -112,6 +112,13 @@ type Options struct {
 	// OnTrialDone, if non-nil, is called as each trial finishes (in
 	// completion order, concurrently — same caveats as OnRound).
 	OnTrialDone func(trial int, t Trial)
+	// Hook, if non-nil, is called once at the start of every trial (on
+	// the trial's worker goroutine) and may return a core.PhaseHook to
+	// observe that trial's engine rounds — phase timings and per-round
+	// telemetry. Trials run concurrently, so the factory must hand out
+	// a distinct hook per trial (or nil to skip one). Hooks observe
+	// only: campaign results are byte-identical with and without them.
+	Hook func(trial int) core.PhaseHook
 }
 
 // batched reports whether the batched multi-source path applies.
@@ -196,15 +203,20 @@ func RunContext(ctx context.Context, factory Factory, opt Options) (Campaign, er
 		if opt.OnRound != nil {
 			progress = func(round, informed int) { opt.OnRound(rep, round, informed) }
 		}
+		var hook core.PhaseHook
+		if opt.Hook != nil {
+			hook = opt.Hook(rep)
+		}
 		var res core.FloodResult
 		if opt.batched() {
 			d.Reset(r.Split())
 			res = core.WorstResult(core.FloodMultiOpt(d, sources, opt.MaxRounds,
-				core.MultiOptions{Parallelism: opt.Parallelism, Snapshot: opt.Snapshot, Stop: stop, Progress: progress}))
+				core.MultiOptions{Parallelism: opt.Parallelism, Snapshot: opt.Snapshot, Stop: stop, Progress: progress, Hook: hook}))
 		} else {
 			fo := opt.floodOptions()
 			fo.Stop = stop
 			fo.Progress = progress
+			fo.Hook = hook
 			res = core.FloodingTimeOpt(d, sources, opt.MaxRounds, r, fo)
 		}
 		t := Trial{Result: res, RoundsToHalf: res.RoundsToHalf(n)}

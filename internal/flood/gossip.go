@@ -68,6 +68,12 @@ type ProtocolOptions struct {
 	// OnTrialDone, if non-nil, is called as each trial finishes
 	// (completion order, concurrently).
 	OnTrialDone func(trial int, t ProtocolTrial)
+	// Hook, if non-nil, is called once at the start of every trial and
+	// may return a core.PhaseHook observing that trial's engine rounds
+	// (kernel engine only; the reference implementations have no phase
+	// structure to report). Same contract as Options.Hook: one distinct
+	// hook per trial, observation only, byte-identical results.
+	Hook func(trial int) core.PhaseHook
 }
 
 // ProtocolOptionsFromSpec maps a canonical non-flooding spec onto
@@ -179,6 +185,10 @@ func RunProtocolContext(ctx context.Context, factory Factory, opt ProtocolOption
 		if opt.OnRound != nil {
 			progress = func(round, informed int) { opt.OnRound(rep, round, informed) }
 		}
+		var hook core.PhaseHook
+		if opt.Hook != nil {
+			hook = opt.Hook(rep)
+		}
 		var worst core.GossipResult
 		for i, src := range sources {
 			if ctx.Err() != nil && i > 0 {
@@ -201,6 +211,7 @@ func RunProtocolContext(ctx context.Context, factory Factory, opt ProtocolOption
 					Parallelism: opt.Parallelism,
 					Snapshot:    opt.Snapshot,
 					Stop:        stop, Progress: progress,
+					Hook: hook,
 				})
 			}
 			if i == 0 || worseResult(res, worst) {

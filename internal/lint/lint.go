@@ -18,7 +18,11 @@
 //     serving layer;
 //   - hashhints: drift between the spec schema and its content-hash
 //     view (execution hints leaking into the hash, hashed fields that
-//     would not survive canonical re-parse).
+//     would not survive canonical re-parse);
+//   - metricshooks: core.PhaseHook method calls in determinism-critical
+//     packages that are not nil-guarded (hooks are observation-only and
+//     nil by default; an unguarded call is a latent panic and a tax on
+//     the hookless path).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer holds a Run function over a Pass — but is implemented on
@@ -244,5 +248,5 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, RNGDiscipline, WallClock, RawGo, HashHints}
+	return []*Analyzer{MapIter, RNGDiscipline, WallClock, RawGo, HashHints, MetricsHooks}
 }

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"meg/internal/lint/scope"
+)
+
+// MetricsHooks enforces the observability layer's zero-cost contract
+// inside determinism-critical packages: every call to a core.PhaseHook
+// method must sit under a nil guard on that hook expression.
+//
+// Phase hooks are the one seam where the simulation core talks to the
+// wall-clock world (internal/metrics times the spans; the core only
+// announces them). The discipline that keeps the hookless path free —
+// and keeps instrumented runs byte-identical to bare ones — is that
+// hook calls are always written
+//
+//	h := opt.Hook
+//	if h != nil {
+//		h.BeginPhase(core.PhaseKernel)
+//	}
+//
+// so the nil case costs a single branch and no interface dispatch. An
+// unguarded call panics the moment a caller runs without telemetry,
+// which is the default; this analyzer turns that runtime trap into a
+// compile-time finding. There is no suppression directive: a call
+// provably reached only with a non-nil hook can simply restate the
+// guard.
+var MetricsHooks = &Analyzer{
+	Name: "metricshooks",
+	Doc:  "require nil guards on core.PhaseHook method calls in determinism-critical packages",
+	Run:  runMetricsHooks,
+}
+
+func runMetricsHooks(pass *Pass) error {
+	if !scope.Deterministic(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkGuarded(pass, fd.Body, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// walkGuarded traverses n carrying the set of hook-expression strings
+// currently known non-nil. If statements extend the set for their body
+// from the condition's `x != nil` conjuncts; everything else recurses
+// with the set unchanged.
+func walkGuarded(pass *Pass, n ast.Node, guards map[string]bool) {
+	if n == nil {
+		return
+	}
+	if ifs, ok := n.(*ast.IfStmt); ok {
+		if ifs.Init != nil {
+			walkGuarded(pass, ifs.Init, guards)
+		}
+		walkGuarded(pass, ifs.Cond, guards)
+		inner := guards
+		if extra := nilGuards(ifs.Cond); len(extra) > 0 {
+			inner = make(map[string]bool, len(guards)+len(extra))
+			for k := range guards {
+				inner[k] = true
+			}
+			for k := range extra {
+				inner[k] = true
+			}
+		}
+		walkGuarded(pass, ifs.Body, inner)
+		// The else branch sees the condition false: its guards are the
+		// outer ones only.
+		walkGuarded(pass, ifs.Else, guards)
+		return
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch c := child.(type) {
+		case *ast.IfStmt:
+			if c == n {
+				return true // cannot happen; defensive
+			}
+			walkGuarded(pass, c, guards)
+			return false
+		case *ast.CallExpr:
+			checkHookCall(pass, c, guards)
+		}
+		return true
+	})
+}
+
+// checkHookCall reports call when it invokes a method on a
+// core.PhaseHook-typed expression that no enclosing guard covers.
+func checkHookCall(pass *Pass, call *ast.CallExpr, guards map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isPhaseHookType(tv.Type) {
+		return
+	}
+	if recv := hookExprString(sel.X); recv != "" && guards[recv] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"unguarded PhaseHook call %s.%s in determinism-critical package %s: hook fields are nil by default — wrap the call in `if %s != nil { ... }` so the hookless path stays zero-cost",
+		exprLabel(sel.X), sel.Sel.Name, pass.Path, exprLabel(sel.X))
+}
+
+// isPhaseHookType reports whether t is the core.PhaseHook interface.
+func isPhaseHookType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == "PhaseHook" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == scope.ModulePath+"/internal/core"
+}
+
+// nilGuards extracts the hook expressions a condition proves non-nil:
+// `x != nil` (either operand order) and every conjunct of `&&` chains.
+// Disjunctions prove nothing — either side alone may hold.
+func nilGuards(cond ast.Expr) map[string]bool {
+	out := map[string]bool{}
+	collectNilGuards(cond, out)
+	return out
+}
+
+func collectNilGuards(cond ast.Expr, out map[string]bool) {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		collectNilGuards(e.X, out)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			collectNilGuards(e.X, out)
+			collectNilGuards(e.Y, out)
+		case token.NEQ:
+			if isNilExpr(e.Y) {
+				if s := hookExprString(e.X); s != "" {
+					out[s] = true
+				}
+			} else if isNilExpr(e.X) {
+				if s := hookExprString(e.Y); s != "" {
+					out[s] = true
+				}
+			}
+		}
+	}
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// hookExprString renders the identifier/selector chains guards can
+// track ("h", "opt.Hook", "s.hook"). Anything else — calls, index
+// expressions — returns "" and never matches a guard, so a call on it
+// is flagged; the fix is binding the hook to a local first, which is
+// the discipline's canonical shape anyway.
+func hookExprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.ParenExpr:
+		return hookExprString(x.X)
+	case *ast.SelectorExpr:
+		base := hookExprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// exprLabel names the receiver in diagnostics, degrading gracefully
+// for untrackable expressions.
+func exprLabel(e ast.Expr) string {
+	if s := hookExprString(e); s != "" {
+		return s
+	}
+	return "hook"
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"meg/internal/lint"
+	"meg/internal/lint/linttest"
+)
+
+func TestMetricsHooks(t *testing.T) {
+	// Guarded calls (locals, fields, && chains, nesting) pass; bare
+	// calls, wrong-hook guards, else branches, and disjunctions are
+	// flagged.
+	linttest.Run(t, lint.MetricsHooks, "meg/internal/expansion")
+}
+
+func TestMetricsHooksOutsideScope(t *testing.T) {
+	// serve is not determinism-critical: no findings even on unguarded
+	// shapes (the fixture has none, but the scope gate is what's under
+	// test — the analyzer must return before inspecting).
+	linttest.Run(t, lint.MetricsHooks, "meg/internal/serve")
+}

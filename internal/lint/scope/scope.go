@@ -44,6 +44,11 @@ var deterministic = map[string]bool{
 var wallClockAllowed = map[string]bool{
 	ModulePath + "/internal/serve": true,
 	ModulePath + "/internal/bench": true,
+	// The metrics registry is the blessed wall-clock boundary of the
+	// observability layer: deterministic packages never read the clock
+	// themselves — they call nil-guarded PhaseHook methods, and the
+	// injected metrics.Clock does the timing out here.
+	ModulePath + "/internal/metrics": true,
 }
 
 // rawGoAllowed lists the packages that may launch goroutines with a

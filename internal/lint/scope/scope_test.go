@@ -12,6 +12,7 @@ func TestClassification(t *testing.T) {
 		{"meg/internal/expansion", true, false, false},
 		{"meg/internal/serve", false, true, true},
 		{"meg/internal/bench", false, true, false},
+		{"meg/internal/metrics", false, true, false},
 		{"meg/internal/par", false, false, true},
 		{"meg/internal/sweep", false, false, false},
 		{"meg/internal/rng", false, false, false},

@@ -1,0 +1,23 @@
+package core
+
+// Phase mirrors the real core.Phase for the metricshooks fixtures.
+type Phase uint8
+
+// Fixture phase constants.
+const (
+	PhaseSnapshot Phase = iota
+	PhaseKernel
+)
+
+// RoundStats mirrors the real core.RoundStats.
+type RoundStats struct {
+	Round, Informed, Newly int
+}
+
+// PhaseHook mirrors the real core.PhaseHook: the observation-only
+// timing interface whose call sites must be nil-guarded.
+type PhaseHook interface {
+	BeginPhase(Phase)
+	EndPhase(Phase)
+	RoundDone(RoundStats)
+}

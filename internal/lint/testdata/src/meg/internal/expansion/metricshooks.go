@@ -1,0 +1,78 @@
+// Package expansion is a metricshooks fixture posing as a
+// determinism-critical package that threads phase hooks.
+package expansion
+
+import "meg/internal/core"
+
+// Options carries a hook field like the real engine options do.
+type Options struct {
+	Hook core.PhaseHook
+}
+
+// Guarded is the canonical discipline: bind, guard, call. No findings.
+func Guarded(opt Options) {
+	h := opt.Hook
+	if h != nil {
+		h.BeginPhase(core.PhaseKernel)
+	}
+	if h != nil {
+		h.EndPhase(core.PhaseKernel)
+		h.RoundDone(core.RoundStats{Round: 1})
+	}
+}
+
+// GuardedField guards the field expression itself — also fine.
+func GuardedField(opt Options) {
+	if opt.Hook != nil {
+		opt.Hook.BeginPhase(core.PhaseSnapshot)
+	}
+}
+
+// GuardedConjunction proves the hook non-nil through an && chain.
+func GuardedConjunction(opt Options, on bool) {
+	h := opt.Hook
+	if on && h != nil {
+		h.BeginPhase(core.PhaseKernel)
+	}
+}
+
+// Unguarded calls the hook bare: the latent nil panic the analyzer
+// exists to catch.
+func Unguarded(opt Options) {
+	h := opt.Hook
+	h.BeginPhase(core.PhaseKernel) // want "unguarded PhaseHook call h.BeginPhase"
+}
+
+// UnguardedField calls through the field without any guard.
+func UnguardedField(opt Options) {
+	opt.Hook.RoundDone(core.RoundStats{}) // want `unguarded PhaseHook call opt\.Hook\.RoundDone`
+}
+
+// WrongBranch guards one hook but calls another in its shadow, and
+// calls the guarded hook in the else branch where the guard is false.
+func WrongBranch(a, b Options) {
+	ha, hb := a.Hook, b.Hook
+	if ha != nil {
+		hb.EndPhase(core.PhaseKernel) // want "unguarded PhaseHook call hb.EndPhase"
+	} else {
+		ha.EndPhase(core.PhaseKernel) // want "unguarded PhaseHook call ha.EndPhase"
+	}
+}
+
+// Disjunction does not prove either operand non-nil.
+func Disjunction(opt Options, on bool) {
+	h := opt.Hook
+	if on || h != nil {
+		h.BeginPhase(core.PhaseKernel) // want "unguarded PhaseHook call h.BeginPhase"
+	}
+}
+
+// NestedGuard keeps outer guards in force inside nested statements.
+func NestedGuard(opt Options, rounds int) {
+	h := opt.Hook
+	if h != nil {
+		for t := 0; t < rounds; t++ {
+			h.RoundDone(core.RoundStats{Round: t})
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package metrics is the repository's stdlib-only observability core:
+// an allocation-light registry of counters, gauges and histograms with
+// a hand-rolled Prometheus text exposition, plus the PhaseRecorder that
+// turns core.PhaseHook callbacks into per-round telemetry and run
+// totals.
+//
+// The package owns every wall-clock read the instrumentation needs:
+// determinism-critical packages record durations through an injected
+// Clock (via PhaseRecorder) instead of calling time.Now themselves, so
+// the wallclock analyzer's discipline — no time sources inside engine
+// packages — survives instrumentation. internal/lint/scope blesses this
+// package as a wall-clock boundary for exactly that reason.
+package metrics
+
+import "time"
+
+// Clock is the injected monotonic time source: Now returns nanoseconds
+// since an arbitrary fixed origin. Durations are differences of Now
+// values, so the origin never matters; tests substitute a manual clock
+// to make recorded durations deterministic.
+type Clock interface {
+	Now() int64
+}
+
+// WallClock returns the process's monotonic wall clock, anchored at
+// the call so readings stay small and unaffected by wall-time jumps.
+func WallClock() Clock {
+	return wallClock{base: time.Now()}
+}
+
+type wallClock struct{ base time.Time }
+
+func (c wallClock) Now() int64 { return int64(time.Since(c.base)) }

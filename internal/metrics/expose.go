@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers per family,
+// cumulative le-buckets plus _sum/_count for histograms, label values
+// escaped per the format's rules.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			bw.WriteString("# HELP " + f.Name + " " + escapeHelp(f.Help) + "\n")
+		}
+		bw.WriteString("# TYPE " + f.Name + " " + f.Kind.String() + "\n")
+		for _, s := range f.Series {
+			if f.Kind != KindHistogram {
+				bw.WriteString(f.Name + labelString(f.LabelNames, s.LabelValues, "", "") + " " + formatValue(s.Value) + "\n")
+				continue
+			}
+			cum := uint64(0)
+			for i, c := range s.BucketCounts {
+				cum += c
+				le := "+Inf"
+				if i < len(f.Buckets) {
+					le = formatValue(f.Buckets[i])
+				}
+				bw.WriteString(f.Name + "_bucket" + labelString(f.LabelNames, s.LabelValues, "le", le) + " " + strconv.FormatUint(cum, 10) + "\n")
+			}
+			bw.WriteString(f.Name + "_sum" + labelString(f.LabelNames, s.LabelValues, "", "") + " " + formatValue(s.Sum) + "\n")
+			bw.WriteString(f.Name + "_count" + labelString(f.LabelNames, s.LabelValues, "", "") + " " + strconv.FormatUint(s.Count, 10) + "\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition over HTTP — the body of GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// labelString renders {k="v",...}, appending the extra pair (used for
+// le) when extraName is non-empty; empty label sets render as nothing.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

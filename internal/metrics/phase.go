@@ -1,0 +1,147 @@
+package metrics
+
+import "meg/internal/core"
+
+// RoundTelemetry is one evaluated round's telemetry: the run signals
+// (informed count, frontier churn) plus the round's wall time split by
+// engine phase. MergeNS is a sub-span of KernelNS (the sharded flooding
+// engine's frontier merge); DeltaApplyNS is nonzero only on the delta
+// snapshot path. It is the JSON payload of megserve's SSE "telemetry"
+// events and the unit the -telemetry aggregates are built from.
+type RoundTelemetry struct {
+	Round        int   `json:"round"`
+	Informed     int   `json:"informed"`
+	Newly        int   `json:"newly"`
+	SnapshotNS   int64 `json:"snapshotNS"`
+	KernelNS     int64 `json:"kernelNS"`
+	MergeNS      int64 `json:"mergeNS,omitempty"`
+	StepNS       int64 `json:"stepNS"`
+	DeltaApplyNS int64 `json:"deltaApplyNS,omitempty"`
+}
+
+// PhaseTotals aggregates RoundTelemetry across rounds (and, via Merge,
+// across trials): total nanoseconds per phase plus the run-shape
+// signals. It is the -telemetry output schema of megsim and the
+// per-variant telemetry block of megbench's BENCH documents.
+type PhaseTotals struct {
+	Rounds       int64 `json:"rounds"`
+	SnapshotNS   int64 `json:"snapshotNS"`
+	KernelNS     int64 `json:"kernelNS"`
+	MergeNS      int64 `json:"mergeNS,omitempty"`
+	StepNS       int64 `json:"stepNS"`
+	DeltaApplyNS int64 `json:"deltaApplyNS,omitempty"`
+	// MaxInformed is the largest informed count any round reported —
+	// n on completed runs.
+	MaxInformed int `json:"maxInformed"`
+	// TotalNewly sums per-round frontier growth; PeakNewly is the
+	// largest single-round frontier, the paper's growth-burst signal.
+	TotalNewly int64 `json:"totalNewly"`
+	PeakNewly  int   `json:"peakNewly"`
+}
+
+// AddRound folds one round's telemetry into the totals.
+func (t *PhaseTotals) AddRound(rt RoundTelemetry) {
+	t.Rounds++
+	t.SnapshotNS += rt.SnapshotNS
+	t.KernelNS += rt.KernelNS
+	t.MergeNS += rt.MergeNS
+	t.StepNS += rt.StepNS
+	t.DeltaApplyNS += rt.DeltaApplyNS
+	if rt.Informed > t.MaxInformed {
+		t.MaxInformed = rt.Informed
+	}
+	t.TotalNewly += int64(rt.Newly)
+	if rt.Newly > t.PeakNewly {
+		t.PeakNewly = rt.Newly
+	}
+}
+
+// Merge folds another run's totals into t (durations and counts sum;
+// peaks take the max).
+func (t *PhaseTotals) Merge(o PhaseTotals) {
+	t.Rounds += o.Rounds
+	t.SnapshotNS += o.SnapshotNS
+	t.KernelNS += o.KernelNS
+	t.MergeNS += o.MergeNS
+	t.StepNS += o.StepNS
+	t.DeltaApplyNS += o.DeltaApplyNS
+	if o.MaxInformed > t.MaxInformed {
+		t.MaxInformed = o.MaxInformed
+	}
+	t.TotalNewly += o.TotalNewly
+	if o.PeakNewly > t.PeakNewly {
+		t.PeakNewly = o.PeakNewly
+	}
+}
+
+// TotalNS returns the summed top-level phase time (merge is nested
+// inside kernel and therefore not added again).
+func (t PhaseTotals) TotalNS() int64 {
+	return t.SnapshotNS + t.KernelNS + t.StepNS + t.DeltaApplyNS
+}
+
+// PhaseRecorder implements core.PhaseHook: it times the engine's phase
+// spans against the injected Clock, folds each round into running
+// PhaseTotals, and (when OnRound is set) emits the round's telemetry as
+// it completes. A recorder belongs to exactly one run at a time — the
+// engines call hooks from a single goroutine — so its internals need no
+// locking; create one recorder per trial when trials run concurrently.
+//
+// Nested spans are safe (PhaseMerge begins while PhaseKernel is open)
+// because begin times are kept per phase.
+type PhaseRecorder struct {
+	clock Clock
+	// OnRound, if non-nil, receives every round's telemetry right after
+	// RoundDone folds it into the totals. It runs on the engine
+	// goroutine; keep it cheap.
+	OnRound func(RoundTelemetry)
+
+	begins  [core.PhaseCount]int64
+	roundNS [core.PhaseCount]int64
+	totals  PhaseTotals
+}
+
+// NewPhaseRecorder returns a recorder reading the given clock (nil
+// means the process wall clock).
+func NewPhaseRecorder(clock Clock) *PhaseRecorder {
+	if clock == nil {
+		clock = WallClock()
+	}
+	return &PhaseRecorder{clock: clock}
+}
+
+// BeginPhase implements core.PhaseHook.
+func (r *PhaseRecorder) BeginPhase(p core.Phase) {
+	r.begins[p] = r.clock.Now()
+}
+
+// EndPhase implements core.PhaseHook.
+func (r *PhaseRecorder) EndPhase(p core.Phase) {
+	r.roundNS[p] += r.clock.Now() - r.begins[p]
+}
+
+// RoundDone implements core.PhaseHook: it packages the phase times
+// accumulated since the previous round boundary with the round's stats,
+// folds the result into Totals, and clears the per-round accumulators.
+func (r *PhaseRecorder) RoundDone(s core.RoundStats) {
+	rt := RoundTelemetry{
+		Round:        s.Round,
+		Informed:     s.Informed,
+		Newly:        s.Newly,
+		SnapshotNS:   r.roundNS[core.PhaseSnapshot],
+		KernelNS:     r.roundNS[core.PhaseKernel],
+		MergeNS:      r.roundNS[core.PhaseMerge],
+		StepNS:       r.roundNS[core.PhaseStep],
+		DeltaApplyNS: r.roundNS[core.PhaseDeltaApply],
+	}
+	for i := range r.roundNS {
+		r.roundNS[i] = 0
+	}
+	r.totals.AddRound(rt)
+	if r.OnRound != nil {
+		r.OnRound(rt)
+	}
+}
+
+// Totals returns the totals accumulated so far.
+func (r *PhaseRecorder) Totals() PhaseTotals { return r.totals }

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"testing"
+
+	"meg/internal/core"
+)
+
+// fakeClock advances only when told to, making span math exact.
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) Now() int64 { return c.t }
+
+func TestPhaseRecorderSpansAndRounds(t *testing.T) {
+	clk := &fakeClock{}
+	var rounds []RoundTelemetry
+	r := NewPhaseRecorder(clk)
+	r.OnRound = func(rt RoundTelemetry) { rounds = append(rounds, rt) }
+
+	// Round 1: snapshot 10ns, kernel 100ns with a 30ns merge inside.
+	r.BeginPhase(core.PhaseSnapshot)
+	clk.t += 10
+	r.EndPhase(core.PhaseSnapshot)
+	r.BeginPhase(core.PhaseKernel)
+	r.BeginPhase(core.PhaseMerge)
+	clk.t += 30
+	r.EndPhase(core.PhaseMerge)
+	clk.t += 70
+	r.EndPhase(core.PhaseKernel)
+	r.RoundDone(core.RoundStats{Round: 1, Informed: 5, Newly: 4})
+
+	// Round 2: two kernel spans accumulate; step + delta apply too.
+	r.BeginPhase(core.PhaseKernel)
+	clk.t += 20
+	r.EndPhase(core.PhaseKernel)
+	r.BeginPhase(core.PhaseKernel)
+	clk.t += 5
+	r.EndPhase(core.PhaseKernel)
+	r.BeginPhase(core.PhaseStep)
+	clk.t += 40
+	r.EndPhase(core.PhaseStep)
+	r.BeginPhase(core.PhaseDeltaApply)
+	clk.t += 15
+	r.EndPhase(core.PhaseDeltaApply)
+	r.RoundDone(core.RoundStats{Round: 2, Informed: 9, Newly: 4})
+
+	if len(rounds) != 2 {
+		t.Fatalf("OnRound fired %d times, want 2", len(rounds))
+	}
+	r1, r2 := rounds[0], rounds[1]
+	if r1.SnapshotNS != 10 || r1.KernelNS != 100 || r1.MergeNS != 30 {
+		t.Errorf("round 1 spans = %+v", r1)
+	}
+	if r1.Round != 1 || r1.Informed != 5 || r1.Newly != 4 {
+		t.Errorf("round 1 stats = %+v", r1)
+	}
+	// Per-round counters reset between rounds.
+	if r2.SnapshotNS != 0 || r2.KernelNS != 25 || r2.StepNS != 40 || r2.DeltaApplyNS != 15 {
+		t.Errorf("round 2 spans = %+v", r2)
+	}
+
+	tot := r.Totals()
+	if tot.Rounds != 2 || tot.SnapshotNS != 10 || tot.KernelNS != 125 || tot.MergeNS != 30 ||
+		tot.StepNS != 40 || tot.DeltaApplyNS != 15 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if tot.MaxInformed != 9 || tot.TotalNewly != 8 || tot.PeakNewly != 4 {
+		t.Errorf("run stats = %+v", tot)
+	}
+	// Merge is nested inside kernel, so TotalNS must not double-count it.
+	if want := int64(10 + 125 + 40 + 15); tot.TotalNS() != want {
+		t.Errorf("TotalNS = %d, want %d", tot.TotalNS(), want)
+	}
+}
+
+func TestPhaseTotalsMerge(t *testing.T) {
+	a := PhaseTotals{Rounds: 2, KernelNS: 100, MaxInformed: 7, TotalNewly: 6, PeakNewly: 4}
+	b := PhaseTotals{Rounds: 3, KernelNS: 50, SnapshotNS: 9, MaxInformed: 5, TotalNewly: 5, PeakNewly: 5}
+	a.Merge(b)
+	if a.Rounds != 5 || a.KernelNS != 150 || a.SnapshotNS != 9 {
+		t.Errorf("summed fields wrong: %+v", a)
+	}
+	if a.MaxInformed != 7 || a.PeakNewly != 5 || a.TotalNewly != 11 {
+		t.Errorf("peak fields wrong: %+v", a)
+	}
+}
+
+func TestPhaseRecorderNilClockDefaultsToWallClock(t *testing.T) {
+	r := NewPhaseRecorder(nil)
+	r.BeginPhase(core.PhaseKernel)
+	r.EndPhase(core.PhaseKernel)
+	r.RoundDone(core.RoundStats{Round: 1, Informed: 1, Newly: 1})
+	if r.Totals().Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", r.Totals().Rounds)
+	}
+	if r.Totals().KernelNS < 0 {
+		t.Errorf("negative kernel span: %d", r.Totals().KernelNS)
+	}
+}

@@ -1,0 +1,330 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the three instrument families.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE spelling.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Registry holds metric families in registration order. Registration
+// (the *Vec / Counter / Gauge / Histogram constructors) takes a lock
+// and may allocate; the returned handles update lock-free via atomics,
+// so hot paths pay a few atomic adds per observation and nothing more.
+// Invalid registrations (duplicate or malformed names) panic: they are
+// programmer errors, caught the first time the process boots.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label-name set; labeled
+// families hold one series per observed label-value combination.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histogram upper bounds, strictly increasing
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []*series // creation order; sorted lazily at Gather time
+}
+
+// series is the lock-free storage cell shared by every handle type:
+// value holds float64 bits for counters/gauges and the running sum for
+// histograms, counts holds per-bucket (non-cumulative) observation
+// counts with the overflow (+Inf) bucket last.
+type series struct {
+	labelValues []string
+	value       atomic.Uint64
+	counts      []atomic.Uint64
+}
+
+// addFloat atomically adds delta to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic("metrics: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic("metrics: invalid label name " + l + " on " + name)
+		}
+	}
+	if kind == KindHistogram {
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic("metrics: histogram buckets must be strictly increasing on " + name)
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("metrics: duplicate metric name " + name)
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, buckets: buckets, series: make(map[string]*series)}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// labelKey joins values with a separator no valid label value contains
+// unescaped ambiguity for (0xFF never starts a UTF-8 rune).
+func labelKey(values []string) string {
+	return strings.Join(values, "\xff")
+}
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			s.counts = make([]atomic.Uint64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+		f.order = append(f.order, s)
+	}
+	return s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must be non-negative.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter add of negative value")
+	}
+	addFloat(&c.s.value, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.s.value.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.s.value.Store(math.Float64bits(v)) }
+
+// Add adds v (negative to subtract).
+func (g *Gauge) Add(v float64) { addFloat(&g.s.value, v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.value.Load()) }
+
+// Histogram counts observations into a fixed bucket layout.
+type Histogram struct {
+	buckets []float64
+	s       *series
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v) // first bucket with bound ≥ v
+	h.s.counts[i].Add(1)
+	addFloat(&h.s.value, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.s.counts {
+		total += h.s.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.value.Load()) }
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, KindCounter, nil, nil)
+	return &Counter{s: f.get(nil)}
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, KindGauge, nil, nil)
+	return &Gauge{s: f.get(nil)}
+}
+
+// Histogram registers an unlabeled histogram with the given strictly
+// increasing upper bounds (an implicit +Inf bucket is always added).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, KindHistogram, nil, append([]float64(nil), buckets...))
+	return &Histogram{buckets: f.buckets, s: f.get(nil)}
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Hot paths should cache the handle.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{s: v.f.get(values)} }
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{s: v.f.get(values)} }
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family with a shared
+// bucket layout.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, KindHistogram, labels, append([]float64(nil), buckets...))}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{buckets: v.f.buckets, s: v.f.get(values)}
+}
+
+// SeriesSnapshot is one series' state at Gather time. BucketCounts are
+// per-bucket (non-cumulative) with the +Inf bucket last; the exposition
+// layer cumulates them.
+type SeriesSnapshot struct {
+	LabelValues  []string
+	Value        float64 // counter/gauge value
+	BucketCounts []uint64
+	Sum          float64
+	Count        uint64
+}
+
+// FamilySnapshot is one metric family's state at Gather time.
+type FamilySnapshot struct {
+	Name       string
+	Help       string
+	Kind       Kind
+	LabelNames []string
+	Buckets    []float64
+	Series     []SeriesSnapshot
+}
+
+// Gather snapshots every family: families in registration order, series
+// sorted by label values, each series read once. Individual reads are
+// atomic; the snapshot as a whole is consistent enough for scraping
+// (counters only move forward between reads).
+func (r *Registry) Gather() []FamilySnapshot {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	out := make([]FamilySnapshot, 0, len(families))
+	for _, f := range families {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind, LabelNames: f.labels, Buckets: f.buckets}
+		f.mu.Lock()
+		order := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i].labelValues, order[j].labelValues
+			for k := range a {
+				if a[k] != b[k] {
+					return a[k] < b[k]
+				}
+			}
+			return false
+		})
+		for _, s := range order {
+			ss := SeriesSnapshot{LabelValues: s.labelValues}
+			if f.kind == KindHistogram {
+				ss.Sum = math.Float64frombits(s.value.Load())
+				ss.BucketCounts = make([]uint64, len(s.counts))
+				for i := range s.counts {
+					c := s.counts[i].Load()
+					ss.BucketCounts[i] = c
+					ss.Count += c
+				}
+			} else {
+				ss.Value = math.Float64frombits(s.value.Load())
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestRegisterPanicsOnDuplicateAndInvalid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	for name, f := range map[string]func(){
+		"duplicate":    func() { r.Gauge("dup_total", "y") },
+		"invalid name": func() { r.Counter("0bad-name", "z") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-55.55) > 1e-9 {
+		t.Errorf("sum = %v, want 55.55", got)
+	}
+	snaps := r.Gather()
+	if len(snaps) != 1 || len(snaps[0].Series) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snaps)
+	}
+	s := snaps[0].Series[0]
+	// Per-bucket (non-cumulative) counts, +Inf last.
+	want := []uint64{1, 1, 1, 1}
+	for i, w := range want {
+		if s.BucketCounts[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, s.BucketCounts[i], w)
+		}
+	}
+}
+
+func TestVecSeriesSortedAndIsolated(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_jobs_total", "jobs", "status")
+	v.With("zeta").Add(1)
+	v.With("alpha").Add(2)
+	v.With("alpha").Inc() // same series, not a new one
+	snaps := r.Gather()
+	s := snaps[0].Series
+	if len(s) != 2 {
+		t.Fatalf("series count = %d, want 2", len(s))
+	}
+	if s[0].LabelValues[0] != "alpha" || s[1].LabelValues[0] != "zeta" {
+		t.Errorf("series not sorted by label values: %+v", s)
+	}
+	if s[0].Value != 3 || s[1].Value != 1 {
+		t.Errorf("series values = %v, %v; want 3, 1", s[0].Value, s[1].Value)
+	}
+}
+
+func TestVecCardinalityMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label count did not panic")
+		}
+	}()
+	v.With("only-one").Inc()
+}
+
+func TestGatherOrderIsRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "late alphabet, first registered")
+	r.Gauge("a_depth", "early alphabet, second registered")
+	snaps := r.Gather()
+	if snaps[0].Name != "z_total" || snaps[1].Name != "a_depth" {
+		t.Errorf("families not in registration order: %s, %s", snaps[0].Name, snaps[1].Name)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "x")
+	g := r.Gauge("test_depth", "y")
+	h := r.HistogramVec("test_seconds", "z", []float64{1}, "route")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(0.5)
+				h.With("a").Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker*0.5 {
+		t.Errorf("gauge = %v, want %v", got, workers*perWorker*0.5)
+	}
+	if got := h.With("a").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("meg_ops_total", "Operations.").Add(3)
+	r.GaugeVec("meg_depth", `Depth with "quotes" and \slashes`, "queue").With(`q"1`).Set(2)
+	h := r.Histogram("meg_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP meg_ops_total Operations.",
+		"# TYPE meg_ops_total counter",
+		"meg_ops_total 3",
+		"# TYPE meg_depth gauge",
+		`meg_depth{queue="q\"1"} 2`,
+		"# TYPE meg_seconds histogram",
+		`meg_seconds_bucket{le="0.1"} 1`,
+		`meg_seconds_bucket{le="1"} 2`, // cumulative
+		`meg_seconds_bucket{le="+Inf"} 3`,
+		"meg_seconds_sum 5.55",
+		"meg_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("meg_x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "meg_x_total 1") {
+		t.Errorf("body missing series:\n%s", rec.Body.String())
+	}
+}

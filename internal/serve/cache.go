@@ -24,6 +24,8 @@ const resultsGeneration = 2
 // Stored bytes are returned verbatim — a cache hit is byte-identical to
 // the response that populated it.
 type Cache struct {
+	metrics *Metrics // nil unless instrumented (set via Scheduler.Instrument)
+
 	mu         sync.Mutex
 	entries    map[string]*list.Element
 	order      *list.List // front = most recently used
@@ -85,6 +87,7 @@ func (c *Cache) Get(hash string) ([]byte, bool) {
 		data := el.Value.(*cacheEntry).data
 		c.hits++
 		c.mu.Unlock()
+		c.metrics.cacheOp("hit")
 		return data, true
 	}
 	c.mu.Unlock()
@@ -94,12 +97,14 @@ func (c *Cache) Get(hash string) ([]byte, bool) {
 			c.mu.Lock()
 			c.hits++
 			c.mu.Unlock()
+			c.metrics.cacheOp("hit")
 			return data, true
 		}
 	}
 	c.mu.Lock()
 	c.misses++
 	c.mu.Unlock()
+	c.metrics.cacheOp("miss")
 	return nil, false
 }
 
@@ -113,6 +118,7 @@ func (c *Cache) Put(hash string, data []byte) {
 }
 
 func (c *Cache) put(hash string, data []byte, writeDisk bool) {
+	evicted := 0
 	c.mu.Lock()
 	if el, ok := c.entries[hash]; ok {
 		el.Value.(*cacheEntry).data = data
@@ -123,9 +129,15 @@ func (c *Cache) put(hash string, data []byte, writeDisk bool) {
 			oldest := c.order.Back()
 			c.order.Remove(oldest)
 			delete(c.entries, oldest.Value.(*cacheEntry).hash)
+			evicted++
 		}
 	}
+	size := c.order.Len()
 	c.mu.Unlock()
+	for i := 0; i < evicted; i++ {
+		c.metrics.cacheOp("evict")
+	}
+	c.metrics.cacheSize(size)
 	if writeDisk && c.dir != "" {
 		// Atomic write: a crashed writer must not leave a torn file
 		// that later reads as a (corrupt) cached result.
@@ -135,7 +147,9 @@ func (c *Cache) put(hash string, data []byte, writeDisk bool) {
 		}
 		if _, err := tmp.Write(data); err == nil {
 			tmp.Close()
-			os.Rename(tmp.Name(), c.path(hash))
+			if os.Rename(tmp.Name(), c.path(hash)) == nil {
+				c.metrics.cacheOp("disk_write")
+			}
 		} else {
 			tmp.Close()
 			os.Remove(tmp.Name())

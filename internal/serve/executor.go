@@ -7,20 +7,24 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"meg/internal/core"
 	"meg/internal/experiments"
 	"meg/internal/flood"
+	"meg/internal/metrics"
 	"meg/internal/spec"
 	"meg/internal/stats"
 )
 
 // Event is one entry of a job's progress stream.
 type Event struct {
-	// Type is round|trial|experiment|done|canceled|error.
+	// Type is round|telemetry|trial|experiment|done|canceled|error.
 	Type string `json:"type"`
-	// Trial is the trial index for round/trial events.
+	// Trial is the trial index for round/telemetry/trial events.
 	Trial int `json:"trial,omitempty"`
 	// Round and Informed carry the per-round informed count of round
 	// events.
@@ -31,6 +35,11 @@ type Event struct {
 	Completed bool `json:"completed,omitempty"`
 	// Message carries free-form detail (experiment/error events).
 	Message string `json:"message,omitempty"`
+	// Telemetry carries the round's phase timings on telemetry events —
+	// the per-round stream multiplexed into SSE next to the round
+	// events. Never part of Result: timings are wall-clock observations,
+	// and Result stays byte-deterministic.
+	Telemetry *metrics.RoundTelemetry `json:"telemetry,omitempty"`
 }
 
 // TrialResult is the JSON form of one trial's outcome.
@@ -81,6 +90,11 @@ type Runner interface {
 // concurrent Execute calls.
 type Executor struct {
 	invocations atomic.Int64
+
+	// Metrics, when set before the first Execute, receives spec-level
+	// run counters and aggregated engine-phase timings. Purely
+	// observational: results are byte-identical with or without it.
+	Metrics *Metrics
 }
 
 // Invocations returns how many Execute calls started — the observable
@@ -98,13 +112,72 @@ func (e *Executor) Execute(ctx context.Context, s spec.Spec, sink func(Event)) (
 	if err != nil {
 		return nil, err
 	}
-	if c.Experiment != "" {
-		return e.runExperiment(ctx, c, hash, sink)
+	var res *Result
+	switch {
+	case c.Experiment != "":
+		res, err = e.runExperiment(ctx, c, hash, sink)
+		e.countJob("experiment", c.Experiment, err)
+	case c.Protocol.Name == "flooding":
+		res, err = e.runFlooding(ctx, c, hash, sink)
+		e.countJob(c.Model.Name, "flooding", err)
+	default:
+		res, err = e.runProtocol(ctx, c, hash, sink)
+		e.countJob(c.Model.Name, c.Protocol.Name, err)
 	}
-	if c.Protocol.Name == "flooding" {
-		return e.runFlooding(ctx, c, hash, sink)
+	return res, err
+}
+
+// countJob records the run on the executor-jobs counter.
+func (e *Executor) countJob(model, protocol string, err error) {
+	outcome := "ok"
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "canceled"
+	case err != nil:
+		outcome = "error"
 	}
-	return e.runProtocol(ctx, c, hash, sink)
+	e.Metrics.execJob(model, protocol, outcome)
+}
+
+// phaseHooks builds the per-trial phase-hook factory shared by the
+// flooding and protocol runners. Each trial gets its own PhaseRecorder
+// (the campaign runner calls the factory once per trial, on the trial's
+// worker goroutine); when sink != nil the recorder multiplexes
+// per-round telemetry events into the progress stream, and finish folds
+// every recorder's totals into the executor's Metrics. The factory is
+// nil when nothing would consume the timings, so the engines take the
+// zero-cost hookless path.
+func (e *Executor) phaseHooks(sink func(Event)) (factory func(trial int) core.PhaseHook, finish func()) {
+	if sink == nil && e.Metrics == nil {
+		return nil, func() {}
+	}
+	var mu sync.Mutex
+	var recs []*metrics.PhaseRecorder
+	factory = func(trial int) core.PhaseHook {
+		pr := metrics.NewPhaseRecorder(nil)
+		if sink != nil {
+			pr.OnRound = func(rt metrics.RoundTelemetry) {
+				sink(Event{Type: "telemetry", Trial: trial, Round: rt.Round, Informed: rt.Informed, Telemetry: &rt})
+			}
+		}
+		mu.Lock()
+		recs = append(recs, pr)
+		mu.Unlock()
+		return pr
+	}
+	finish = func() {
+		if e.Metrics == nil {
+			return
+		}
+		var total metrics.PhaseTotals
+		mu.Lock()
+		for _, pr := range recs {
+			total.Merge(pr.Totals())
+		}
+		mu.Unlock()
+		e.Metrics.phaseTotals(total)
+	}
+	return factory, finish
 }
 
 // publicSpec strips execution-only hints from the spec embedded in a
@@ -138,7 +211,10 @@ func (e *Executor) runFlooding(ctx context.Context, c spec.Spec, hash string, si
 			sink(Event{Type: "trial", Trial: trial, Rounds: t.Result.Rounds, Completed: t.Result.Completed})
 		}
 	}
+	hooks, finishHooks := e.phaseHooks(sink)
+	opt.Hook = hooks
 	camp, err := flood.RunContext(ctx, factory, opt)
+	finishHooks()
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +267,10 @@ func (e *Executor) runProtocol(ctx context.Context, c spec.Spec, hash string, si
 			sink(Event{Type: "trial", Trial: trial, Rounds: t.Result.Rounds, Completed: t.Result.Completed})
 		}
 	}
+	hooks, finishHooks := e.phaseHooks(sink)
+	opt.Hook = hooks
 	camp, err := flood.RunProtocolContext(ctx, factory, opt)
+	finishHooks()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"strconv"
+	"time"
+
+	"meg/internal/metrics"
+)
+
+// Metrics bundles every instrument the serving layer records, all
+// registered on one metrics.Registry that GET /metrics exposes. One
+// Metrics is shared per process: NewServer creates it (or adopts the
+// one already attached via Scheduler.Instrument), the scheduler and
+// cache record into it, and the executor reports spec-level counters
+// through its exported Metrics field.
+//
+// Every recording method is nil-receiver-safe, so instrumentation-free
+// construction paths (tests building a bare Scheduler, the Executor
+// used directly by megsim without -telemetry plumbing) cost a nil
+// check and nothing else.
+type Metrics struct {
+	reg   *metrics.Registry
+	start time.Time
+
+	submissions  *metrics.CounterVec // outcome: queued|coalesced|cached
+	jobsDone     *metrics.CounterVec // status: done|failed|canceled
+	queueDepth   *metrics.Gauge
+	jobsRunning  *metrics.Gauge
+	jobWait      *metrics.Histogram
+	jobRun       *metrics.Histogram
+	cacheOps     *metrics.CounterVec // op: hit|miss|evict|disk_write
+	cacheEntries *metrics.Gauge
+	sseSubs      *metrics.Gauge
+	sseDropped   *metrics.Counter
+	httpRequests *metrics.CounterVec   // route, code
+	httpLatency  *metrics.HistogramVec // route
+	execJobs     *metrics.CounterVec   // model, protocol, outcome
+	phaseSeconds *metrics.CounterVec   // phase
+	engineRounds *metrics.Counter
+}
+
+// Durations in seconds; layouts fixed so dashboards stay comparable
+// across deploys.
+var (
+	jobSecondsBuckets  = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+	httpSecondsBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+)
+
+// NewMetrics builds the serving layer's metric families on a fresh
+// registry.
+func NewMetrics() *Metrics {
+	reg := metrics.NewRegistry()
+	m := &Metrics{reg: reg, start: time.Now()}
+	m.submissions = reg.CounterVec("meg_jobs_submitted_total",
+		"Spec submissions by scheduler outcome (queued|coalesced|cached).", "outcome")
+	m.jobsDone = reg.CounterVec("meg_jobs_completed_total",
+		"Jobs reaching a terminal state, by status (done|failed|canceled).", "status")
+	m.queueDepth = reg.Gauge("meg_queue_depth",
+		"Jobs accepted but not yet picked up by a worker.")
+	m.jobsRunning = reg.Gauge("meg_jobs_running",
+		"Jobs currently executing on a worker.")
+	m.jobWait = reg.Histogram("meg_job_wait_seconds",
+		"Queue wait time from submission to worker pickup.", jobSecondsBuckets)
+	m.jobRun = reg.Histogram("meg_job_run_seconds",
+		"Execution time on a worker, pickup to terminal state.", jobSecondsBuckets)
+	m.cacheOps = reg.CounterVec("meg_cache_ops_total",
+		"Result-cache operations by kind (hit|miss|evict|disk_write).", "op")
+	m.cacheEntries = reg.Gauge("meg_cache_entries",
+		"Result-cache in-memory entries.")
+	m.sseSubs = reg.Gauge("meg_sse_subscribers",
+		"Live SSE subscriber channels across all jobs.")
+	m.sseDropped = reg.Counter("meg_sse_dropped_events_total",
+		"Events dropped on slow subscriber channels (backpressure).")
+	m.httpRequests = reg.CounterVec("meg_http_requests_total",
+		"HTTP requests by route and status code.", "route", "code")
+	m.httpLatency = reg.HistogramVec("meg_http_request_seconds",
+		"HTTP request latency by route.", httpSecondsBuckets, "route")
+	m.execJobs = reg.CounterVec("meg_executor_jobs_total",
+		"Executor runs by spec model, protocol, and outcome (ok|error|canceled).", "model", "protocol", "outcome")
+	m.phaseSeconds = reg.CounterVec("meg_phase_seconds_total",
+		"Engine time by phase (snapshot|kernel|merge|step|delta_apply), summed over instrumented runs; merge is nested inside kernel.", "phase")
+	m.engineRounds = reg.Counter("meg_engine_rounds_total",
+		"Engine rounds evaluated by instrumented runs.")
+	return m
+}
+
+// Registry returns the registry backing the bundle — the body of
+// GET /metrics.
+func (m *Metrics) Registry() *metrics.Registry { return m.reg }
+
+// Uptime returns the time since the bundle was created (process boot
+// for the server's shared instance).
+func (m *Metrics) Uptime() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Since(m.start)
+}
+
+func (m *Metrics) submission(o Outcome) {
+	if m == nil {
+		return
+	}
+	m.submissions.With(string(o)).Inc()
+}
+
+func (m *Metrics) jobQueued() {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Inc()
+}
+
+func (m *Metrics) jobDequeued() {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Dec()
+}
+
+func (m *Metrics) jobStarted(wait time.Duration) {
+	if m == nil {
+		return
+	}
+	m.jobsRunning.Inc()
+	m.jobWait.Observe(wait.Seconds())
+}
+
+func (m *Metrics) jobRanFor(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.jobsRunning.Dec()
+	m.jobRun.Observe(d.Seconds())
+}
+
+func (m *Metrics) jobFinished(status JobStatus) {
+	if m == nil {
+		return
+	}
+	m.jobsDone.With(string(status)).Inc()
+}
+
+func (m *Metrics) cacheOp(op string) {
+	if m == nil {
+		return
+	}
+	m.cacheOps.With(op).Inc()
+}
+
+func (m *Metrics) cacheSize(n int) {
+	if m == nil {
+		return
+	}
+	m.cacheEntries.Set(float64(n))
+}
+
+func (m *Metrics) sseSubscribed() {
+	if m == nil {
+		return
+	}
+	m.sseSubs.Inc()
+}
+
+func (m *Metrics) sseUnsubscribed(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.sseSubs.Add(float64(-n))
+}
+
+func (m *Metrics) sseDroppedEvent() {
+	if m == nil {
+		return
+	}
+	m.sseDropped.Inc()
+}
+
+func (m *Metrics) httpRequest(route string, code int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.httpRequests.With(route, strconv.Itoa(code)).Inc()
+	m.httpLatency.With(route).Observe(d.Seconds())
+}
+
+func (m *Metrics) execJob(model, protocol, outcome string) {
+	if m == nil {
+		return
+	}
+	m.execJobs.With(model, protocol, outcome).Inc()
+}
+
+// phaseTotals folds one run's aggregated phase breakdown into the
+// engine counters.
+func (m *Metrics) phaseTotals(t metrics.PhaseTotals) {
+	if m == nil {
+		return
+	}
+	m.phaseSeconds.With("snapshot").Add(float64(t.SnapshotNS) / 1e9)
+	m.phaseSeconds.With("kernel").Add(float64(t.KernelNS) / 1e9)
+	m.phaseSeconds.With("merge").Add(float64(t.MergeNS) / 1e9)
+	m.phaseSeconds.With("step").Add(float64(t.StepNS) / 1e9)
+	m.phaseSeconds.With("delta_apply").Add(float64(t.DeltaApplyNS) / 1e9)
+	m.engineRounds.Add(float64(t.Rounds))
+}
+
+// healthJobs is the /healthz jobs block, read back from the registry's
+// own instruments so the health payload and the scrape never disagree.
+type healthJobs struct {
+	Queued   int64 `json:"queued"`
+	Running  int64 `json:"running"`
+	InFlight int64 `json:"inFlight"`
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+}
+
+// healthCache is the /healthz cache block.
+type healthCache struct {
+	Entries    int64 `json:"entries"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	DiskWrites int64 `json:"diskWrites"`
+}
+
+func (m *Metrics) healthJobs() healthJobs {
+	if m == nil {
+		return healthJobs{}
+	}
+	h := healthJobs{
+		Queued:   int64(m.queueDepth.Value()),
+		Running:  int64(m.jobsRunning.Value()),
+		Done:     int64(m.jobsDone.With(string(StatusDone)).Value()),
+		Failed:   int64(m.jobsDone.With(string(StatusFailed)).Value()),
+		Canceled: int64(m.jobsDone.With(string(StatusCanceled)).Value()),
+	}
+	h.InFlight = h.Queued + h.Running
+	return h
+}
+
+func (m *Metrics) healthCache() healthCache {
+	if m == nil {
+		return healthCache{}
+	}
+	return healthCache{
+		Entries:    int64(m.cacheEntries.Value()),
+		Hits:       int64(m.cacheOps.With("hit").Value()),
+		Misses:     int64(m.cacheOps.With("miss").Value()),
+		Evictions:  int64(m.cacheOps.With("evict").Value()),
+		DiskWrites: int64(m.cacheOps.With("disk_write").Value()),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"meg/internal/spec"
 )
@@ -69,6 +70,10 @@ type Job struct {
 	cancel context.CancelFunc
 	ctx    context.Context
 	done   chan struct{}
+
+	metrics    *Metrics  // nil unless the scheduler is instrumented
+	enqueuedAt time.Time // set at submission
+	startedAt  time.Time // set at worker pickup
 
 	mu       sync.Mutex
 	status   JobStatus
@@ -153,6 +158,7 @@ func (j *Job) record(e Event) {
 		select {
 		case ch <- e:
 		default: // subscriber too slow; drop
+			j.metrics.sseDroppedEvent()
 		}
 	}
 }
@@ -170,12 +176,14 @@ func (j *Job) Subscribe() (replay []Event, live <-chan Event, unsubscribe func()
 		return replay, ch, func() {}
 	}
 	j.subs[ch] = struct{}{}
+	j.metrics.sseSubscribed()
 	return replay, ch, func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		if _, ok := j.subs[ch]; ok {
 			delete(j.subs, ch)
 			close(ch)
+			j.metrics.sseUnsubscribed(1)
 		}
 	}
 }
@@ -208,9 +216,12 @@ func (j *Job) finish(status JobStatus, result []byte, errMsg string) {
 		select {
 		case ch <- terminalEvent:
 		default:
+			j.metrics.sseDroppedEvent()
 		}
 		close(ch)
 	}
+	j.metrics.sseUnsubscribed(len(subs))
+	j.metrics.jobFinished(status)
 	close(j.done)
 }
 
@@ -227,12 +238,15 @@ type Scheduler struct {
 	queue   chan *Job
 	wg      sync.WaitGroup
 
+	metrics *Metrics // nil until Instrument; read-only afterwards
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	active   map[string]*Job // queued/running jobs by spec hash
 	finished []string        // terminal job IDs, oldest first (bounded)
 	nextID   int
 	closed   bool
+	draining bool
 }
 
 // maxFinishedJobs bounds how many terminal jobs stay addressable by ID;
@@ -267,6 +281,37 @@ func NewScheduler(workers, queueCap int, runner Runner, cache *Cache) *Scheduler
 	return s
 }
 
+// Instrument attaches a metrics bundle to the scheduler and its cache.
+// Call it once, before the scheduler receives traffic; nil detaches
+// nothing (recording methods are nil-safe either way).
+func (s *Scheduler) Instrument(m *Metrics) {
+	s.metrics = m
+	if s.cache != nil {
+		s.cache.metrics = m
+	}
+}
+
+// Metrics returns the attached bundle (nil when uninstrumented) so the
+// process can hand it to collaborators, e.g. Executor.Metrics.
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// BeginDrain marks the scheduler as draining: submissions keep working
+// (in-flight HTTP requests settle normally during graceful shutdown)
+// but /healthz flips to 503 so load balancers stop routing new traffic
+// here. Close implies draining.
+func (s *Scheduler) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether the scheduler is draining or closed.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
 // Submit schedules a spec. The returned outcome distinguishes a fresh
 // simulation (queued) from single-flight attachment (coalesced) and a
 // pure cache hit (cached, job already done).
@@ -288,6 +333,7 @@ func (s *Scheduler) Submit(sp spec.Spec) (*Job, Outcome, error) {
 	// Single-flight: an identical spec already in flight absorbs the
 	// submission.
 	if j, ok := s.active[hash]; ok {
+		s.metrics.submission(OutcomeCoalesced)
 		return j, OutcomeCoalesced, nil
 	}
 	if data, ok := s.cache.Get(hash); ok {
@@ -295,6 +341,7 @@ func (s *Scheduler) Submit(sp spec.Spec) (*Job, Outcome, error) {
 		j.cancel() // never runs; release the context immediately
 		j.finish(StatusDone, data, "")
 		s.retireLocked(j)
+		s.metrics.submission(OutcomeCached)
 		return j, OutcomeCached, nil
 	}
 	j := s.newJobLocked(hash, c)
@@ -306,6 +353,8 @@ func (s *Scheduler) Submit(sp spec.Spec) (*Job, Outcome, error) {
 		return nil, "", fmt.Errorf("serve: job queue full (%d pending)", cap(s.queue))
 	}
 	s.active[hash] = j
+	s.metrics.submission(OutcomeQueued)
+	s.metrics.jobQueued()
 	return j, OutcomeQueued, nil
 }
 
@@ -330,14 +379,16 @@ func (s *Scheduler) newJobLocked(hash string, c spec.Spec) *Job {
 	s.nextID++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
-		ID:     fmt.Sprintf("j%06d", s.nextID),
-		Hash:   hash,
-		Spec:   c,
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		status: StatusQueued,
-		subs:   map[chan Event]struct{}{},
+		ID:         fmt.Sprintf("j%06d", s.nextID),
+		Hash:       hash,
+		Spec:       c,
+		ctx:        ctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		metrics:    s.metrics,
+		enqueuedAt: time.Now(),
+		status:     StatusQueued,
+		subs:       map[chan Event]struct{}{},
 	}
 	j.progress.Trials = c.Trials
 	s.jobs[j.ID] = j
@@ -440,6 +491,7 @@ func (s *Scheduler) execute(j *Job) (res *Result, err error) {
 // result, populate the cache, finish the job, release the
 // single-flight slot.
 func (s *Scheduler) runJob(j *Job) {
+	s.metrics.jobDequeued()
 	j.mu.Lock()
 	if j.status != StatusQueued {
 		// Cancelled while queued; already finished by Cancel.
@@ -449,8 +501,11 @@ func (s *Scheduler) runJob(j *Job) {
 	}
 	j.status = StatusRunning
 	j.mu.Unlock()
+	j.startedAt = time.Now()
+	s.metrics.jobStarted(j.startedAt.Sub(j.enqueuedAt))
 
 	res, err := s.execute(j)
+	s.metrics.jobRanFor(time.Since(j.startedAt))
 	var status JobStatus
 	var data []byte
 	var errMsg string

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"meg/internal/spec"
 )
@@ -19,26 +21,78 @@ const maxSpecBytes = 1 << 20
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/jobs/{id}/events  SSE stream of progress events
 //	GET    /v1/cache/{hash}    cached result bytes by content address
-//	GET    /healthz            liveness + job/cache counters
+//	GET    /healthz            liveness + registry-backed counters (503 while draining)
+//	GET    /metrics            Prometheus text exposition
+//	GET    /debug/pprof/*      runtime profiles (EnablePprof / megserve -pprof)
 type Server struct {
 	sched *Scheduler
+	m     *Metrics
 	mux   *http.ServeMux
 }
 
-// NewServer wires the API routes around a scheduler.
+// NewServer wires the API routes around a scheduler. Every route runs
+// through the latency/status middleware; if the scheduler has no
+// metrics bundle attached yet, NewServer attaches a fresh one, so
+// /metrics and /healthz always have a registry behind them.
 func NewServer(sched *Scheduler) *Server {
-	s := &Server{sched: sched, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/cache/{hash}", s.handleCache)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if sched.metrics == nil {
+		sched.Instrument(NewMetrics())
+	}
+	s := &Server{sched: sched, m: sched.metrics, mux: http.NewServeMux()}
+	s.handle("POST /v1/jobs", "submit", s.handleSubmit)
+	s.handle("GET /v1/jobs/{id}", "job", s.handleJob)
+	s.handle("DELETE /v1/jobs/{id}", "cancel", s.handleCancel)
+	s.handle("GET /v1/jobs/{id}/events", "events", s.handleEvents)
+	s.handle("GET /v1/cache/{hash}", "cache", s.handleCache)
+	s.handle("GET /healthz", "healthz", s.handleHealth)
+	s.handle("GET /metrics", "metrics", s.m.Registry().Handler().ServeHTTP)
 	return s
+}
+
+// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ —
+// profile endpoints are opt-in (megserve -pprof), never on by default.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// handle registers a route through the observation middleware: per-
+// route request counts (by status code) and latency histograms under
+// a stable route label — {id}/{hash} wildcards never explode the
+// label space.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.m.httpRequest(route, sw.code, time.Since(start))
+	})
+}
+
+// statusWriter captures the response status code for the middleware.
+// It implements http.Flusher unconditionally (no-op when the wrapped
+// writer can't flush) so the SSE handler streams through it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
 
 // writeJSON writes v with the given status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -198,15 +252,31 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// healthResponse is the GET /healthz payload: liveness plus the
+// registry's own counters, so the health view and the /metrics scrape
+// can never disagree. During graceful-shutdown drain ok flips to false
+// and the endpoint returns 503, telling load balancers to stop routing
+// here while in-flight work settles.
+type healthResponse struct {
+	OK            bool        `json:"ok"`
+	Draining      bool        `json:"draining"`
+	UptimeSeconds float64     `json:"uptimeSeconds"`
+	Jobs          healthJobs  `json:"jobs"`
+	Cache         healthCache `json:"cache"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	hits, misses := s.sched.cache.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":   true,
-		"jobs": s.sched.Counts(),
-		"cache": map[string]any{
-			"entries": s.sched.cache.Len(),
-			"hits":    hits,
-			"misses":  misses,
-		},
-	})
+	draining := s.sched.Draining()
+	resp := healthResponse{
+		OK:            !draining,
+		Draining:      draining,
+		UptimeSeconds: s.m.Uptime().Seconds(),
+		Jobs:          s.m.healthJobs(),
+		Cache:         s.m.healthCache(),
+	}
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
