@@ -1,0 +1,146 @@
+// Command megload is the production load generator for megserve: it
+// slams a running server with a configurable campaign of spec
+// submissions — weighted model/protocol mixes, duplicate-heavy traffic
+// to exercise single-flight coalescing and the content-addressed
+// cache, SSE subscriber fan-out, an optional rate cap — and reports
+// submit/complete latency percentiles, throughput, coalescing and
+// cache-hit rates, and SSE event accounting, cross-checked against the
+// server's own /metrics deltas.
+//
+//	megload -url http://127.0.0.1:8080 -campaigns 2000 -concurrency 64 \
+//	        -dup 0.8 -mix "geometric=3,edge:push=1" -sse 2 -out LOAD.json
+//
+// Exit status is the CI gate: non-zero when any submission failed
+// (transport error or non-2xx), any completion was dropped, or
+// -require-coalescing is set and no submission coalesced. The JSON
+// report is written (and the text summary printed) either way.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"meg/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "megserve base URL")
+	campaigns := flag.Int("campaigns", 1000, "total submissions")
+	concurrency := flag.Int("concurrency", 32, "submitter goroutines")
+	dup := flag.Float64("dup", 0, "duplicate ratio in [0,1): fraction of submissions that resubmit an earlier spec")
+	mix := flag.String("mix", "geometric=1", "weighted spec mix, comma-separated model[:protocol]=weight entries")
+	n := flag.Int("n", 64, "node count of generated specs")
+	trials := flag.Int("trials", 1, "trials per generated spec")
+	sse := flag.Int("sse", 0, "SSE subscribers attached per sampled submission")
+	sseEvery := flag.Int("sse-every", 8, "attach subscribers to every k-th submission")
+	rate := flag.Float64("rate", 0, "submission rate cap per second (0 = unlimited)")
+	seed := flag.Uint64("seed", 1, "campaign seed (drives the deterministic spec sequence)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-job completion timeout")
+	out := flag.String("out", "", "write the JSON report here")
+	requireCoalescing := flag.Bool("require-coalescing", false, "fail unless at least one submission coalesced")
+	allowFailures := flag.Bool("allow-failures", false, "do not fail on non-2xx submissions or dropped completions")
+	flag.Parse()
+
+	entries, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "megload: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := loadgen.Config{
+		BaseURL:           strings.TrimRight(*url, "/"),
+		Campaigns:         *campaigns,
+		Concurrency:       *concurrency,
+		DuplicateRatio:    *dup,
+		Mix:               entries,
+		N:                 *n,
+		Trials:            *trials,
+		SSESubscribers:    *sse,
+		SSESampleEvery:    *sseEvery,
+		RatePerSec:        *rate,
+		Seed:              *seed,
+		CompletionTimeout: *timeout,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	report, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "megload: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(report.Text())
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "megload: write report: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	// Gates: the exit status is what CI watches.
+	failed := false
+	if !*allowFailures {
+		if report.TransportErrors > 0 || report.NonOK > 0 {
+			fmt.Fprintf(os.Stderr, "megload: GATE: %d transport errors, %d non-2xx submissions\n",
+				report.TransportErrors, report.NonOK)
+			failed = true
+		}
+		if report.DroppedCompletions > 0 {
+			fmt.Fprintf(os.Stderr, "megload: GATE: %d completions dropped (no terminal state within %s)\n",
+				report.DroppedCompletions, *timeout)
+			failed = true
+		}
+		if report.FailedJobs > 0 {
+			fmt.Fprintf(os.Stderr, "megload: GATE: %d jobs terminated failed/canceled\n", report.FailedJobs)
+			failed = true
+		}
+		if report.SSE.MissingTerminal > 0 {
+			fmt.Fprintf(os.Stderr, "megload: GATE: %d SSE streams ended without a terminal event\n",
+				report.SSE.MissingTerminal)
+			failed = true
+		}
+	}
+	if *requireCoalescing && report.Outcomes["coalesced"] == 0 {
+		fmt.Fprintf(os.Stderr, "megload: GATE: no submission coalesced on a duplicate-heavy mix\n")
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseMix parses "model[:protocol]=weight" comma-separated entries.
+func parseMix(s string) ([]loadgen.MixEntry, error) {
+	var entries []loadgen.MixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec, weightStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want model[:protocol]=weight", part)
+		}
+		weight, err := strconv.Atoi(weightStr)
+		if err != nil {
+			return nil, fmt.Errorf("mix entry %q: bad weight: %v", part, err)
+		}
+		model, protocol, _ := strings.Cut(spec, ":")
+		entries = append(entries, loadgen.MixEntry{Model: model, Protocol: protocol, Weight: weight})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return entries, nil
+}

@@ -37,8 +37,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	jobs := flag.Int("jobs", 2, "concurrent simulation jobs (each job parallelizes its trials internally)")
-	queue := flag.Int("queue", 64, "pending job queue capacity")
+	jobs := flag.Int("jobs", 2, "total concurrent simulation jobs across all shards (each job parallelizes its trials internally)")
+	shards := flag.Int("shards", 1, "worker-pool shards; jobs route to shards by spec content hash")
+	queue := flag.Int("queue", 64, "pending job queue capacity per shard")
 	cacheEntries := flag.Int("cache-entries", 256, "in-memory result cache entries (LRU)")
 	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -50,7 +51,7 @@ func main() {
 		os.Exit(1)
 	}
 	exec := &serve.Executor{}
-	sched := serve.NewScheduler(*jobs, *queue, exec, cache)
+	sched := serve.NewShardedScheduler(*shards, *jobs, *queue, exec, cache)
 	sched.Instrument(serve.NewMetrics())
 	exec.Metrics = sched.Metrics()
 	api := serve.NewServer(sched)
@@ -76,8 +77,8 @@ func main() {
 		close(done)
 	}()
 
-	fmt.Printf("megserve: listening on %s (jobs=%d queue=%d cache=%d dir=%q)\n",
-		*addr, *jobs, *queue, *cacheEntries, *cacheDir)
+	fmt.Printf("megserve: listening on %s (jobs=%d shards=%d queue=%d cache=%d dir=%q)\n",
+		*addr, *jobs, *shards, *queue, *cacheEntries, *cacheDir)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "megserve: %v\n", err)
 		os.Exit(1)

@@ -49,6 +49,10 @@ var wallClockAllowed = map[string]bool{
 	// themselves — they call nil-guarded PhaseHook methods, and the
 	// injected metrics.Clock does the timing out here.
 	ModulePath + "/internal/metrics": true,
+	// The load generator measures wall-clock latency percentiles and
+	// throughput against a live megserve — wall time is its output, the
+	// same way it is the bench harness's.
+	ModulePath + "/internal/loadgen": true,
 }
 
 // rawGoAllowed lists the packages that may launch goroutines with a
@@ -60,6 +64,11 @@ var wallClockAllowed = map[string]bool{
 var rawGoAllowed = map[string]bool{
 	ModulePath + "/internal/par":   true,
 	ModulePath + "/internal/serve": true,
+	// The load generator's product IS concurrency: its submitter pool
+	// and SSE subscriber fan-out exist to put the serving layer under
+	// concurrent pressure, and none of those goroutines touch
+	// simulation state.
+	ModulePath + "/internal/loadgen": true,
 }
 
 // Deterministic reports whether the package at path carries the full

@@ -1,0 +1,188 @@
+// Package loadgen is megserve's production load path: a validated
+// Config describing a synthetic submission campaign — spec-mix weights
+// across models and protocols, a duplicate ratio that targets the
+// single-flight and cache layers, submitter concurrency, SSE subscriber
+// fan-out, an optional rate limit — and a Run that slams the HTTP API
+// with it and emits a machine-readable Report: submit/complete latency
+// percentiles, throughput, coalescing and cache-hit rates, SSE event
+// accounting, and error counts, cross-checked against a /metrics
+// scrape taken before and after the run.
+//
+// The generator is deterministic for a given (Config, Seed): the spec
+// sequence is drawn from the repository's counter-based RNG, so two
+// runs of the same campaign submit the same specs in the same order —
+// only the timings differ. Duplicate-heavy mixes exercise the batched
+// amortization the paper's flooding-time analysis motivates: many
+// sources asking for one realization's worth of work.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"meg/internal/spec"
+)
+
+// MixEntry is one weighted (model, protocol) combination of the spec
+// mix. Weights are relative: an entry with weight 3 is drawn three
+// times as often as one with weight 1.
+type MixEntry struct {
+	// Model is a spec model name (geometric|torus|edge|waypoint|
+	// billiard|walkers|iiddisk).
+	Model string `json:"model"`
+	// Protocol is a spec protocol name (flooding|probabilistic|push|
+	// push-pull|lossy). Empty selects flooding.
+	Protocol string `json:"protocol,omitempty"`
+	// Weight is the entry's relative draw weight (≥ 0; 0 disables it).
+	Weight int `json:"weight"`
+}
+
+// Config describes one load campaign. The zero value is not runnable;
+// call Normalize (Run does) to apply defaults and validate.
+type Config struct {
+	// BaseURL is the megserve root, e.g. http://127.0.0.1:8080.
+	BaseURL string `json:"baseURL"`
+	// Campaigns is the total number of submissions.
+	Campaigns int `json:"campaigns"`
+	// Concurrency is the submitter goroutine count. Default 8.
+	Concurrency int `json:"concurrency"`
+	// DuplicateRatio in [0, 1) is the fraction of submissions that
+	// re-submit an earlier spec verbatim — the traffic shape that
+	// exercises single-flight coalescing (while the original is in
+	// flight) and the content-addressed cache (after it completes).
+	DuplicateRatio float64 `json:"duplicateRatio"`
+	// Mix is the weighted spec mix. Default: geometric flooding only.
+	Mix []MixEntry `json:"mix,omitempty"`
+	// N is the node count of every generated spec. Default 64.
+	N int `json:"n"`
+	// Trials is the trial count of every generated spec. Default 1.
+	Trials int `json:"trials"`
+	// SSESubscribers attaches that many concurrent SSE event-stream
+	// subscribers to every SSESampleEvery-th submission (0 = no SSE
+	// traffic).
+	SSESubscribers int `json:"sseSubscribers"`
+	// SSESampleEvery picks which submissions get subscribers. Default 8
+	// when SSESubscribers > 0.
+	SSESampleEvery int `json:"sseSampleEvery"`
+	// RatePerSec caps the submission rate (0 = unlimited).
+	RatePerSec float64 `json:"ratePerSec"`
+	// Seed drives the deterministic spec sequence. Default 1.
+	Seed uint64 `json:"seed"`
+	// CompletionTimeout bounds how long one submission may wait for its
+	// job to reach a terminal state before it counts as a dropped
+	// completion. Default 60s.
+	CompletionTimeout time.Duration `json:"completionTimeout"`
+}
+
+// DefaultMix is the mix used when Config.Mix is empty.
+var DefaultMix = []MixEntry{{Model: "geometric", Protocol: "flooding", Weight: 1}}
+
+// Normalize validates the config and returns a copy with defaults
+// applied. Validation is strict in the alerting-gen style: every
+// out-of-range field gets its own error, and the mix entries are
+// test-built into real specs so an unknown model or protocol name
+// fails here, not a thousand submissions in.
+func (c Config) Normalize() (Config, error) {
+	if c.BaseURL == "" {
+		return Config{}, fmt.Errorf("load: base URL is required")
+	}
+	if c.Campaigns <= 0 {
+		return Config{}, fmt.Errorf("load: campaign count must be positive")
+	}
+	if c.Concurrency < 0 {
+		return Config{}, fmt.Errorf("load: concurrency cannot be negative")
+	}
+	if c.DuplicateRatio < 0 || c.DuplicateRatio >= 1 {
+		return Config{}, fmt.Errorf("load: duplicate ratio must be in [0, 1)")
+	}
+	if c.N < 0 {
+		return Config{}, fmt.Errorf("load: node count cannot be negative")
+	}
+	if c.Trials < 0 {
+		return Config{}, fmt.Errorf("load: trial count cannot be negative")
+	}
+	if c.SSESubscribers < 0 {
+		return Config{}, fmt.Errorf("load: SSE subscriber count cannot be negative")
+	}
+	if c.SSESampleEvery < 0 {
+		return Config{}, fmt.Errorf("load: SSE sample interval cannot be negative")
+	}
+	if c.RatePerSec < 0 {
+		return Config{}, fmt.Errorf("load: rate cannot be negative")
+	}
+	if c.CompletionTimeout < 0 {
+		return Config{}, fmt.Errorf("load: completion timeout cannot be negative")
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 8
+	}
+	if c.N == 0 {
+		c.N = 64
+	}
+	if c.Trials == 0 {
+		c.Trials = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CompletionTimeout == 0 {
+		c.CompletionTimeout = 60 * time.Second
+	}
+	if c.SSESubscribers > 0 && c.SSESampleEvery == 0 {
+		c.SSESampleEvery = 8
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = append([]MixEntry(nil), DefaultMix...)
+	}
+	total := 0
+	for i, e := range c.Mix {
+		if e.Weight < 0 {
+			return Config{}, fmt.Errorf("load: mix entry %d: weight cannot be negative", i)
+		}
+		total += e.Weight
+		if e.Weight == 0 {
+			continue
+		}
+		// Build a real spec from the entry once, so bad names and
+		// parameters surface as config errors.
+		if _, err := buildSpec(c, e, c.Seed).Canonical(); err != nil {
+			return Config{}, fmt.Errorf("load: mix entry %d (%s/%s): %w", i, e.Model, e.Protocol, err)
+		}
+	}
+	if total == 0 {
+		return Config{}, fmt.Errorf("load: no mix entries with positive weight")
+	}
+	return c, nil
+}
+
+// buildSpec materializes one submission spec from a mix entry. The
+// per-spec seed is what makes specs distinct: every unique submission
+// gets a fresh seed, so its content hash — and therefore its cache
+// entry and scheduler shard — is its own.
+func buildSpec(c Config, e MixEntry, seed uint64) spec.Spec {
+	s := spec.Spec{
+		Model:  spec.Model{Name: e.Model, N: c.N},
+		Trials: c.Trials,
+		Seed:   seed,
+	}
+	switch e.Protocol {
+	case "", "flooding":
+		s.Protocol.Name = "flooding"
+	case "probabilistic":
+		s.Protocol = spec.Protocol{Name: "probabilistic", Beta: 0.5}
+	case "lossy":
+		s.Protocol = spec.Protocol{Name: "lossy", Loss: 0.1}
+	default:
+		s.Protocol.Name = e.Protocol
+	}
+	return s
+}
+
+// mixLabel names a mix entry in the report.
+func mixLabel(e MixEntry) string {
+	p := e.Protocol
+	if p == "" {
+		p = "flooding"
+	}
+	return e.Model + "/" + p
+}

@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validConfig() Config {
+	return Config{BaseURL: "http://127.0.0.1:8080", Campaigns: 100}
+}
+
+func TestNormalizeRejectsInvalidConfigs(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string
+	}{
+		{"missing base URL", func(c *Config) { c.BaseURL = "" }, "base URL is required"},
+		{"zero campaigns", func(c *Config) { c.Campaigns = 0 }, "campaign count must be positive"},
+		{"negative campaigns", func(c *Config) { c.Campaigns = -5 }, "campaign count must be positive"},
+		{"negative concurrency", func(c *Config) { c.Concurrency = -1 }, "concurrency cannot be negative"},
+		{"negative duplicate ratio", func(c *Config) { c.DuplicateRatio = -0.1 }, "duplicate ratio must be in [0, 1)"},
+		{"duplicate ratio of one", func(c *Config) { c.DuplicateRatio = 1 }, "duplicate ratio must be in [0, 1)"},
+		{"negative node count", func(c *Config) { c.N = -4 }, "node count cannot be negative"},
+		{"negative trials", func(c *Config) { c.Trials = -1 }, "trial count cannot be negative"},
+		{"negative SSE subscribers", func(c *Config) { c.SSESubscribers = -2 }, "SSE subscriber count cannot be negative"},
+		{"negative SSE interval", func(c *Config) { c.SSESampleEvery = -1 }, "SSE sample interval cannot be negative"},
+		{"negative rate", func(c *Config) { c.RatePerSec = -10 }, "rate cannot be negative"},
+		{"negative timeout", func(c *Config) { c.CompletionTimeout = -time.Second }, "completion timeout cannot be negative"},
+		{"negative mix weight", func(c *Config) {
+			c.Mix = []MixEntry{{Model: "geometric", Weight: -1}}
+		}, "weight cannot be negative"},
+		{"all-zero mix weights", func(c *Config) {
+			c.Mix = []MixEntry{{Model: "geometric", Weight: 0}}
+		}, "no mix entries with positive weight"},
+		{"unknown model name", func(c *Config) {
+			c.Mix = []MixEntry{{Model: "hyperbolic", Weight: 1}}
+		}, "mix entry 0 (hyperbolic/)"},
+		{"unknown protocol name", func(c *Config) {
+			c.Mix = []MixEntry{{Model: "geometric", Protocol: "telepathy", Weight: 1}}
+		}, "mix entry 0 (geometric/telepathy)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mutate(&cfg)
+			_, err := cfg.Normalize()
+			if err == nil {
+				t.Fatalf("Normalize accepted the config, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestNormalizeAppliesDefaults(t *testing.T) {
+	got, err := validConfig().Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if got.Concurrency != 8 {
+		t.Errorf("Concurrency default = %d, want 8", got.Concurrency)
+	}
+	if got.N != 64 {
+		t.Errorf("N default = %d, want 64", got.N)
+	}
+	if got.Trials != 1 {
+		t.Errorf("Trials default = %d, want 1", got.Trials)
+	}
+	if got.Seed != 1 {
+		t.Errorf("Seed default = %d, want 1", got.Seed)
+	}
+	if got.CompletionTimeout != 60*time.Second {
+		t.Errorf("CompletionTimeout default = %v, want 60s", got.CompletionTimeout)
+	}
+	if len(got.Mix) != 1 || got.Mix[0] != DefaultMix[0] {
+		t.Errorf("Mix default = %+v, want %+v", got.Mix, DefaultMix)
+	}
+	if got.SSESampleEvery != 0 {
+		t.Errorf("SSESampleEvery = %d without subscribers, want 0", got.SSESampleEvery)
+	}
+
+	cfg := validConfig()
+	cfg.SSESubscribers = 2
+	got, err = cfg.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize with SSE: %v", err)
+	}
+	if got.SSESampleEvery != 8 {
+		t.Errorf("SSESampleEvery default = %d with subscribers, want 8", got.SSESampleEvery)
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	cfg := validConfig()
+	cfg.Campaigns = 200
+	cfg.DuplicateRatio = 0.6
+	cfg.Mix = []MixEntry{
+		{Model: "geometric", Protocol: "flooding", Weight: 3},
+		{Model: "edge", Protocol: "push", Weight: 1},
+	}
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	a, uniqueA := plan(cfg)
+	b, uniqueB := plan(cfg)
+	if uniqueA != uniqueB || len(a) != len(b) {
+		t.Fatalf("plans differ in shape: %d/%d uniques, %d/%d subs", uniqueA, uniqueB, len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i].body) != string(b[i].body) || a[i].duplicate != b[i].duplicate {
+			t.Fatalf("plan diverges at submission %d", i)
+		}
+	}
+	if uniqueA >= cfg.Campaigns {
+		t.Fatalf("duplicate ratio 0.6 produced %d uniques out of %d — no duplicates planned", uniqueA, cfg.Campaigns)
+	}
+	// A different seed must yield different specs (distinct content).
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c, _ := plan(cfg2)
+	if string(a[0].body) == string(c[0].body) {
+		t.Fatalf("different campaign seeds produced identical first specs")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	p := percentilesOf(nil)
+	if p.Count != 0 || p.P99 != 0 {
+		t.Fatalf("empty percentiles = %+v, want zeros", p)
+	}
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(100 - i) // reversed: percentilesOf must sort
+	}
+	p = percentilesOf(vals)
+	if p.Count != 100 || p.P50 != 50 || p.P90 != 90 || p.P99 != 99 || p.Max != 100 {
+		t.Fatalf("percentiles = %+v, want p50=50 p90=90 p99=99 max=100", p)
+	}
+	if p.P50 > p.P90 || p.P90 > p.P99 || p.P99 > p.Max {
+		t.Fatalf("percentiles not monotone: %+v", p)
+	}
+}

@@ -1,0 +1,381 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meg/internal/rng"
+)
+
+// planned is one pre-built submission: the exact request body plus the
+// bookkeeping that feeds the report.
+type planned struct {
+	body      []byte
+	mix       string
+	duplicate bool
+	sse       bool // attach SSE subscribers to this submission
+}
+
+// plan expands the config into the deterministic submission sequence.
+// Every unique spec gets a distinct seed (so a distinct content hash);
+// duplicates re-submit an earlier body verbatim, which is what makes
+// them coalesce or cache-hit on the server.
+func plan(cfg Config) (subs []planned, unique int) {
+	r := rng.New(cfg.Seed)
+	total := 0
+	for _, e := range cfg.Mix {
+		total += e.Weight
+	}
+	var uniques []planned
+	subs = make([]planned, 0, cfg.Campaigns)
+	for i := 0; i < cfg.Campaigns; i++ {
+		var p planned
+		if len(uniques) > 0 && r.Float64() < cfg.DuplicateRatio {
+			p = uniques[r.Intn(len(uniques))]
+			p.duplicate = true
+		} else {
+			draw := r.Intn(total)
+			var entry MixEntry
+			for _, e := range cfg.Mix {
+				if draw < e.Weight {
+					entry = e
+					break
+				}
+				draw -= e.Weight
+			}
+			s := buildSpec(cfg, entry, cfg.Seed+uint64(len(uniques)))
+			body, err := json.Marshal(s)
+			if err != nil {
+				// buildSpec output always marshals; Normalize canonicalized
+				// each entry already.
+				panic(fmt.Sprintf("loadgen: marshal planned spec: %v", err))
+			}
+			p = planned{body: body, mix: mixLabel(entry)}
+			uniques = append(uniques, p)
+		}
+		p.sse = cfg.SSESubscribers > 0 && i%cfg.SSESampleEvery == 0
+		subs = append(subs, p)
+	}
+	return subs, len(uniques)
+}
+
+// subResult is one submission's client-side observation.
+type subResult struct {
+	transportErr bool
+	code         int
+	outcome      string
+	submitMS     float64
+	completeMS   float64
+	done         bool
+	failed       bool // terminal but failed/canceled
+	dropped      bool // no terminal state within the timeout
+}
+
+// submitResponse mirrors megserve's POST /v1/jobs payload.
+type submitResponse struct {
+	ID      string `json:"id"`
+	Hash    string `json:"hash"`
+	Status  string `json:"status"`
+	Outcome string `json:"outcome"`
+}
+
+// jobView mirrors the GET /v1/jobs/{id} fields the poller needs.
+type jobView struct {
+	Status string `json:"status"`
+}
+
+// runner carries one campaign's shared state.
+type runner struct {
+	cfg    Config
+	client *http.Client // submit + poll (bounded per-request)
+	stream *http.Client // SSE (no client timeout; context-bounded)
+
+	sseWG       sync.WaitGroup
+	sseStreams  atomic.Int64
+	sseEvents   atomic.Int64
+	sseTerm     atomic.Int64
+	sseMissing  atomic.Int64
+	completions atomic.Int64
+}
+
+// Run executes the campaign against a live megserve and builds the
+// report. The error return covers setup problems (bad config); the
+// run itself never aborts on individual submission failures — those
+// are what the report counts.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	subs, unique := plan(cfg)
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Concurrency + cfg.SSESubscribers + 16,
+		MaxIdleConnsPerHost: cfg.Concurrency + cfg.SSESubscribers + 16,
+	}
+	g := &runner{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 30 * time.Second, Transport: transport},
+		stream: &http.Client{Transport: transport},
+	}
+
+	before, scrapeErrBefore := scrapeMetrics(g.client, cfg.BaseURL+"/metrics")
+
+	results := make([]subResult, len(subs))
+	feed := make(chan int)
+	//meg:allow-go submission feeder: paces indices to the submitter pool, no simulation state
+	go func() {
+		defer close(feed)
+		var tick *time.Ticker
+		if cfg.RatePerSec > 0 {
+			tick = time.NewTicker(time.Duration(float64(time.Second) / cfg.RatePerSec))
+			defer tick.Stop()
+		}
+		for i := range subs {
+			if tick != nil {
+				select {
+				case <-tick.C:
+				case <-ctx.Done():
+					return
+				}
+			}
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(cfg.Concurrency)
+	for w := 0; w < cfg.Concurrency; w++ {
+		//meg:allow-go submitter pool worker: drives HTTP load, no simulation state
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i] = g.submitOne(ctx, subs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	g.sseWG.Wait()
+	wall := time.Since(start)
+
+	after, scrapeErrAfter := scrapeMetrics(g.client, cfg.BaseURL+"/metrics")
+
+	r := buildReport(cfg, subs, results, unique, wall)
+	r.SSE = SSEStats{
+		Streams:         int(g.sseStreams.Load()),
+		Events:          g.sseEvents.Load(),
+		Terminals:       int(g.sseTerm.Load()),
+		MissingTerminal: int(g.sseMissing.Load()),
+	}
+	if scrapeErrBefore == nil && scrapeErrAfter == nil {
+		r.Metrics = buildMetricsDelta(before, after, r)
+	}
+	return r, nil
+}
+
+// submitOne performs one submission end to end: POST the spec, fan out
+// SSE subscribers if sampled, then wait for the job's terminal state.
+func (g *runner) submitOne(ctx context.Context, p planned) subResult {
+	var res subResult
+	submitStart := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		g.cfg.BaseURL+"/v1/jobs", bytes.NewReader(p.body))
+	if err != nil {
+		res.transportErr = true
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		res.transportErr = true
+		return res
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	res.submitMS = float64(time.Since(submitStart)) / float64(time.Millisecond)
+	res.code = resp.StatusCode
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return res
+	}
+	var sr submitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		res.transportErr = true
+		return res
+	}
+	res.outcome = sr.Outcome
+
+	if p.sse {
+		g.sseWG.Add(g.cfg.SSESubscribers)
+		for i := 0; i < g.cfg.SSESubscribers; i++ {
+			//meg:allow-go SSE subscriber fan-out: read-only event stream consumer
+			go g.subscribe(ctx, sr.ID)
+		}
+	}
+
+	if sr.Outcome == "cached" {
+		// The job finished before the response was written; the submit
+		// round trip is the whole completion.
+		res.done, res.completeMS = true, res.submitMS
+		g.completions.Add(1)
+		return res
+	}
+	status, ok := g.awaitTerminal(ctx, sr.ID, submitStart)
+	res.completeMS = float64(time.Since(submitStart)) / float64(time.Millisecond)
+	switch {
+	case !ok:
+		res.dropped = true
+	case status == "done":
+		res.done = true
+		g.completions.Add(1)
+	default:
+		res.failed = true
+	}
+	return res
+}
+
+// awaitTerminal polls the job until it reaches a terminal state or the
+// completion timeout expires. The poll interval starts tight (submit
+// latency is part of what the campaign measures) and backs off so a
+// few thousand in-flight waiters do not DoS the status endpoint.
+func (g *runner) awaitTerminal(ctx context.Context, id string, submitStart time.Time) (status string, ok bool) {
+	deadline := submitStart.Add(g.cfg.CompletionTimeout)
+	interval := 2 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			g.cfg.BaseURL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return "", false
+		}
+		resp, err := g.client.Do(req)
+		if err == nil {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+			resp.Body.Close()
+			var v jobView
+			if resp.StatusCode == http.StatusOK && json.Unmarshal(body, &v) == nil {
+				switch v.Status {
+				case "done", "failed", "canceled":
+					return v.Status, true
+				}
+			}
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return "", false
+		}
+		time.Sleep(interval)
+		if interval < 100*time.Millisecond {
+			interval *= 2
+		}
+	}
+}
+
+// subscribe attaches one SSE subscriber to a job's event stream and
+// reads it to the terminal event, counting what arrives.
+func (g *runner) subscribe(ctx context.Context, id string) {
+	defer g.sseWG.Done()
+	g.sseStreams.Add(1)
+	sctx, cancel := context.WithTimeout(ctx, g.cfg.CompletionTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
+		g.cfg.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		g.sseMissing.Add(1)
+		return
+	}
+	resp, err := g.stream.Do(req)
+	if err != nil {
+		g.sseMissing.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		g.sseMissing.Add(1)
+		return
+	}
+	sawTerminal := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 16*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			g.sseEvents.Add(1)
+			if sawTerminal {
+				break
+			}
+		}
+		if strings.HasPrefix(line, "event: ") {
+			switch strings.TrimPrefix(line, "event: ") {
+			case "done", "canceled", "error":
+				sawTerminal = true
+			}
+		}
+	}
+	if sawTerminal {
+		g.sseTerm.Add(1)
+	} else {
+		g.sseMissing.Add(1)
+	}
+}
+
+// buildReport aggregates the per-submission observations.
+func buildReport(cfg Config, subs []planned, results []subResult, unique int, wall time.Duration) *Report {
+	r := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		Config:        cfg,
+		Submissions:   len(results),
+		UniqueSpecs:   unique,
+		StatusCodes:   map[string]int{},
+		Outcomes:      map[string]int{},
+		ByMix:         map[string]int{},
+		WallSeconds:   wall.Seconds(),
+	}
+	var submitMS, completeMS []float64
+	for i, res := range results {
+		r.ByMix[subs[i].mix]++
+		if res.transportErr {
+			r.TransportErrors++
+			continue
+		}
+		r.StatusCodes[strconv.Itoa(res.code)]++
+		if res.code < 200 || res.code >= 300 {
+			r.NonOK++
+			continue
+		}
+		submitMS = append(submitMS, res.submitMS)
+		if res.outcome != "" {
+			r.Outcomes[res.outcome]++
+		}
+		switch {
+		case res.done:
+			r.Completed++
+			completeMS = append(completeMS, res.completeMS)
+		case res.failed:
+			r.FailedJobs++
+		case res.dropped:
+			r.DroppedCompletions++
+		}
+	}
+	r.SubmitMS = percentilesOf(submitMS)
+	r.CompleteMS = percentilesOf(completeMS)
+	if r.WallSeconds > 0 {
+		r.ThroughputPerSec = float64(r.Completed) / r.WallSeconds
+	}
+	if r.Submissions > 0 {
+		r.CoalescingRate = float64(r.Outcomes["coalesced"]) / float64(r.Submissions)
+		r.CacheHitRate = float64(r.Outcomes["cached"]) / float64(r.Submissions)
+	}
+	return r
+}

@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"meg/internal/serve"
+)
+
+// TestRunEndToEnd drives a real campaign against an in-process megserve
+// — sharded scheduler, live HTTP, SSE subscribers — and checks that the
+// report accounts for every submission and agrees with the server's own
+// /metrics deltas.
+func TestRunEndToEnd(t *testing.T) {
+	cache, err := serve.NewCache(0, "")
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	sched := serve.NewShardedScheduler(4, 8, 1024, &serve.Executor{}, cache)
+	defer sched.Close()
+	ts := httptest.NewServer(serve.NewServer(sched).Handler())
+	defer ts.Close()
+
+	const campaigns = 200
+	cfg := Config{
+		BaseURL:           ts.URL,
+		Campaigns:         campaigns,
+		Concurrency:       16,
+		DuplicateRatio:    0.5,
+		N:                 32,
+		SSESubscribers:    2,
+		SSESampleEvery:    4,
+		CompletionTimeout: 30 * time.Second,
+	}
+	report, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if report.Submissions != campaigns {
+		t.Errorf("Submissions = %d, want %d", report.Submissions, campaigns)
+	}
+	if report.TransportErrors != 0 || report.NonOK != 0 {
+		t.Errorf("errors: transport=%d non2xx=%d, want none (codes: %v)",
+			report.TransportErrors, report.NonOK, report.StatusCodes)
+	}
+	if report.DroppedCompletions != 0 || report.FailedJobs != 0 {
+		t.Errorf("dropped=%d failed=%d, want none", report.DroppedCompletions, report.FailedJobs)
+	}
+	if report.Completed != campaigns {
+		t.Errorf("Completed = %d, want %d", report.Completed, campaigns)
+	}
+
+	// Every submission has exactly one outcome, and a 0.5 duplicate
+	// ratio must hit the single-flight or cache layer at least once.
+	sum := report.Outcomes["queued"] + report.Outcomes["coalesced"] + report.Outcomes["cached"]
+	if sum != campaigns {
+		t.Errorf("outcomes %v sum to %d, want %d", report.Outcomes, sum, campaigns)
+	}
+	if report.Outcomes["queued"] != report.UniqueSpecs {
+		t.Errorf("queued = %d, want one per unique spec (%d)", report.Outcomes["queued"], report.UniqueSpecs)
+	}
+	if report.Outcomes["coalesced"]+report.Outcomes["cached"] == 0 {
+		t.Errorf("duplicate-heavy mix produced no coalesced or cached outcomes: %v", report.Outcomes)
+	}
+	if report.UniqueSpecs >= campaigns {
+		t.Errorf("UniqueSpecs = %d out of %d submissions — duplicates missing", report.UniqueSpecs, campaigns)
+	}
+
+	if report.SubmitMS.Count != campaigns {
+		t.Errorf("SubmitMS.Count = %d, want %d", report.SubmitMS.Count, campaigns)
+	}
+	if report.CompleteMS.Count != campaigns {
+		t.Errorf("CompleteMS.Count = %d, want %d", report.CompleteMS.Count, campaigns)
+	}
+	for _, p := range []Percentiles{report.SubmitMS, report.CompleteMS} {
+		if p.P50 > p.P90 || p.P90 > p.P99 || p.P99 > p.Max {
+			t.Errorf("percentiles not monotone: %+v", p)
+		}
+	}
+	if report.WallSeconds <= 0 || report.ThroughputPerSec <= 0 {
+		t.Errorf("wall=%g throughput=%g, want positive", report.WallSeconds, report.ThroughputPerSec)
+	}
+
+	if report.SSE.Streams == 0 {
+		t.Errorf("no SSE streams attached despite SSESubscribers=2")
+	}
+	if report.SSE.MissingTerminal != 0 {
+		t.Errorf("%d SSE streams ended without a terminal event", report.SSE.MissingTerminal)
+	}
+	if report.SSE.Events == 0 {
+		t.Errorf("SSE streams received no events")
+	}
+
+	// The server's own counters must tell the same story the client saw:
+	// a dedicated test server means the deltas match exactly.
+	if !report.Metrics.Available {
+		t.Fatalf("/metrics scrape unavailable on the test server")
+	}
+	if !report.Metrics.Consistent {
+		t.Errorf("client/server cross-check failed: %v", report.Metrics.Notes)
+	}
+	// Every unique spec finishes once, and every cache hit finishes its
+	// own (never-run) job too — that is the server's completion count.
+	wantDone := report.UniqueSpecs + report.Outcomes["cached"]
+	if report.Metrics.Done != float64(wantDone) {
+		t.Errorf("server completed %g jobs, want uniques+cached = %d",
+			report.Metrics.Done, wantDone)
+	}
+
+	if report.Text() == "" {
+		t.Errorf("Text() rendered empty")
+	}
+}
+
+// TestRunRateLimited checks that the rate cap paces submissions: a
+// capped campaign cannot finish faster than count/rate allows.
+func TestRunRateLimited(t *testing.T) {
+	cache, _ := serve.NewCache(0, "")
+	sched := serve.NewScheduler(4, 64, &serve.Executor{}, cache)
+	defer sched.Close()
+	ts := httptest.NewServer(serve.NewServer(sched).Handler())
+	defer ts.Close()
+
+	cfg := Config{
+		BaseURL:           ts.URL,
+		Campaigns:         20,
+		Concurrency:       4,
+		N:                 16,
+		RatePerSec:        100, // 20 submissions at 100/s: ≥ ~190ms of pacing
+		CompletionTimeout: 30 * time.Second,
+	}
+	start := time.Now()
+	report, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("rate-capped campaign finished in %v — cap not applied", elapsed)
+	}
+	if report.Completed != 20 {
+		t.Errorf("Completed = %d, want 20", report.Completed)
+	}
+}
+
+// TestRunCancelledContext checks that an aborted campaign returns
+// promptly and accounts for unsent submissions as transport errors
+// rather than hanging.
+func TestRunCancelledContext(t *testing.T) {
+	cache, _ := serve.NewCache(0, "")
+	sched := serve.NewScheduler(2, 64, &serve.Executor{}, cache)
+	defer sched.Close()
+	ts := httptest.NewServer(serve.NewServer(sched).Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // aborted before it starts
+	cfg := Config{
+		BaseURL:           ts.URL,
+		Campaigns:         50,
+		Concurrency:       4,
+		N:                 16,
+		RatePerSec:        5, // slow enough that the cancel must cut it short
+		CompletionTimeout: 5 * time.Second,
+	}
+	done := make(chan struct{})
+	var report *Report
+	var err error
+	go func() {
+		report, err = Run(ctx, cfg)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("Run did not return after context cancellation")
+	}
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if report.Completed == 50 {
+		t.Errorf("cancelled campaign completed everything — cancellation had no effect")
+	}
+}

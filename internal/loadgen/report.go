@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Percentiles summarizes a latency sample in milliseconds.
+type Percentiles struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// percentilesOf computes the nearest-rank percentiles of samples (ms).
+func percentilesOf(samples []float64) Percentiles {
+	if len(samples) == 0 {
+		return Percentiles{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(s))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Percentiles{
+		Count: len(s),
+		P50:   rank(0.50),
+		P90:   rank(0.90),
+		P99:   rank(0.99),
+		Max:   s[len(s)-1],
+		Mean:  sum / float64(len(s)),
+	}
+}
+
+// SSEStats accounts for the subscriber fan-out: how many streams were
+// attached, how many events they received, and whether every stream
+// that should have seen a terminal event actually did.
+type SSEStats struct {
+	// Streams is the number of SSE subscriptions opened.
+	Streams int `json:"streams"`
+	// Events is the total number of events received across streams.
+	Events int64 `json:"events"`
+	// Terminals counts streams that saw a done/canceled/error event.
+	Terminals int `json:"terminals"`
+	// MissingTerminal counts streams that ended without one — the SSE
+	// contract violation the CI gate watches for.
+	MissingTerminal int `json:"missingTerminal"`
+}
+
+// MetricsDelta is the server-side view of the run: the change in the
+// relevant /metrics series between the scrape before and the scrape
+// after, cross-checked against the client-side counters. On a dedicated
+// server the two views must agree exactly; Notes records every
+// disagreement found.
+type MetricsDelta struct {
+	// Available is false when either scrape failed (report fields are
+	// then zero and no cross-check ran).
+	Available bool `json:"available"`
+	// Submission outcome deltas (meg_jobs_submitted_total).
+	Queued    float64 `json:"queued"`
+	Coalesced float64 `json:"coalesced"`
+	Cached    float64 `json:"cached"`
+	// Terminal status deltas (meg_jobs_completed_total).
+	Done     float64 `json:"done"`
+	Failed   float64 `json:"failed"`
+	Canceled float64 `json:"canceled"`
+	// CacheHits is the meg_cache_ops_total{op="hit"} delta.
+	CacheHits float64 `json:"cacheHits"`
+	// SSEDropped is the meg_sse_dropped_events_total delta — server-side
+	// backpressure drops on slow subscribers.
+	SSEDropped float64 `json:"sseDropped"`
+	// Consistent is true when every cross-check between the client's
+	// counters and the server's deltas held.
+	Consistent bool `json:"consistent"`
+	// Notes lists the cross-check failures, empty when Consistent.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Report is the machine-readable outcome of one load campaign —
+// megload writes it as JSON and CI commits it into bench/history/ so
+// load trajectories accumulate next to perf ones.
+type Report struct {
+	// SchemaVersion versions this report layout.
+	SchemaVersion int `json:"schemaVersion"`
+	// Config echoes the normalized campaign configuration.
+	Config Config `json:"config"`
+
+	// Submissions is the number of POST /v1/jobs calls made.
+	Submissions int `json:"submissions"`
+	// UniqueSpecs is how many distinct specs the plan contained.
+	UniqueSpecs int `json:"uniqueSpecs"`
+	// TransportErrors counts submissions that failed before an HTTP
+	// status arrived (dial/timeout).
+	TransportErrors int `json:"transportErrors"`
+	// StatusCodes counts submissions by HTTP status code.
+	StatusCodes map[string]int `json:"statusCodes"`
+	// NonOK counts submissions whose status was not 2xx.
+	NonOK int `json:"nonOK"`
+	// Outcomes counts scheduler outcomes (queued|coalesced|cached).
+	Outcomes map[string]int `json:"outcomes"`
+	// ByMix counts submissions per mix label.
+	ByMix map[string]int `json:"byMix"`
+
+	// SubmitMS summarizes POST round-trip latency; CompleteMS the
+	// submit-to-terminal-state latency of completed jobs.
+	SubmitMS   Percentiles `json:"submitMS"`
+	CompleteMS Percentiles `json:"completeMS"`
+
+	// Completed counts submissions whose job reached done; FailedJobs
+	// those that terminated failed/canceled; DroppedCompletions those
+	// that never reached a terminal state within the timeout.
+	Completed          int `json:"completed"`
+	FailedJobs         int `json:"failedJobs"`
+	DroppedCompletions int `json:"droppedCompletions"`
+
+	// WallSeconds is the campaign wall time; ThroughputPerSec the
+	// completed-job rate over it.
+	WallSeconds      float64 `json:"wallSeconds"`
+	ThroughputPerSec float64 `json:"throughputPerSec"`
+	// CoalescingRate is coalesced/submissions; CacheHitRate is
+	// cached/submissions.
+	CoalescingRate float64 `json:"coalescingRate"`
+	CacheHitRate   float64 `json:"cacheHitRate"`
+
+	SSE     SSEStats     `json:"sse"`
+	Metrics MetricsDelta `json:"metrics"`
+}
+
+// ReportSchemaVersion is the current Report layout version.
+const ReportSchemaVersion = 1
+
+// Text renders the report as a human-readable summary — what megload
+// prints and CI appends to the job summary.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "megload: %d submissions (%d unique specs), %.2fs wall, %.1f completions/s\n",
+		r.Submissions, r.UniqueSpecs, r.WallSeconds, r.ThroughputPerSec)
+	fmt.Fprintf(&b, "outcomes: queued=%d coalesced=%d cached=%d  (coalescing %.1f%%, cache hits %.1f%%)\n",
+		r.Outcomes["queued"], r.Outcomes["coalesced"], r.Outcomes["cached"],
+		100*r.CoalescingRate, 100*r.CacheHitRate)
+	fmt.Fprintf(&b, "completions: done=%d failed=%d dropped=%d  errors: transport=%d non2xx=%d\n",
+		r.Completed, r.FailedJobs, r.DroppedCompletions, r.TransportErrors, r.NonOK)
+	fmt.Fprintf(&b, "submit   latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f (n=%d)\n",
+		r.SubmitMS.P50, r.SubmitMS.P90, r.SubmitMS.P99, r.SubmitMS.Max, r.SubmitMS.Mean, r.SubmitMS.Count)
+	fmt.Fprintf(&b, "complete latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f (n=%d)\n",
+		r.CompleteMS.P50, r.CompleteMS.P90, r.CompleteMS.P99, r.CompleteMS.Max, r.CompleteMS.Mean, r.CompleteMS.Count)
+	if r.SSE.Streams > 0 {
+		fmt.Fprintf(&b, "sse: %d streams, %d events, %d terminals, %d missing terminal\n",
+			r.SSE.Streams, r.SSE.Events, r.SSE.Terminals, r.SSE.MissingTerminal)
+	}
+	if r.Metrics.Available {
+		state := "consistent"
+		if !r.Metrics.Consistent {
+			state = "INCONSISTENT"
+		}
+		fmt.Fprintf(&b, "server metrics delta (%s): queued=%g coalesced=%g cached=%g done=%g failed=%g cacheHits=%g sseDropped=%g\n",
+			state, r.Metrics.Queued, r.Metrics.Coalesced, r.Metrics.Cached,
+			r.Metrics.Done, r.Metrics.Failed, r.Metrics.CacheHits, r.Metrics.SSEDropped)
+		for _, n := range r.Metrics.Notes {
+			fmt.Fprintf(&b, "  note: %s\n", n)
+		}
+	} else {
+		fmt.Fprintf(&b, "server metrics delta: unavailable (/metrics scrape failed)\n")
+	}
+	if len(r.ByMix) > 0 {
+		labels := make([]string, 0, len(r.ByMix))
+		for l := range r.ByMix {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		fmt.Fprintf(&b, "mix:")
+		for _, l := range labels {
+			fmt.Fprintf(&b, " %s=%d", l, r.ByMix[l])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

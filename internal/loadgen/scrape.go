@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// snapshot is one parsed /metrics scrape: series key ("name" or
+// `name{label="v",...}`, exactly as exposed) to value.
+type snapshot map[string]float64
+
+// scrapeMetrics fetches and parses a Prometheus text exposition. Only
+// the single-value line format the in-tree registry emits is handled;
+// histogram series parse fine too (their bucket labels just become part
+// of the key).
+func scrapeMetrics(client *http.Client, url string) (snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: scrape %s: status %d", url, resp.StatusCode)
+	}
+	snap := snapshot{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		snap[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// delta returns after[key] - before[key]; absent series count as 0, so
+// a series that first appears during the run deltas to its final value.
+func delta(before, after snapshot, key string) float64 {
+	return after[key] - before[key]
+}
+
+// buildMetricsDelta computes the server-side deltas and cross-checks
+// them against the client's observed counters.
+func buildMetricsDelta(before, after snapshot, r *Report) MetricsDelta {
+	d := MetricsDelta{
+		Available:  true,
+		Queued:     delta(before, after, `meg_jobs_submitted_total{outcome="queued"}`),
+		Coalesced:  delta(before, after, `meg_jobs_submitted_total{outcome="coalesced"}`),
+		Cached:     delta(before, after, `meg_jobs_submitted_total{outcome="cached"}`),
+		Done:       delta(before, after, `meg_jobs_completed_total{status="done"}`),
+		Failed:     delta(before, after, `meg_jobs_completed_total{status="failed"}`),
+		Canceled:   delta(before, after, `meg_jobs_completed_total{status="canceled"}`),
+		CacheHits:  delta(before, after, `meg_cache_ops_total{op="hit"}`),
+		SSEDropped: delta(before, after, `meg_sse_dropped_events_total`),
+	}
+	check := func(name string, server float64, client int) {
+		if server != float64(client) {
+			d.Notes = append(d.Notes,
+				fmt.Sprintf("%s: server delta %g != client count %d", name, server, client))
+		}
+	}
+	// On a dedicated server the submission-outcome deltas must equal the
+	// client's view exactly — any drift means lost or phantom traffic.
+	check("submitted queued", d.Queued, r.Outcomes["queued"])
+	check("submitted coalesced", d.Coalesced, r.Outcomes["coalesced"])
+	check("submitted cached", d.Cached, r.Outcomes["cached"])
+	d.Consistent = len(d.Notes) == 0
+	return d
+}

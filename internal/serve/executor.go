@@ -181,8 +181,8 @@ func (e *Executor) phaseHooks(sink func(Event)) (factory func(trial int) core.Ph
 }
 
 // publicSpec strips execution-only hints from the spec embedded in a
-// Result: Workers, Parallelism, ProtocolEngine and Snapshot are
-// excluded from the content hash, so they must not leak into the
+// Result: Workers, Parallelism, ProtocolEngine, Snapshot and Receivers
+// are excluded from the content hash, so they must not leak into the
 // cached bytes either — otherwise the same hash would serve different
 // bytes depending on which submitter simulated first.
 func publicSpec(c spec.Spec) spec.Spec {
@@ -190,6 +190,7 @@ func publicSpec(c spec.Spec) spec.Spec {
 	c.Parallelism = 0
 	c.ProtocolEngine = ""
 	c.Snapshot = ""
+	c.Receivers = nil
 	return c
 }
 

@@ -25,6 +25,7 @@ type Metrics struct {
 	submissions  *metrics.CounterVec // outcome: queued|coalesced|cached
 	jobsDone     *metrics.CounterVec // status: done|failed|canceled
 	queueDepth   *metrics.Gauge
+	shardDepth   *metrics.GaugeVec // shard: 0..N-1
 	jobsRunning  *metrics.Gauge
 	jobWait      *metrics.Histogram
 	jobRun       *metrics.Histogram
@@ -37,6 +38,10 @@ type Metrics struct {
 	execJobs     *metrics.CounterVec   // model, protocol, outcome
 	phaseSeconds *metrics.CounterVec   // phase
 	engineRounds *metrics.Counter
+
+	receiverDeliveries *metrics.CounterVec // outcome: delivered|dropped
+	receiverAttempts   *metrics.Counter
+	receiverPending    *metrics.Gauge
 }
 
 // Durations in seconds; layouts fixed so dashboards stay comparable
@@ -57,6 +62,8 @@ func NewMetrics() *Metrics {
 		"Jobs reaching a terminal state, by status (done|failed|canceled).", "status")
 	m.queueDepth = reg.Gauge("meg_queue_depth",
 		"Jobs accepted but not yet picked up by a worker.")
+	m.shardDepth = reg.GaugeVec("meg_shard_queue_depth",
+		"Jobs accepted but not yet picked up, by worker-pool shard.", "shard")
 	m.jobsRunning = reg.Gauge("meg_jobs_running",
 		"Jobs currently executing on a worker.")
 	m.jobWait = reg.Histogram("meg_job_wait_seconds",
@@ -81,6 +88,12 @@ func NewMetrics() *Metrics {
 		"Engine time by phase (snapshot|kernel|merge|step|delta_apply), summed over instrumented runs; merge is nested inside kernel.", "phase")
 	m.engineRounds = reg.Counter("meg_engine_rounds_total",
 		"Engine rounds evaluated by instrumented runs.")
+	m.receiverDeliveries = reg.CounterVec("meg_receiver_deliveries_total",
+		"Webhook completion notifications by final outcome (delivered|dropped after the retry budget).", "outcome")
+	m.receiverAttempts = reg.Counter("meg_receiver_attempts_total",
+		"Webhook delivery attempts, including retries.")
+	m.receiverPending = reg.Gauge("meg_receiver_pending",
+		"Webhook notifications accepted but not yet settled.")
 	return m
 }
 
@@ -104,18 +117,48 @@ func (m *Metrics) submission(o Outcome) {
 	m.submissions.With(string(o)).Inc()
 }
 
-func (m *Metrics) jobQueued() {
+func (m *Metrics) jobQueued(shard int) {
 	if m == nil {
 		return
 	}
 	m.queueDepth.Inc()
+	m.shardDepth.With(strconv.Itoa(shard)).Inc()
 }
 
-func (m *Metrics) jobDequeued() {
+func (m *Metrics) jobDequeued(shard int) {
 	if m == nil {
 		return
 	}
 	m.queueDepth.Dec()
+	m.shardDepth.With(strconv.Itoa(shard)).Dec()
+}
+
+func (m *Metrics) receiverAccepted(n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.receiverPending.Add(float64(n))
+}
+
+func (m *Metrics) receiverAttempt() {
+	if m == nil {
+		return
+	}
+	m.receiverAttempts.Inc()
+}
+
+func (m *Metrics) receiverSettled(delivered bool) {
+	if m == nil {
+		return
+	}
+	outcome := "delivered"
+	if !delivered {
+		outcome = "dropped"
+	}
+	// Pending drops before the outcome counter ticks, so observing the
+	// outcome implies the pending gauge no longer counts this delivery.
+	m.receiverPending.Dec()
+	m.receiverDeliveries.With(outcome).Inc()
 }
 
 func (m *Metrics) jobStarted(wait time.Duration) {

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Notification is the JSON body POSTed to each receiver URL when a job
+// reaches a terminal state — the megserve side of a webhook contract:
+// external systems register URLs on the spec (the receivers execution
+// hint) and get told when the work is done instead of polling.
+type Notification struct {
+	// Event is job.done, job.failed, or job.canceled.
+	Event string `json:"event"`
+	// ID and Hash identify the job and its spec content address — the
+	// receiver fetches the result bytes from GET /v1/cache/{hash}.
+	ID   string `json:"id"`
+	Hash string `json:"hash"`
+	// Status is the job's terminal status.
+	Status JobStatus `json:"status"`
+	// Error carries the failure message for job.failed.
+	Error string `json:"error,omitempty"`
+}
+
+// Delivery policy: a handful of attempts with doubling backoff keeps a
+// flapping receiver from being missed, while bounding how long one dead
+// endpoint can hold a delivery goroutine (and Scheduler.Close, which
+// drains them).
+const (
+	receiverMaxAttempts = 4
+	receiverBaseBackoff = 100 * time.Millisecond
+	receiverTimeout     = 5 * time.Second
+	receiverConcurrency = 8
+)
+
+// notifier delivers terminal-state notifications to webhook receivers
+// with bounded retry and exponential backoff. One notifier serves the
+// whole scheduler; deliveries run on their own goroutines (bounded by
+// a semaphore) so a slow receiver never blocks a worker between jobs.
+type notifier struct {
+	client  *http.Client
+	sleep   func(time.Duration) // injectable so tests observe backoff without waiting it out
+	metrics *Metrics            // set by Scheduler.Instrument; nil-safe
+	sem     chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newNotifier() *notifier {
+	return &notifier{
+		client: &http.Client{Timeout: receiverTimeout},
+		sleep:  time.Sleep,
+		sem:    make(chan struct{}, receiverConcurrency),
+	}
+}
+
+// dispatch fans the job's terminal notification out to its receivers.
+// It returns immediately; wait() blocks until every in-flight delivery
+// settles (delivered or dropped after the retry budget).
+func (n *notifier) dispatch(j *Job) {
+	urls := j.receiverList()
+	if len(urls) == 0 {
+		return
+	}
+	note := Notification{ID: j.ID, Hash: j.Hash, Status: j.Status(), Error: j.Err()}
+	switch note.Status {
+	case StatusDone:
+		note.Event = "job.done"
+	case StatusCanceled:
+		note.Event = "job.canceled"
+	default:
+		note.Event = "job.failed"
+	}
+	body, err := json.Marshal(note)
+	if err != nil {
+		return
+	}
+	n.metrics.receiverAccepted(len(urls))
+	n.wg.Add(len(urls))
+	for _, u := range urls {
+		go n.deliver(u, body)
+	}
+}
+
+// deliver POSTs one notification, retrying failures with exponential
+// backoff until the attempt budget runs out.
+func (n *notifier) deliver(url string, body []byte) {
+	defer n.wg.Done()
+	n.sem <- struct{}{}
+	defer func() { <-n.sem }()
+	backoff := receiverBaseBackoff
+	for attempt := 1; attempt <= receiverMaxAttempts; attempt++ {
+		n.metrics.receiverAttempt()
+		if n.post(url, body) {
+			n.metrics.receiverSettled(true)
+			return
+		}
+		if attempt < receiverMaxAttempts {
+			n.sleep(backoff)
+			backoff *= 2
+		}
+	}
+	n.metrics.receiverSettled(false)
+}
+
+// post performs one delivery attempt; any 2xx counts as delivered.
+func (n *notifier) post(url string, body []byte) bool {
+	resp, err := n.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// wait blocks until every dispatched delivery has settled.
+func (n *notifier) wait() { n.wg.Wait() }

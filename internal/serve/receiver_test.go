@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"meg/internal/spec"
+)
+
+// receiverSpec is testSpec plus a receiver URL.
+func receiverSpec(n int, urls ...string) spec.Spec {
+	s := testSpec(n)
+	s.Receivers = urls
+	return s
+}
+
+// notificationSink collects webhook deliveries.
+type notificationSink struct {
+	mu    sync.Mutex
+	notes []Notification
+	ch    chan Notification
+}
+
+func newNotificationSink() (*notificationSink, *httptest.Server) {
+	sink := &notificationSink{ch: make(chan Notification, 64)}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var n Notification
+		body, _ := io.ReadAll(r.Body)
+		if err := json.Unmarshal(body, &n); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		sink.mu.Lock()
+		sink.notes = append(sink.notes, n)
+		sink.mu.Unlock()
+		sink.ch <- n
+		w.WriteHeader(http.StatusOK)
+	}))
+	return sink, srv
+}
+
+func (s *notificationSink) waitOne(t *testing.T) Notification {
+	t.Helper()
+	select {
+	case n := <-s.ch:
+		return n
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no notification arrived")
+		return Notification{}
+	}
+}
+
+func TestReceiverNotifiedOnCompletion(t *testing.T) {
+	sink, srv := newNotificationSink()
+	defer srv.Close()
+	cache, _ := NewCache(0, "")
+	sched := NewScheduler(2, 16, &Executor{}, cache)
+	defer sched.Close()
+
+	j, outcome, err := sched.Submit(receiverSpec(64, srv.URL))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if outcome != OutcomeQueued {
+		t.Fatalf("outcome = %s, want queued", outcome)
+	}
+	waitDone(t, j)
+	n := sink.waitOne(t)
+	if n.Event != "job.done" || n.ID != j.ID || n.Hash != j.Hash || n.Status != StatusDone {
+		t.Fatalf("notification = %+v, want job.done for %s/%s", n, j.ID, j.Hash)
+	}
+
+	// The receiver hint must not leak into the cached result bytes —
+	// otherwise identical specs submitted with different receivers would
+	// serve different bytes under one content hash.
+	if bytes.Contains(j.Result(), []byte(srv.URL)) {
+		t.Fatalf("receiver URL leaked into the result bytes")
+	}
+	// And it must not perturb the content address at all.
+	plain, err := testSpec(64).Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	if j.Hash != plain {
+		t.Fatalf("receivers changed the content hash: %s vs %s", j.Hash, plain)
+	}
+}
+
+func TestReceiverRetryWithBackoff(t *testing.T) {
+	// A flaky receiver that fails twice and succeeds on the third
+	// attempt must be retried with exponential backoff. The notifier's
+	// sleep is injected (the test's clock), so the backoff sequence is
+	// observed exactly rather than waited out.
+	var calls atomic.Int32
+	got := make(chan Notification, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		var n Notification
+		body, _ := io.ReadAll(r.Body)
+		json.Unmarshal(body, &n)
+		got <- n
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	cache, _ := NewCache(0, "")
+	sched := NewScheduler(2, 16, &Executor{}, cache)
+	defer sched.Close()
+	m := NewMetrics()
+	sched.Instrument(m)
+
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	sched.notifier.sleep = func(d time.Duration) {
+		mu.Lock()
+		sleeps = append(sleeps, d)
+		mu.Unlock()
+	}
+
+	j, _, err := sched.Submit(receiverSpec(64, srv.URL))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, j)
+	select {
+	case n := <-got:
+		if n.Event != "job.done" || n.ID != j.ID {
+			t.Fatalf("notification = %+v", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("flaky receiver never got the successful delivery")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("receiver saw %d attempts, want 3 (fail, fail, succeed)", calls.Load())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []time.Duration{receiverBaseBackoff, 2 * receiverBaseBackoff}
+	if len(sleeps) != len(want) {
+		t.Fatalf("observed %d backoff sleeps %v, want %v", len(sleeps), sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v (exponential doubling)", i, sleeps[i], want[i])
+		}
+	}
+	// The server handler fires before the delivery goroutine's final
+	// bookkeeping; wait for the settle instead of racing it.
+	settleDeadline := time.Now().Add(5 * time.Second)
+	for m.receiverDeliveries.With("delivered").Value() != 1 {
+		if time.Now().After(settleDeadline) {
+			t.Fatalf("delivered counter = %g, want 1", m.receiverDeliveries.With("delivered").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v := m.receiverAttempts.Value(); v != 3 {
+		t.Errorf("meg_receiver_attempts_total = %g, want 3", v)
+	}
+	if v := m.receiverPending.Value(); v != 0 {
+		t.Errorf("pending gauge = %g after settle, want 0", v)
+	}
+}
+
+func TestReceiverDroppedAfterRetryBudget(t *testing.T) {
+	// A receiver that never recovers is dropped after the attempt
+	// budget, with the outcome counted — delivery must not retry
+	// forever or wedge Close.
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	cache, _ := NewCache(0, "")
+	sched := NewScheduler(2, 16, &Executor{}, cache)
+	m := NewMetrics()
+	sched.Instrument(m)
+	sched.notifier.sleep = func(time.Duration) {}
+
+	j, _, err := sched.Submit(receiverSpec(64, srv.URL))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, j)
+	sched.Close() // drains the notifier
+	if got := calls.Load(); got != receiverMaxAttempts {
+		t.Fatalf("dead receiver saw %d attempts, want the full budget of %d", got, receiverMaxAttempts)
+	}
+	if v := m.receiverDeliveries.With("dropped").Value(); v != 1 {
+		t.Errorf("dropped counter = %g, want 1", v)
+	}
+	if v := m.receiverPending.Value(); v != 0 {
+		t.Errorf("pending gauge = %g, want 0", v)
+	}
+}
+
+func TestCoalescedSubmissionsAccumulateReceivers(t *testing.T) {
+	// Two submissions of one spec with different receivers coalesce into
+	// one job — and BOTH receivers must be notified when it finishes.
+	sinkA, srvA := newNotificationSink()
+	defer srvA.Close()
+	sinkB, srvB := newNotificationSink()
+	defer srvB.Close()
+
+	runner := &gatedRunner{release: make(chan struct{})}
+	cache, _ := NewCache(0, "")
+	sched := NewScheduler(2, 16, runner, cache)
+	defer sched.Close()
+
+	first, _, err := sched.Submit(receiverSpec(64, srvA.URL))
+	if err != nil {
+		t.Fatalf("Submit first: %v", err)
+	}
+	second, outcome, err := sched.Submit(receiverSpec(64, srvB.URL))
+	if err != nil {
+		t.Fatalf("Submit second: %v", err)
+	}
+	if outcome != OutcomeCoalesced || second.ID != first.ID {
+		t.Fatalf("second submission did not coalesce (outcome=%s)", outcome)
+	}
+	close(runner.release)
+	waitDone(t, first)
+	na, nb := sinkA.waitOne(t), sinkB.waitOne(t)
+	if na.ID != first.ID || nb.ID != first.ID {
+		t.Fatalf("notifications %+v / %+v, want both for job %s", na, nb, first.ID)
+	}
+}
+
+func TestReceiverNotifiedOnCacheHit(t *testing.T) {
+	// A submission served straight from the cache still announces its
+	// completion: the receiver contract is "tell me when my submission
+	// is done", however the result was produced.
+	cache, _ := NewCache(0, "")
+	sched := NewScheduler(2, 16, &Executor{}, cache)
+	defer sched.Close()
+
+	warm, _, err := sched.Submit(testSpec(64))
+	if err != nil {
+		t.Fatalf("Submit warm: %v", err)
+	}
+	waitDone(t, warm)
+
+	sink, srv := newNotificationSink()
+	defer srv.Close()
+	j, outcome, err := sched.Submit(receiverSpec(64, srv.URL))
+	if err != nil {
+		t.Fatalf("Submit cached: %v", err)
+	}
+	if outcome != OutcomeCached {
+		t.Fatalf("outcome = %s, want cached", outcome)
+	}
+	n := sink.waitOne(t)
+	if n.Event != "job.done" || n.ID != j.ID || n.Hash != warm.Hash {
+		t.Fatalf("cache-hit notification = %+v", n)
+	}
+}
+
+func TestReceiverNotifiedOnFailure(t *testing.T) {
+	sink, srv := newNotificationSink()
+	defer srv.Close()
+	cache, _ := NewCache(0, "")
+	sched := NewScheduler(1, 16, &panicRunner{}, cache)
+	defer sched.Close()
+	j, _, err := sched.Submit(receiverSpec(64, srv.URL))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitDone(t, j)
+	n := sink.waitOne(t)
+	if n.Event != "job.failed" || n.Status != StatusFailed || n.Error == "" {
+		t.Fatalf("failure notification = %+v, want job.failed with message", n)
+	}
+}

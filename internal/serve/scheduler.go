@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -72,18 +73,20 @@ type Job struct {
 	done   chan struct{}
 
 	metrics    *Metrics  // nil unless the scheduler is instrumented
+	shard      int       // worker-pool shard the spec hash routes to
 	enqueuedAt time.Time // set at submission
 	startedAt  time.Time // set at worker pickup
 
-	mu       sync.Mutex
-	status   JobStatus
-	progress Progress
-	result   []byte
-	errMsg   string
-	events   []Event
-	dropped  int // events evicted from history
-	subs     map[chan Event]struct{}
-	closed   bool
+	mu        sync.Mutex
+	status    JobStatus
+	progress  Progress
+	result    []byte
+	errMsg    string
+	events    []Event
+	dropped   int // events evicted from history
+	subs      map[chan Event]struct{}
+	closed    bool
+	receivers []string // webhook URLs notified on completion (deduped)
 }
 
 // Status returns the job's current status.
@@ -91,6 +94,39 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.status
+}
+
+// Shard returns the worker-pool shard the job's spec hash routed to.
+func (j *Job) Shard() int { return j.shard }
+
+// addReceivers appends webhook URLs to the job's notification list,
+// dropping exact duplicates — coalesced submissions each contribute
+// their receivers, and every distinct one is notified once.
+func (j *Job) addReceivers(urls []string) {
+	if len(urls) == 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, u := range urls {
+		dup := false
+		for _, have := range j.receivers {
+			if have == u {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			j.receivers = append(j.receivers, u)
+		}
+	}
+}
+
+// receiverList snapshots the job's receiver URLs.
+func (j *Job) receiverList() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.receivers...)
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -225,18 +261,26 @@ func (j *Job) finish(status JobStatus, result []byte, errMsg string) {
 	close(j.done)
 }
 
-// Scheduler owns the worker pool, the job table, and the single-flight
+// Scheduler owns the worker pools, the job table, and the single-flight
 // index: at most one simulation per spec hash is in flight, identical
 // submissions attach to it, and completed results are served from the
 // content-addressed cache without simulating at all.
+//
+// The worker pool is horizontally sharded by spec hash: each shard has
+// its own queue and its own workers, and a spec always routes to the
+// same shard (shardFor is a pure function of the content hash), so the
+// global single-flight index never has to coordinate across shards —
+// two identical submissions land on one shard and coalesce there, and
+// one hot spec can never head-of-line-block every pool at once.
 type Scheduler struct {
 	runner Runner
 	cache  *Cache
 
-	baseCtx context.Context
-	stop    context.CancelFunc
-	queue   chan *Job
-	wg      sync.WaitGroup
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	queues   []chan *Job // one hash-partitioned queue per shard
+	wg       sync.WaitGroup
+	notifier *notifier
 
 	metrics *Metrics // nil until Instrument; read-only afterwards
 
@@ -255,9 +299,25 @@ type Scheduler struct {
 // long-running server's memory bounded under sustained traffic.
 const maxFinishedJobs = 1024
 
-// NewScheduler starts a scheduler with the given worker count (≤ 0
-// selects 2) and queue capacity (≤ 0 selects 64). Close releases it.
+// NewScheduler starts a single-shard scheduler with the given worker
+// count (≤ 0 selects 2) and queue capacity (≤ 0 selects 64). Close
+// releases it.
 func NewScheduler(workers, queueCap int, runner Runner, cache *Cache) *Scheduler {
+	return NewShardedScheduler(1, workers, queueCap, runner, cache)
+}
+
+// NewShardedScheduler starts a scheduler whose worker pool is split
+// into shards independent pools (≤ 0 selects 1), each with its own
+// queue of capacity queueCap (≤ 0 selects 64). workers is the total
+// worker count (≤ 0 selects 2), distributed as evenly as possible with
+// at least one worker per shard — so shards > workers raises the
+// effective worker count to one per shard. Jobs route to shards by
+// spec content hash: identical specs always share a shard, which keeps
+// single-flight coalescing a per-shard property.
+func NewShardedScheduler(shards, workers, queueCap int, runner Runner, cache *Cache) *Scheduler {
+	if shards <= 0 {
+		shards = 1
+	}
 	if workers <= 0 {
 		workers = 2
 	}
@@ -266,19 +326,47 @@ func NewScheduler(workers, queueCap int, runner Runner, cache *Cache) *Scheduler
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
-		runner:  runner,
-		cache:   cache,
-		baseCtx: ctx,
-		stop:    cancel,
-		queue:   make(chan *Job, queueCap),
-		jobs:    make(map[string]*Job),
-		active:  make(map[string]*Job),
+		runner:   runner,
+		cache:    cache,
+		baseCtx:  ctx,
+		stop:     cancel,
+		queues:   make([]chan *Job, shards),
+		notifier: newNotifier(),
+		jobs:     make(map[string]*Job),
+		active:   make(map[string]*Job),
 	}
-	s.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go s.worker()
+	per, rem := workers/shards, workers%shards
+	for i := range s.queues {
+		s.queues[i] = make(chan *Job, queueCap)
+		n := per
+		if i < rem {
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		s.wg.Add(n)
+		for w := 0; w < n; w++ {
+			go s.worker(s.queues[i])
+		}
 	}
 	return s
+}
+
+// Shards returns the number of worker-pool shards.
+func (s *Scheduler) Shards() int { return len(s.queues) }
+
+// shardFor routes a spec content hash to a shard: FNV-1a over the hash
+// string, reduced mod the shard count. Pure and stable — the same hash
+// maps to the same shard for the life of the process, which is what
+// keeps coalescing correct without cross-shard coordination.
+func shardFor(hash string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(hash))
+	return int(h.Sum32() % uint32(shards))
 }
 
 // Instrument attaches a metrics bundle to the scheduler and its cache.
@@ -289,6 +377,7 @@ func (s *Scheduler) Instrument(m *Metrics) {
 	if s.cache != nil {
 		s.cache.metrics = m
 	}
+	s.notifier.metrics = m
 }
 
 // Metrics returns the attached bundle (nil when uninstrumented) so the
@@ -331,8 +420,9 @@ func (s *Scheduler) Submit(sp spec.Spec) (*Job, Outcome, error) {
 		return nil, "", fmt.Errorf("serve: scheduler is shut down")
 	}
 	// Single-flight: an identical spec already in flight absorbs the
-	// submission.
+	// submission — its receivers ride along on the absorbing job.
 	if j, ok := s.active[hash]; ok {
+		j.addReceivers(c.Receivers)
 		s.metrics.submission(OutcomeCoalesced)
 		return j, OutcomeCoalesced, nil
 	}
@@ -342,19 +432,20 @@ func (s *Scheduler) Submit(sp spec.Spec) (*Job, Outcome, error) {
 		j.finish(StatusDone, data, "")
 		s.retireLocked(j)
 		s.metrics.submission(OutcomeCached)
+		s.notifier.dispatch(j)
 		return j, OutcomeCached, nil
 	}
 	j := s.newJobLocked(hash, c)
 	select {
-	case s.queue <- j:
+	case s.queues[j.shard] <- j:
 	default:
 		j.cancel()
 		delete(s.jobs, j.ID)
-		return nil, "", fmt.Errorf("serve: job queue full (%d pending)", cap(s.queue))
+		return nil, "", fmt.Errorf("serve: job queue full on shard %d (%d pending)", j.shard, cap(s.queues[j.shard]))
 	}
 	s.active[hash] = j
 	s.metrics.submission(OutcomeQueued)
-	s.metrics.jobQueued()
+	s.metrics.jobQueued(j.shard)
 	return j, OutcomeQueued, nil
 }
 
@@ -386,9 +477,11 @@ func (s *Scheduler) newJobLocked(hash string, c spec.Spec) *Job {
 		cancel:     cancel,
 		done:       make(chan struct{}),
 		metrics:    s.metrics,
+		shard:      shardFor(hash, len(s.queues)),
 		enqueuedAt: time.Now(),
 		status:     StatusQueued,
 		subs:       map[chan Event]struct{}{},
+		receivers:  append([]string(nil), c.Receivers...),
 	}
 	j.progress.Trials = c.Trials
 	s.jobs[j.ID] = j
@@ -424,6 +517,7 @@ func (s *Scheduler) Cancel(id string) bool {
 		j.finish(StatusCanceled, nil, "")
 		s.detach(j)
 		s.retire(j)
+		s.notifier.dispatch(j)
 	}
 	return true
 }
@@ -450,8 +544,10 @@ func (s *Scheduler) Counts() map[JobStatus]int {
 	return counts
 }
 
-// Close stops accepting submissions, cancels every in-flight job, and
-// waits for the workers to drain.
+// Close stops accepting submissions, cancels every in-flight job,
+// waits for the workers to drain, and then for pending receiver
+// notifications to settle (delivery is bounded by the retry budget, so
+// the wait is too).
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -459,16 +555,19 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
-	close(s.queue)
+	for _, q := range s.queues {
+		close(q)
+	}
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+	s.notifier.wait()
 }
 
-// worker drains the queue, running one job at a time.
-func (s *Scheduler) worker() {
+// worker drains one shard's queue, running one job at a time.
+func (s *Scheduler) worker(queue chan *Job) {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for j := range queue {
 		s.runJob(j)
 	}
 }
@@ -491,7 +590,7 @@ func (s *Scheduler) execute(j *Job) (res *Result, err error) {
 // result, populate the cache, finish the job, release the
 // single-flight slot.
 func (s *Scheduler) runJob(j *Job) {
-	s.metrics.jobDequeued()
+	s.metrics.jobDequeued(j.shard)
 	j.mu.Lock()
 	if j.status != StatusQueued {
 		// Cancelled while queued; already finished by Cancel.
@@ -527,4 +626,5 @@ func (s *Scheduler) runJob(j *Job) {
 	j.cancel() // release the context's resources
 	s.detach(j)
 	s.retire(j)
+	s.notifier.dispatch(j)
 }

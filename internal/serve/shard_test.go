@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bytes"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShardRoutingStable(t *testing.T) {
+	// The shard a hash routes to is a pure function of the hash: stable
+	// across calls (a spec resubmitted later must find its in-flight
+	// twin's shard) and across scheduler instances.
+	hashes := make([]string, 64)
+	for i := range hashes {
+		h, err := testSpec(64 + i).Hash()
+		if err != nil {
+			t.Fatalf("Hash: %v", err)
+		}
+		hashes[i] = h
+	}
+	seen := make(map[int]int)
+	for _, h := range hashes {
+		first := shardFor(h, 4)
+		for k := 0; k < 10; k++ {
+			if got := shardFor(h, 4); got != first {
+				t.Fatalf("shardFor(%s, 4) unstable: %d then %d", h, first, got)
+			}
+		}
+		if first < 0 || first >= 4 {
+			t.Fatalf("shardFor(%s, 4) = %d out of range", h, first)
+		}
+		seen[first]++
+	}
+	// 64 distinct hashes over 4 shards: every shard should see traffic.
+	for s := 0; s < 4; s++ {
+		if seen[s] == 0 {
+			t.Errorf("shard %d received none of %d hashes — routing is not spreading", s, len(hashes))
+		}
+	}
+	if shardFor(hashes[0], 1) != 0 {
+		t.Errorf("single-shard routing must be 0")
+	}
+}
+
+func TestShardedCoalescingNeverSpansShards(t *testing.T) {
+	// Identical specs must land on one shard and coalesce there; the
+	// executor must run each unique spec exactly once no matter how many
+	// duplicates arrive concurrently.
+	runner := &gatedRunner{release: make(chan struct{})}
+	cache, _ := NewCache(0, "")
+	sched := NewShardedScheduler(4, 8, 64, runner, cache)
+	defer sched.Close()
+	if sched.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", sched.Shards())
+	}
+
+	const uniques = 12
+	const dupsPer = 6
+	firsts := make([]*Job, uniques)
+	for i := 0; i < uniques; i++ {
+		j, outcome, err := sched.Submit(testSpec(64 + i))
+		if err != nil {
+			t.Fatalf("Submit unique %d: %v", i, err)
+		}
+		if outcome != OutcomeQueued {
+			t.Fatalf("unique %d outcome = %s, want queued", i, outcome)
+		}
+		firsts[i] = j
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < uniques; i++ {
+		for d := 0; d < dupsPer; d++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				j, outcome, err := sched.Submit(testSpec(64 + i))
+				if err != nil {
+					t.Errorf("duplicate Submit: %v", err)
+					return
+				}
+				if outcome != OutcomeCoalesced {
+					t.Errorf("duplicate outcome = %s, want coalesced", outcome)
+				}
+				if j.ID != firsts[i].ID {
+					t.Errorf("duplicate of spec %d attached to job %s, want %s", i, j.ID, firsts[i].ID)
+				}
+				if j.Shard() != firsts[i].Shard() {
+					t.Errorf("coalesced job shard %d != original shard %d", j.Shard(), firsts[i].Shard())
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(runner.release)
+	for _, j := range firsts {
+		waitDone(t, j)
+		if j.Status() != StatusDone {
+			t.Fatalf("job %s status = %s, err = %q", j.ID, j.Status(), j.Err())
+		}
+	}
+	if got := runner.inner.Invocations(); got != uniques {
+		t.Fatalf("executor ran %d times for %d unique specs (+%d dups each), want %d",
+			got, uniques, dupsPer, uniques)
+	}
+}
+
+func TestShardedPerShardCancellation(t *testing.T) {
+	// Cancelling a queued job on one shard must not disturb the others:
+	// jobs running on other shards complete normally.
+	runner := &gatedRunner{release: make(chan struct{})}
+	cache, _ := NewCache(0, "")
+	// 4 shards × 1 worker each.
+	sched := NewShardedScheduler(4, 4, 64, runner, cache)
+	defer sched.Close()
+
+	// Occupy every shard's single worker, then pile a second job onto
+	// some shard and cancel it while queued.
+	var blockers []*Job
+	occupied := map[int]bool{}
+	for i := 0; len(occupied) < 4 && i < 256; i++ {
+		j, outcome, err := sched.Submit(testSpec(64 + i))
+		if err != nil {
+			t.Fatalf("Submit blocker: %v", err)
+		}
+		if outcome != OutcomeQueued {
+			t.Fatalf("blocker outcome = %s", outcome)
+		}
+		blockers = append(blockers, j)
+		occupied[j.Shard()] = true
+	}
+	// Find a job that queues behind a blocker (its shard's worker is
+	// busy or will be); cancel it before it runs.
+	var victim *Job
+	for i := 1000; victim == nil && i < 1256; i++ {
+		j, _, err := sched.Submit(testSpec(64 + i))
+		if err != nil {
+			t.Fatalf("Submit victim candidate: %v", err)
+		}
+		victim = j
+	}
+	if !sched.Cancel(victim.ID) {
+		t.Fatalf("Cancel returned false")
+	}
+	waitDone(t, victim)
+	if victim.Status() != StatusCanceled {
+		t.Fatalf("victim status = %s, want canceled", victim.Status())
+	}
+
+	// Release the pools: every blocker (on every shard) must finish.
+	close(runner.release)
+	for _, j := range blockers {
+		waitDone(t, j)
+		if j.Status() != StatusDone {
+			t.Fatalf("blocker %s on shard %d status = %s, err = %q", j.ID, j.Shard(), j.Status(), j.Err())
+		}
+	}
+	// The cancelled hash is free again.
+	again, outcome, err := sched.Submit(victim.Spec)
+	if err != nil {
+		t.Fatalf("resubmit cancelled spec: %v", err)
+	}
+	if again.ID == victim.ID || outcome == OutcomeCached {
+		t.Fatalf("cancelled job wedged its hash: outcome=%s id=%s", outcome, again.ID)
+	}
+	waitDone(t, again)
+}
+
+func TestShardedSchedulerCoreSuite(t *testing.T) {
+	// The single-shard scheduler test suite's core properties, re-run at
+	// shards=4: cache hits stay byte-identical, independent runs
+	// reproduce bytes, and a worker panic is contained.
+	t.Run("cacheHitByteIdentical", func(t *testing.T) {
+		runner := &Executor{}
+		cache, _ := NewCache(0, "")
+		sched := NewShardedScheduler(4, 4, 16, runner, cache)
+		defer sched.Close()
+		j1, _, err := sched.Submit(testSpec(64))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		waitDone(t, j1)
+		j2, outcome, err := sched.Submit(testSpec(64))
+		if err != nil {
+			t.Fatalf("resubmit: %v", err)
+		}
+		if outcome != OutcomeCached {
+			t.Fatalf("outcome = %s, want cached", outcome)
+		}
+		if !bytes.Equal(j1.Result(), j2.Result()) {
+			t.Fatalf("cache hit not byte-identical under sharding")
+		}
+		if got := runner.Invocations(); got != 1 {
+			t.Fatalf("executor ran %d times, want 1", got)
+		}
+	})
+	t.Run("rerunReproducesBytes", func(t *testing.T) {
+		run := func() []byte {
+			cache, _ := NewCache(0, "")
+			sched := NewShardedScheduler(4, 4, 16, &Executor{}, cache)
+			defer sched.Close()
+			j, _, err := sched.Submit(testSpec(96))
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			waitDone(t, j)
+			if j.Status() != StatusDone {
+				t.Fatalf("status = %s, err = %q", j.Status(), j.Err())
+			}
+			return j.Result()
+		}
+		if !bytes.Equal(run(), run()) {
+			t.Fatalf("sharded runs of the same spec produced different bytes")
+		}
+	})
+	t.Run("panicContained", func(t *testing.T) {
+		runner := &panicRunner{}
+		cache, _ := NewCache(0, "")
+		sched := NewShardedScheduler(4, 4, 16, runner, cache)
+		defer sched.Close()
+		bad, _, err := sched.Submit(testSpec(64))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		waitDone(t, bad)
+		if bad.Status() != StatusFailed {
+			t.Fatalf("status = %s, want failed", bad.Status())
+		}
+		good, _, err := sched.Submit(testSpec(128))
+		if err != nil {
+			t.Fatalf("Submit good: %v", err)
+		}
+		waitDone(t, good)
+		if good.Status() != StatusDone {
+			t.Fatalf("post-panic status = %s, err = %q", good.Status(), good.Err())
+		}
+	})
+}
+
+func TestShardQueueDepthGauges(t *testing.T) {
+	// Queued jobs must show up on their shard's depth gauge and drain
+	// to zero when the pool runs them.
+	runner := &gatedRunner{release: make(chan struct{})}
+	cache, _ := NewCache(0, "")
+	sched := NewShardedScheduler(4, 4, 64, runner, cache)
+	defer sched.Close()
+	m := NewMetrics()
+	sched.Instrument(m)
+
+	var jobs []*Job
+	perShard := make(map[int]int)
+	for i := 0; i < 24; i++ {
+		j, _, err := sched.Submit(testSpec(64 + i))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		jobs = append(jobs, j)
+		perShard[j.Shard()]++
+	}
+	// Workers may already have picked up one job per shard; the gauge
+	// must never exceed the enqueued count and the total (queued +
+	// running) must match.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0.0
+		for s := 0; s < 4; s++ {
+			total += m.shardDepth.With(strconv.Itoa(s)).Value()
+		}
+		running := m.jobsRunning.Value()
+		if total+running == float64(len(jobs)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard depth %g + running %g never matched %d enqueued", total, running, len(jobs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(runner.release)
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+	for s := 0; s < 4; s++ {
+		if v := m.shardDepth.With(strconv.Itoa(s)).Value(); v != 0 {
+			t.Errorf("shard %d depth gauge = %g after drain, want 0", s, v)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"net/url"
 
 	"meg/internal/core"
 )
@@ -195,6 +196,14 @@ type Spec struct {
 	// execution hint excluded from the content hash and stripped from
 	// cached results.
 	Snapshot string `json:"snapshot,omitempty"`
+	// Receivers lists webhook URLs (http/https) that megserve notifies
+	// when the job reaches a terminal state: a POST per URL carrying
+	// {event, id, hash, status, error}, with bounded retry. Receivers
+	// change where a result is announced, never what it contains, so
+	// like Workers this is an execution hint: excluded from the content
+	// hash and stripped from cached results. Coalesced submissions each
+	// contribute their receivers to the one in-flight job.
+	Receivers []string `json:"receivers,omitempty"`
 	// ProtoAlgo and ModelAlgo appear in the hashed canonical form
 	// (CanonicalJSON) to version realization semantics. They are
 	// accepted on input only so canonical JSON re-parses; their values
@@ -268,6 +277,9 @@ func (s Spec) Canonical() (Spec, error) {
 	}
 	if _, err := core.ParseSnapshotMode(s.Snapshot); err != nil {
 		return Spec{}, fmt.Errorf("spec: %w", err)
+	}
+	if err := validateReceivers(s.Receivers); err != nil {
+		return Spec{}, err
 	}
 	// Revision markers are outputs of hashing, never inputs.
 	s.ProtoAlgo, s.ModelAlgo = 0, 0
@@ -402,6 +414,29 @@ func (s Spec) Canonical() (Spec, error) {
 		return Spec{}, fmt.Errorf("spec: maxRounds %d must be positive", s.MaxRounds)
 	}
 	return s, nil
+}
+
+// maxReceivers bounds the webhook fan-out one spec may request.
+const maxReceivers = 8
+
+// validateReceivers checks the receiver URL list: bounded count, each
+// entry an absolute http/https URL. The list is a delivery instruction,
+// so validation is purely structural — reachability is the notifier's
+// retry loop's problem, not the spec's.
+func validateReceivers(urls []string) error {
+	if len(urls) > maxReceivers {
+		return fmt.Errorf("spec: %d receivers exceeds the maximum of %d", len(urls), maxReceivers)
+	}
+	for _, raw := range urls {
+		u, err := url.Parse(raw)
+		if err != nil {
+			return fmt.Errorf("spec: receiver %q: %w", raw, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("spec: receiver %q must be an absolute http(s) URL", raw)
+		}
+	}
+	return nil
 }
 
 // protoAlgoRevision versions the realization semantics of the

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -226,7 +227,7 @@ func TestSpecJSONStructRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(b, &out); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if out != s {
+	if !reflect.DeepEqual(out, s) {
 		t.Errorf("struct round trip changed the spec:\n in=%+v\nout=%+v", s, out)
 	}
 }
@@ -355,5 +356,39 @@ func TestProtocolHashCarriesAlgoRevision(t *testing.T) {
 	}
 	if !strings.Contains(string(b), `"protoAlgo":`) {
 		t.Fatalf("experiment hash view lacks protoAlgo: %s", b)
+	}
+}
+
+func TestHashIgnoresReceivers(t *testing.T) {
+	a, _ := Parse([]byte(`{"model":{"name":"edge","n":128}}`))
+	b, _ := Parse([]byte(`{"model":{"name":"edge","n":128},"receivers":["http://hooks.example/jobs"]}`))
+	ha, _ := a.Hash()
+	hb, _ := b.Hash()
+	if ha != hb {
+		t.Errorf("receivers (an execution hint) perturbed the hash")
+	}
+}
+
+func TestReceiversValidation(t *testing.T) {
+	ok := `{"model":{"name":"edge","n":128},"receivers":["http://a.example/h","https://b.example:9090/h?x=1"]}`
+	if _, err := Parse([]byte(ok)); err != nil {
+		t.Fatalf("valid receivers rejected: %v", err)
+	}
+	for _, bad := range []string{
+		`{"model":{"name":"edge","n":128},"receivers":["ftp://a.example/h"]}`,
+		`{"model":{"name":"edge","n":128},"receivers":["not a url"]}`,
+		`{"model":{"name":"edge","n":128},"receivers":["/relative/path"]}`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("bad receiver accepted: %s", bad)
+		}
+	}
+	many := make([]string, maxReceivers+1)
+	for i := range many {
+		many[i] = "http://hooks.example/h"
+	}
+	s := Spec{Model: Model{Name: "edge", N: 128}, Receivers: many}
+	if _, err := s.Canonical(); err == nil {
+		t.Errorf("%d receivers accepted, want the %d cap enforced", len(many), maxReceivers)
 	}
 }
