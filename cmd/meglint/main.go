@@ -7,11 +7,19 @@
 //
 // Usage:
 //
-//	meglint [-list] [-only names] [packages]
+//	meglint [-list] [-only names] [-json] [-sarif file] [-selftest] [packages]
 //
 // Packages are ./... (the default, and the only pattern), the module
 // root directory, or individual package directories. Analyzers (see
-// internal/lint): mapiter, rngdiscipline, wallclock, rawgo, hashhints.
+// internal/lint): mapiter, rngdiscipline, wallclock, rawgo, hashhints,
+// metricshooks, ordertaint, shardwrite, staledirective.
+//
+// -json replaces the text findings on stdout with a JSON array;
+// -sarif writes a SARIF 2.1.0 log to the given file ("-" for stdout)
+// IN ADDITION to the text findings, so CI can upload PR annotations
+// while the text output stays the gate. -selftest runs the analyzers
+// over the fixture corpus under internal/lint/testdata and verifies
+// the exact per-analyzer finding counts — the gate gating itself.
 //
 // Exit status: 0 clean, 1 findings (or type errors — analysis over a
 // broken package is untrustworthy), 2 usage or load failure.
@@ -30,6 +38,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON instead of text")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+	selftest := flag.Bool("selftest", false, "run the analyzers over the fixture corpus and verify exact finding counts")
 	flag.Parse()
 
 	if *list {
@@ -49,6 +60,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *selftest {
+		if err := lint.SelfTest(os.Stdout, root); err != nil {
+			fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
@@ -93,8 +112,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags, root); err != nil {
+			fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if *sarifOut != "" {
+		w := os.Stdout
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := lint.WriteSARIF(w, analyzers, diags, root); err != nil {
+			fmt.Fprintf(os.Stderr, "meglint: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if len(diags) > 0 || failed {
 		fmt.Fprintf(os.Stderr, "meglint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))

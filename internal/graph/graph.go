@@ -322,9 +322,11 @@ func (b *Builder) BuildParallel(workers int) *Graph {
 		}
 		for i := 0; i < m; i++ {
 			if u := srcs[i]; u >= l && u < h {
+				//meg:shard-safe the l<=u<h guard above confines the slot to this block's counts[lo+1..hi]
 				counts[u+1]++
 			}
 			if v := dsts[i]; v >= l && v < h {
+				//meg:shard-safe the l<=v<h guard above confines the slot to this block's counts[lo+1..hi]
 				counts[v+1]++
 			}
 		}

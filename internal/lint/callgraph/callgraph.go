@@ -1,0 +1,185 @@
+// Package callgraph builds the module-local call graph the
+// interprocedural meglint analyzers walk: one node per function or
+// method declared with a body in an analyzed package, one edge per
+// call site whose callee resolves statically to another such function.
+//
+// The graph is deliberately modest — it is a static over/under
+// approximation in exactly the ways a determinism linter can afford:
+//
+//   - calls through function values, interface methods, and reflection
+//     produce no edge (the callee is unknown; the taint engine treats
+//     such calls conservatively at the call site instead);
+//   - calls into packages outside the analyzed set (the standard
+//     library, chiefly) produce no edge — those callees have per-name
+//     models in the taint engine (cleansers, builtins) or a generic
+//     propagate-through model;
+//   - function literals do not get nodes of their own: a call inside a
+//     closure belongs to the enclosing declared function, which is the
+//     unit the summaries are keyed on.
+//
+// Everything is stdlib-only (go/ast + go/types), same as the loader in
+// internal/lint; the shapes mirror golang.org/x/tools/go/callgraph
+// loosely so a future migration stays mechanical.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Package is the slice of a loaded, type-checked package the builder
+// needs. internal/lint adapts its own Package type to this one.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Files are the parsed source files.
+	Files []*ast.File
+	// Info carries the type checker's results; Uses, Defs, Types, and
+	// Selections must be populated.
+	Info *types.Info
+}
+
+// A Node is one declared function or method with a body.
+type Node struct {
+	// Func is the type-checker object; the graph is keyed on it.
+	Func *types.Func
+	// Decl is the declaration, Body non-nil.
+	Decl *ast.FuncDecl
+	// PkgPath is the declaring package's import path.
+	PkgPath string
+	// Info is the declaring package's type info — callers of the graph
+	// need it to resolve expressions inside Decl.
+	Info *types.Info
+	// Out lists the resolved call sites inside this function, in
+	// source order. In lists the reverse edges, in caller order.
+	Out []*Edge
+	In  []*Edge
+}
+
+// An Edge is one resolved call site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Site is the call expression, inside Caller.Decl.
+	Site *ast.CallExpr
+}
+
+// A Graph is the module-local call graph.
+type Graph struct {
+	// Nodes indexes every function by its type-checker object.
+	Nodes map[*types.Func]*Node
+	// Sorted lists the nodes in deterministic order (package path,
+	// then declaration position) — fixpoint loops iterate this, never
+	// the map, so analysis results are stable run to run.
+	Sorted []*Node
+}
+
+// Build constructs the graph over the given packages.
+func Build(pkgs []Package) *Graph {
+	g := &Graph{Nodes: map[*types.Func]*Node{}}
+	// Pass 1: a node per declared function with a body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Func: obj, Decl: fd, PkgPath: pkg.Path, Info: pkg.Info}
+				g.Nodes[obj] = n
+				g.Sorted = append(g.Sorted, n)
+			}
+		}
+	}
+	sort.Slice(g.Sorted, func(i, j int) bool {
+		a, b := g.Sorted[i], g.Sorted[j]
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+	// Pass 2: edges for call sites that resolve within the node set.
+	for _, n := range g.Sorted {
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := CalleeOf(n.Info, call)
+			if callee == nil {
+				return true
+			}
+			target, ok := g.Nodes[callee]
+			if !ok {
+				return true
+			}
+			e := &Edge{Caller: n, Callee: target, Site: call}
+			n.Out = append(n.Out, e)
+			target.In = append(target.In, e)
+			return true
+		})
+	}
+	return g
+}
+
+// CalleeOf resolves the static callee of call: a declared function, a
+// method called on a concrete receiver, or a package-qualified
+// function. Calls through function values and interface methods return
+// the best object the type checker has (for interface methods that is
+// the interface's method object, which never has a body in the graph);
+// unresolvable calls return nil.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// No selection: a package-qualified call (pkg.F).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// ReachableFrom returns the set of nodes reachable from the given
+// roots by following Out edges, roots included. Analyzers use it to
+// scope reporting to code that is actually called.
+func (g *Graph) ReachableFrom(roots []*Node) map[*Node]bool {
+	seen := map[*Node]bool{}
+	var stack []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// PosOf is a convenience for diagnostics: the position of a node's
+// declaration name.
+func (n *Node) PosOf() token.Pos { return n.Decl.Name.Pos() }

@@ -22,7 +22,18 @@
 //   - metricshooks: core.PhaseHook method calls in determinism-critical
 //     packages that are not nil-guarded (hooks are observation-only and
 //     nil by default; an unguarded call is a latent panic and a tax on
-//     the hookless path).
+//     the hookless path);
+//   - ordertaint: interprocedural order-taint dataflow — values whose
+//     order derives from map iteration, sync.Map.Range, or goroutine
+//     completion order, tracked through assignments, returns, and call
+//     arguments across package boundaries until they reach a
+//     determinism sink (see internal/lint/taint);
+//   - shardwrite: writes to captured variables inside par.Do /
+//     par.ForBlocks closures that are not keyed by the shard parameters
+//     — the static sketch of what -race finds dynamically;
+//   - staledirective: the escape-hatch audit — every justification
+//     directive must still suppress a live finding; refactors that
+//     orphan one fail the build until the directive is removed.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer holds a Run function over a Pass — but is implemented on
@@ -39,11 +50,15 @@
 //
 //	//meg:order-insensitive <why the map's iteration order cannot leak>
 //	//meg:allow-go <why this goroutine is outside the fork/join rule>
+//	//meg:shard-safe <why this captured write cannot race across shards>
 //
 // The justification text is mandatory: a bare directive is itself a
 // finding. Directives are deliberately narrow — there is no escape
 // hatch for wallclock, rngdiscipline, or hashhints findings, which
-// have no known-safe form inside the simulation core.
+// have no known-safe form inside the simulation core. And directives
+// do not accumulate: the staledirective analyzer re-checks every
+// escape site and fails the build when a directive no longer
+// suppresses anything.
 package lint
 
 import (
@@ -69,6 +84,11 @@ type Analyzer struct {
 	// pass.Reportf. A non-nil error aborts the whole meglint run; mere
 	// findings are diagnostics, not errors.
 	Run func(pass *Pass) error
+	// RunModule, when set instead of Run, applies the analyzer once to
+	// the whole loaded package set — the shape the interprocedural
+	// analyzers (ordertaint, staledirective) need, since their facts
+	// cross package boundaries.
+	RunModule func(pass *ModulePass) error
 }
 
 // A Pass holds one analyzed package plus the reporting sink, mirroring
@@ -91,6 +111,36 @@ type Pass struct {
 
 	directives directiveIndex
 	report     func(Diagnostic)
+	onUse      func(*directive)
+}
+
+// A ModulePass hands a module-level analyzer the whole loaded package
+// set plus the reporting sink. Packages come in loader order; the
+// shared FileSet makes positions comparable across them.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Packages []*Package
+
+	directives directiveIndex
+	report     func(Diagnostic)
+	onUse      func(*directive)
+}
+
+// Reportf records a finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	mp.report(Diagnostic{
+		Analyzer: mp.Analyzer.Name,
+		Pos:      mp.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AllowedAt reports whether the position is covered by the named
+// justification directive, written on the position's line or the line
+// directly above it — the module-level twin of Pass.Allowed.
+func (mp *ModulePass) AllowedAt(pos token.Pos, name string) bool {
+	return allowedAt(mp.Fset, mp.directives, mp.onUse, pos, name)
 }
 
 // A Diagnostic is one finding.
@@ -124,7 +174,17 @@ type directive struct {
 }
 
 // directiveIndex maps (file, line) to the directives written there.
-type directiveIndex map[string]map[int][]directive
+// Entries are pointers so a suppression hit can be observed by every
+// pass sharing the index (the staledirective audit keys off that).
+type directiveIndex map[string]map[int][]*directive
+
+// mergeInto folds idx into dst (filenames are unique module-wide — the
+// shared FileSet guarantees it).
+func (idx directiveIndex) mergeInto(dst directiveIndex) {
+	for file, byLine := range idx {
+		dst[file] = byLine
+	}
+}
 
 // parseDirectives collects every //meg: comment in the files. Comments
 // that start with the prefix but carry an unknown or empty name are
@@ -140,11 +200,11 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, report func(Diagnos
 				}
 				rest := strings.TrimPrefix(c.Text, directivePrefix)
 				name, reason, _ := strings.Cut(rest, " ")
-				d := directive{name: name, reason: strings.TrimSpace(reason), pos: c.Pos()}
+				d := &directive{name: name, reason: strings.TrimSpace(reason), pos: c.Pos()}
 				pos := fset.Position(c.Pos())
 				byLine := idx[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]directive{}
+					byLine = map[int][]*directive{}
 					idx[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = append(byLine[pos.Line], d)
@@ -169,8 +229,9 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, report func(Diagnos
 
 // knownDirectives enumerates the accepted directive names.
 var knownDirectives = map[string]bool{
-	"order-insensitive": true, // mapiter: this range's effect is order-independent
+	"order-insensitive": true, // mapiter/ordertaint: this range's effect is order-independent
 	"allow-go":          true, // rawgo: this goroutine is outside the fork/join rule
+	"shard-safe":        true, // shardwrite: this captured write provably cannot race across shards
 }
 
 func knownDirectiveList() string {
@@ -188,14 +249,24 @@ func knownDirectiveList() string {
 // distance — moving code away from its justification re-arms the
 // check.
 func (p *Pass) Allowed(node ast.Node, name string) bool {
-	pos := p.Fset.Position(node.Pos())
-	byLine := p.directives[pos.Filename]
+	return allowedAt(p.Fset, p.directives, p.onUse, node.Pos(), name)
+}
+
+// allowedAt is the shared lookup behind Pass.Allowed and
+// ModulePass.AllowedAt. A hit is reported to onUse, which is how the
+// staledirective audit learns a directive still suppresses something.
+func allowedAt(fset *token.FileSet, idx directiveIndex, onUse func(*directive), at token.Pos, name string) bool {
+	pos := fset.Position(at)
+	byLine := idx[pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
 		for _, d := range byLine[line] {
 			if d.name == name && d.reason != "" {
+				if onUse != nil {
+					onUse(d)
+				}
 				return true
 			}
 		}
@@ -209,9 +280,14 @@ func (p *Pass) Allowed(node ast.Node, name string) bool {
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
+	module := directiveIndex{}
 	for _, pkg := range pkgs {
 		idx := parseDirectives(pkg.Fset, pkg.Files, report)
+		idx.mergeInto(module)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:   a,
 				Fset:       pkg.Fset,
@@ -224,6 +300,23 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 			}
 			if err := a.Run(pass); err != nil {
 				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			mp := &ModulePass{
+				Analyzer:   a,
+				Fset:       pkgs[0].Fset,
+				Packages:   pkgs,
+				directives: module,
+				report:     report,
+			}
+			if err := a.RunModule(mp); err != nil {
+				return diags, fmt.Errorf("%s: %w", a.Name, err)
 			}
 		}
 	}
@@ -246,7 +339,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	return diags, nil
 }
 
-// All returns the full analyzer suite in a stable order.
+// All returns the full analyzer suite in a stable order: the six
+// per-package syntactic analyzers first, then the interprocedural
+// dataflow pair, then the directive audit (which re-runs the
+// suppressible analyzers internally, so it is self-contained under
+// -only).
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, RNGDiscipline, WallClock, RawGo, HashHints, MetricsHooks}
+	return []*Analyzer{MapIter, RNGDiscipline, WallClock, RawGo, HashHints, MetricsHooks, OrderTaint, ShardWrite, StaleDirective}
 }

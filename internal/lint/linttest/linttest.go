@@ -56,6 +56,59 @@ type expectation struct {
 // want comments as test errors.
 func Run(t *testing.T, a *lint.Analyzer, path string) {
 	t.Helper()
+	RunModule(t, a, path)
+}
+
+// RunModule is Run for a multi-package fixture module: every listed
+// package is loaded (imports resolve against testdata/src first, so
+// the packages can import each other and shadow real module packages),
+// the analyzer runs over the whole set — which is what a module-level
+// analyzer like ordertaint needs to trace a taint path spanning
+// packages — and want comments are honored across all listed
+// packages' files.
+func RunModule(t *testing.T, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	loader := NewTestLoader(t)
+
+	var pkgs []*lint.Package
+	var wants []*expectation
+	for _, path := range paths {
+		dir := filepath.Join(loader.TestSrc, filepath.FromSlash(path))
+		pkg, err := loader.Load(path, dir)
+		if err != nil {
+			t.Fatalf("linttest: load %s: %v", path, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("linttest: %s: fixture does not type-check: %v", path, terr)
+		}
+		pkgs = append(pkgs, pkg)
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, d := range diags {
+		if matchWant(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// NewTestLoader returns a loader rooted at the enclosing module with
+// TestSrc pointed at the calling test's testdata/src directory — the
+// setup shared by the want-comment harness and the loader's own
+// pathological-input tests.
+func NewTestLoader(t *testing.T) *lint.Loader {
+	t.Helper()
 	cwd, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)
@@ -76,33 +129,7 @@ func Run(t *testing.T, a *lint.Analyzer, path string) {
 		t.Fatal(err)
 	}
 	loader.TestSrc = filepath.Join(cwd, "testdata", "src")
-
-	dir := filepath.Join(loader.TestSrc, filepath.FromSlash(path))
-	pkg, err := loader.Load(path, dir)
-	if err != nil {
-		t.Fatalf("linttest: load %s: %v", path, err)
-	}
-	for _, terr := range pkg.TypeErrors {
-		t.Errorf("linttest: %s: fixture does not type-check: %v", path, terr)
-	}
-
-	wants := collectWants(t, pkg)
-	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
-
-	for _, d := range diags {
-		if matchWant(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
-			continue
-		}
-		t.Errorf("unexpected diagnostic: %s", d)
-	}
-	for _, w := range wants {
-		if !w.met {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
-		}
-	}
+	return loader
 }
 
 // collectWants scans every comment of the fixture for expectations.

@@ -52,6 +52,13 @@ type Loader struct {
 	fset *token.FileSet
 	std  types.ImporterFrom
 	pkgs map[string]*Package
+	// depth tracks Load re-entrancy (imports load recursively through
+	// ImportFrom); cycleErr latches an import cycle detected anywhere in
+	// the recursion so the outermost Load can fail hard instead of
+	// letting the type checker downgrade the importer error into a
+	// TypeErrors entry.
+	depth    int
+	cycleErr error
 }
 
 // NewLoader returns a loader for the module rooted at dir (located by
@@ -103,7 +110,11 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		if p == inProgress {
-			return nil, fmt.Errorf("lint: import cycle through %s", path)
+			err := fmt.Errorf("lint: import cycle through %s", path)
+			if l.cycleErr == nil {
+				l.cycleErr = err
+			}
+			return nil, err
 		}
 		return p.Types, nil
 	}
@@ -154,10 +165,16 @@ func hasGoFiles(dir string) bool {
 func (l *Loader) Load(path, dir string) (*Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		if p == inProgress {
-			return nil, fmt.Errorf("lint: import cycle through %s", path)
+			err := fmt.Errorf("lint: import cycle through %s", path)
+			if l.cycleErr == nil {
+				l.cycleErr = err
+			}
+			return nil, err
 		}
 		return p, nil
 	}
+	l.depth++
+	defer func() { l.depth-- }()
 	l.pkgs[path] = inProgress
 	defer func() {
 		if l.pkgs[path] == inProgress {
@@ -207,6 +224,14 @@ func (l *Loader) Load(path, dir string) (*Package, error) {
 	pkg.Types = tpkg
 	pkg.Info = info
 	l.pkgs[path] = pkg
+	// A cycle anywhere under this load poisons the whole graph: the
+	// type checker swallowed the importer error, so re-raise it at the
+	// outermost Load rather than hand back a half-checked package.
+	if l.depth == 1 && l.cycleErr != nil {
+		err := l.cycleErr
+		l.cycleErr = nil
+		return nil, err
+	}
 	return pkg, nil
 }
 

@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meg/internal/lint/linttest"
+)
+
+// TestLoadImportCycle feeds the loader a deliberate two-package import
+// cycle: it must surface a diagnosable error instead of recursing.
+func TestLoadImportCycle(t *testing.T) {
+	loader := linttest.NewTestLoader(t)
+	dir := filepath.Join(loader.TestSrc, "cycle", "a")
+	_, err := loader.Load("cycle/a", dir)
+	if err == nil {
+		t.Fatal("loading a cyclic package succeeded; want an import-cycle error")
+	}
+	if !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("cycle error = %q; want it to name the import cycle", err)
+	}
+}
+
+// TestLoadStdlibShadow pins the resolution order: testdata/src is
+// consulted before the stdlib source importer for every import path,
+// so a fixture posing as hash/maphash shadows the real package. The
+// consumer only type-checks against the shadow (it calls a symbol the
+// real package does not have).
+func TestLoadStdlibShadow(t *testing.T) {
+	loader := linttest.NewTestLoader(t)
+	dir := filepath.Join(loader.TestSrc, "shadowuser")
+	pkg, err := loader.Load("shadowuser", dir)
+	if err != nil {
+		t.Fatalf("load shadowuser: %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("shadowuser should type-check against the fixture shadow: %v", terr)
+	}
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/token"
+
+	"meg/internal/lint/callgraph"
+	"meg/internal/lint/scope"
+	"meg/internal/lint/taint"
+)
+
+// OrderTaint is the interprocedural order-taint analyzer: it builds
+// the module-local call graph, runs the forward taint lattice of
+// internal/lint/taint over it, and reports every place a value whose
+// ORDER is runtime-dependent (map iteration, sync.Map.Range, channel
+// fan-in) reaches a determinism sink — a call into one of the nine
+// determinism-critical packages, RNG seeding, spec content hashing, or
+// a bench checksum.
+//
+// The per-package mapiter analyzer forbids the source pattern inside
+// the critical packages themselves; ordertaint closes the remaining
+// hole, where the source lives in a harness package (serve, loadgen,
+// experiments, ...) and the tainted value only becomes a determinism
+// bug after crossing one or more call boundaries. Taint is cleansed by
+// sort.*/slices.Sort* and by content-keyed placement (out[k] = v
+// inside the iteration); a site that is genuinely order-insensitive
+// can carry //meg:order-insensitive on the source range or the sink
+// argument line.
+var OrderTaint = &Analyzer{
+	Name:      "ordertaint",
+	Doc:       "trace runtime-ordered values (map/sync.Map/channel-fan-in order) across calls into determinism sinks",
+	RunModule: runOrderTaint,
+}
+
+// taintSinkPkgs names the sink packages beyond the deterministic set:
+// handing a runtime-ordered sequence to any of these commits its order
+// to a reproducibility-bearing artifact.
+var taintSinkPkgs = map[string]string{
+	scope.RNGPath:                        "RNG seeding",
+	scope.ModulePath + "/internal/spec":  "spec content hashing",
+	scope.ModulePath + "/internal/bench": "bench result checksums",
+}
+
+func runOrderTaint(mp *ModulePass) error {
+	findings := taint.Run(buildCallGraph(mp.Packages), taint.Config{
+		DeterministicPkg: scope.Deterministic,
+		SinkPkgs:         taintSinkPkgs,
+		Suppressed: func(pos token.Pos) bool {
+			return mp.AllowedAt(pos, "order-insensitive")
+		},
+	})
+	for _, f := range findings {
+		mp.Reportf(f.Pos,
+			"value ordered by %s (source at %s) reaches determinism sink %s: the realization would differ run to run; sort it first, key placement by content, or annotate //meg:order-insensitive with a justification",
+			f.Source.Kind, mp.Fset.Position(f.Source.Pos), f.Sink)
+	}
+	return nil
+}
+
+// buildCallGraph adapts the loaded packages for the callgraph builder.
+func buildCallGraph(pkgs []*Package) *callgraph.Graph {
+	in := make([]callgraph.Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		in = append(in, callgraph.Package{Path: p.Path, Files: p.Files, Info: p.Info})
+	}
+	return callgraph.Build(in)
+}

@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"meg/internal/lint"
+	"meg/internal/lint/linttest"
+)
+
+// TestOrderTaintCrossPackage traces the seeded leak across three
+// package boundaries: the source (map iteration in ingest) and the
+// sink (the determinism-critical edgemeg fixture) are two pass-through
+// calls apart, and the finding must land on the outermost call
+// argument in driver. The same fixture set carries the negatives:
+// sort-cleansed, content-keyed, directive-suppressed, and
+// message-index-keyed fan-in variants stay silent.
+func TestOrderTaintCrossPackage(t *testing.T) {
+	linttest.RunModule(t, lint.OrderTaint,
+		"meg/internal/ingest",
+		"meg/internal/relay",
+		"meg/internal/driver",
+		"meg/internal/edgemeg",
+	)
+}

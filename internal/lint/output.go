@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// This file renders diagnostics for machine consumers. Text output
+// (Diagnostic.String, one line per finding) stays the CI gate; JSON is
+// for scripting over findings, and SARIF 2.1.0 is what GitHub code
+// scanning ingests to annotate pull requests inline. All three render
+// the same diagnostics in the same order, so the gate and the
+// annotations can never disagree.
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders the diagnostics as a JSON array, with file paths
+// relative to root (module-relative paths keep output stable across
+// checkouts).
+func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relTo(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 skeleton — just the fields GitHub code scanning reads.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log. The rule
+// catalog lists every analyzer that ran (not just those that fired),
+// so a clean run still documents what was checked; artifact URIs are
+// root-relative with the %SRCROOT% base GitHub resolves against the
+// repository checkout.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(relTo(root, d.Pos.Filename)),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "meglint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relTo relativizes file against root when possible, else returns it
+// unchanged.
+func relTo(root, file string) string {
+	if root == "" {
+		return file
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || rel == ".." || filepath.IsAbs(rel) || len(rel) > 1 && rel[0] == '.' && rel[1] == '.' {
+		return file
+	}
+	return rel
+}

@@ -1,0 +1,116 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"meg/internal/lint"
+)
+
+func sampleDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{{
+		Analyzer: "ordertaint",
+		Pos:      token.Position{Filename: "/mod/internal/serve/scheduler.go", Line: 42, Column: 7},
+		Message:  "value ordered by map iteration order reaches determinism sink",
+	}}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, sampleDiags(), "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d entries, want 1", len(got))
+	}
+	if got[0].File != "internal/serve/scheduler.go" {
+		t.Errorf("file = %q, want module-relative path", got[0].File)
+	}
+	if got[0].Analyzer != "ordertaint" || got[0].Line != 42 || got[0].Column != 7 {
+		t.Errorf("unexpected entry %+v", got[0])
+	}
+
+	// No findings must still be a valid (empty) array, not null.
+	buf.Reset()
+	if err := lint.WriteJSON(&buf, nil, "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty run = %q, want []", s)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, lint.All(), sampleDiags(), "/mod"); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "meglint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// The rule catalog documents every analyzer that ran, firing or not.
+	if len(run.Tool.Driver.Rules) != len(lint.All()) {
+		t.Errorf("rules = %d, want %d (one per analyzer)", len(run.Tool.Driver.Rules), len(lint.All()))
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "ordertaint" || res.Level != "error" {
+		t.Errorf("result = %+v", res)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/serve/scheduler.go" {
+		t.Errorf("uri = %q, want slash-separated module-relative path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 {
+		t.Errorf("startLine = %d, want 42", loc.Region.StartLine)
+	}
+}

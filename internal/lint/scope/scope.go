@@ -61,14 +61,16 @@ var wallClockAllowed = map[string]bool{
 // internal/serve is the concurrent serving layer (scheduler workers,
 // SSE fan-out) whose goroutines never touch simulation state.
 // Elsewhere a goroutine needs a `//meg:allow-go` justification.
+// The load generator is deliberately NOT here even though its product
+// is concurrency: each of its goroutine launches carries its own
+// //meg:allow-go justification instead. A package-level blessing would
+// leave those directives permanently unconsulted (the staledirective
+// analyzer would flag every one), and per-site justifications are the
+// better contract for a package where each goroutine's relationship to
+// simulation state deserves its own sentence.
 var rawGoAllowed = map[string]bool{
 	ModulePath + "/internal/par":   true,
 	ModulePath + "/internal/serve": true,
-	// The load generator's product IS concurrency: its submitter pool
-	// and SSE subscriber fan-out exist to put the serving layer under
-	// concurrent pressure, and none of those goroutines touch
-	// simulation state.
-	ModulePath + "/internal/loadgen": true,
 }
 
 // Deterministic reports whether the package at path carries the full
@@ -86,6 +88,32 @@ func WallClockAllowed(path string) bool {
 // RawGoAllowed reports whether the package at path may contain bare
 // `go` statements without a justification directive.
 func RawGoAllowed(path string) bool { return rawGoAllowed[path] }
+
+// Class names the coarse role a module package plays in the
+// determinism discipline, for tooling and reports:
+//
+//	"deterministic" — simulation core, full discipline applies;
+//	"binary"        — command or example entry point;
+//	"harness"       — measurement/serving layer with at least one
+//	                  blanket exemption (wall clock or raw goroutines);
+//	"library"       — everything else in the module: no blanket
+//	                  exemptions, but not checksum-bearing either
+//	                  (analyzers still apply their per-site rules);
+//	"external"      — not part of this module.
+func Class(path string) string {
+	switch {
+	case !InModule(path):
+		return "external"
+	case deterministic[path]:
+		return "deterministic"
+	case Binary(path):
+		return "binary"
+	case wallClockAllowed[path] || rawGoAllowed[path]:
+		return "harness"
+	default:
+		return "library"
+	}
+}
 
 // Binary reports whether path is a command or example binary package.
 func Binary(path string) bool {

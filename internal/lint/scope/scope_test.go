@@ -6,19 +6,29 @@ func TestClassification(t *testing.T) {
 	cases := []struct {
 		path                            string
 		deterministic, wallClock, rawGo bool
+		class                           string
 	}{
-		{"meg/internal/core", true, false, false},
-		{"meg/internal/celldelta", true, false, false},
-		{"meg/internal/expansion", true, false, false},
-		{"meg/internal/serve", false, true, true},
-		{"meg/internal/bench", false, true, false},
-		{"meg/internal/metrics", false, true, false},
-		{"meg/internal/par", false, false, true},
-		{"meg/internal/sweep", false, false, false},
-		{"meg/internal/rng", false, false, false},
-		{"meg/cmd/megbench", false, true, false},
-		{"meg/examples/quickstart", false, true, false},
-		{"meg", false, false, false},
+		{"meg/internal/core", true, false, false, "deterministic"},
+		{"meg/internal/celldelta", true, false, false, "deterministic"},
+		{"meg/internal/expansion", true, false, false, "deterministic"},
+		{"meg/internal/serve", false, true, true, "harness"},
+		{"meg/internal/bench", false, true, false, "harness"},
+		// The metrics registry is the blessed wall-clock boundary of the
+		// observability layer: wall clock yes, raw goroutines no.
+		{"meg/internal/metrics", false, true, false, "harness"},
+		// The load generator measures wall time by design, but its
+		// goroutines each carry a per-site //meg:allow-go — no blanket
+		// rawgo blessing, or those directives would all be stale.
+		{"meg/internal/loadgen", false, true, false, "harness"},
+		{"meg/internal/par", false, false, true, "harness"},
+		{"meg/internal/sweep", false, false, false, "library"},
+		{"meg/internal/rng", false, false, false, "library"},
+		{"meg/internal/lint", false, false, false, "library"},
+		{"meg/cmd/megbench", false, true, false, "binary"},
+		{"meg/cmd/megload", false, true, false, "binary"},
+		{"meg/examples/quickstart", false, true, false, "binary"},
+		{"meg", false, false, false, "library"},
+		{"fmt", false, false, false, "external"},
 	}
 	for _, c := range cases {
 		if got := Deterministic(c.path); got != c.deterministic {
@@ -29,6 +39,9 @@ func TestClassification(t *testing.T) {
 		}
 		if got := RawGoAllowed(c.path); got != c.rawGo {
 			t.Errorf("RawGoAllowed(%s) = %v, want %v", c.path, got, c.rawGo)
+		}
+		if got := Class(c.path); got != c.class {
+			t.Errorf("Class(%s) = %q, want %q", c.path, got, c.class)
 		}
 	}
 }

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"meg/internal/lint/scope"
+)
+
+// ShardWrite statically sketches what `go test -race` finds
+// dynamically: inside a closure passed to par.Do or par.ForBlocks,
+// every write to a variable captured from the enclosing function must
+// be keyed by the closure's shard parameters. Shards run concurrently;
+// a captured write whose target slot does not depend on the shard
+// identity is either a cross-shard data race (two shards hitting the
+// same memory) or a completion-order dependence (last writer wins) —
+// both break the P1 ≡ P8 byte-identity promise, and both have
+// historically been found only when a race run got lucky.
+//
+// The blessed shapes, which the analyzer accepts:
+//
+//   - indexed placement through a shard-derived index: out[shard] = v,
+//     buf[i] = v where i walks [lo, hi), words[wi] |= m with wi derived
+//     from the block bounds — the write target is a pure function of
+//     the shard identity;
+//   - writes to closure-local variables (declared inside the closure),
+//     including locals aliasing shard-indexed state (f := frontiers[shard]);
+//   - everything outside the closure: the serial merge phase after the
+//     join owns all captured state again.
+//
+// A captured write that is provably safe for another reason (a
+// sync/atomic value, a write the caller serializes) can carry
+// //meg:shard-safe <justification> on its line or the line above.
+// Method calls are outside the sketch: mutation through a method
+// (atomic.Bool.Store, append via a helper) is not flagged — the
+// analyzer under-approximates rather than drowning real findings.
+var ShardWrite = &Analyzer{
+	Name: "shardwrite",
+	Doc:  "flag writes to captured variables in par.Do/par.ForBlocks closures that are not keyed by the shard parameters",
+	Run:  runShardWrite,
+}
+
+func runShardWrite(pass *Pass) error {
+	if !scope.InModule(pass.Path) || pass.Path == scope.ModulePath+"/internal/par" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			lit, ok := parClosureOf(pass, call)
+			if !ok {
+				return true
+			}
+			checkShardClosure(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// parClosureOf returns the function literal passed as the worker of a
+// par.Do / par.ForBlocks call, when call is one.
+func parClosureOf(pass *Pass, call *ast.CallExpr) (*ast.FuncLit, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != scope.ModulePath+"/internal/par" {
+		return nil, false
+	}
+	switch obj.Name() {
+	case "Do", "ForBlocks":
+	default:
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+	return lit, ok
+}
+
+// checkShardClosure analyzes one worker closure.
+func checkShardClosure(pass *Pass, lit *ast.FuncLit) {
+	// The shard-derived set starts as the closure's parameters (shard
+	// for Do; block, lo, hi for ForBlocks) and grows transitively
+	// through local assignments: i := lo, base := wi*64, v := base+b.
+	derived := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				derived[obj] = true
+			}
+		}
+	}
+	// Fixpoint over the closure body: an assignment whose RHS mentions
+	// a derived value makes its LHS locals derived; likewise range
+	// statements over derived sequences and IncDec on derived vars
+	// keep them derived (no-op). Two passes close chains written
+	// before their dependency textually (rare in practice).
+	for pass2 := 0; pass2 < 2; pass2++ {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, l := range s.Lhs {
+					id, ok := ast.Unparen(l).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := objOf(pass, id)
+					if obj == nil || !declaredWithin(obj, lit) {
+						continue
+					}
+					var rhs ast.Expr
+					if len(s.Rhs) == len(s.Lhs) {
+						rhs = s.Rhs[i]
+					} else if len(s.Rhs) == 1 {
+						rhs = s.Rhs[0]
+					}
+					if rhs != nil && mentionsDerived(pass, rhs, derived) {
+						derived[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				// for i := range sliceAliasOfShardState, and
+				// for i, v := range s[lo:hi]: both keys and values are
+				// shard-derived when the ranged expression is.
+				if mentionsDerived(pass, s.X, derived) {
+					for _, kv := range []ast.Expr{s.Key, s.Value} {
+						if kv == nil {
+							continue
+						}
+						if id, ok := ast.Unparen(kv).(*ast.Ident); ok {
+							if obj := objOf(pass, id); obj != nil {
+								derived[obj] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested closures are not the shard worker
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				checkWrite(pass, lit, l, derived)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, lit, s.X, derived)
+		}
+		return true
+	})
+}
+
+// checkWrite flags one assignment target when it writes captured state
+// without shard keying.
+func checkWrite(pass *Pass, lit *ast.FuncLit, target ast.Expr, derived map[types.Object]bool) {
+	target = ast.Unparen(target)
+	root, indexed := writeRoot(pass, target)
+	if root == nil || declaredWithin(root, lit) {
+		return // closure-local (or unresolvable): not a captured write
+	}
+	if _, isVar := root.(*types.Var); !isVar {
+		return
+	}
+	if indexed != nil && mentionsDerived(pass, indexed, derived) {
+		return // slot is a function of the shard identity
+	}
+	if pass.Allowed(target, "shard-safe") {
+		return
+	}
+	what := "write to captured variable"
+	if indexed != nil {
+		what = "write to captured variable at a shard-independent index"
+	}
+	pass.Reportf(target.Pos(),
+		"%s %q inside a par closure: shards run concurrently, so the target slot must be keyed by the shard parameters (out[shard], buf[i] for i in [lo,hi)) or the write moved to the post-join merge; if provably safe, annotate //meg:shard-safe with a justification",
+		what, root.Name())
+}
+
+// writeRoot resolves the base variable of a write target and, for
+// indexed targets, the index expression that selects the slot. For
+// x[i] it returns (x's object, i); for x.f[i] it returns the root of
+// x with index i; for plain x or x.f it returns (root, nil).
+func writeRoot(pass *Pass, target ast.Expr) (types.Object, ast.Expr) {
+	var index ast.Expr
+	for {
+		switch t := ast.Unparen(target).(type) {
+		case *ast.Ident:
+			if t.Name == "_" {
+				return nil, nil
+			}
+			return objOf(pass, t), index
+		case *ast.IndexExpr:
+			if index == nil {
+				index = t.Index
+			}
+			target = t.X
+		case *ast.SelectorExpr:
+			if _, ok := pass.TypesInfo.Selections[t]; !ok {
+				// Package-qualified variable.
+				return pass.TypesInfo.Uses[t.Sel], index
+			}
+			target = t.X
+		case *ast.StarExpr:
+			target = t.X
+		case *ast.SliceExpr:
+			if index == nil && t.Low != nil {
+				index = t.Low
+			}
+			target = t.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// objOf resolves an identifier's object, definition or use.
+func objOf(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// closure's syntax — closure-local state is shard-private by
+// construction.
+func declaredWithin(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}
+
+// mentionsDerived reports whether expr mentions any shard-derived
+// object.
+func mentionsDerived(pass *Pass, expr ast.Expr, derived map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objOf(pass, id); obj != nil && derived[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"meg/internal/lint"
+	"meg/internal/lint/linttest"
+)
+
+// TestShardWrite checks the seeded races (captured scalar accumulation
+// and shard-independent indexed placement under par.Do) are flagged
+// while the blessed shapes — block-indexed writes, transitive shard
+// derivation, per-shard slots with post-join merge, closure-local
+// aliases, and //meg:shard-safe sites — stay silent. The fixture par
+// package mirrors the real par signatures, so the call sites
+// type-check exactly like production code.
+func TestShardWrite(t *testing.T) {
+	linttest.Run(t, lint.ShardWrite, "meg/internal/walk")
+}

@@ -1,0 +1,93 @@
+package lint
+
+import "sort"
+
+// StaleDirective audits the escape hatches. Every justification
+// directive (//meg:order-insensitive, //meg:allow-go, //meg:shard-safe)
+// exists to suppress one specific finding; when a refactor moves or
+// deletes the flagged code, the orphaned directive keeps advertising an
+// exemption that no longer corresponds to anything — and the next
+// person to paste code under it inherits an unexamined suppression.
+//
+// The analyzer re-runs every suppressible analyzer over the whole
+// module with usage tracking: a directive that is consulted and
+// matched by at least one of them (i.e. it still suppresses a live
+// finding, or still marks a live map/channel iteration for the taint
+// engine) is earning its keep; one that no analyzer touches is
+// reported. The audit is self-contained — running meglint with
+// -only staledirective performs the full re-check internally — so the
+// directive inventory cannot rot even in partial runs.
+var StaleDirective = &Analyzer{
+	Name:      "staledirective",
+	Doc:       "report justification directives that no longer suppress any finding",
+	RunModule: runStaleDirective,
+}
+
+// suppressibleAnalyzers returns the analyzers that consult directives,
+// paired with nothing else: staledirective re-runs exactly these.
+// (rngdiscipline, wallclock, hashhints, and metricshooks have no
+// escape hatch by design.)
+func suppressibleAnalyzers() []*Analyzer {
+	return []*Analyzer{MapIter, RawGo, ShardWrite, OrderTaint}
+}
+
+func runStaleDirective(mp *ModulePass) error {
+	used := map[*directive]bool{}
+	mark := func(d *directive) { used[d] = true }
+	discard := func(Diagnostic) {}
+
+	for _, a := range suppressibleAnalyzers() {
+		if a.Run != nil {
+			for _, pkg := range mp.Packages {
+				pass := &Pass{
+					Analyzer:   a,
+					Fset:       pkg.Fset,
+					Files:      pkg.Files,
+					Path:       pkg.Path,
+					Pkg:        pkg.Types,
+					TypesInfo:  pkg.Info,
+					directives: mp.directives,
+					report:     discard,
+					onUse:      mark,
+				}
+				if err := a.Run(pass); err != nil {
+					return err
+				}
+			}
+		}
+		if a.RunModule != nil {
+			sub := &ModulePass{
+				Analyzer:   a,
+				Fset:       mp.Fset,
+				Packages:   mp.Packages,
+				directives: mp.directives,
+				report:     discard,
+				onUse:      mark,
+			}
+			if err := a.RunModule(sub); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Report the survivors in deterministic position order. Bare and
+	// unknown directives are already findings of the directive parser;
+	// the audit covers only well-formed ones.
+	var stale []*directive
+	for _, byLine := range mp.directives {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if knownDirectives[d.name] && d.reason != "" && !used[d] {
+					stale = append(stale, d)
+				}
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].pos < stale[j].pos })
+	for _, d := range stale {
+		mp.Reportf(d.pos,
+			"stale directive %s%s: no analyzer finding remains at this site — the code it justified moved or was fixed; delete the directive (reason was: %q)",
+			directivePrefix, d.name, d.reason)
+	}
+	return nil
+}

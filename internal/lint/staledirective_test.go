@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"meg/internal/lint"
+	"meg/internal/lint/linttest"
+)
+
+// TestStaleDirective audits the fixture's directive inventory: the
+// order-insensitive justification still covering a live map range
+// survives, while the one orphaned by a map→slice refactor and the
+// allow-go whose goroutine was deleted are both reported. The audit is
+// self-contained — staledirective re-runs the suppressible analyzers
+// itself — so running it alone exercises the full usage tracking.
+func TestStaleDirective(t *testing.T) {
+	linttest.Run(t, lint.StaleDirective, "meg/internal/celldelta")
+}

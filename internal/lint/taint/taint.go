@@ -1,0 +1,1107 @@
+// Package taint implements the forward order-taint dataflow analysis
+// behind the ordertaint analyzer: a small interprocedural lattice over
+// the module-local call graph (internal/lint/callgraph) that tracks
+// values whose ORDER is scheduling- or runtime-dependent and reports
+// when such a value reaches a determinism sink.
+//
+// # The lattice
+//
+// A value is order-tainted when the sequence of its elements derives
+// from an ordering the language does not fix:
+//
+//   - map iteration (`range m` — the runtime randomizes it per loop);
+//   - sync.Map.Range callbacks (same contract, method-shaped);
+//   - goroutine-completion order (receiving from a channel in a loop
+//     without using an index carried by the message — classic fan-in).
+//
+// Taint propagates forward through assignments, appends, composite
+// literals, slicing and indexing, string conversion, copy, and —
+// interprocedurally — through call arguments and return values of
+// module functions, via per-function summaries computed to fixpoint
+// over the call graph (so cycles of mutual recursion converge).
+// Calls whose callee cannot be resolved (function values, interface
+// methods, the standard library) propagate taint from arguments to
+// results, which overapproximates helpers like strings.Join without a
+// model for each.
+//
+// # Cleansers
+//
+// Taint is erased where the order is re-established canonically:
+//
+//   - sort.Sort/Stable/Slice/SliceStable/Ints/Float64s/Strings on the
+//     value (the argument's variable is cleansed in place);
+//   - slices.Sort/SortFunc/SortStableFunc likewise, and
+//     slices.Sorted/SortedFunc/SortedStableFunc return clean;
+//   - content-keyed placement inside the iteration itself: `out[k] = v`
+//     where k is the range key — the slot is a function of the element,
+//     not of visit order. (An index carried by a counter incremented in
+//     the loop is NOT content-keyed and taints the slice.)
+//
+// # Sinks
+//
+// A sink is a call that hands a tainted value to code whose output is
+// promised byte-identical across worker counts: any function of a
+// determinism-critical package (graph snapshot construction, PackEdge
+// key lists, Delta/Builder feeding), plus the named sink packages the
+// analyzer configures (rng seeding, spec content hashing, bench
+// checksums). Reaching a sink through a chain of module calls is
+// reported at the outermost call site that made it inevitable, with
+// the source attached.
+//
+// The analysis is flow-insensitive within basic blocks beyond
+// statement order (each function body is walked a bounded number of
+// times to close loop-carried flows), path-insensitive, and therefore
+// an overapproximation: a finding means "this order can leak", not
+// "this run misbehaved". The //meg:order-insensitive directive at the
+// source or the sink line is the escape hatch, audited by the
+// staledirective analyzer.
+package taint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"meg/internal/lint/callgraph"
+)
+
+// Kind classifies a taint source.
+type Kind int
+
+const (
+	// MapRange is iteration over a Go map.
+	MapRange Kind = iota
+	// SyncMapRange is a sync.Map.Range callback.
+	SyncMapRange
+	// ChanFanIn is channel receiving inside a loop (completion order).
+	ChanFanIn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MapRange:
+		return "map iteration order"
+	case SyncMapRange:
+		return "sync.Map.Range order"
+	case ChanFanIn:
+		return "goroutine completion order (channel fan-in)"
+	}
+	return "unknown order source"
+}
+
+// A Source is one place order-dependence enters.
+type Source struct {
+	Kind Kind
+	Pos  token.Pos
+}
+
+// A Finding is one tainted-value-reaches-sink report.
+type Finding struct {
+	// Pos is where to report: the call argument handing the tainted
+	// value to the sink (in the outermost function on the chain).
+	Pos token.Pos
+	// Source is the origin of the taint.
+	Source Source
+	// Sink describes the receiving function, e.g.
+	// "meg/internal/graph.PackEdge".
+	Sink string
+	// SinkPos is the position of the sink call itself (equal to Pos for
+	// direct sinks; the interior call site when reached via a summary).
+	SinkPos token.Pos
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// DeterministicPkg reports whether the package at path carries the
+	// determinism discipline; every function of such a package is a
+	// sink for tainted arguments.
+	DeterministicPkg func(path string) bool
+	// SinkPkgs names additional sink packages (path → why), e.g. the
+	// rng, spec, and bench packages.
+	SinkPkgs map[string]string
+	// Suppressed, when non-nil, reports whether a position is covered
+	// by an order-insensitive justification; sources and sinks at such
+	// positions are skipped.
+	Suppressed func(pos token.Pos) bool
+}
+
+// Run analyzes the graph and returns the findings in deterministic
+// order (by position), deduplicated by (source, sink) pair.
+func Run(g *callgraph.Graph, cfg Config) []Finding {
+	e := &engine{
+		g:    g,
+		cfg:  cfg,
+		sums: map[*callgraph.Node]*summary{},
+		seen: map[findKey]bool{},
+	}
+	for _, n := range g.Sorted {
+		e.sums[n] = &summary{
+			paramToRet: make([]bool, numParams(n)),
+			paramSinks: make([]*sinkRef, numParams(n)),
+		}
+	}
+	// Summaries to fixpoint: findings are only recorded on the final
+	// pass, once the summaries have stabilized, so every report sees
+	// the full interprocedural picture.
+	for round := 0; round < maxFixpointRounds; round++ {
+		changed := false
+		for _, n := range g.Sorted {
+			if e.analyze(n, false) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range g.Sorted {
+		e.analyze(n, true)
+	}
+	sort.Slice(e.findings, func(i, j int) bool {
+		if e.findings[i].Pos != e.findings[j].Pos {
+			return e.findings[i].Pos < e.findings[j].Pos
+		}
+		return e.findings[i].Source.Pos < e.findings[j].Source.Pos
+	})
+	return e.findings
+}
+
+// maxFixpointRounds bounds summary iteration; the lattice is finite
+// (per function: param set + a single source list that only grows), so
+// convergence is guaranteed well inside this for any real module.
+const maxFixpointRounds = 12
+
+// summary is one function's interprocedural behavior.
+type summary struct {
+	// retSources lists sources that reach a return value regardless of
+	// argument taint (the function manufactures order-dependence).
+	retSources []Source
+	// paramToRet[i] reports that taint on parameter i flows to a
+	// return value.
+	paramToRet []bool
+	// paramSinks[i] records that parameter i reaches a sink inside the
+	// function (directly or transitively).
+	paramSinks []*sinkRef
+}
+
+type sinkRef struct {
+	desc string
+	pos  token.Pos
+}
+
+func (s *summary) equal(o *summary) bool {
+	if len(s.retSources) != len(o.retSources) {
+		return false
+	}
+	for i := range s.paramToRet {
+		if s.paramToRet[i] != o.paramToRet[i] {
+			return false
+		}
+	}
+	for i := range s.paramSinks {
+		if (s.paramSinks[i] == nil) != (o.paramSinks[i] == nil) {
+			return false
+		}
+	}
+	return true
+}
+
+type findKey struct {
+	pos token.Pos
+	src token.Pos
+}
+
+type engine struct {
+	g        *callgraph.Graph
+	cfg      Config
+	sums     map[*callgraph.Node]*summary
+	findings []Finding
+	seen     map[findKey]bool
+}
+
+// val is one value's taint: concrete sources plus a bitmask of the
+// current function's parameters it may alias. nil means untainted.
+type val struct {
+	srcs   []Source
+	params uint64
+}
+
+func (v *val) tainted() bool { return v != nil && (len(v.srcs) > 0 || v.params != 0) }
+
+// merge unions two taints, returning nil when both are nil.
+func merge(a, b *val) *val {
+	if !a.tainted() {
+		if !b.tainted() {
+			return nil
+		}
+		return b.clone()
+	}
+	out := a.clone()
+	if b.tainted() {
+		out.params |= b.params
+		for _, s := range b.srcs {
+			out.addSrc(s)
+		}
+	}
+	return out
+}
+
+func (v *val) clone() *val {
+	if v == nil {
+		return nil
+	}
+	return &val{srcs: append([]Source(nil), v.srcs...), params: v.params}
+}
+
+func (v *val) addSrc(s Source) {
+	for _, have := range v.srcs {
+		if have.Pos == s.Pos {
+			return
+		}
+	}
+	v.srcs = append(v.srcs, s)
+}
+
+// region is one active order-source scope (a map/chan range body or a
+// sync.Map.Range callback).
+type region struct {
+	src Source
+	// node spans the region's syntax; objects declared inside it are
+	// region-local.
+	node ast.Node
+	// keys are the iteration variables (range key/value, callback
+	// params): indexing by them is content-keyed placement, a cleanser.
+	keys map[types.Object]bool
+}
+
+// fnState is the per-function walk state.
+type fnState struct {
+	node    *callgraph.Node
+	info    *types.Info
+	params  map[types.Object]int
+	taint   map[types.Object]*val
+	regions []*region
+	sum     *summary
+	record  bool // final pass: emit findings
+}
+
+func numParams(n *callgraph.Node) int {
+	sig, ok := n.Func.Type().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	c := sig.Params().Len()
+	if sig.Recv() != nil {
+		c++
+	}
+	return c
+}
+
+// analyze walks one function, updating its summary; reports whether
+// the summary changed. With record set, findings are emitted.
+func (e *engine) analyze(n *callgraph.Node, record bool) bool {
+	old := e.sums[n]
+	st := &fnState{
+		node:   n,
+		info:   n.Info,
+		params: map[types.Object]int{},
+		taint:  map[types.Object]*val{},
+		sum: &summary{
+			paramToRet: make([]bool, numParams(n)),
+			paramSinks: append([]*sinkRef(nil), old.paramSinks...),
+		},
+		record: record,
+	}
+	copy(st.sum.paramToRet, old.paramToRet)
+	st.sum.retSources = append(st.sum.retSources, old.retSources...)
+
+	sig := n.Func.Type().(*types.Signature)
+	idx := 0
+	if recv := sig.Recv(); recv != nil {
+		st.params[recv] = idx
+		idx++
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		st.params[sig.Params().At(i)] = idx
+		idx++
+	}
+	// Parameters start symbolically tainted by their own index.
+	for obj, i := range st.params {
+		if i < 64 {
+			st.taint[obj] = &val{params: 1 << uint(i)}
+		}
+	}
+
+	// Walk the body a few times so loop-carried taint (append in a
+	// loop, then use above the append) stabilizes.
+	for pass := 0; pass < 3; pass++ {
+		emit := record && pass == 2
+		st.record = emit
+		e.walkStmt(st, n.Decl.Body)
+	}
+	// Named results: fold their final taint into the return summary
+	// (covers naked returns and writes to named results).
+	if res := sig.Results(); res != nil {
+		for i := 0; i < res.Len(); i++ {
+			if obj := res.At(i); obj.Name() != "" {
+				e.foldReturn(st, st.taint[obj])
+			}
+		}
+	}
+	e.sums[n] = st.sum
+	return !st.sum.equal(old)
+}
+
+func (e *engine) foldReturn(st *fnState, v *val) {
+	if !v.tainted() {
+		return
+	}
+	for _, s := range v.srcs {
+		found := false
+		for _, have := range st.sum.retSources {
+			if have.Pos == s.Pos {
+				found = true
+				break
+			}
+		}
+		if !found {
+			st.sum.retSources = append(st.sum.retSources, s)
+		}
+	}
+	for i := range st.sum.paramToRet {
+		if i < 64 && v.params&(1<<uint(i)) != 0 {
+			st.sum.paramToRet[i] = true
+		}
+	}
+}
+
+// ---- statement walk ----
+
+func (e *engine) walkStmt(st *fnState, s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			e.walkStmt(st, sub)
+		}
+	case *ast.AssignStmt:
+		e.walkAssign(st, s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var v *val
+					if len(vs.Values) == len(vs.Names) {
+						v = e.eval(st, vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						v = e.eval(st, vs.Values[0])
+					}
+					if obj := st.info.Defs[name]; obj != nil {
+						st.taint[obj] = v
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		e.walkRange(st, s)
+	case *ast.ForStmt:
+		e.walkStmt(st, s.Init)
+		if s.Cond != nil {
+			e.eval(st, s.Cond)
+		}
+		// A loop that receives from a channel is a fan-in region: the
+		// iteration order is goroutine completion order.
+		if pos, ok := hasReceive(s.Body); ok {
+			st.regions = append(st.regions, &region{
+				src:  Source{Kind: ChanFanIn, Pos: pos},
+				node: s.Body,
+				keys: map[types.Object]bool{},
+			})
+			e.walkStmt(st, s.Body)
+			st.regions = st.regions[:len(st.regions)-1]
+		} else {
+			e.walkStmt(st, s.Body)
+		}
+		e.walkStmt(st, s.Post)
+	case *ast.IfStmt:
+		e.walkStmt(st, s.Init)
+		e.eval(st, s.Cond)
+		e.walkStmt(st, s.Body)
+		e.walkStmt(st, s.Else)
+	case *ast.SwitchStmt:
+		e.walkStmt(st, s.Init)
+		if s.Tag != nil {
+			e.eval(st, s.Tag)
+		}
+		e.walkStmt(st, s.Body)
+	case *ast.TypeSwitchStmt:
+		e.walkStmt(st, s.Init)
+		e.walkStmt(st, s.Assign)
+		e.walkStmt(st, s.Body)
+	case *ast.CaseClause:
+		for _, x := range s.List {
+			e.eval(st, x)
+		}
+		for _, sub := range s.Body {
+			e.walkStmt(st, sub)
+		}
+	case *ast.SelectStmt:
+		e.walkStmt(st, s.Body)
+	case *ast.CommClause:
+		e.walkStmt(st, s.Comm)
+		for _, sub := range s.Body {
+			e.walkStmt(st, sub)
+		}
+	case *ast.ReturnStmt:
+		for _, x := range s.Results {
+			e.foldReturn(st, e.eval(st, x))
+		}
+	case *ast.ExprStmt:
+		e.eval(st, s.X)
+	case *ast.GoStmt:
+		e.eval(st, s.Call)
+	case *ast.DeferStmt:
+		e.eval(st, s.Call)
+	case *ast.SendStmt:
+		e.eval(st, s.Chan)
+		e.eval(st, s.Value)
+	case *ast.IncDecStmt:
+		e.eval(st, s.X)
+	case *ast.LabeledStmt:
+		e.walkStmt(st, s.Stmt)
+	}
+}
+
+// walkAssign handles =, :=, and op= assignments: RHS taint lands on
+// the LHS roots; inside an order region, appends and order-keyed
+// placements introduce taint.
+func (e *engine) walkAssign(st *fnState, s *ast.AssignStmt) {
+	var rhs []*val
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// x, y := f(): every LHS shares the call's merged taint.
+		v := e.eval(st, s.Rhs[0])
+		for range s.Lhs {
+			rhs = append(rhs, v)
+		}
+	} else {
+		for _, r := range s.Rhs {
+			rhs = append(rhs, e.eval(st, r))
+		}
+	}
+	for i, l := range s.Lhs {
+		var v *val
+		if i < len(rhs) {
+			v = rhs[i]
+		}
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// Compound assignment keeps the old taint and may add the
+			// operand's; inside an order region a floating-point
+			// accumulation into an outer variable is itself order-
+			// dependent (float addition does not commute in rounding).
+			v = merge(v, e.eval(st, l))
+			if reg := e.outerRegion(st, rootObj(st, l)); reg != nil && isFloat(st.info, l) {
+				v = merge(v, &val{srcs: []Source{reg.src}})
+			}
+		}
+		e.assignTo(st, l, v, s)
+	}
+}
+
+// assignTo writes taint v to target l.
+func (e *engine) assignTo(st *fnState, l ast.Expr, v *val, at ast.Stmt) {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := st.info.Defs[l]
+		if obj == nil {
+			obj = st.info.Uses[l]
+		}
+		if obj == nil {
+			return
+		}
+		// Strong update: plain rebinding replaces taint, which is what
+		// lets `x = sortedCopy(x)` cleanse.
+		st.taint[obj] = v.clone()
+	case *ast.IndexExpr:
+		root := rootObj(st, l.X)
+		if root == nil {
+			return
+		}
+		// Inside an order region, placement keyed by anything other
+		// than the iteration identity commits visit order to a slot:
+		// taint the container. Content-keyed placement (index mentions
+		// a range key/value — or, for channel fan-in, an index carried
+		// by the received message) is the canonical cleanser and stays
+		// clean.
+		if reg := e.outerRegion(st, root); reg != nil && !regionKeyed(st, l.Index, reg) {
+			v = merge(v, &val{srcs: []Source{reg.src}})
+		}
+		// Weak update: one slot write taints the whole container but
+		// never cleanses it.
+		if v.tainted() {
+			st.taint[root] = merge(st.taint[root], v)
+		}
+		e.eval(st, l.Index)
+	case *ast.SelectorExpr, *ast.StarExpr:
+		root := rootObj(st, l)
+		if root != nil && v.tainted() {
+			st.taint[root] = merge(st.taint[root], v)
+		}
+	}
+}
+
+// walkRange handles range statements: map and channel ranges open
+// order regions; ranging a tainted sequence taints the element.
+func (e *engine) walkRange(st *fnState, s *ast.RangeStmt) {
+	xv := e.eval(st, s.X)
+	tv, _ := st.info.Types[s.X]
+	var reg *region
+	if tv.Type != nil {
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			reg = &region{src: Source{Kind: MapRange, Pos: s.Pos()}, node: s, keys: map[types.Object]bool{}}
+		case *types.Chan:
+			reg = &region{src: Source{Kind: ChanFanIn, Pos: s.Pos()}, node: s, keys: map[types.Object]bool{}}
+		}
+	}
+	// The iteration variables: content values (clean in themselves for
+	// maps — a key is a key regardless of visit order), but elements of
+	// a tainted slice inherit its taint.
+	for _, kv := range []ast.Expr{s.Key, s.Value} {
+		if kv == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(kv).(*ast.Ident); ok && id.Name != "_" {
+			obj := st.info.Defs[id]
+			if obj == nil {
+				obj = st.info.Uses[id]
+			}
+			if obj != nil {
+				if reg != nil {
+					reg.keys[obj] = true
+					st.taint[obj] = nil
+				} else {
+					st.taint[obj] = xv.clone()
+				}
+			}
+		}
+	}
+	if reg != nil {
+		if e.cfg.Suppressed != nil && e.cfg.Suppressed(s.Pos()) {
+			reg = nil
+		}
+	}
+	if reg != nil {
+		st.regions = append(st.regions, reg)
+		e.walkStmt(st, s.Body)
+		st.regions = st.regions[:len(st.regions)-1]
+	} else {
+		e.walkStmt(st, s.Body)
+	}
+}
+
+// outerRegion returns the innermost active region that obj is declared
+// OUTSIDE of — the situation where an effect inside the region escapes
+// it — or nil.
+func (e *engine) outerRegion(st *fnState, obj types.Object) *region {
+	if obj == nil {
+		return nil
+	}
+	for i := len(st.regions) - 1; i >= 0; i-- {
+		reg := st.regions[i]
+		if obj.Pos() < reg.node.Pos() || obj.Pos() > reg.node.End() {
+			return reg
+		}
+	}
+	return nil
+}
+
+// ---- expression evaluation ----
+
+// eval computes an expression's taint, performing sink and cleanser
+// bookkeeping on any calls inside it.
+func (e *engine) eval(st *fnState, x ast.Expr) *val {
+	switch x := x.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		obj := st.info.Uses[x]
+		if obj == nil {
+			obj = st.info.Defs[x]
+		}
+		if obj == nil {
+			return nil
+		}
+		return st.taint[obj]
+	case *ast.ParenExpr:
+		return e.eval(st, x.X)
+	case *ast.SelectorExpr:
+		// Field read or qualified name: the container's taint covers
+		// its fields; a package-level var has its own entry.
+		v := e.eval(st, x.X)
+		if obj := st.info.Uses[x.Sel]; obj != nil {
+			v = merge(v, st.taint[obj])
+		}
+		return v
+	case *ast.IndexExpr:
+		return merge(e.eval(st, x.X), e.eval(st, x.Index))
+	case *ast.SliceExpr:
+		v := e.eval(st, x.X)
+		for _, b := range []ast.Expr{x.Low, x.High, x.Max} {
+			if b != nil {
+				e.eval(st, b)
+			}
+		}
+		return v
+	case *ast.StarExpr:
+		return e.eval(st, x.X)
+	case *ast.UnaryExpr:
+		return e.eval(st, x.X)
+	case *ast.BinaryExpr:
+		return merge(e.eval(st, x.X), e.eval(st, x.Y))
+	case *ast.TypeAssertExpr:
+		return e.eval(st, x.X)
+	case *ast.CompositeLit:
+		var v *val
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = merge(v, e.eval(st, kv.Value))
+			} else {
+				v = merge(v, e.eval(st, elt))
+			}
+		}
+		return v
+	case *ast.FuncLit:
+		// The closure body is walked inline as part of the enclosing
+		// function; its own parameters are untracked.
+		e.walkStmt(st, x.Body)
+		return nil
+	case *ast.CallExpr:
+		return e.evalCall(st, x)
+	}
+	return nil
+}
+
+// evalCall models one call: builtins, cleansers, sync.Map.Range
+// regions, module callees via summaries (with sink reporting), named
+// sink packages, and a propagate-through default for everything else.
+func (e *engine) evalCall(st *fnState, call *ast.CallExpr) *val {
+	// Conversions: T(x) keeps x's taint.
+	if tv, ok := st.info.Types[call.Fun]; ok && tv.IsType() {
+		var v *val
+		for _, a := range call.Args {
+			v = merge(v, e.eval(st, a))
+		}
+		return v
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := st.info.Uses[id].(*types.Builtin); ok {
+			return e.evalBuiltin(st, call, b.Name())
+		}
+	}
+
+	callee := callgraph.CalleeOf(st.info, call)
+
+	// sync.Map.Range(fn): the callback body is an order region.
+	if isSyncMapRange(st.info, call) {
+		if len(call.Args) == 1 {
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+				reg := &region{
+					src:  Source{Kind: SyncMapRange, Pos: call.Pos()},
+					node: lit,
+					keys: map[types.Object]bool{},
+				}
+				for _, f := range lit.Type.Params.List {
+					for _, name := range f.Names {
+						if obj := st.info.Defs[name]; obj != nil {
+							reg.keys[obj] = true
+						}
+					}
+				}
+				if !(e.cfg.Suppressed != nil && e.cfg.Suppressed(call.Pos())) {
+					st.regions = append(st.regions, reg)
+					e.walkStmt(st, lit.Body)
+					st.regions = st.regions[:len(st.regions)-1]
+					return nil
+				}
+			}
+		}
+	}
+
+	// Cleansers erase taint instead of propagating it.
+	if c, ok := cleanserOf(callee); ok {
+		for _, a := range call.Args {
+			e.eval(st, a)
+		}
+		if c.inPlace && len(call.Args) > 0 {
+			if root := rootObj(st, call.Args[0]); root != nil {
+				st.taint[root] = nil
+			}
+		}
+		return nil
+	}
+
+	// Evaluate arguments (also walks nested calls / closures).
+	args := make([]*val, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = e.eval(st, a)
+	}
+	var recvVal *val
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := st.info.Selections[sel]; isMethod {
+			recvVal = e.eval(st, sel.X)
+		}
+	}
+
+	// Module callee with a summary: flow through it.
+	if node, ok := e.nodeFor(callee); ok {
+		sum := e.sums[node]
+		all := make([]*val, 0, len(args)+1)
+		if numParams(node) == len(call.Args)+1 {
+			all = append(all, recvVal)
+		}
+		all = append(all, args...)
+		var out *val
+		for _, s := range sum.retSources {
+			out = merge(out, &val{srcs: []Source{s}})
+		}
+		for i, av := range all {
+			if i >= len(sum.paramToRet) {
+				break
+			}
+			if av.tainted() && sum.paramToRet[i] {
+				out = merge(out, av)
+			}
+			if av.tainted() && sum.paramSinks[i] != nil {
+				e.reachSink(st, call.Args, i, av, sum.paramSinks[i].desc, sum.paramSinks[i].pos, numParams(node) == len(call.Args)+1)
+			}
+		}
+		// The callee itself may be a sink-package function too.
+		e.checkDirectSink(st, call, callee, all, numParams(node) == len(call.Args)+1)
+		return out
+	}
+
+	// Non-module callee in a sink package (a deterministic package or
+	// a named sink like rng/spec/bench, loaded but outside the graph —
+	// e.g. a function without a body in the analyzed set).
+	if callee != nil {
+		all := make([]*val, 0, len(args)+1)
+		if recvVal != nil {
+			all = append(all, recvVal)
+		}
+		all = append(all, args...)
+		if e.checkDirectSink(st, call, callee, all, recvVal != nil) {
+			return nil
+		}
+	}
+
+	// Unknown call: propagate argument (and receiver) taint to the
+	// result — the right model for strings.Join and friends, and a
+	// safe overapproximation elsewhere.
+	out := recvVal
+	for _, av := range args {
+		out = merge(out, av)
+	}
+	return out
+}
+
+// checkDirectSink reports tainted arguments handed straight to a sink
+// function; returns whether the callee was a sink.
+func (e *engine) checkDirectSink(st *fnState, call *ast.CallExpr, callee *types.Func, all []*val, hasRecv bool) bool {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	isSink := e.cfg.DeterministicPkg != nil && e.cfg.DeterministicPkg(path)
+	if !isSink {
+		_, isSink = e.cfg.SinkPkgs[path]
+	}
+	if !isSink {
+		return false
+	}
+	for i, av := range all {
+		if av.tainted() {
+			e.reachSink(st, call.Args, i, av, qualifiedName(callee), call.Pos(), hasRecv)
+		}
+	}
+	return true
+}
+
+// reachSink records a finding (concrete taint) and/or extends the
+// current function's parameter-sink summary (symbolic taint).
+func (e *engine) reachSink(st *fnState, argExprs []ast.Expr, argIdx int, av *val, sinkDesc string, sinkPos token.Pos, hasRecv bool) {
+	// Map the all-params index back onto the argument expression for
+	// position reporting (receiver taint reports at the call).
+	var pos token.Pos = sinkPos
+	i := argIdx
+	if hasRecv {
+		i--
+	}
+	if i >= 0 && i < len(argExprs) {
+		pos = argExprs[i].Pos()
+	}
+	for _, s := range av.srcs {
+		if e.cfg.Suppressed != nil && (e.cfg.Suppressed(pos) || e.cfg.Suppressed(s.Pos)) {
+			continue
+		}
+		if st.record {
+			k := findKey{pos: pos, src: s.Pos}
+			if !e.seen[k] {
+				e.seen[k] = true
+				e.findings = append(e.findings, Finding{
+					Pos:     pos,
+					Source:  s,
+					Sink:    sinkDesc,
+					SinkPos: sinkPos,
+				})
+			}
+		}
+	}
+	for p := 0; p < len(st.sum.paramSinks); p++ {
+		if p < 64 && av.params&(1<<uint(p)) != 0 && st.sum.paramSinks[p] == nil {
+			st.sum.paramSinks[p] = &sinkRef{desc: sinkDesc, pos: sinkPos}
+		}
+	}
+}
+
+func (e *engine) nodeFor(f *types.Func) (*callgraph.Node, bool) {
+	if f == nil {
+		return nil, false
+	}
+	n, ok := e.g.Nodes[f]
+	return n, ok
+}
+
+// evalBuiltin models the builtins that matter for taint.
+func (e *engine) evalBuiltin(st *fnState, call *ast.CallExpr, name string) *val {
+	switch name {
+	case "append":
+		var v *val
+		for _, a := range call.Args {
+			v = merge(v, e.eval(st, a))
+		}
+		// Appending inside an order region to a slice declared outside
+		// it records visit order — the canonical taint introduction.
+		if len(call.Args) > 0 {
+			if root := rootObj(st, call.Args[0]); root != nil {
+				if reg := e.outerRegion(st, root); reg != nil {
+					v = merge(v, &val{srcs: []Source{reg.src}})
+				}
+			}
+		}
+		return v
+	case "copy":
+		if len(call.Args) == 2 {
+			srcV := e.eval(st, call.Args[1])
+			if root := rootObj(st, call.Args[0]); root != nil && srcV.tainted() {
+				st.taint[root] = merge(st.taint[root], srcV)
+			}
+		}
+		return nil
+	case "len", "cap":
+		// Cardinality is order-insensitive by construction.
+		for _, a := range call.Args {
+			e.eval(st, a)
+		}
+		return nil
+	default:
+		var v *val
+		for _, a := range call.Args {
+			v = merge(v, e.eval(st, a))
+		}
+		if name == "make" || name == "new" || name == "delete" || name == "clear" {
+			return nil
+		}
+		return v
+	}
+}
+
+// ---- helpers ----
+
+// rootObj resolves the variable at the base of an lvalue chain
+// (x, x.f, x[i], *x, x[i].f ...).
+func rootObj(st *fnState, x ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			if obj := st.info.Uses[e]; obj != nil {
+				return obj
+			}
+			return st.info.Defs[e]
+		case *ast.SelectorExpr:
+			// Package-qualified var: the selected object itself.
+			if _, ok := st.info.Selections[e]; !ok {
+				if obj := st.info.Uses[e.Sel]; obj != nil {
+					if _, isVar := obj.(*types.Var); isVar {
+						return obj
+					}
+				}
+			}
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.SliceExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.CallExpr, *ast.CompositeLit:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// regionKeyed reports whether an index expression derives from the
+// region's iteration identity: it mentions an iteration variable
+// (range key/value, Range callback parameter), or any value declared
+// inside the region itself. The latter covers channel fan-in, where
+// the only in-region source of identity is the received message —
+// `r := <-ch; out[r.idx] = r.val` is content-keyed, while `out[i]`
+// with the loop counter declared outside the body commits completion
+// order to slots. A counter smuggled through a region-local alias is
+// over-blessed; the analyzer under-approximates here rather than flag
+// every keyed fan-in.
+func regionKeyed(st *fnState, index ast.Expr, reg *region) bool {
+	if mentionsAny(st, index, reg.keys) {
+		return true
+	}
+	found := false
+	ast.Inspect(index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := st.info.Uses[id]
+			if obj == nil {
+				obj = st.info.Defs[id]
+			}
+			if obj != nil && obj.Pos() >= reg.node.Pos() && obj.Pos() <= reg.node.End() {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsAny reports whether expr mentions any of the given objects.
+func mentionsAny(st *fnState, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := st.info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasReceive reports whether the statement contains a channel receive
+// outside any nested function literal, with its position.
+func hasReceive(s ast.Stmt) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, found = n.Pos(), true
+				return false
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+// isFloat reports whether the expression has floating-point (or
+// float-element slice) type.
+func isFloat(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isSyncMapRange reports whether call is (*sync.Map).Range.
+func isSyncMapRange(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == "Map" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// cleanser describes one order-re-establishing function.
+type cleanser struct {
+	inPlace bool // cleanses its first argument's variable
+}
+
+// cleanserOf recognizes the sort/slices cleansers.
+func cleanserOf(f *types.Func) (cleanser, bool) {
+	if f == nil || f.Pkg() == nil {
+		return cleanser{}, false
+	}
+	switch f.Pkg().Path() {
+	case "sort":
+		switch f.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Ints", "Float64s", "Strings":
+			return cleanser{inPlace: true}, true
+		}
+	case "slices":
+		switch f.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return cleanser{inPlace: true}, true
+		case "Sorted", "SortedFunc", "SortedStableFunc", "Compact", "CompactFunc":
+			return cleanser{inPlace: false}, true
+		}
+	}
+	return cleanser{}, false
+}
+
+// qualifiedName renders pkg.Func or pkg.(T).Method for diagnostics.
+func qualifiedName(f *types.Func) string {
+	if f.Pkg() == nil {
+		return f.Name()
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.%s.%s", f.Pkg().Path(), n.Obj().Name(), f.Name())
+		}
+	}
+	return fmt.Sprintf("%s.%s", f.Pkg().Path(), f.Name())
+}

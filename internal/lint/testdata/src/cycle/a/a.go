@@ -1,0 +1,8 @@
+// Package a is half of a deliberate import cycle: the loader must
+// report it as an error instead of recursing forever.
+package a
+
+import "cycle/b"
+
+// A bounces through the cycle.
+func A() int { return b.B() }

@@ -1,0 +1,7 @@
+// Package b is the other half of the deliberate import cycle.
+package b
+
+import "cycle/a"
+
+// B bounces back.
+func B() int { return a.A() }

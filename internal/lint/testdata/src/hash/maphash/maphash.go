@@ -1,0 +1,10 @@
+// Package maphash shadows the standard library's hash/maphash from
+// inside the fixture tree: the loader consults testdata/src before the
+// stdlib source importer for EVERY import path, so a fixture can pin
+// down exactly what an analyzed package sees. FixtureMarker exists
+// only in this shadow — if the real stdlib package were loaded
+// instead, the consumer below would fail to type-check.
+package maphash
+
+// FixtureMarker proves the shadow won resolution.
+func FixtureMarker() int { return 42 }

@@ -1,0 +1,37 @@
+// Package celldelta is a staledirective fixture posing as a
+// determinism-critical package: directives that still suppress a live
+// finding are earning their keep, orphaned ones are flagged.
+package celldelta
+
+// Count carries a LIVE directive: the map range below it is a real
+// mapiter finding that the justification suppresses, so the audit
+// leaves it alone.
+func Count(m map[int]int) int {
+	n := 0
+	//meg:order-insensitive pure cardinality count, no order-dependent effect
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Total carries a STALE order-insensitive: the map range it once
+// justified was refactored into a slice range, so nothing consults the
+// directive anymore.
+func Total(xs []int) int {
+	n := 0
+	// want:+1 `stale directive //meg:order-insensitive`
+	//meg:order-insensitive iteration reduces by commutative integer sum
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Shut carries a STALE allow-go: the goroutine it once justified was
+// removed, leaving the exemption advertising nothing.
+func Shut() int {
+	// want:+1 `stale directive //meg:allow-go`
+	//meg:allow-go completion watcher, joined before return
+	return 0
+}

@@ -1,0 +1,80 @@
+// Package driver is the outermost harness of the ordertaint chain
+// fixture: order-dependence born in ingest, two package boundaries
+// away, must be reported HERE — at the call argument that hands it to
+// the determinism-critical engine.
+package driver
+
+import (
+	"sort"
+	"sync"
+
+	"meg/internal/edgemeg"
+	"meg/internal/ingest"
+	"meg/internal/relay"
+)
+
+// Seed is the seeded cross-package leak: map iteration order in
+// ingest.Rates reaches the engine through two pass-through calls.
+func Seed(m map[int]float64) []float64 {
+	vals := relay.Identity(relay.Forward(m))
+	return edgemeg.Snapshot(vals) // want `value ordered by map iteration order .*edgemeg\.Snapshot`
+}
+
+// SeedSorted re-establishes a canonical order before the sink: clean.
+func SeedSorted(m map[int]float64) []float64 {
+	vals := relay.Forward(m)
+	sort.Float64s(vals)
+	return edgemeg.Snapshot(vals)
+}
+
+// SeedPresorted consumes the variant ingest cleansed itself: clean.
+func SeedPresorted(m map[int]float64) []float64 {
+	return edgemeg.Snapshot(ingest.SortedRates(m))
+}
+
+// SeedKeyed consumes the content-keyed variant: clean.
+func SeedKeyed(m map[int]float64, n int) []float64 {
+	return edgemeg.Snapshot(ingest.Keyed(m, n))
+}
+
+// SeedJustified documents a reviewed exemption on the sink line: the
+// directive suppresses the finding (and staledirective keeps it
+// honest).
+func SeedJustified(m map[int]float64) float64 {
+	vals := relay.Forward(m)
+	//meg:order-insensitive fixture exemption: checksum treated as order-free here
+	return edgemeg.Checksum(vals)
+}
+
+// SeedRegistry leaks sync.Map callback order into dense id assignment.
+func SeedRegistry(m *sync.Map) map[string]int {
+	names := relay.Names(m)
+	return edgemeg.Intern(names) // want `value ordered by sync\.Map\.Range order .*edgemeg\.Intern`
+}
+
+// item is a fan-in message carrying its own placement index.
+type item struct {
+	idx int
+	val float64
+}
+
+// Gather collects worker results in completion order: append order is
+// whichever goroutine finished first.
+func Gather(ch chan float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, <-ch)
+	}
+	return edgemeg.Snapshot(out) // want `value ordered by goroutine completion order .*edgemeg\.Snapshot`
+}
+
+// GatherKeyed places each message at the index it carries: the slot is
+// a function of the message, not of completion order — clean.
+func GatherKeyed(ch chan item, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := <-ch
+		out[r.idx] = r.val
+	}
+	return edgemeg.Snapshot(out)
+}

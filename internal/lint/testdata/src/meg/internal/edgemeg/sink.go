@@ -1,0 +1,31 @@
+// Package edgemeg is an ordertaint fixture posing as a
+// determinism-critical engine package: every function here is a sink
+// for order-tainted arguments, because whatever enters this package is
+// promised byte-identical across worker counts.
+package edgemeg
+
+// Snapshot freezes the per-round values in slice order.
+func Snapshot(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	return out
+}
+
+// Checksum folds the values in slice order — float addition does not
+// commute in rounding, so the argument's order is load-bearing.
+func Checksum(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// Intern assigns dense ids in first-seen order.
+func Intern(names []string) map[string]int {
+	ids := make(map[string]int, len(names))
+	for i, n := range names {
+		ids[n] = i
+	}
+	return ids
+}

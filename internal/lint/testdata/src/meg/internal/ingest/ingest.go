@@ -1,0 +1,51 @@
+// Package ingest is the source end of the ordertaint chain fixture: a
+// harness package (not determinism-critical, so mapiter does not apply
+// here) that manufactures order-dependent sequences. Nothing in this
+// package is a finding — the taint only becomes one when a caller
+// hands it to a sink.
+package ingest
+
+import (
+	"sort"
+	"sync"
+)
+
+// Rates drains the per-node rate map in iteration order: the returned
+// slice's order is runtime-randomized. This is the taint source the
+// cross-package test traces.
+func Rates(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedRates is the cleansed variant: the in-place sort re-establishes
+// a canonical order before the slice escapes.
+func SortedRates(m map[int]float64) []float64 {
+	out := Rates(m)
+	sort.Float64s(out)
+	return out
+}
+
+// Keyed places each value at its content key — the slot is a function
+// of the element, not of visit order, so the result is clean.
+func Keyed(m map[int]float64, n int) []float64 {
+	out := make([]float64, n)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Registry drains a sync.Map in callback order — the method-shaped
+// twin of the map-range source.
+func Registry(m *sync.Map) []string {
+	var out []string
+	m.Range(func(k, v any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	return out
+}

@@ -1,18 +1,41 @@
-// Package par is a rawgo fixture posing as the fork/join primitive
-// package itself, where bare goroutines are the implementation: no
-// findings expected.
+// Package par is a fixture posing as the fork/join primitive package
+// itself — the one module package where bare goroutines ARE the
+// implementation, so rawgo expects no findings here. The exported
+// signatures mirror the real meg/internal/par so that shardwrite
+// fixtures calling par.Do / par.ForBlocks type-check identically to
+// real call sites.
 package par
 
 import "sync"
 
-// ForBlocks launches one goroutine per block.
-func ForBlocks(workers int, fn func(b int)) {
+// Do runs fn once per shard in [0, shards), fanning the shards over
+// the workers.
+func Do(workers, shards int, fn func(shard int)) {
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		go func() {
+			defer wg.Done()
+			fn(s)
+		}()
+	}
+	wg.Wait()
+}
+
+// ForBlocks splits [0, n) into one contiguous block per worker and
+// runs fn(block, lo, hi) for each.
+func ForBlocks(workers, n int, fn func(block, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for b := 0; b < workers; b++ {
 		go func() {
 			defer wg.Done()
-			fn(b)
+			lo := b * n / workers
+			hi := (b + 1) * n / workers
+			fn(b, lo, hi)
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,27 @@
+// Package relay is the middle of the ordertaint chain fixture: it
+// neither creates nor consumes order-dependence, it just passes values
+// through — taint must survive this package boundary in both the
+// return-source and the parameter-to-return summaries.
+package relay
+
+import (
+	"sync"
+
+	"meg/internal/ingest"
+)
+
+// Forward returns the map-ordered rates untouched: ingest.Rates'
+// return taint becomes Forward's return taint.
+func Forward(m map[int]float64) []float64 {
+	return ingest.Rates(m)
+}
+
+// Identity propagates parameter taint to the return value.
+func Identity(vals []float64) []float64 {
+	return vals
+}
+
+// Names forwards the sync.Map callback-ordered name list.
+func Names(m *sync.Map) []string {
+	return ingest.Registry(m)
+}

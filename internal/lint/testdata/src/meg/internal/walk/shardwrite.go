@@ -1,0 +1,95 @@
+// Package walk is a shardwrite fixture posing as a deterministic
+// engine package that fans work out through par: captured writes in
+// worker closures must be keyed by the shard identity.
+package walk
+
+import "meg/internal/par"
+
+// Scale is the blessed block shape: every write lands at an index
+// walked from the closure's own block bounds.
+func Scale(in []float64, workers int) []float64 {
+	out := make([]float64, len(in))
+	par.ForBlocks(workers, len(in), func(block, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = in[i] * 2
+		}
+	})
+	return out
+}
+
+// Mask exercises transitive shard derivation: wi is computed from a
+// value read at a block-derived position, so words[wi] counts as
+// shard-keyed (the analyzer under-approximates here on purpose).
+func Mask(set []int, words []uint64, workers int) {
+	par.ForBlocks(workers, len(set), func(block, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			wi := set[i] >> 6
+			words[wi] |= 1 << (uint(set[i]) & 63)
+		}
+	})
+}
+
+// Sum is the seeded race: every shard accumulates into the same
+// captured scalars.
+func Sum(vals []float64, workers int) float64 {
+	total := 0.0
+	n := 0
+	par.Do(workers, workers, func(shard int) {
+		for i := shard; i < len(vals); i += workers {
+			total += vals[i] // want `write to captured variable "total"`
+			n++              // want `write to captured variable "n"`
+		}
+	})
+	return total / float64(n)
+}
+
+// First writes every shard's result into slot zero — indexed, but the
+// index ignores the shard identity, so the last shard to finish wins.
+func First(vals []float64, workers int) float64 {
+	out := make([]float64, 1)
+	par.Do(workers, workers, func(shard int) {
+		out[0] = vals[shard] // want `captured variable at a shard-independent index "out"`
+	})
+	return out[0]
+}
+
+// PerShard is the blessed fan-out/merge shape: shard-keyed slots
+// inside the closure, captured scalar writes only after the join.
+func PerShard(vals []float64, workers int) float64 {
+	partial := make([]float64, workers)
+	par.Do(workers, workers, func(shard int) {
+		local := 0.0
+		for i := shard; i < len(vals); i += workers {
+			local += vals[i]
+		}
+		partial[shard] = local
+	})
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// Alias writes through a closure-local alias of shard-keyed state:
+// shard-private by construction.
+func Alias(frontiers [][]int, workers int) {
+	par.Do(workers, len(frontiers), func(shard int) {
+		f := frontiers[shard]
+		for i := range f {
+			f[i] = 0
+		}
+		frontiers[shard] = f[:0]
+	})
+}
+
+// Guarded carries the reviewed escape hatch: the caller runs a single
+// worker, so the shards execute serially.
+func Guarded(vals []float64) float64 {
+	total := 0.0
+	par.Do(1, 4, func(shard int) {
+		//meg:shard-safe single worker: shards run serially in submission order
+		total += vals[shard]
+	})
+	return total
+}

@@ -1,0 +1,9 @@
+// Package shadowuser consumes the fixture shadow of hash/maphash: it
+// type-checks only if the loader resolved the import against
+// testdata/src rather than the real standard library.
+package shadowuser
+
+import "hash/maphash"
+
+// Marker forwards the shadow-only symbol.
+func Marker() int { return maphash.FixtureMarker() }
