@@ -32,6 +32,10 @@
 //	                             falling back to a flat 20%)
 //	-telemetry                   with -suite: record per-variant engine
 //	                             phase breakdowns (observation only)
+//	-cpuprofile DIR              with -suite: write one CPU profile per
+//	                             scenario (<scenario>.cpu.pprof) into DIR
+//	-memprofile DIR              with -suite: write one post-GC heap
+//	                             profile per scenario into DIR
 //	-history DIR                 print a per-scenario trend table across
 //	                             every BENCH file in DIR and exit (runs
 //	                             nothing; -compare diffs only the newest)
@@ -57,6 +61,7 @@ import (
 	"strings"
 	"time"
 
+	"meg/internal/bench"
 	"meg/internal/core"
 	"meg/internal/experiments"
 )
@@ -77,6 +82,8 @@ func main() {
 	suite := flag.Bool("suite", false, "run the benchmark trajectory suite and write BENCH_<git-sha>.json")
 	outDir := flag.String("out", ".", "directory for the BENCH_<git-sha>.json artifact (with -suite)")
 	telemetry := flag.Bool("telemetry", false, "with -suite: record per-variant engine-phase breakdowns (observation only; checksums are unchanged)")
+	cpuProfileDir := flag.String("cpuprofile", "", "with -suite: write one CPU profile per scenario into this directory (<scenario>.cpu.pprof)")
+	memProfileDir := flag.String("memprofile", "", "with -suite: write one post-GC heap profile per scenario into this directory (<scenario>.mem.pprof)")
 	flag.Parse()
 
 	if *historyDir != "" {
@@ -85,7 +92,13 @@ func main() {
 	}
 
 	if *suite {
-		runSuite(*outDir, *parallelism, *jsonOut, *compareDir, *telemetry, flag.Args())
+		runSuite(*outDir, *jsonOut, *compareDir, bench.Options{
+			Parallelism:   *parallelism,
+			Filter:        flag.Args(),
+			Telemetry:     *telemetry,
+			CPUProfileDir: *cpuProfileDir,
+			MemProfileDir: *memProfileDir,
+		})
 		return
 	}
 

@@ -21,16 +21,15 @@ import (
 // threshold is per-scenario: each scenario's own noise band over the
 // trailing trajectory when there's enough history, the flat 20%
 // default otherwise. With telemetry, every variant carries its
-// engine-phase breakdown (observation only — checksums are unchanged).
-func runSuite(outDir string, parallelism int, jsonOut bool, compareDir string, telemetry bool, filters []string) {
-	f, runErr := bench.Run(bench.Options{
-		Parallelism: parallelism,
-		Filter:      filters,
-		Telemetry:   telemetry,
-		Log: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-	})
+// engine-phase breakdown (observation only — checksums are unchanged);
+// with profile directories set, per-scenario pprof files land there
+// (see bench.Options).
+func runSuite(outDir string, jsonOut bool, compareDir string, opts bench.Options) {
+	telemetry := opts.Telemetry
+	opts.Log = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	f, runErr := bench.Run(opts)
 	if f == nil {
 		fmt.Fprintf(os.Stderr, "megbench: %v\n", runErr)
 		os.Exit(1)

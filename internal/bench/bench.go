@@ -15,7 +15,9 @@ import (
 	"hash/fnv"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -93,6 +95,26 @@ func Suite() []Scenario {
 		Trials: 1,
 		Seed:   7,
 	}
+	// Sub-threshold geometric runs: Mult = 0.5 puts R = 0.89·R_c just
+	// below the connectivity radius R_c = √(log n/π), so the static
+	// snapshot has a giant component plus isolated pockets, and only
+	// the lazy walk (jump = 0.005, r = 0.8R so the lattice move ball
+	// stays non-degenerate) carries the message into them. The bulk
+	// informs early; the rest of the fixed horizon chases the last <1%
+	// of stragglers — the regime the active-set pull kernel targets,
+	// isolated so its win is visible in the trajectory (see
+	// Variant.StragglerShare). Both variants run the incremental delta
+	// path, keeping per-round snapshot cost low enough that the kernel
+	// span is not drowned out.
+	straggler := func(n, maxRounds int) spec.Spec {
+		return spec.Spec{
+			Model:     spec.Model{Name: "geometric", N: n, Mult: 0.5, RFrac: 0.8, Jump: 0.005},
+			Trials:    1,
+			MaxRounds: maxRounds,
+			Seed:      7,
+			Snapshot:  "delta",
+		}
+	}
 	return []Scenario{
 		{Name: "geom-4k", Note: "geometric-MEG n=4096, single source", Spec: geom(4096)},
 		{Name: "geom-64k", Note: "geometric-MEG n=65536, single source", Spec: geom(65536)},
@@ -105,6 +127,8 @@ func Suite() []Scenario {
 		{Name: "proto-lossy-geom-16k", Note: "lossy flooding (f=0.2) on geometric-MEG n=16384: reference vs sharded kernel", Spec: proto(geom(16384), spec.Protocol{Name: "lossy", Loss: 0.2})},
 		{Name: "delta-edge-64k-lowchurn", Note: "edge-MEG n=65536, p̂=0.5·log n/n, q=0.002 — sub-threshold low churn over a fixed 400-round horizon: full rebuild vs incremental delta", Spec: lowchurn, DeltaVsFull: true},
 		{Name: "delta-geom-64k-smallrho", Note: "lazy geometric-MEG n=65536, r=0.2R, jump=0.01 — ~1% of nodes move per round: full rebuild vs incremental delta", Spec: smallrho, DeltaVsFull: true},
+		{Name: "flood-geom-64k-straggler", Note: "sub-threshold lazy geometric-MEG n=65536, R=0.89·R_c, jump=0.005, delta path, fixed 400-round horizon — a third of the rounds chase <1% uninformed stragglers", Spec: straggler(65536, 400)},
+		{Name: "flood-geom-512k-straggler", Note: "sub-threshold lazy geometric-MEG n=524288, R=0.89·R_c, jump=0.005, delta path, fixed 1000-round horizon — the straggler regime at headline scale", Spec: straggler(524288, 1000)},
 	}
 }
 
@@ -133,6 +157,12 @@ type Variant struct {
 	// AllocBytes/Allocs are the heap allocation deltas of the run.
 	AllocBytes uint64 `json:"allocBytes"`
 	Allocs     uint64 `json:"allocs"`
+	// StragglerRounds counts evaluated rounds that began with fewer
+	// than 1% of nodes uninformed (but at least one) — the late-round
+	// regime where the active-set pull kernel replaces the full
+	// complement scan. StragglerShare is the fraction of Rounds.
+	StragglerRounds int     `json:"stragglerRounds,omitempty"`
+	StragglerShare  float64 `json:"stragglerShare,omitempty"`
 	// Checksum fingerprints the full FloodResult set (sources, rounds,
 	// trajectories, arrival arrays). Serial and sharded checksums must
 	// match — the suite fails otherwise.
@@ -186,6 +216,15 @@ type Options struct {
 	// Telemetry attaches phase-timing hooks to every variant and stores
 	// the aggregated breakdown on it (megbench -telemetry).
 	Telemetry bool
+	// CPUProfileDir, when non-empty, writes one CPU profile per scenario
+	// (<dir>/<name>.cpu.pprof) covering all of its variants; the
+	// directory is created if missing. Profiling the timed region
+	// perturbs the wall numbers a little, so profile runs should not
+	// feed the comparison trajectory.
+	CPUProfileDir string
+	// MemProfileDir, when non-empty, writes one post-GC heap profile per
+	// scenario (<dir>/<name>.mem.pprof) taken after its variants finish.
+	MemProfileDir string
 	// Log, if non-nil, receives one progress line per variant.
 	Log func(format string, args ...any)
 }
@@ -229,17 +268,26 @@ func RunScenarios(scenarios []Scenario, opts Options) (*File, error) {
 			return nil, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
 		}
 		res := Result{Name: sc.Name, Note: sc.Note, Model: c.Model.Name, N: c.Model.N, Hash: hash}
+		stopCPU, err := startCPUProfile(opts.CPUProfileDir, sc.Name)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
+		}
 		for _, pv := range []struct {
 			variant string
 			par     int
 		}{{"serial", 1}, {"sharded", workers}} {
 			v, err := runVariant(c, pv.variant, pv.par, sc.DeltaVsFull, opts.Telemetry)
 			if err != nil {
+				stopCPU()
 				return nil, fmt.Errorf("bench: scenario %s (%s): %w", sc.Name, pv.variant, err)
 			}
 			logf("bench: %-18s %-8s par=%-2d rounds=%-5d %8.1f ms  checksum=%s",
 				sc.Name, pv.variant, pv.par, v.Rounds, float64(v.WallNS)/1e6, v.Checksum)
 			res.Variants = append(res.Variants, v)
+		}
+		stopCPU()
+		if err := writeMemProfile(opts.MemProfileDir, sc.Name); err != nil {
+			return nil, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
 		}
 		res.Identical = true
 		for _, v := range res.Variants[1:] {
@@ -306,9 +354,24 @@ func runVariant(c spec.Spec, variant string, parallelism int, deltaVsFull, telem
 	v.Checksum = checksum(camp)
 	for _, t := range camp.Trials {
 		v.Rounds += len(t.Result.Trajectory) - 1
+		v.StragglerRounds += stragglerRounds(t.Result.Trajectory, c.Model.N)
 	}
 	v.finishRates()
 	return v, nil
+}
+
+// stragglerRounds counts the evaluated rounds of one trajectory that
+// began with 0 < uninformed < n/100 — the straggler regime.
+// Trajectory[t] is the informed count after t rounds, so round t+1
+// starts from Trajectory[t].
+func stragglerRounds(traj []int, n int) int {
+	count := 0
+	for _, m := range traj[:len(traj)-1] {
+		if u := n - m; u > 0 && 100*u < n {
+			count++
+		}
+	}
+	return count
 }
 
 // attachTelemetry installs a per-trial phase-recorder factory through
@@ -356,10 +419,11 @@ func measure(run func()) Variant {
 	}
 }
 
-// finishRates derives the per-round rate once Rounds is known.
+// finishRates derives the per-round rates once Rounds is known.
 func (v *Variant) finishRates() {
 	if v.Rounds > 0 {
 		v.NSPerRound = float64(v.WallNS) / float64(v.Rounds)
+		v.StragglerShare = float64(v.StragglerRounds) / float64(v.Rounds)
 	}
 }
 
@@ -395,6 +459,7 @@ func runProtocolVariant(c spec.Spec, variant string, parallelism int, telemetry 
 	v.Checksum = protocolChecksum(camp)
 	for _, t := range camp.Trials {
 		v.Rounds += len(t.Result.Trajectory) - 1
+		v.StragglerRounds += stragglerRounds(t.Result.Trajectory, c.Model.N)
 	}
 	v.finishRates()
 	return v, nil
@@ -456,6 +521,48 @@ func protocolChecksum(camp flood.ProtocolCampaign) string {
 		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// startCPUProfile begins a per-scenario CPU profile when dir is set,
+// returning a stop func (a no-op when profiling is off or the profile
+// could not start — never leave the runner half-profiled).
+func startCPUProfile(dir, name string) (func(), error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return func() {}, err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".cpu.pprof"))
+	if err != nil {
+		return func() {}, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return func() {}, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile writes a post-GC heap profile for the scenario when
+// dir is set.
+func writeMemProfile(dir, name string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".mem.pprof"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // nameMatches reports whether name passes the filter (empty filter

@@ -12,8 +12,22 @@ import (
 // Callers guarantee cellsPer ≥ 3 (smaller grids use brute force), so
 // the nine cells are distinct.
 func ForBlockCells(cellsPer int, torus bool, c int, fn func(cell int)) {
+	ForBlockCellsLayout(cellsPer, torus, nil, c, fn)
+}
+
+// ForBlockCellsLayout is ForBlockCells under an explicit cell layout:
+// with mo nil, cell indices are row-major (cy·k+cx); with a Morton
+// layout, c and the indices handed to fn are dense Z-order ranks. The
+// nine cells visited are the same geometric block either way — only
+// their numbering changes.
+func ForBlockCellsLayout(cellsPer int, torus bool, mo *Morton, c int, fn func(cell int)) {
 	k := cellsPer
-	cx, cy := c%k, c/k
+	var cx, cy int
+	if mo != nil {
+		cx, cy = int(mo.cellX[c]), int(mo.cellY[c])
+	} else {
+		cx, cy = c%k, c/k
+	}
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
 			x, y := cx+dx, cy+dy
@@ -22,7 +36,11 @@ func ForBlockCells(cellsPer int, torus bool, c int, fn func(cell int)) {
 			} else if x < 0 || x >= k || y < 0 || y >= k {
 				continue
 			}
-			fn(y*k + x)
+			if mo != nil {
+				fn(int(mo.index[y*k+x]))
+			} else {
+				fn(y*k + x)
+			}
 		}
 	}
 }
@@ -44,6 +62,15 @@ type Blocks struct {
 // ascend). Per-cell segments are disjoint, so the parallel rebuild is
 // byte-identical for every worker count.
 func (b *Blocks) Build(cellsPer int, torus bool, starts, order []int32, workers int) {
+	b.BuildLayout(cellsPer, torus, nil, starts, order, workers)
+}
+
+// BuildLayout is Build under an explicit cell layout (nil = row-major;
+// see ForBlockCellsLayout). Each cell's merged segment is sorted by
+// node id regardless of layout, so downstream sweeps see identical
+// candidate lists — the layout only changes which segments are memory
+// neighbors.
+func (b *Blocks) BuildLayout(cellsPer int, torus bool, mo *Morton, starts, order []int32, workers int) {
 	cells := cellsPer * cellsPer
 	if len(b.offs) < cells+1 {
 		b.offs = make([]int32, cells+1)
@@ -52,7 +79,7 @@ func (b *Blocks) Build(cellsPer int, torus bool, starts, order []int32, workers 
 	offs[0] = 0
 	for c := 0; c < cells; c++ {
 		size := int32(0)
-		ForBlockCells(cellsPer, torus, c, func(bc int) { size += starts[bc+1] - starts[bc] })
+		ForBlockCellsLayout(cellsPer, torus, mo, c, func(bc int) { size += starts[bc+1] - starts[bc] })
 		offs[c+1] = offs[c] + size
 	}
 	total := int(offs[cells])
@@ -65,7 +92,7 @@ func (b *Blocks) Build(cellsPer int, torus bool, starts, order []int32, workers 
 		for c := lo; c < hi; c++ {
 			seg := nbhd[offs[c]:offs[c+1]]
 			i := 0
-			ForBlockCells(cellsPer, torus, c, func(bc int) {
+			ForBlockCellsLayout(cellsPer, torus, mo, c, func(bc int) {
 				i += copy(seg[i:], order[starts[bc]:starts[bc+1]])
 			})
 			slices.Sort(seg)

@@ -36,6 +36,10 @@ type Config struct {
 	N        int
 	CellsPer int
 	Torus    bool
+	// Morton, when non-nil, is the cell layout of both grids' cell
+	// indices (NodeCell/Starts order); nil means row-major. The
+	// classifier's output is independent of the layout.
+	Morton *Morton
 	// Brute disables the cell structures (models too small for a 3×3
 	// scan): every moved node examines every other node.
 	Brute bool
@@ -161,7 +165,7 @@ func (db *classifyBuf) examine(cfg *Config, u, v int) {
 // scanCells examines every node in the 3×3 cell block around cell cu
 // of the given grid as a candidate partner of moved node u.
 func (db *classifyBuf) scanCells(cfg *Config, g *Grid, cu, u int) {
-	ForBlockCells(cfg.CellsPer, cfg.Torus, cu, func(cell int) {
+	ForBlockCellsLayout(cfg.CellsPer, cfg.Torus, cfg.Morton, cu, func(cell int) {
 		for i := g.Starts[cell]; i < g.Starts[cell+1]; i++ {
 			db.examine(cfg, u, int(g.Order[i]))
 		}

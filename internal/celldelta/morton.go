@@ -1,0 +1,71 @@
+package celldelta
+
+import (
+	"slices"
+)
+
+// Morton is a cache-aware cell indexing for the k×k grid: cells are
+// numbered along the Z-order (Morton) curve instead of row-major, so
+// the cells of a 3×3 block — and with them the per-cell segments the
+// Blocks index gathers and the counting-sort runs the models build —
+// sit near each other in memory. At 512k nodes the row-major grid is
+// ~700 cells per axis and a vertical block neighbor is ~2800 node ids
+// away; under Z-order it is usually within the same few cache lines.
+//
+// Because k is not generally a power of two, raw interleaved codes
+// have holes; Morton ranks them into a dense [0, k²) numbering and
+// keeps both directions as lookup tables. Everything downstream —
+// within-cell ascending node order, block-segment sorting, the
+// u-ascending edge sweep — is independent of how cells are numbered,
+// which is what keeps snapshots and deltas byte-identical to the
+// row-major layout.
+type Morton struct {
+	k     int
+	index []int32 // row-major cy·k+cx → dense Z-order rank
+	cellX []int32 // rank → cx
+	cellY []int32 // rank → cy
+}
+
+// NewMorton builds the dense Z-order numbering of a k×k grid.
+func NewMorton(k int) *Morton {
+	cells := k * k
+	ranks := make([]int32, cells)
+	codes := make([]uint64, cells)
+	for c := range ranks {
+		ranks[c] = int32(c)
+		codes[c] = spreadBits(uint64(c%k)) | spreadBits(uint64(c/k))<<1
+	}
+	slices.SortFunc(ranks, func(a, b int32) int {
+		if codes[a] < codes[b] {
+			return -1
+		}
+		return 1 // codes are distinct: one per grid cell
+	})
+	mo := &Morton{
+		k:     k,
+		index: make([]int32, cells),
+		cellX: make([]int32, cells),
+		cellY: make([]int32, cells),
+	}
+	for r, c := range ranks {
+		mo.index[c] = int32(r)
+		mo.cellX[r] = c % int32(k)
+		mo.cellY[r] = c / int32(k)
+	}
+	return mo
+}
+
+// Cell returns the dense Z-order index of grid coordinates (cx, cy).
+func (mo *Morton) Cell(cx, cy int) int32 { return mo.index[cy*mo.k+cx] }
+
+// spreadBits spaces the low 32 bits of x one position apart (the
+// classic part1by1 spread), the x half of a 64-bit Morton code.
+func spreadBits(x uint64) uint64 {
+	x &= 0xffffffff
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}

@@ -247,16 +247,22 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 	}
 	workers := engineWorkers(opt.Parallelism, d)
 	snap := newSnapshotter(d, opt.Snapshot, workers, opt.Hook)
+	defer snap.release()
 	var eng *shardEngine
 	if workers > 1 {
 		eng = newShardEngine(n, workers)
 		eng.hook = opt.Hook
 	}
-	// For the static baseline the snapshot never changes, so once the
-	// engine pulls it can afford a one-time dense-row export and test
-	// "informed neighbor?" by word-parallel row intersection.
+	// Once the engine pulls it can afford a dense-row export and test
+	// "informed neighbor?" by word-parallel row intersection. For the
+	// static baseline the snapshot never changes so the export is paid
+	// once; on the delta path the Mutable keeps the attached matrix
+	// coherent via O(churn) bit flips, so the export is likewise paid
+	// once per run instead of once per snapshot.
 	st, isStatic := d.(*Static)
 	var rows *graph.DenseRows
+	rowsProbed := false
+	var uninf activeSet
 	// senders holds exactly the nodes of I_t; nodes discovered during
 	// round t are appended only after the round completes, enforcing
 	// the paper's synchronous semantics (a node informed at step t does
@@ -288,13 +294,36 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 		}
 		newly = newly[:0]
 		if pull {
-			if isStatic && rows == nil && denseRowsWorthwhile(st.G) {
-				rows = graph.NewDenseRowsParallel(st.G, workers)
+			if !rowsProbed {
+				rowsProbed = true
+				// Arm the active set's skip layer where a row-change
+				// oracle exists: static snapshots never change a row, the
+				// delta path compares the Mutable's per-row epoch stamps
+				// inline, and the full dynamic path leaves the layer off
+				// (rows may change arbitrarily per round).
+				act := &uninf
+				if eng != nil {
+					act = &eng.uninf
+				}
+				if isStatic {
+					if denseRowsWorthwhile(st.G) {
+						rows = graph.NewDenseRowsParallel(st.G, workers)
+					}
+					act.skipOn = true
+				} else if mut := snap.mutable(); mut != nil {
+					if denseRowsWorthwhile(g) {
+						rows = graph.NewDenseRowsParallel(g, workers)
+						mut.SetDenseRows(rows)
+					}
+					act.skipOn = true
+					act.stamps = mut.RowStamps()
+					act.epoch = mut.Epoch
+				}
 			}
 			if eng != nil {
-				newly = eng.pullRound(g, rows, informed, arrival, t, newly)
+				newly = eng.pullRound(g, rows, informed, arrival, t, newly, n-len(senders))
 			} else {
-				newly = pullRound(g, rows, informed, arrival, t, newly)
+				newly = pullRound(g, rows, informed, arrival, t, newly, &uninf, n-len(senders))
 			}
 		} else if eng != nil {
 			newly = eng.pushRound(g, senders, informed, arrival, t, newly)
@@ -332,17 +361,77 @@ func FloodOpt(d Dynamics, source, maxRounds int, opt FloodOptions) FloodResult {
 }
 
 // pullRound computes one round of I_{t+1} = I_t ∪ N(I_t) from the
-// receivers' side: every uninformed node (enumerated word-parallel from
-// the complement of the informed bitset) scans its own adjacency for an
+// receivers' side: every uninformed node scans its own adjacency for an
 // informed neighbor, stopping at the first hit. Nodes discovered this
 // round are recorded in newly and added to informed only after the
 // sweep, so the informed words seen during the scan are exactly I_t —
 // the same synchronous semantics the push kernel enforces via its
-// senders list. With rows non-nil the membership scan is a word-parallel
-// row∧informed intersection instead of a CSR walk.
-func pullRound(g *graph.Graph, rows *graph.DenseRows, informed *bitset.Set, arrival []int32, t int, newly []int32) []int32 {
+// senders list. The uninformed side is enumerated word-parallel from
+// the complement of the informed bitset while it is large, and from the
+// shrinking active-set list once the run crosses into the straggler
+// regime; both visit the same nodes in the same ascending order, so the
+// result is byte-identical either way. With rows non-nil the membership
+// scan is a word-parallel row∧informed intersection instead of a CSR
+// walk. Once the list is active and the snapshot's row-change oracle is
+// available (see activeSet), steady rounds probe only the nodes the
+// previous frontier or the churn actually touched — skipped nodes are
+// provably still uninformed, so arrivals are unchanged.
+func pullRound(g *graph.Graph, rows *graph.DenseRows, informed *bitset.Set, arrival []int32, t int, newly []int32, act *activeSet, uninformed int) []int32 {
 	words := informed.Words()
 	n := informed.Len()
+	if act.enabled(words, n, uninformed) {
+		if act.skipping() {
+			// Slice headers hoisted out of the loops: the walk over the
+			// list is the whole cost of a stalled straggler round, and
+			// the element writes below keep the compiler from caching
+			// fields of act across iterations on its own.
+			marks := act.marks
+			if act.stamps == nil {
+				// Static snapshot: rows never change, so the only
+				// candidates are neighbors of the previous frontier.
+				for _, v := range act.nodes {
+					if !marks[v] {
+						continue
+					}
+					marks[v] = false
+					if pullHit(g, rows, words, informed, int(v)) {
+						arrival[v] = int32(t + 1)
+						newly = append(newly, v)
+					}
+				}
+			} else {
+				stamps, epoch := act.stamps, act.epoch()
+				for _, v := range act.nodes {
+					if !marks[v] && stamps[v] != epoch {
+						continue
+					}
+					marks[v] = false
+					if pullHit(g, rows, words, informed, int(v)) {
+						arrival[v] = int32(t + 1)
+						newly = append(newly, v)
+					}
+				}
+			}
+		} else {
+			for _, v := range act.nodes {
+				if pullHit(g, rows, words, informed, int(v)) {
+					arrival[v] = int32(t + 1)
+					newly = append(newly, v)
+				}
+			}
+		}
+		for _, v := range newly {
+			informed.Add(int(v))
+		}
+		act.markNeighbors(g, newly)
+		if len(newly) > 0 {
+			// A round with no discoveries leaves the list untouched —
+			// skipping the compaction walk keeps stalled straggler
+			// rounds at O(candidates) instead of O(|list|).
+			act.compact(words)
+		}
+		return newly
+	}
 	for wi, w := range words {
 		rem := ^w
 		if rem == 0 {
@@ -356,18 +445,7 @@ func pullRound(g *graph.Graph, rows *graph.DenseRows, informed *bitset.Set, arri
 			if v >= n {
 				break
 			}
-			hit := false
-			if rows != nil {
-				hit = rows.Intersects(v, informed)
-			} else {
-				for _, u := range g.Neighbors(v) {
-					if words[u>>6]&(1<<(uint(u)&63)) != 0 {
-						hit = true
-						break
-					}
-				}
-			}
-			if hit {
+			if pullHit(g, rows, words, informed, v) {
 				arrival[v] = int32(t + 1)
 				newly = append(newly, int32(v))
 			}
@@ -377,6 +455,21 @@ func pullRound(g *graph.Graph, rows *graph.DenseRows, informed *bitset.Set, arri
 		informed.Add(int(v))
 	}
 	return newly
+}
+
+// pullHit reports whether uninformed node v has an informed neighbor
+// in the round-start set: a word-parallel row∧informed intersection
+// when rows is attached, else a CSR walk with first-hit early exit.
+func pullHit(g *graph.Graph, rows *graph.DenseRows, words []uint64, informed *bitset.Set, v int) bool {
+	if rows != nil {
+		return rows.Intersects(v, informed)
+	}
+	for _, u := range g.Neighbors(v) {
+		if words[u>>6]&(1<<(uint(u)&63)) != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // denseRowsWorthwhile gates the one-time bit-matrix export for static

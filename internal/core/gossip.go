@@ -192,11 +192,15 @@ func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *rng.RNG,
 
 	workers := engineWorkers(opt.Parallelism, d)
 	snap := newSnapshotter(d, opt.Snapshot, workers, opt.Hook)
+	defer snap.release()
 	var eng *gossipEngine
 	if workers > 1 {
 		eng = newGossipEngine(n, workers)
 		eng.hook = opt.Hook
 	}
+	// uninf is the serial lossy kernel's shrinking uninformed list (the
+	// sharded engine carries its own inside shardEngine).
+	var uninf activeSet
 	// senders holds exactly the informed set in discovery order; for
 	// probabilistic flooding, active holds the subset still forwarding
 	// (its own buffer — it is rewritten every round while senders grows).
@@ -248,9 +252,9 @@ func Gossip(d Dynamics, proto GossipProtocol, source, maxRounds int, r *rng.RNG,
 		case GossipLossyFlood:
 			res.Messages += degreeSum(g, senders)
 			if eng != nil {
-				newly = eng.lossyRound(g, informed, arrival, base, t, opt.Loss, newly)
+				newly = eng.lossyRound(g, informed, arrival, base, t, opt.Loss, newly, n-count)
 			} else {
-				newly = lossyRound(g, informed, arrival, base, t, opt.Loss, newly)
+				newly = lossyRound(g, informed, arrival, base, t, opt.Loss, newly, &uninf, n-count)
 			}
 		}
 		if proto == GossipProbFlood {
@@ -375,15 +379,35 @@ func probFloodRound(g *graph.Graph, active []int32, informed *bitset.Set, arriva
 }
 
 // lossyRound is the serial lossy-flood kernel, receiver-driven: every
-// uninformed node (enumerated word-parallel from the informed
-// complement) scans its adjacency for informed neighbors, drawing the
-// fate of each arriving copy from its own (node, round) stream and
+// uninformed node scans its adjacency for informed neighbors, drawing
+// the fate of each arriving copy from its own (node, round) stream and
 // stopping at the first delivery. The informed set is only read during
-// the scan; hits are applied after it, preserving synchrony.
-func lossyRound(g *graph.Graph, informed *bitset.Set, arrival []int32, base uint64, t int, loss float64, newly []int32) []int32 {
+// the scan; hits are applied after it, preserving synchrony. The
+// uninformed side is enumerated word-parallel from the informed
+// complement while large, and from the shrinking active-set list in
+// the straggler regime — same nodes, same ascending order, and every
+// delivery decision is keyed by (node, round), so the result is
+// byte-identical either way.
+func lossyRound(g *graph.Graph, informed *bitset.Set, arrival []int32, base uint64, t int, loss float64, newly []int32, act *activeSet, uninformed int) []int32 {
 	words := informed.MutableWords()
 	n := informed.Len()
 	start := len(newly)
+	if act.enabled(words, n, uninformed) {
+		for _, v := range act.nodes {
+			if scanLossy(g, words, int(v), base, t, loss) {
+				arrival[v] = int32(t + 1)
+				newly = append(newly, v)
+			}
+		}
+		for _, v := range newly[start:] {
+			words[v>>6] |= 1 << (uint(v) & 63)
+		}
+		if len(newly) > start {
+			// No deliveries → the list is unchanged; skip compaction.
+			act.compact(words)
+		}
+		return newly
+	}
 	for wi, w := range words {
 		rem := ^w
 		if rem == 0 {

@@ -115,16 +115,38 @@ func (e *gossipEngine) pushPullRound(g *graph.Graph, informed *bitset.Set, arriv
 	return e.mergeFrontiers(e.frontiers[:used], words, arrival, t, newly)
 }
 
-// lossyRound is the sharded lossy-flood kernel: the uninformed
-// complement is scanned per contiguous word range, each worker deciding
-// its own nodes' deliveries from their (node, round) streams (the whole
-// per-node scan lives inside one shard, so the stream is consumed in
-// adjacency order exactly as in the serial kernel). Hits are applied
-// after the join, in shard order.
-func (e *gossipEngine) lossyRound(g *graph.Graph, informed *bitset.Set, arrival []int32, base uint64, t int, loss float64, newly []int32) []int32 {
+// lossyRound is the sharded lossy-flood kernel: the uninformed side is
+// split into contiguous shards — word ranges of the complement while
+// the uninformed set is large, ranges of the shrinking active-set list
+// in the straggler regime — each worker deciding its own nodes'
+// deliveries from their (node, round) streams (the whole per-node scan
+// lives inside one shard, so the stream is consumed in adjacency order
+// exactly as in the serial kernel). Hits are applied after the join,
+// in shard order.
+func (e *gossipEngine) lossyRound(g *graph.Graph, informed *bitset.Set, arrival []int32, base uint64, t int, loss float64, newly []int32, uninformed int) []int32 {
 	words := informed.MutableWords()
 	n := informed.Len()
 	e.reset()
+	if e.uninf.enabled(words, n, uninformed) {
+		list := e.uninf.nodes
+		par.ForBlocks(e.workers, len(list), func(shard, lo, hi int) {
+			out := e.newly[shard][:0]
+			for _, v := range list[lo:hi] {
+				if scanLossy(g, words, int(v), base, t, loss) {
+					arrival[v] = int32(t + 1)
+					out = append(out, v)
+				}
+			}
+			e.newly[shard] = out
+		})
+		start := len(newly)
+		newly = e.applyPull(words, newly)
+		if len(newly) > start {
+			// No deliveries → the list is unchanged; skip compaction.
+			e.uninf.compact(words)
+		}
+		return newly
+	}
 	par.ForBlocks(e.workers, e.words, func(shard, lo, hi int) {
 		out := e.newly[shard][:0]
 		for wi := lo; wi < hi; wi++ {
@@ -148,11 +170,5 @@ func (e *gossipEngine) lossyRound(g *graph.Graph, informed *bitset.Set, arrival 
 		}
 		e.newly[shard] = out
 	})
-	for shard := 0; shard < e.workers; shard++ {
-		for _, v := range e.newly[shard] {
-			words[v>>6] |= 1 << (uint(v) & 63)
-		}
-		newly = append(newly, e.newly[shard]...)
-	}
-	return newly
+	return e.applyPull(words, newly)
 }

@@ -110,6 +110,7 @@ func FloodMultiOpt(d Dynamics, sources []int, maxRounds int, opt MultiOptions) [
 
 	workers := engineWorkers(opt.Parallelism, d)
 	snap := newSnapshotter(d, opt.Snapshot, workers, opt.Hook)
+	defer snap.release()
 	remaining := len(groups)
 	h := opt.Hook
 	prevTotal := len(sources) // every flood starts with its source informed

@@ -44,6 +44,7 @@ type shardEngine struct {
 	words     int        // words of the node universe
 	frontiers [][]uint64 // per-worker private frontier bitmaps
 	newly     [][]int32  // per-shard newly-informed lists
+	uninf     activeSet  // shrinking uninformed list of the pull kernels
 	hook      PhaseHook  // nil unless the run is instrumented
 }
 
@@ -152,17 +153,69 @@ func (e *shardEngine) mergeFrontiers(frontiers [][]uint64, words []uint64, arriv
 	return newly
 }
 
-// pullRound is the sharded pull kernel: the uninformed complement is
-// scanned per contiguous word range, each worker testing its own nodes
-// for an informed neighbor (CSR walk, or word-parallel row intersection
-// when rows is non-nil) and recording hits in its shard's newly list.
-// The informed set is only read during the scan — hits are applied
-// after the join, in shard order, preserving the synchronous semantics
-// and worker-count independence of the serial kernel.
-func (e *shardEngine) pullRound(g *graph.Graph, rows *graph.DenseRows, informed *bitset.Set, arrival []int32, t int, newly []int32) []int32 {
+// pullRound is the sharded pull kernel: the uninformed side is split
+// into contiguous shards — word ranges of the complement while the
+// uninformed set is large, ranges of the shrinking active-set list in
+// the straggler regime — each worker testing its own nodes for an
+// informed neighbor (CSR walk, or word-parallel row intersection when
+// rows is non-nil) and recording hits in its shard's newly list. The
+// informed set is only read during the scan — hits are applied after
+// the join, in shard order, preserving the synchronous semantics and
+// worker-count independence of the serial kernel. Both enumerations
+// visit the same nodes ascending (list shards are contiguous slices of
+// an ascending list), so the result is byte-identical either way. With
+// the skip layer armed (see activeSet), each shard walks its slice but
+// probes only marked or churned nodes — the same candidate set the
+// serial kernel selects, since marks and stamps are round-start state.
+func (e *shardEngine) pullRound(g *graph.Graph, rows *graph.DenseRows, informed *bitset.Set, arrival []int32, t int, newly []int32, uninformed int) []int32 {
 	words := informed.MutableWords()
 	n := informed.Len()
 	e.reset()
+	if e.uninf.enabled(words, n, uninformed) {
+		list := e.uninf.nodes
+		if e.uninf.skipping() {
+			marks := e.uninf.marks
+			stamps := e.uninf.stamps
+			var epoch uint32
+			if stamps != nil {
+				epoch = e.uninf.epoch()
+			}
+			par.ForBlocks(e.workers, len(list), func(shard, lo, hi int) {
+				out := e.newly[shard][:0]
+				for _, v := range list[lo:hi] {
+					if !marks[v] && (stamps == nil || stamps[v] != epoch) {
+						continue
+					}
+					marks[v] = false
+					if pullHit(g, rows, words, informed, int(v)) {
+						arrival[v] = int32(t + 1)
+						out = append(out, v)
+					}
+				}
+				e.newly[shard] = out
+			})
+		} else {
+			par.ForBlocks(e.workers, len(list), func(shard, lo, hi int) {
+				out := e.newly[shard][:0]
+				for _, v := range list[lo:hi] {
+					if pullHit(g, rows, words, informed, int(v)) {
+						arrival[v] = int32(t + 1)
+						out = append(out, v)
+					}
+				}
+				e.newly[shard] = out
+			})
+		}
+		start := len(newly)
+		newly = e.applyPull(words, newly)
+		e.uninf.markNeighbors(g, newly[start:])
+		if len(newly) > start {
+			// No discoveries → the list is unchanged; skip the
+			// compaction walk (see the serial kernel).
+			e.uninf.compact(words)
+		}
+		return newly
+	}
 	par.ForBlocks(e.workers, e.words, func(shard, lo, hi int) {
 		out := e.newly[shard][:0]
 		for wi := lo; wi < hi; wi++ {
@@ -178,18 +231,7 @@ func (e *shardEngine) pullRound(g *graph.Graph, rows *graph.DenseRows, informed 
 				if v >= n {
 					break
 				}
-				hit := false
-				if rows != nil {
-					hit = rows.Intersects(v, informed)
-				} else {
-					for _, u := range g.Neighbors(v) {
-						if words[u>>6]&(1<<(uint(u)&63)) != 0 {
-							hit = true
-							break
-						}
-					}
-				}
-				if hit {
+				if pullHit(g, rows, words, informed, v) {
 					arrival[v] = int32(t + 1)
 					out = append(out, int32(v))
 				}
@@ -197,8 +239,13 @@ func (e *shardEngine) pullRound(g *graph.Graph, rows *graph.DenseRows, informed 
 		}
 		e.newly[shard] = out
 	})
-	// The post-join apply is the pull kernel's merge span: shard outputs
-	// folded into the shared informed set in shard order.
+	return e.applyPull(words, newly)
+}
+
+// applyPull is the post-join apply of the receiver-driven kernels —
+// the pull-side merge span: shard outputs folded into the shared
+// informed words in shard order.
+func (e *shardEngine) applyPull(words []uint64, newly []int32) []int32 {
 	h := e.hook
 	if h != nil {
 		h.BeginPhase(PhaseMerge)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"meg/internal/graph"
 )
@@ -116,9 +117,40 @@ func (s *snapshotter) graphInner() *graph.Graph {
 		return s.d.Graph()
 	}
 	if s.mut == nil {
-		s.mut = graph.NewMutable(s.d.Graph())
+		s.mut = getPooledMutable(s.d.Graph())
 	}
 	return s.mut.Graph()
+}
+
+// mutable returns the incrementally maintained snapshot when the delta
+// path is active and has materialized, else nil. Engines use it to
+// attach state the Mutable keeps coherent across deltas (dense rows).
+func (s *snapshotter) mutable() *graph.Mutable { return s.mut }
+
+// mutablePool recycles the per-run graph.Mutable across engine runs —
+// the trial-level counterpart of graph.Builder's round-level recycling.
+// A pooled Mutable is fully reinitialized by Reset before reuse (and
+// detaches any dense rows), so pooling is invisible to results.
+var mutablePool sync.Pool
+
+func getPooledMutable(g *graph.Graph) *graph.Mutable {
+	if v := mutablePool.Get(); v != nil {
+		m := v.(*graph.Mutable)
+		m.Reset(g)
+		return m
+	}
+	return graph.NewMutable(g)
+}
+
+// release returns the run's Mutable (if any) to the pool. Engines call
+// it once when the run finishes; the live snapshot view must not be
+// used afterwards — engines hand results out as copies, never as
+// aliases of the view, so the deferred release is safe.
+func (s *snapshotter) release() {
+	if s.mut != nil {
+		mutablePool.Put(s.mut)
+		s.mut = nil
+	}
 }
 
 // step advances the chain G_t → G_{t+1}, folding the delta into the

@@ -1,0 +1,126 @@
+package flood
+
+import (
+	"testing"
+
+	"meg/internal/core"
+	"meg/internal/spec"
+)
+
+// runWithActiveSetFrac executes a flooding campaign with the active-set
+// crossover pinned to frac (0 = pure complement scan, 1 = list from the
+// first pull round); frac < 0 leaves the default crossover in place.
+func runWithActiveSetFrac(t *testing.T, s spec.Spec, frac float64, parallelism int) Campaign {
+	t.Helper()
+	if frac >= 0 {
+		defer core.SetActiveSetFracForTest(frac)()
+	}
+	return runWithParallelism(t, s, parallelism, false)
+}
+
+// TestActiveSetEquivalenceAllModels is the equivalence gate of the
+// active-set pull kernel: on every one of the seven models, a campaign
+// run with the active set forced on from the first pull round (frac 1)
+// and one with it disabled entirely (frac 0, the pure complement scan)
+// must be byte-identical — trajectories and per-node arrival arrays
+// included — at Parallelism 1 and 8 alike. The default crossover must
+// match both. This is the contract that keeps the crossover fraction an
+// execution heuristic, never a semantic.
+func TestActiveSetEquivalenceAllModels(t *testing.T) {
+	for _, s := range allModelSpecs(t) {
+		name := s.Model.Name
+		baseline := runWithActiveSetFrac(t, s, 0, 1)
+		for _, par := range []int{1, 8} {
+			for _, frac := range []float64{1, -1} {
+				got := runWithActiveSetFrac(t, s, frac, par)
+				campaignsEqual(t, name+"/active-set", baseline, got)
+			}
+		}
+		if baseline.Incomplete > 0 {
+			t.Errorf("%s: equivalence case never completed (vacuous comparison)", name)
+		}
+	}
+}
+
+// TestActiveSetEquivalenceDelta covers the skip layer: on the delta
+// path the active set consults the Mutable's row-change stamps and the
+// previous round's frontier to probe only candidate nodes, so every
+// model × Parallelism must still reproduce the complement-scan
+// campaign byte for byte with the list forced on from the first pull
+// round — the regime where skipped probes are most common.
+func TestActiveSetEquivalenceDelta(t *testing.T) {
+	for _, s := range allModelSpecs(t) {
+		name := s.Model.Name
+		s.Snapshot = "delta"
+		baseline := runWithActiveSetFrac(t, s, 0, 1)
+		for _, par := range []int{1, 8} {
+			got := runWithActiveSetFrac(t, s, 1, par)
+			campaignsEqual(t, name+"/active-set-delta", baseline, got)
+		}
+	}
+}
+
+// TestActiveSetEquivalenceLossy covers the other consumer of the
+// active set — lossy flooding's per-edge coin-flip scan — on every
+// model: forced-on, forced-off and default crossover must agree on the
+// kernel engine at Parallelism 1 and 8. The per-(node, round) RNG
+// streams make the coin flips independent of scan order, which is what
+// the list walk changes.
+func TestActiveSetEquivalenceLossy(t *testing.T) {
+	models := []string{"geometric", "torus", "edge", "waypoint", "billiard", "walkers", "iiddisk"}
+	for _, m := range models {
+		s := spec.Spec{
+			Model:    spec.Model{Name: m, N: 500, RFrac: 0.5},
+			Protocol: spec.Protocol{Name: "lossy", Loss: 0.25},
+			Trials:   2,
+			Sources:  2,
+			Seed:     13,
+		}
+		if _, err := s.Canonical(); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		baseline := func() ProtocolCampaign {
+			defer core.SetActiveSetFracForTest(0)()
+			return runProtocolWith(t, s, EngineKernel, 1)
+		}()
+		for _, par := range []int{1, 8} {
+			for _, frac := range []float64{1, -1} {
+				got := func() ProtocolCampaign {
+					if frac >= 0 {
+						defer core.SetActiveSetFracForTest(frac)()
+					}
+					return runProtocolWith(t, s, EngineKernel, par)
+				}()
+				protocolCampaignsEqual(t, m+"/lossy-active-set", baseline, got)
+			}
+		}
+	}
+}
+
+// TestActiveSetDenseRowsDelta pins the SetDenseRows consumer: on a
+// graph dense enough for the bit-matrix pull kernel (n ≤ 8192,
+// avg degree ≥ 64), the delta path — where the rows are built once and
+// then kept coherent by Mutable.ApplyDelta's O(churn) bit flips — must
+// reproduce the full-rebuild campaign byte for byte, across several
+// trials so the pooled Mutable is also reused with rows attached and
+// detached between runs.
+func TestActiveSetDenseRowsDelta(t *testing.T) {
+	s := spec.Spec{
+		Model:     spec.Model{Name: "edge", N: 1024, PhatMult: 16, Q: 0.05},
+		Trials:    3,
+		Sources:   2,
+		Seed:      17,
+		MaxRounds: 30,
+	}
+	if _, err := s.Canonical(); err != nil {
+		t.Fatal(err)
+	}
+	full := runWithSnapshot(t, s, "full", 1, false)
+	for _, par := range []int{1, 8} {
+		delta := runWithSnapshot(t, s, "delta", par, false)
+		campaignsEqual(t, "dense-rows/delta-vs-full", full, delta)
+	}
+	if full.Incomplete > 0 {
+		t.Errorf("dense-rows case never completed (vacuous comparison)")
+	}
+}

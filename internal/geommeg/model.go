@@ -33,6 +33,12 @@ type Model struct {
 	cellOrder  []int32
 	nodeCell   []int32
 	cellsValid bool // cellStarts/cellOrder/nodeCell match current positions
+	// morton is the cache-aware Z-order cell numbering (nil under brute
+	// force): 3×3 block neighbors are memory neighbors, so the merged
+	// block index and the sweep walk nearly sequentially at large n.
+	// Cell numbering never reaches snapshots or deltas, so the layout
+	// is invisible to results.
+	morton     *celldelta.Morton
 	builder    *graph.Builder
 	g          *graph.Graph
 	dirty      bool
@@ -97,6 +103,9 @@ func New(cfg Config) (*Model, error) {
 	m.cellSize = cl
 	m.cellsPer = k
 	m.bruteForce = k < 3
+	if !m.bruteForce {
+		m.morton = celldelta.NewMorton(k)
+	}
 	m.cellCounts = make([]int32, k*k+1)
 	m.cellStarts = make([]int32, k*k+1)
 	m.cellOrder = make([]int32, cfg.N)
@@ -326,6 +335,7 @@ func (m *Model) StepDelta() graph.Delta {
 		N:         m.cfg.N,
 		CellsPer:  m.cellsPer,
 		Torus:     m.lat.torus,
+		Morton:    m.morton,
 		Brute:     m.bruteForce,
 		Moved:     m.movedNodes,
 		MovedMark: m.movedMark,
@@ -360,9 +370,11 @@ func (m *Model) swapCells() {
 	m.cellsValid = false
 }
 
-// cellIndexOf returns the flat cell index of lattice position (x, y).
-// The last cell per axis absorbs the remainder so that every cell is at
-// least R/ε wide and the 3×3 neighbor scan is exhaustive.
+// cellIndexOf returns the flat cell index of lattice position (x, y)
+// in the model's Z-order layout (row-major under brute force, where
+// cells are never built). The last cell per axis absorbs the remainder
+// so that every cell is at least R/ε wide and the 3×3 neighbor scan is
+// exhaustive.
 func (m *Model) cellIndexOf(x, y int32) int32 {
 	cx := int(x) / m.cellSize
 	cy := int(y) / m.cellSize
@@ -372,7 +384,7 @@ func (m *Model) cellIndexOf(x, y int32) int32 {
 	if cy >= m.cellsPer {
 		cy = m.cellsPer - 1
 	}
-	return int32(cy*m.cellsPer + cx)
+	return m.morton.Cell(cx, cy)
 }
 
 // Graph implements core.Dynamics: it materializes the current snapshot
@@ -401,7 +413,7 @@ func (m *Model) Graph() *graph.Graph {
 	if !m.cellsValid {
 		m.buildCells()
 	}
-	m.blocks.Build(m.cellsPer, m.lat.torus, m.cellStarts, m.cellOrder, m.parallel)
+	m.blocks.BuildLayout(m.cellsPer, m.lat.torus, m.morton, m.cellStarts, m.cellOrder, m.parallel)
 
 	// Edge sweep: per contiguous node block, each worker emits its
 	// block's (u, v > u) edges into a private buffer in the same order

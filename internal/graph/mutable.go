@@ -53,19 +53,56 @@ func rowSlack(l int) int { return l + l/4 + 4 }
 // rebuild would silently corrupt unsorted rows. g itself is not
 // retained.
 func NewMutable(g *Graph) *Mutable {
+	m := &Mutable{}
+	m.Reset(g)
+	return m
+}
+
+// Reset reinitializes m to a copy of g, reusing the existing backing
+// arrays wherever capacities allow — the trial-level counterpart of
+// graph.Builder's round-level recycling, which is what lets the
+// engines pool one Mutable across runs instead of paying a fresh
+// O(n + m) allocation each time. Any attached DenseRows is detached
+// (runs must never share a matrix), and the epoch stamps keep
+// advancing so stale per-row scatter state can never alias the new
+// run's. Like NewMutable it panics on unsorted rows.
+func (m *Mutable) Reset(g *Graph) {
 	n := g.N()
-	m := &Mutable{
-		adds:    make([][]int32, n),
-		dels:    make([][]int32, n),
-		touched: make([]uint32, n),
-		newLen:  make([]int32, n),
+	if grow := n - len(m.adds); grow > 0 {
+		m.adds = append(m.adds, make([][]int32, grow)...)
+		m.dels = append(m.dels, make([][]int32, grow)...)
+		m.touched = append(m.touched, make([]uint32, grow)...)
+		m.newLen = append(m.newLen, make([]int32, grow)...)
 	}
-	offs := make([]int32, n+1)
+	m.adds = m.adds[:n]
+	m.dels = m.dels[:n]
+	m.touched = m.touched[:n]
+	m.newLen = m.newLen[:n]
+	m.dirty = m.dirty[:0]
+	m.rows = nil
+
+	offs := m.view.offs
+	if cap(offs) >= n+1 {
+		offs = offs[:n+1]
+	} else {
+		offs = make([]int32, n+1)
+	}
+	offs[0] = 0
 	for u := 0; u < n; u++ {
 		offs[u+1] = offs[u] + int32(rowSlack(g.Degree(u)))
 	}
-	adj := make([]int32, offs[n])
-	lens := make([]int32, n)
+	adj := m.view.adj
+	if total := int(offs[n]); cap(adj) >= total {
+		adj = adj[:total]
+	} else {
+		adj = make([]int32, total)
+	}
+	lens := m.view.lens
+	if cap(lens) >= n {
+		lens = lens[:n]
+	} else {
+		lens = make([]int32, n)
+	}
 	for u := 0; u < n; u++ {
 		row := g.Neighbors(u)
 		for i := 1; i < len(row); i++ {
@@ -77,7 +114,6 @@ func NewMutable(g *Graph) *Mutable {
 		lens[u] = int32(len(row))
 	}
 	m.view = Graph{n: n, offs: offs, adj: adj, lens: lens, mCount: g.M()}
-	return m
 }
 
 // N returns the node count.
@@ -99,6 +135,22 @@ func (m *Mutable) SetDenseRows(r *DenseRows) {
 	}
 	m.rows = r
 }
+
+// RowStamps exposes the per-row epoch stamps: row u was touched by the
+// most recent non-empty ApplyDelta iff RowStamps()[u] == Epoch(). The
+// test is conservative in the safe direction — after an empty apply
+// (which changes nothing and leaves the epoch alone), after Reset, and
+// before the first apply it may report rows changed that were not, but
+// it never misses a row the last apply rebuilt. Kernels use the pair to
+// skip re-examining nodes whose neighborhood provably did not change
+// between rounds, comparing stamps inline instead of paying a call per
+// node. The slice is valid until the next Reset; Epoch must be re-read
+// after every ApplyDelta.
+func (m *Mutable) RowStamps() []uint32 { return m.touched }
+
+// Epoch returns the stamp value identifying rows touched by the most
+// recent non-empty ApplyDelta; see RowStamps.
+func (m *Mutable) Epoch() uint32 { return m.epoch }
 
 // ApplyDelta advances the snapshot G_t → G_{t+1}: deaths are removed
 // and births inserted, and only the adjacency rows incident to the

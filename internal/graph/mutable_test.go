@@ -215,3 +215,48 @@ func TestApplyDeltaRejectsInconsistentDeltas(t *testing.T) {
 		fresh().ApplyDelta(Delta{Births: []uint64{PackEdge(0, 3), PackEdge(0, 2)}}, 1)
 	})
 }
+
+// TestMutableResetMatchesFresh pins the pooling contract: a Mutable
+// that has lived through one run — deltas applied, dense rows attached,
+// rows relaid out — and is then Reset onto a different graph must be
+// indistinguishable from a fresh NewMutable of that graph, across a
+// whole delta chain. Shrinking and growing resets both take the reuse
+// path.
+func TestMutableResetMatchesFresh(t *testing.T) {
+	r := rng.New(99)
+	wear := randomKeys(120, 0.08, r)
+	dirty := NewMutable(buildFromKeys(120, wear))
+	for round := 0; round < 8; round++ {
+		var d Delta
+		d, wear = randomDelta(120, wear, 0.05, 0.2, r)
+		dirty.ApplyDelta(d, 2)
+	}
+	rows := NewDenseRows(dirty.Graph())
+	dirty.SetDenseRows(rows)
+	before := append([]uint64(nil), rows.Row(0)...)
+
+	for _, n := range []int{60, 200} { // shrink, then grow
+		init := randomKeys(n, 0.07, r)
+		g := buildFromKeys(n, init)
+		dirty.Reset(g)
+		fresh := NewMutable(buildFromKeys(n, init))
+		graphsEqual(t, "post-reset", dirty.Graph(), fresh.Graph())
+		chain := init
+		for round := 0; round < 10; round++ {
+			var d Delta
+			d, chain = randomDelta(n, chain, 0.03, 0.15, r)
+			dirty.ApplyDelta(d, 1+round%3)
+			fresh.ApplyDelta(d, 1)
+			graphsEqual(t, "post-reset chain", dirty.Graph(), fresh.Graph())
+		}
+	}
+
+	// Reset must have detached the dense rows: the old matrix is the
+	// caller's and the post-reset delta chain must not touch it.
+	after := rows.Row(0)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("detached dense rows mutated at word %d", i)
+		}
+	}
+}

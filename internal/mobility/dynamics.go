@@ -23,10 +23,15 @@ type Dynamics struct {
 	order      []int32
 	nodeCell   []int32
 	cellsValid bool // starts/order/nodeCell match current positions
-	builder    *graph.Builder
-	g          *graph.Graph
-	dirty      bool
-	brute      bool
+	// morton is the cache-aware Z-order cell numbering (nil under brute
+	// force); see geommeg.Model for the rationale. Cell numbering never
+	// reaches snapshots or deltas, so the layout is invisible to
+	// results.
+	morton  *celldelta.Morton
+	builder *graph.Builder
+	g       *graph.Graph
+	dirty   bool
+	brute   bool
 
 	// parallel is the snapshot-build worker count
 	// (core.Parallelizable); snapshots are byte-identical for every
@@ -65,7 +70,7 @@ func NewDynamics(mob Mobility, radius float64) *Dynamics {
 		k = 1
 	}
 	n := mob.N()
-	return &Dynamics{
+	d := &Dynamics{
 		mob:      mob,
 		radius:   radius,
 		cellsPer: k,
@@ -77,6 +82,10 @@ func NewDynamics(mob Mobility, radius float64) *Dynamics {
 		builder:  graph.NewBuilder(n),
 		brute:    k < 3,
 	}
+	if !d.brute {
+		d.morton = celldelta.NewMorton(k)
+	}
+	return d
 }
 
 // Mobility returns the wrapped mobility process.
@@ -158,6 +167,7 @@ func (d *Dynamics) StepDelta() graph.Delta {
 		N:         n,
 		CellsPer:  d.cellsPer,
 		Torus:     d.mob.Torus(),
+		Morton:    d.morton,
 		Brute:     d.brute,
 		Moved:     d.moved,
 		MovedMark: d.movedMark,
@@ -204,8 +214,9 @@ func (d *Dynamics) adjacentPts(pu, pv geom.Point) bool {
 	return pu.Dist2(pv) <= r2
 }
 
-// cellIndexOf returns the flat cell index of position p; the last cell
-// per axis absorbs boundary points.
+// cellIndexOf returns the flat cell index of position p in the Z-order
+// layout (row-major under brute force, where cells are never built);
+// the last cell per axis absorbs boundary points.
 func (d *Dynamics) cellIndexOf(p geom.Point) int32 {
 	k := d.cellsPer
 	cx := int(p.X / d.cellSize)
@@ -222,7 +233,7 @@ func (d *Dynamics) cellIndexOf(p geom.Point) int32 {
 	if cy < 0 {
 		cy = 0
 	}
-	return int32(cy*k + cx)
+	return d.morton.Cell(cx, cy)
 }
 
 // Graph implements core.Dynamics.
@@ -247,7 +258,7 @@ func (d *Dynamics) Graph() *graph.Graph {
 	if !d.cellsValid {
 		d.buildCells()
 	}
-	d.blocks.Build(d.cellsPer, d.mob.Torus(), d.starts, d.order, d.parallel)
+	d.blocks.BuildLayout(d.cellsPer, d.mob.Torus(), d.morton, d.starts, d.order, d.parallel)
 	// Edge sweep: per contiguous node block into private buffers,
 	// concatenated in block order — the same order the serial
 	// u-ascending loop emits, so snapshots are byte-identical for every
